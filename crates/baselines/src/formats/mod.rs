@@ -1,0 +1,11 @@
+//! Baseline sparse matrix formats with the paper's storage equations.
+
+pub mod bcsr;
+pub mod csr;
+pub mod sparta_fmt;
+pub mod tiled_csl;
+
+pub use bcsr::Bcsr;
+pub use csr::Csr;
+pub use sparta_fmt::SpartaFormat;
+pub use tiled_csl::TiledCsl;

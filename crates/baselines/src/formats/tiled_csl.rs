@@ -1,0 +1,210 @@
+//! Tiled-CSL — Flash-LLM's sparse format (paper §3.2.1, Eq. 2).
+//!
+//! Non-zeros are grouped by tile. Each entry packs the FP16 value with a
+//! 16-bit *in-tile position* into one 32-bit word (`NonZeros`); a
+//! `TileOffsets` array marks each tile's start:
+//! `Stor_Tiled-CSL = 4B × NT + 4B × NNZ`. The 16-bit per-element position
+//! makes the index overhead equal to the payload — CR reaches 1.0 only at
+//! 50% sparsity.
+
+use gpu_sim::fp16::Half;
+use gpu_sim::matrix::DenseMatrix;
+
+/// Default Flash-LLM tile height (rows).
+pub const TILE_ROWS: usize = 64;
+/// Default Flash-LLM tile width (columns).
+pub const TILE_COLS: usize = 64;
+
+/// One packed non-zero: value in the low half, in-tile position in the
+/// high half.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedNz(pub u32);
+
+impl PackedNz {
+    /// Packs a value and its in-tile position.
+    pub fn new(value: Half, pos: u16) -> Self {
+        PackedNz(u32::from(value.to_bits()) | (u32::from(pos) << 16))
+    }
+
+    /// The FP16 value.
+    pub fn value(self) -> Half {
+        Half::from_bits((self.0 & 0xFFFF) as u16)
+    }
+
+    /// The in-tile position (row-major within the tile).
+    pub fn pos(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+}
+
+/// A sparse matrix in Tiled-CSL format.
+#[derive(Clone, Debug)]
+pub struct TiledCsl {
+    /// Logical rows.
+    pub m: usize,
+    /// Logical columns.
+    pub k: usize,
+    /// Rows padded to the tile grid.
+    pub m_pad: usize,
+    /// Columns padded to the tile grid.
+    pub k_pad: usize,
+    /// Start of each tile in `non_zeros`, plus end sentinel.
+    pub tile_offsets: Vec<u32>,
+    /// Packed (value, position) entries, tile-major (row-major tiles).
+    pub non_zeros: Vec<PackedNz>,
+    /// True non-zero count.
+    pub nnz: usize,
+}
+
+impl TiledCsl {
+    /// Encodes a dense matrix with 64×64 tiles.
+    pub fn encode(matrix: &DenseMatrix) -> Self {
+        let m = matrix.rows();
+        let k = matrix.cols();
+        let m_pad = m.div_ceil(TILE_ROWS) * TILE_ROWS;
+        let k_pad = k.div_ceil(TILE_COLS) * TILE_COLS;
+        let ty = m_pad / TILE_ROWS;
+        let tx = k_pad / TILE_COLS;
+        let mut tile_offsets = Vec::with_capacity(ty * tx + 1);
+        let mut non_zeros = Vec::new();
+        for t_r in 0..ty {
+            for t_c in 0..tx {
+                tile_offsets.push(non_zeros.len() as u32);
+                for lr in 0..TILE_ROWS {
+                    for lc in 0..TILE_COLS {
+                        let (r, c) = (t_r * TILE_ROWS + lr, t_c * TILE_COLS + lc);
+                        if r < m && c < k {
+                            let v = matrix.get(r, c);
+                            if !v.is_zero() {
+                                let pos = (lr * TILE_COLS + lc) as u16;
+                                non_zeros.push(PackedNz::new(v, pos));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tile_offsets.push(non_zeros.len() as u32);
+        let nnz = non_zeros.len();
+        TiledCsl {
+            m,
+            k,
+            m_pad,
+            k_pad,
+            tile_offsets,
+            non_zeros,
+            nnz,
+        }
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tile_offsets.len() - 1
+    }
+
+    /// Tiles along M.
+    pub fn tiles_y(&self) -> usize {
+        self.m_pad / TILE_ROWS
+    }
+
+    /// Tiles along K.
+    pub fn tiles_x(&self) -> usize {
+        self.k_pad / TILE_COLS
+    }
+
+    /// Entries of one tile.
+    pub fn tile_entries(&self, t: usize) -> &[PackedNz] {
+        &self.non_zeros[self.tile_offsets[t] as usize..self.tile_offsets[t + 1] as usize]
+    }
+
+    /// Actual storage bytes.
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.num_tiles() + 4 * self.nnz
+    }
+
+    /// Paper Eq. 2: `4B × NT + 4B × NNZ`.
+    pub fn storage_bytes_formula(m: usize, k: usize, nnz: usize) -> usize {
+        let nt = m.div_ceil(TILE_ROWS) * k.div_ceil(TILE_COLS);
+        4 * nt + 4 * nnz
+    }
+
+    /// Compression ratio vs dense.
+    pub fn compression_ratio(&self) -> f64 {
+        (2 * self.m * self.k) as f64 / self.storage_bytes() as f64
+    }
+
+    /// Decodes back to dense.
+    pub fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.m, self.k);
+        let tx = self.tiles_x();
+        for t in 0..self.num_tiles() {
+            let (t_r, t_c) = (t / tx, t % tx);
+            for e in self.tile_entries(t) {
+                let pos = e.pos() as usize;
+                let r = t_r * TILE_ROWS + pos / TILE_COLS;
+                let c = t_c * TILE_COLS + pos % TILE_COLS;
+                if r < self.m && c < self.k {
+                    out.set(r, c, e.value());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_sparse, ValueDist};
+
+    #[test]
+    fn packed_nz_roundtrip() {
+        let p = PackedNz::new(Half::from_f32(2.5), 4095);
+        assert_eq!(p.value().to_f32(), 2.5);
+        assert_eq!(p.pos(), 4095);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &s in &[0.3, 0.5, 0.8] {
+            let m = random_sparse(128, 192, s, ValueDist::Uniform, 11);
+            let enc = TiledCsl::encode(&m);
+            assert_eq!(enc.decode(), m, "sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_unaligned() {
+        let m = random_sparse(70, 100, 0.5, ValueDist::Uniform, 12);
+        let enc = TiledCsl::encode(&m);
+        assert_eq!(enc.decode(), m);
+        assert_eq!(enc.m_pad, 128);
+        assert_eq!(enc.k_pad, 128);
+    }
+
+    #[test]
+    fn storage_matches_formula() {
+        let m = random_sparse(256, 256, 0.6, ValueDist::Uniform, 13);
+        let enc = TiledCsl::encode(&m);
+        assert_eq!(
+            enc.storage_bytes(),
+            TiledCsl::storage_bytes_formula(256, 256, enc.nnz)
+        );
+    }
+
+    #[test]
+    fn cr_is_one_at_exactly_half_sparsity() {
+        // 4B per non-zero vs 2B per dense element: CR = 2B·MK / 4B·NNZ
+        // ≈ 1 / (2(1−s)) → exactly 1.0 at s = 0.5 (plus tiny tile offsets).
+        let m = random_sparse(1024, 1024, 0.5, ValueDist::Uniform, 14);
+        let enc = TiledCsl::encode(&m);
+        let cr = enc.compression_ratio();
+        assert!((cr - 1.0).abs() < 0.03, "CR {cr}");
+    }
+
+    #[test]
+    fn cr_below_one_at_40_percent() {
+        let m = random_sparse(1024, 1024, 0.4, ValueDist::Uniform, 15);
+        assert!(TiledCsl::encode(&m).compression_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Flash-LLM's Load-as-Sparse-Compute-as-Dense SpMM (Xia et al., VLDB'23)
+//! — the paper's strongest sparse baseline.
+//!
+//! Per 64×64 tile, the kernel loads the Tiled-CSL `NonZeros` array with
+//! `LDG.128` *into registers*, unpacks each `(value, position)` pair, and
+//! scatters values to a dense WTile in shared memory before `ldmatrix` +
+//! dense `mma`. Compared with SpInfer this data path (paper Fig. 7, 12):
+//!
+//! * stages sparse data through the register file (extra registers →
+//!   lower occupancy, extra issue slots),
+//! * scatters to arbitrary shared-memory banks (conflict replays measured
+//!   from the *real* non-zero positions in the functional path),
+//! * carries a 16-bit index per value (4 B/non-zero traffic → CR ≈ 1 at
+//!   50% sparsity).
+
+use crate::formats::tiled_csl::{TiledCsl, TILE_COLS, TILE_ROWS};
+use crate::kernels::common::{
+    auto_split_k, pad8, reduction_launch, sector_span, single_launch, store_output,
+    stream_ldg_via_rf, stream_ldgsts, tensor_core_work,
+};
+use gpu_sim::counters::Counters;
+use gpu_sim::matrix::DenseMatrix;
+use gpu_sim::occupancy::BlockResources;
+use gpu_sim::shared_memory::warp_smem_store;
+use gpu_sim::spec::GpuSpec;
+use gpu_sim::timing::{L2Reuse, PipelineMode};
+use spinfer_core::spmm::SpmmRun;
+
+/// Expected shared-memory scatter conflict degree for row-major-ordered
+/// sparse positions at LLM sparsities (calibrated against the functional
+/// path, which measures conflicts from real non-zero positions).
+const EXPECTED_SCATTER_DEGREE: f64 = 1.45;
+
+/// The Flash-LLM SpMM baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlashLlmSpmm;
+
+/// Data-dependent statistics the analytic path needs from an encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashLlmStats {
+    /// Logical rows.
+    pub m: usize,
+    /// Logical cols.
+    pub k: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Average shared-memory transactions per warp-wide scatter store
+    /// (1.0 = conflict-free; includes replays).
+    pub scatter_degree: f64,
+}
+
+impl FlashLlmStats {
+    /// Measures statistics from a real encoding, computing scatter
+    /// conflicts from actual non-zero positions.
+    pub fn from_encoded(w: &TiledCsl) -> Self {
+        let mut txns = 0u64;
+        let mut stores = 0u64;
+        let mut c = Counters::new();
+        for t in 0..w.num_tiles() {
+            for chunk in w.tile_entries(t).chunks(32) {
+                let mut addrs = [None; 32];
+                for (i, e) in chunk.iter().enumerate() {
+                    addrs[i] = Some(u64::from(e.pos()) * 2);
+                }
+                let before = c.smem_store_transactions;
+                warp_smem_store(&mut c, &addrs, 2);
+                txns += c.smem_store_transactions - before;
+                stores += 1;
+            }
+        }
+        FlashLlmStats {
+            m: w.m,
+            k: w.k,
+            nnz: w.nnz,
+            scatter_degree: if stores == 0 {
+                1.0
+            } else {
+                txns as f64 / stores as f64
+            },
+        }
+    }
+
+    /// Expected statistics for uniform sparsity (no data needed).
+    pub fn synthetic(m: usize, k: usize, sparsity: f64) -> Self {
+        FlashLlmStats {
+            m,
+            k,
+            nnz: ((m * k) as f64 * (1.0 - sparsity)).round() as usize,
+            scatter_degree: EXPECTED_SCATTER_DEGREE,
+        }
+    }
+}
+
+impl FlashLlmSpmm {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        FlashLlmSpmm
+    }
+
+    /// Analytic launch chain from statistics.
+    pub fn estimate(&self, spec: &GpuSpec, stats: &FlashLlmStats, n: usize) -> SpmmRun {
+        let n_pad = pad8(n);
+        let tile_n = n_pad.min(32);
+        let grid_x = n_pad.div_ceil(tile_n);
+        let m_pad = stats.m.div_ceil(TILE_ROWS) * TILE_ROWS;
+        let k_pad = stats.k.div_ceil(TILE_COLS) * TILE_COLS;
+        let m_tiles = m_pad / TILE_ROWS;
+        let k_tiles = k_pad / TILE_COLS;
+        let split_k = auto_split_k(spec, m_tiles * grid_x, k_tiles);
+        let grid = (m_tiles * grid_x * split_k) as u64;
+
+        let mut c = Counters::new();
+        // W: NonZeros (4 B each) + TileOffsets, through the register file.
+        // DRAM traffic is capped by the L2 reuse window over output tiles;
+        // the unpack/scatter work below still happens per visit.
+        let w_reread = gpu_sim::timing::panel_reread_factor(spec, k_pad, n_pad, tile_n);
+        let w_bytes = (4 * stats.nnz + 4 * m_tiles * k_tiles) as u64 * w_reread;
+        stream_ldg_via_rf(&mut c, w_bytes);
+        // Unpack + scatter: per value one extract/shift pair; warp-wide
+        // stores with measured conflict degree.
+        let value_visits = (stats.nnz * grid_x) as u64;
+        let scatter_insts = value_visits.div_ceil(32);
+        c.cuda_int_insts += scatter_insts * 3;
+        c.insts_issued += scatter_insts * 4;
+        let txns = (scatter_insts as f64 * stats.scatter_degree) as u64;
+        c.smem_store_transactions += txns;
+        c.smem_bank_conflicts += txns.saturating_sub(scatter_insts);
+        // X: streamed to shared memory (Flash-LLM does use cp.async here).
+        let m_reread = gpu_sim::timing::panel_reread_factor(spec, k_pad, m_pad, TILE_ROWS);
+        let x_row_sectors = sector_span(tile_n * 2);
+        let x_bytes = (k_pad * grid_x) as u64 * m_reread * x_row_sectors * 32;
+        stream_ldgsts(&mut c, x_bytes);
+        // Compute-as-dense: the full dense mma count.
+        let n8 = (tile_n / 8) as u64;
+        let tctiles = ((m_pad / 16) * (k_pad / 16) * grid_x) as u64;
+        tensor_core_work(&mut c, tctiles * n8, tctiles + tctiles * n8.div_ceil(2));
+        store_output(&mut c, (4 * m_pad * n_pad * split_k) as u64);
+
+        let l2 = [L2Reuse {
+            buffer_bytes: (2 * k_pad * n_pad) as u64,
+            requested_bytes: x_bytes,
+        }];
+        // Register file stages (value, position) pairs for the in-flight
+        // tile: the top register consumer in the paper's Figure 12.
+        let regs = 40 + 2 * tile_n as u32 + 56;
+        let smem = (2 * (TILE_ROWS * TILE_COLS * 2 + TILE_COLS * tile_n * 2)) as u32;
+        let mut chain = single_launch(
+            "flash_llm_spmm",
+            spec,
+            c,
+            grid,
+            BlockResources {
+                threads: 128,
+                regs_per_thread: regs.min(spec.max_regs_per_thread),
+                smem_bytes: smem,
+            },
+            (k_tiles / split_k).max(1) as f64,
+            PipelineMode::AsyncDoubleBuffered,
+            // The RF round-trip and scatter serialize part of each
+            // iteration that SpInfer's direct path overlaps.
+            40.0,
+            // Flash-LLM's mixed LDG/cp.async pipeline keeps less in flight.
+            Some(1024.0),
+            &l2,
+        );
+        if split_k > 1 {
+            chain.push(reduction_launch(spec, m_pad * n_pad, split_k));
+        }
+        SpmmRun {
+            output: None,
+            chain,
+        }
+    }
+
+    /// Functional execution: encodes to Tiled-CSL, measures real scatter
+    /// conflicts, computes the reference product.
+    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
+        assert_eq!(x.rows(), w.cols(), "X must be K×N");
+        let enc = TiledCsl::encode(w);
+        let stats = FlashLlmStats::from_encoded(&enc);
+        let mut r = self.estimate(spec, &stats, x.cols());
+        // The decoded tile product validates the format roundtrip too.
+        r.output = Some(enc.decode().matmul_ref(x));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+
+    #[test]
+    fn functional_output_matches_reference() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 51);
+        let x = random_dense(128, 16, ValueDist::Uniform, 52);
+        let r = FlashLlmSpmm::new().run(&spec, &w, &x);
+        assert_eq!(r.output.unwrap(), w.matmul_ref(&x));
+    }
+
+    #[test]
+    fn scatter_degree_expectation_is_calibrated() {
+        let w = random_sparse(512, 512, 0.5, ValueDist::Uniform, 53);
+        let enc = TiledCsl::encode(&w);
+        let stats = FlashLlmStats::from_encoded(&enc);
+        assert!(
+            (stats.scatter_degree - EXPECTED_SCATTER_DEGREE).abs() < 0.3,
+            "measured {}",
+            stats.scatter_degree
+        );
+        // And conflicts genuinely exist — the effect Figure 12 reports
+        // (SpInfer's decode has zero replays; see smbd tests).
+        assert!(stats.scatter_degree > 1.2);
+    }
+
+    #[test]
+    fn roughly_breaks_even_with_cublas_at_50_percent() {
+        // Paper Fig. 10: Flash-LLM ≈ 1.00× cuBLAS at 50% sparsity.
+        use crate::kernels::cublas::CublasGemm;
+        let spec = GpuSpec::rtx4090();
+        let fl = FlashLlmSpmm::new()
+            .estimate(&spec, &FlashLlmStats::synthetic(8192, 8192, 0.5), 16)
+            .time_us();
+        let cb = CublasGemm::new().estimate(&spec, 8192, 8192, 16).time_us();
+        let speedup = cb / fl;
+        assert!(
+            speedup > 0.8 && speedup < 1.25,
+            "Flash-LLM speedup vs cuBLAS at 50%: {speedup}"
+        );
+    }
+
+    #[test]
+    fn wins_at_70_percent_sparsity() {
+        use crate::kernels::cublas::CublasGemm;
+        let spec = GpuSpec::rtx4090();
+        let fl = FlashLlmSpmm::new()
+            .estimate(&spec, &FlashLlmStats::synthetic(8192, 8192, 0.7), 16)
+            .time_us();
+        let cb = CublasGemm::new().estimate(&spec, 8192, 8192, 16).time_us();
+        let speedup = cb / fl;
+        assert!(speedup > 1.05, "speedup {speedup}");
+    }
+
+    #[test]
+    fn loses_to_spinfer_across_sparsities() {
+        use spinfer_core::{FormatStats, SpinferSpmm};
+        let spec = GpuSpec::rtx4090();
+        for &s in &[0.4, 0.5, 0.6, 0.7] {
+            let fl = FlashLlmSpmm::new()
+                .estimate(&spec, &FlashLlmStats::synthetic(8192, 8192, s), 16)
+                .time_us();
+            let sp = SpinferSpmm::new()
+                .estimate(&spec, &FormatStats::synthetic(8192, 8192, s), 16)
+                .time_us();
+            assert!(sp < fl, "sparsity {s}: spinfer {sp} vs flash-llm {fl}");
+        }
+    }
+}

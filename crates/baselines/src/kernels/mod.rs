@@ -1,0 +1,16 @@
+//! Baseline SpMM/GEMM kernels on the shared GPU simulator.
+
+pub mod common;
+pub mod cublas;
+pub mod cusparse;
+pub mod flash_llm;
+pub mod smat;
+pub mod sparta;
+pub mod sputnik;
+
+pub use cublas::CublasGemm;
+pub use cusparse::CusparseSpmm;
+pub use flash_llm::{FlashLlmSpmm, FlashLlmStats};
+pub use smat::{SmatSpmm, SmatStats};
+pub use sparta::{SpartaSpmm, SpartaStats};
+pub use sputnik::SputnikSpmm;

@@ -1,0 +1,28 @@
+//! # spinfer-baselines — baseline formats and kernels
+//!
+//! Every system the SpInfer paper compares against, implemented from its
+//! published design on the shared [`gpu_sim`] substrate:
+//!
+//! | Baseline | Format | Kernel |
+//! |---|---|---|
+//! | cuBLAS_TC | dense | [`kernels::CublasGemm`] |
+//! | Flash-LLM | [`formats::TiledCsl`] (Eq. 2) | [`kernels::FlashLlmSpmm`] |
+//! | SparTA | [`formats::SpartaFormat`] (Eqs. 4-5) | [`kernels::SpartaSpmm`] |
+//! | Sputnik | [`formats::Csr`] (Eq. 3) | [`kernels::SputnikSpmm`] |
+//! | cuSPARSE | [`formats::Csr`] | [`kernels::CusparseSpmm`] |
+//! | SMaT | [`formats::Bcsr`] | [`kernels::SmatSpmm`] |
+//!
+//! All kernels expose the same two paths as `spinfer-core`'s kernel: a
+//! functional `run` (bit-exact output) and an analytic `estimate` (same
+//! counters from format statistics) for paper-scale sweeps.
+
+pub mod formats;
+pub mod kernels;
+pub mod selector;
+
+pub use formats::{Bcsr, Csr, SpartaFormat, TiledCsl};
+pub use kernels::{
+    CublasGemm, CusparseSpmm, FlashLlmSpmm, FlashLlmStats, SmatSpmm, SmatStats, SpartaSpmm,
+    SpartaStats, SputnikSpmm,
+};
+pub use selector::{select, Route, Selection};

@@ -1,0 +1,160 @@
+//! Adaptive format/kernel selection (paper §6, future work).
+//!
+//! The paper notes that above ~90% sparsity bitmap indexing wastes bits
+//! on zeros and CSR-family formats regain the storage lead, while block
+//! formats win on clustered matrices. This module implements the obvious
+//! production policy: measure the candidate encodings' storage (and
+//! pattern statistics) and route each matrix to the format + kernel that
+//! minimises predicted kernel time, with storage as the tiebreak.
+
+use crate::formats::bcsr::Bcsr;
+use crate::formats::csr::Csr;
+use crate::kernels::smat::{SmatSpmm, SmatStats};
+use crate::kernels::sputnik::SputnikSpmm;
+use gpu_sim::matrix::DenseMatrix;
+use gpu_sim::spec::GpuSpec;
+use spinfer_core::{FormatStats, SpinferSpmm, TcaBme};
+
+/// The routing decision for one weight matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// TCA-BME + SpInfer-SpMM (the LLM-sparsity regime).
+    TcaBmeSpInfer,
+    /// CSR + Sputnik-style CUDA-core SpMM (extreme unstructured sparsity).
+    CsrSputnik,
+    /// BCSR + SMaT-style block-skipping Tensor-Core SpMM (clustered).
+    BcsrSmat,
+}
+
+impl Route {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::TcaBmeSpInfer => "TCA-BME/SpInfer",
+            Route::CsrSputnik => "CSR/Sputnik",
+            Route::BcsrSmat => "BCSR/SMaT",
+        }
+    }
+}
+
+/// A routing decision with its predictions.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Chosen route.
+    pub route: Route,
+    /// Predicted kernel time for batch `n`, microseconds.
+    pub predicted_us: f64,
+    /// Stored bytes under the chosen format.
+    pub storage_bytes: usize,
+    /// Every candidate `(route, predicted_us, storage_bytes)`.
+    pub candidates: Vec<(Route, f64, usize)>,
+}
+
+/// Routes a matrix by *measured* pattern statistics: encodes candidates,
+/// predicts kernel time at batch `n`, picks the fastest (storage breaks
+/// ties within 2%).
+/// # Examples
+///
+/// ```
+/// use gpu_sim::matrix::{random_sparse, ValueDist};
+/// use gpu_sim::GpuSpec;
+/// use spinfer_baselines::{select, Route};
+///
+/// let w = random_sparse(256, 256, 0.55, ValueDist::Uniform, 0);
+/// let sel = select(&GpuSpec::rtx4090(), &w, 16);
+/// assert_eq!(sel.route, Route::TcaBmeSpInfer); // LLM-band sparsity.
+/// ```
+pub fn select(spec: &GpuSpec, matrix: &DenseMatrix, n: usize) -> Selection {
+    let m = matrix.rows();
+    let k = matrix.cols();
+    let nnz = matrix.nnz();
+
+    // TCA-BME candidate.
+    let bme = TcaBme::encode(matrix);
+    let bme_time = SpinferSpmm::new()
+        .estimate(spec, &FormatStats::from_encoded(&bme), n)
+        .time_us();
+    let bme_bytes = bme.storage_bytes();
+
+    // CSR candidate.
+    let csr_bytes = Csr::storage_bytes_formula(m, nnz);
+    let csr_time = SputnikSpmm::new().estimate(spec, m, k, n, nnz).time_us();
+
+    // BCSR candidate (block occupancy measured from the real pattern).
+    let bcsr = Bcsr::encode(matrix);
+    let smat_time = SmatSpmm::new()
+        .estimate(spec, &SmatStats::from_encoded(&bcsr), n)
+        .time_us();
+    let bcsr_bytes = bcsr.storage_bytes();
+
+    let candidates = vec![
+        (Route::TcaBmeSpInfer, bme_time, bme_bytes),
+        (Route::CsrSputnik, csr_time, csr_bytes),
+        (Route::BcsrSmat, smat_time, bcsr_bytes),
+    ];
+    let mut best = candidates[0];
+    for c in &candidates[1..] {
+        let faster = c.1 < best.1 * 0.98;
+        let tied_but_smaller = c.1 < best.1 * 1.02 && c.2 < best.2;
+        if faster || tied_but_smaller {
+            best = *c;
+        }
+    }
+    Selection {
+        route: best.0,
+        predicted_us: best.1,
+        storage_bytes: best.2,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_sparse, random_sparse_clustered, ValueDist};
+
+    #[test]
+    fn llm_sparsity_routes_to_tca_bme() {
+        let spec = GpuSpec::rtx4090();
+        for &s in &[0.4, 0.5, 0.6, 0.7] {
+            let m = random_sparse(1024, 1024, s, ValueDist::Uniform, 71);
+            let sel = select(&spec, &m, 16);
+            assert_eq!(sel.route, Route::TcaBmeSpInfer, "sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn extreme_uniform_sparsity_leaves_tca_bme() {
+        // At 99.8% uniform the bitmap floor dominates; CSR storage is an
+        // order of magnitude smaller and a CUDA-core kernel wins.
+        let spec = GpuSpec::rtx4090();
+        let m = random_sparse(2048, 2048, 0.998, ValueDist::Uniform, 72);
+        let sel = select(&spec, &m, 16);
+        assert_ne!(sel.route, Route::TcaBmeSpInfer, "chose {:?}", sel.route);
+    }
+
+    #[test]
+    fn clustered_extreme_sparsity_routes_to_block_format() {
+        let spec = GpuSpec::rtx4090();
+        let m = random_sparse_clustered(2048, 2048, 16, 0.01, 0.7, ValueDist::Uniform, 73);
+        let sel = select(&spec, &m, 16);
+        assert_eq!(sel.route, Route::BcsrSmat, "chose {:?}", sel.route);
+    }
+
+    #[test]
+    fn selection_reports_all_candidates() {
+        let spec = GpuSpec::rtx4090();
+        let m = random_sparse(512, 512, 0.5, ValueDist::Uniform, 74);
+        let sel = select(&spec, &m, 8);
+        assert_eq!(sel.candidates.len(), 3);
+        assert!(sel.predicted_us > 0.0);
+        assert!(sel.storage_bytes > 0);
+        // The winner's time must be the (near-)minimum.
+        let min = sel
+            .candidates
+            .iter()
+            .map(|c| c.1)
+            .fold(f64::INFINITY, f64::min);
+        assert!(sel.predicted_us <= min * 1.03);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmarks over the end-to-end inference simulator — the
+//! host cost of regenerating one Figure-13 cell per framework.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuSpec;
+use spinfer_llm::{footprint, simulate, Framework, InferenceConfig, ModelConfig};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let spec = GpuSpec::rtx4090();
+    let mut g = c.benchmark_group("simulate_opt13b_bs16_out256");
+    for fw in Framework::all() {
+        g.bench_function(fw.label(), |b| {
+            let cfg = InferenceConfig {
+                model: ModelConfig::opt_13b(),
+                framework: fw,
+                sparsity: 0.6,
+                batch: 16,
+                input_len: 64,
+                output_len: 256,
+                tp: 2,
+            };
+            b.iter(|| black_box(simulate(&spec, &cfg).tokens_per_sec))
+        });
+    }
+    g.finish();
+}
+
+fn bench_memory_model(c: &mut Criterion) {
+    c.bench_function("footprint_opt66b", |b| {
+        b.iter(|| {
+            black_box(footprint(
+                &ModelConfig::opt_66b(),
+                Framework::SpInfer,
+                0.6,
+                2,
+                16,
+                320,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_memory_model);
+criterion_main!(benches);

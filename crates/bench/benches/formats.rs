@@ -1,0 +1,36 @@
+//! Criterion benchmarks over the sparse format encoders (host-side
+//! preprocessing cost — what a serving system pays once per checkpoint).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::matrix::{random_sparse, ValueDist};
+use spinfer_baselines::formats::{Bcsr, Csr, SpartaFormat, TiledCsl};
+use spinfer_core::TcaBme;
+use std::hint::black_box;
+
+fn bench_encoders(c: &mut Criterion) {
+    let w = random_sparse(1024, 1024, 0.6, ValueDist::Uniform, 1);
+    let mut g = c.benchmark_group("encode_1024x1024_s60");
+    g.sample_size(10);
+    g.bench_function("tca_bme", |b| b.iter(|| black_box(TcaBme::encode(&w))));
+    g.bench_function("csr", |b| b.iter(|| black_box(Csr::encode(&w))));
+    g.bench_function("tiled_csl", |b| b.iter(|| black_box(TiledCsl::encode(&w))));
+    g.bench_function("sparta", |b| b.iter(|| black_box(SpartaFormat::encode(&w))));
+    g.bench_function("bcsr", |b| b.iter(|| black_box(Bcsr::encode(&w))));
+    g.finish();
+}
+
+fn bench_storage_math(c: &mut Criterion) {
+    use spinfer_roofline::{compression_ratio, FormatKind};
+    c.bench_function("compression_ratio_all_formats", |b| {
+        b.iter(|| {
+            for f in FormatKind::all() {
+                for s in [0.3, 0.5, 0.7] {
+                    black_box(compression_ratio(f, 4096, 4096, s));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_encoders, bench_storage_math);
+criterion_main!(benches);

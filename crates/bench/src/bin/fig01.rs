@@ -1,0 +1,40 @@
+//! Figure 1: execution time of unstructured SpMM implementations vs
+//! cuBLAS at M/K/N = 28672/8192/16 across sparsity levels.
+
+use gpu_sim::GpuSpec;
+use spinfer_bench::{render_table, save_csv, KernelKind, HERO_K, HERO_M};
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let n = 16;
+    let kernels = [
+        KernelKind::CublasTc,
+        KernelKind::CuSparse,
+        KernelKind::Sputnik,
+        KernelKind::SparTa,
+        KernelKind::FlashLlm,
+        KernelKind::SpInfer,
+    ];
+    let headers: Vec<&str> = std::iter::once("sparsity")
+        .chain(kernels.iter().map(|k| k.label()))
+        .collect();
+    let mut rows = Vec::new();
+    for s in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        let mut row = vec![format!("{:.0}%", s * 100.0)];
+        for kind in kernels {
+            row.push(format!("{:.1}", kind.time_us(&spec, HERO_M, HERO_K, n, s)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "Figure 1 — SpMM execution time (us) on {}, M/K/N={}/{}/{}",
+        spec.name, HERO_M, HERO_K, n
+    );
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper shape: only SpInfer beats cuBLAS at <=50% sparsity; \
+         Flash-LLM crosses over near 60-70%; cuSPARSE is an order of \
+         magnitude off."
+    );
+    save_csv("fig01", &headers, &rows);
+}

@@ -1,0 +1,84 @@
+//! Figure 10: kernel speedups over cuBLAS_TC across model-derived weight
+//! shapes, batch sizes N ∈ {8, 16, 32} and sparsity ∈ {40..70%}, on both
+//! RTX4090 and A6000.
+
+use gpu_sim::GpuSpec;
+use spinfer_bench::{figure10_shapes, geomean, render_table, save_csv, KernelKind};
+use std::collections::HashMap;
+
+fn main() {
+    for spec in [GpuSpec::rtx4090(), GpuSpec::a6000()] {
+        run_platform(&spec);
+    }
+}
+
+fn run_platform(spec: &GpuSpec) {
+    let kernels = KernelKind::figure10_roster();
+    let sparse_kernels: Vec<KernelKind> = kernels[1..].to_vec();
+    let headers: Vec<&str> = ["model", "M", "K", "N", "sparsity"]
+        .into_iter()
+        .chain(sparse_kernels.iter().map(|k| k.label()))
+        .collect();
+    let mut rows = Vec::new();
+    let mut per_kernel: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut per_sparsity: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut spinfer_wins = 0usize;
+    let mut cases = 0usize;
+
+    for shape in figure10_shapes() {
+        for &n in &[8usize, 16, 32] {
+            let base = KernelKind::CublasTc.time_us(spec, shape.m, shape.k, n, 0.5);
+            for &sp in &[40u32, 50, 60, 70] {
+                let s = f64::from(sp) / 100.0;
+                let mut row = vec![
+                    shape.model.to_string(),
+                    shape.m.to_string(),
+                    shape.k.to_string(),
+                    n.to_string(),
+                    format!("{sp}%"),
+                ];
+                for kind in &sparse_kernels {
+                    let t = kind.time_us(spec, shape.m, shape.k, n, s);
+                    let speedup = base / t;
+                    row.push(format!("{speedup:.2}"));
+                    per_kernel.entry(kind.label()).or_default().push(speedup);
+                    if *kind == KernelKind::SpInfer {
+                        per_sparsity.entry(sp).or_default().push(speedup);
+                        cases += 1;
+                        if speedup > 1.0 {
+                            spinfer_wins += 1;
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+
+    println!(
+        "Figure 10 — speedup over cuBLAS_TC on {} ({} shapes x N x sparsity)",
+        spec.name,
+        figure10_shapes().len()
+    );
+    println!("{}", render_table(&headers, &rows));
+    println!("Geomean speedup vs cuBLAS_TC on {}:", spec.name);
+    for kind in &sparse_kernels {
+        let g = geomean(&per_kernel[kind.label()]);
+        println!("  {:>10}: {:.2}x", kind.label(), g);
+    }
+    println!("SpInfer geomean by sparsity:");
+    for sp in [40u32, 50, 60, 70] {
+        println!("  {:>3}%: {:.2}x", sp, geomean(&per_sparsity[&sp]));
+    }
+    println!(
+        "SpInfer beats cuBLAS in {}/{} cases ({:.1}%)\n",
+        spinfer_wins,
+        cases,
+        100.0 * spinfer_wins as f64 / cases as f64
+    );
+    save_csv(
+        &format!("fig10_{}", spec.name.to_lowercase()),
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 11: SpInfer vs SMaT from LLM sparsity to the extreme-sparsity
+//! regime of scientific matrices, locating the crossover.
+//!
+//! Uniform sparsity keeps almost every 16×16 block non-empty until ~99%,
+//! so SMaT's block skipping only pays off on *clustered* matrices; both
+//! sweeps are reported (the paper's Fig. 11 uses sparse-matrix workloads
+//! whose non-zeros cluster).
+
+use gpu_sim::GpuSpec;
+use spinfer_baselines::kernels::{SmatSpmm, SmatStats};
+use spinfer_bench::{render_table, save_csv, HERO_K, HERO_M};
+use spinfer_core::{FormatStats, SpinferSpmm};
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let n = 16;
+
+    println!(
+        "Figure 11 — SpInfer vs SMaT on {} (M/K/N={HERO_M}/{HERO_K}/{n})\n",
+        spec.name
+    );
+
+    // --- Uniform sparsity sweep ---
+    let headers = [
+        "sparsity",
+        "SpInfer (us)",
+        "SMaT (us)",
+        "SpInfer/SMaT speedup",
+    ];
+    let mut rows = Vec::new();
+    for &s in &[0.5, 0.7, 0.9, 0.99, 0.995, 0.999, 0.9995, 0.9999] {
+        let sp = SpinferSpmm::new()
+            .estimate(&spec, &FormatStats::synthetic(HERO_M, HERO_K, s), n)
+            .time_us();
+        let sm = SmatSpmm::new()
+            .estimate(&spec, &SmatStats::synthetic_uniform(HERO_M, HERO_K, s), n)
+            .time_us();
+        rows.push(vec![
+            format!("{:.2}%", s * 100.0),
+            format!("{sp:.1}"),
+            format!("{sm:.1}"),
+            format!("{:.2}x", sm / sp),
+        ]);
+    }
+    println!("Uniform sparsity:");
+    println!("{}", render_table(&headers, &rows));
+    save_csv("fig11_uniform", &headers, &rows);
+
+    // --- Clustered (scientific-matrix) sweep ---
+    // Element sparsity when a fraction `bd` of 16x16 blocks is ~70% full:
+    // s = 1 - 0.7 * bd.
+    let headers2 = [
+        "block density",
+        "elem sparsity",
+        "SpInfer (us)",
+        "SMaT (us)",
+        "winner",
+    ];
+    let mut rows2 = Vec::new();
+    for &bd in &[0.5, 0.2, 0.05, 0.01, 0.003, 0.001] {
+        let s = 1.0 - 0.7 * bd;
+        let sp = SpinferSpmm::new()
+            .estimate(&spec, &FormatStats::synthetic(HERO_M, HERO_K, s), n)
+            .time_us();
+        let sm = SmatSpmm::new()
+            .estimate(
+                &spec,
+                &SmatStats::synthetic_clustered(HERO_M, HERO_K, bd),
+                n,
+            )
+            .time_us();
+        rows2.push(vec![
+            format!("{:.1}%", bd * 100.0),
+            format!("{:.2}%", s * 100.0),
+            format!("{sp:.1}"),
+            format!("{sm:.1}"),
+            if sp <= sm {
+                "SpInfer".into()
+            } else {
+                "SMaT".into()
+            },
+        ]);
+    }
+    println!("Clustered non-zeros (SMaT's home turf, supplementary):");
+    println!("{}", render_table(&headers2, &rows2));
+    println!(
+        "Paper shape (uniform sweep): SpInfer ~2x faster at 50%, and SMaT \
+         only overtakes above ~99.7% sparsity once block skipping beats \
+         TCA-BME's fixed bitmap cost; the clustered sweep shows the \
+         crossover arriving much earlier when non-zeros are blocked."
+    );
+    save_csv("fig11_clustered", &headers2, &rows2);
+}

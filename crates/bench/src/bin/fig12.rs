@@ -1,0 +1,73 @@
+//! Figure 12: micro-level comparison of SpInfer vs cuBLAS_TC and
+//! Flash-LLM — registers, DRAM read, bandwidth utilisation, shared-memory
+//! bank conflicts, and Tensor Core pipe utilisation (Nsight-style).
+
+use gpu_sim::GpuSpec;
+use spinfer_baselines::kernels::{CublasGemm, FlashLlmSpmm, FlashLlmStats};
+use spinfer_bench::{render_table, save_csv, HERO_K, HERO_M};
+use spinfer_core::{FormatStats, SpinferSpmm};
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let (n, s) = (16usize, 0.6f64);
+
+    let spinfer = SpinferSpmm::new().estimate(&spec, &FormatStats::synthetic(HERO_M, HERO_K, s), n);
+    let flash =
+        FlashLlmSpmm::new().estimate(&spec, &FlashLlmStats::synthetic(HERO_M, HERO_K, s), n);
+    let cublas = CublasGemm::new().estimate(&spec, HERO_M, HERO_K, n);
+
+    let headers = ["metric", "cuBLAS_TC", "Flash-LLM", "SpInfer"];
+    let metric = |r: &spinfer_core::SpmmRun| {
+        let l = &r.chain.launches[0];
+        (
+            l.shape.block.regs_per_thread,
+            l.timing.dram_bytes as f64 / 1e6,
+            l.timing.bw_util * 100.0,
+            l.counters.smem_bank_conflicts,
+            l.timing.tc_util * 100.0,
+            l.timing.time_sec * 1e6,
+        )
+    };
+    let (rc, dc, bc, kc, tc, timec) = metric(&cublas);
+    let (rf, df, bf, kf, tf, timef) = metric(&flash);
+    let (rs, ds, bs, ks, ts, times) = metric(&spinfer);
+
+    let rows = vec![
+        vec![
+            "registers/thread".into(),
+            rc.to_string(),
+            rf.to_string(),
+            rs.to_string(),
+        ],
+        vec!["DRAM read (MB)".into(), f1(dc), f1(df), f1(ds)],
+        vec!["bandwidth util (%)".into(), f1(bc), f1(bf), f1(bs)],
+        vec![
+            "smem bank conflicts (M)".into(),
+            f2(kc as f64 / 1e6),
+            f2(kf as f64 / 1e6),
+            f2(ks as f64 / 1e6),
+        ],
+        vec!["TC pipe util (%)".into(), f1(tc), f1(tf), f1(ts)],
+        vec!["kernel time (us)".into(), f1(timec), f1(timef), f1(times)],
+    ];
+    println!(
+        "Figure 12 — micro metrics on {}, M/K/N={HERO_M}/{HERO_K}/{n}, sparsity {:.0}%",
+        spec.name,
+        s * 100.0
+    );
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper shape: SpInfer uses the fewest registers, reads the least \
+         DRAM, has no scatter bank conflicts, and sustains the highest \
+         effective bandwidth."
+    );
+    save_csv("fig12", &headers, &rows);
+}
+
+fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}

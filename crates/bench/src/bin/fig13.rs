@@ -1,0 +1,104 @@
+//! Figure 13: end-to-end OPT-13B / OPT-30B inference on RTX4090 —
+//! tokens/s and memory across frameworks, batch sizes, GPU counts and
+//! output lengths (60% Wanda sparsity for the sparse frameworks).
+
+use gpu_sim::GpuSpec;
+use spinfer_bench::{render_table, save_csv};
+use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let scenarios = [
+        (ModelConfig::opt_13b(), 1usize),
+        (ModelConfig::opt_13b(), 2),
+        (ModelConfig::opt_30b(), 2),
+        (ModelConfig::opt_30b(), 4),
+    ];
+    let headers = [
+        "model",
+        "GPUs",
+        "batch",
+        "out_len",
+        "framework",
+        "tokens/s",
+        "GiB/GPU",
+        "status",
+    ];
+    let mut rows = Vec::new();
+    for (model, tp) in scenarios {
+        for &batch in &[8usize, 16, 32] {
+            for &out in &[64usize, 128, 256, 512, 1024] {
+                for fw in Framework::all() {
+                    let cfg = InferenceConfig {
+                        model,
+                        framework: fw,
+                        sparsity: 0.6,
+                        batch,
+                        input_len: 64,
+                        output_len: out,
+                        tp,
+                    };
+                    let r = simulate(&spec, &cfg);
+                    rows.push(vec![
+                        model.name.into(),
+                        tp.to_string(),
+                        batch.to_string(),
+                        out.to_string(),
+                        fw.label().into(),
+                        if r.oom {
+                            "-".into()
+                        } else {
+                            format!("{:.0}", r.tokens_per_sec)
+                        },
+                        format!("{:.1}", r.memory.total_gib()),
+                        if r.oom { "OOM".into() } else { "ok".into() },
+                    ]);
+                }
+            }
+        }
+    }
+    println!(
+        "Figure 13 — end-to-end inference on {} (sparsity 60%)",
+        spec.name
+    );
+    println!("{}", render_table(&headers, &rows));
+    summarize(&rows);
+    save_csv("fig13", &headers, &rows);
+}
+
+fn summarize(rows: &[Vec<String>]) {
+    // Average SpInfer speedup vs each baseline over configs where both run.
+    for baseline in ["Flash-LLM", "FT", "DS"] {
+        let mut ratios = Vec::new();
+        for chunk in rows.chunks(4) {
+            let get = |label: &str| {
+                chunk
+                    .iter()
+                    .find(|r| r[4] == label)
+                    .and_then(|r| r[5].parse::<f64>().ok())
+            };
+            if let (Some(sp), Some(b)) = (get("SpInfer"), get(baseline)) {
+                ratios.push(sp / b);
+            }
+        }
+        if !ratios.is_empty() {
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            println!(
+                "Average SpInfer speedup vs {baseline}: {avg:.2}x over {} runnable configs",
+                ratios.len()
+            );
+        }
+    }
+    let oom = |label: &str| {
+        rows.iter()
+            .filter(|r| r[4] == label && r[7] == "OOM")
+            .count()
+    };
+    println!(
+        "OOM configs — SpInfer: {}, Flash-LLM: {}, FT: {}, DS: {}",
+        oom("SpInfer"),
+        oom("Flash-LLM"),
+        oom("FT"),
+        oom("DS")
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 14: end-to-end OPT-30B / OPT-66B inference on A6000 (pairwise
+//! NVLink platform), mirroring Figure 13's grid.
+
+use gpu_sim::GpuSpec;
+use spinfer_bench::{render_table, save_csv};
+use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
+
+fn main() {
+    let spec = GpuSpec::a6000();
+    let scenarios = [
+        (ModelConfig::opt_30b(), 1usize),
+        (ModelConfig::opt_30b(), 2),
+        (ModelConfig::opt_66b(), 2),
+        (ModelConfig::opt_66b(), 4),
+    ];
+    let headers = [
+        "model",
+        "GPUs",
+        "batch",
+        "out_len",
+        "framework",
+        "tokens/s",
+        "GiB/GPU",
+        "status",
+    ];
+    let mut rows = Vec::new();
+    for (model, tp) in scenarios {
+        for &batch in &[8usize, 16, 32] {
+            for &out in &[64usize, 128, 256, 512, 1024] {
+                for fw in Framework::all() {
+                    let cfg = InferenceConfig {
+                        model,
+                        framework: fw,
+                        sparsity: 0.6,
+                        batch,
+                        input_len: 64,
+                        output_len: out,
+                        tp,
+                    };
+                    let r = simulate(&spec, &cfg);
+                    rows.push(vec![
+                        model.name.into(),
+                        tp.to_string(),
+                        batch.to_string(),
+                        out.to_string(),
+                        fw.label().into(),
+                        if r.oom {
+                            "-".into()
+                        } else {
+                            format!("{:.0}", r.tokens_per_sec)
+                        },
+                        format!("{:.1}", r.memory.total_gib()),
+                        if r.oom { "OOM".into() } else { "ok".into() },
+                    ]);
+                }
+            }
+        }
+    }
+    println!(
+        "Figure 14 — end-to-end inference on {} (sparsity 60%)",
+        spec.name
+    );
+    println!("{}", render_table(&headers, &rows));
+    for baseline in ["Flash-LLM", "FT", "DS"] {
+        let mut ratios = Vec::new();
+        for chunk in rows.chunks(4) {
+            let get = |label: &str| {
+                chunk
+                    .iter()
+                    .find(|r| r[4] == label)
+                    .and_then(|r| r[5].parse::<f64>().ok())
+            };
+            if let (Some(sp), Some(b)) = (get("SpInfer"), get(baseline)) {
+                ratios.push(sp / b);
+            }
+        }
+        if !ratios.is_empty() {
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            println!("Average SpInfer speedup vs {baseline}: {avg:.2}x");
+        }
+    }
+    save_csv("fig14", &headers, &rows);
+}

@@ -1,0 +1,283 @@
+//! `spinfer` — command-line front end for the reproduction.
+//!
+//! ```text
+//! spinfer encode <M> <K> <sparsity> [--out FILE]   encode random weights to TCA-BME
+//! spinfer inspect <FILE>                            show stats of an encoded file
+//! spinfer bench <M> <K> <N> <sparsity> [--gpu G]    kernel roster comparison
+//! spinfer tune <M> <K> <N> <sparsity> [--gpu G]     autotune the SpInfer kernel
+//! spinfer serve <MODEL> <FW> <TP> <BATCH> <OUT>     end-to-end serving simulation
+//! spinfer generate [TOKENS]                         run the tiny functional model
+//! ```
+//!
+//! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
+//! `opt-30b`, `opt-66b`. Frameworks: `spinfer`, `flash-llm`, `ft`, `ds`.
+
+use gpu_sim::matrix::{random_sparse, ValueDist};
+use gpu_sim::GpuSpec;
+use spinfer_bench::{render_table, KernelKind};
+use spinfer_core::{serialize, tune, SpMMHandle, TcaBme};
+use spinfer_llm::model::{Generator, ModelRef, TransformerWeights};
+use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        _ => {
+            eprintln!("usage: spinfer <encode|inspect|bench|tune|serve|generate> ...");
+            eprintln!("see the module docs (or README) for argument lists");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, String> {
+    args.get(i)
+        .ok_or_else(|| format!("missing argument: {what}"))?
+        .parse()
+        .map_err(|_| format!("invalid {what}: {}", args[i]))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn gpu(args: &[String]) -> Result<GpuSpec, String> {
+    match flag_value(args, "--gpu").unwrap_or("rtx4090") {
+        "rtx4090" => Ok(GpuSpec::rtx4090()),
+        "a6000" => Ok(GpuSpec::a6000()),
+        "a100" => Ok(GpuSpec::a100_like()),
+        other => Err(format!("unknown gpu {other}")),
+    }
+}
+
+fn cmd_encode(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let s: f64 = parse(args, 2, "sparsity")?;
+    if !(0.0..=1.0).contains(&s) {
+        return Err("sparsity must be in [0, 1]".into());
+    }
+    let w = random_sparse(m, k, s, ValueDist::Normal { std: 0.05 }, 0);
+    let enc = TcaBme::encode(&w);
+    println!("encoded {m}x{k} at {:.1}% sparsity", s * 100.0);
+    println!("  nnz             : {}", enc.nnz);
+    println!("  dense bytes     : {}", 2 * m * k);
+    println!("  encoded bytes   : {}", enc.storage_bytes());
+    println!("  compression     : {:.3}x", enc.compression_ratio());
+    println!("  GroupTiles      : {}", enc.num_gtiles());
+    println!("  BitmapTiles     : {}", enc.num_btiles());
+    if let Some(path) = flag_value(args, "--out") {
+        let bytes = serialize::to_bytes(&enc);
+        std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {} bytes to {path}", bytes.len());
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("missing file argument")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let enc = serialize::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!("{path}: TCA-BME container");
+    println!("  logical shape : {}x{}", enc.m, enc.k);
+    println!("  padded shape  : {}x{}", enc.m_pad, enc.k_pad);
+    println!(
+        "  GroupTile     : {}x{}",
+        enc.config.gt_rows, enc.config.gt_cols
+    );
+    println!(
+        "  nnz           : {} ({:.1}% sparse)",
+        enc.nnz,
+        100.0 * (1.0 - enc.nnz as f64 / (enc.m * enc.k) as f64)
+    );
+    println!("  compression   : {:.3}x", enc.compression_ratio());
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let n: usize = parse(args, 2, "N")?;
+    let s: f64 = parse(args, 3, "sparsity")?;
+    let spec = gpu(args)?;
+    println!(
+        "kernel comparison: {m}x{k} (s={:.0}%) x {k}x{n} on {}",
+        s * 100.0,
+        spec.name
+    );
+    let headers = ["kernel", "time (us)", "speedup vs cuBLAS"];
+    let base = KernelKind::CublasTc.time_us(&spec, m, k, n, s);
+    let mut rows = Vec::new();
+    for kind in [
+        KernelKind::CublasTc,
+        KernelKind::SpInfer,
+        KernelKind::FlashLlm,
+        KernelKind::SparTa,
+        KernelKind::Sputnik,
+        KernelKind::CuSparse,
+        KernelKind::Smat,
+    ] {
+        let t = kind.time_us(&spec, m, k, n, s);
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{t:.1}"),
+            format!("{:.2}x", base / t),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    Ok(())
+}
+
+fn cmd_tune(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let n: usize = parse(args, 2, "N")?;
+    let s: f64 = parse(args, 3, "sparsity")?;
+    let spec = gpu(args)?;
+    let r = tune(&spec, m, k, n, s);
+    println!(
+        "autotune {m}x{k}x{n} (s={:.0}%) on {}: {} candidates",
+        s * 100.0,
+        spec.name,
+        r.candidates.len()
+    );
+    let headers = ["rank", "GroupTile", "split_k", "time (us)"];
+    let rows: Vec<Vec<String>> = r
+        .candidates
+        .iter()
+        .take(8)
+        .enumerate()
+        .map(|(i, c)| {
+            vec![
+                (i + 1).to_string(),
+                format!("{}x{}", c.gt.gt_rows, c.gt.gt_cols),
+                if c.config.split_k == 0 {
+                    "auto".into()
+                } else {
+                    c.config.split_k.to_string()
+                },
+                format!("{:.1}", c.time_us),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let model = match args.first().map(String::as_str) {
+        Some("opt-13b") => ModelConfig::opt_13b(),
+        Some("opt-30b") => ModelConfig::opt_30b(),
+        Some("opt-66b") => ModelConfig::opt_66b(),
+        other => return Err(format!("unknown model {other:?} (opt-13b/opt-30b/opt-66b)")),
+    };
+    let framework = match args.get(1).map(String::as_str) {
+        Some("spinfer") => Framework::SpInfer,
+        Some("flash-llm") => Framework::FlashLlm,
+        Some("ft") => Framework::FasterTransformer,
+        Some("ds") => Framework::DeepSpeed,
+        other => return Err(format!("unknown framework {other:?}")),
+    };
+    let tp: usize = parse(args, 2, "TP")?;
+    let batch: usize = parse(args, 3, "batch")?;
+    let out: usize = parse(args, 4, "out_len")?;
+    let spec = gpu(args)?;
+    let cfg = InferenceConfig {
+        model,
+        framework,
+        sparsity: 0.6,
+        batch,
+        input_len: 64,
+        output_len: out,
+        tp,
+    };
+    let r = simulate(&spec, &cfg);
+    println!(
+        "{} via {} on {}x{} (BS={batch}, out={out}, 60% sparsity)",
+        model.name,
+        framework.label(),
+        tp,
+        spec.name
+    );
+    if r.oom {
+        println!(
+            "  OOM: needs {:.1} GiB/GPU, device has {:.1} GiB",
+            r.memory.total_gib(),
+            spec.memory_capacity as f64 / (1u64 << 30) as f64
+        );
+        return Ok(());
+    }
+    println!("  tokens/s      : {:.0}", r.tokens_per_sec);
+    println!("  prefill       : {:.1} ms", r.prefill_sec * 1e3);
+    println!("  per-step      : {:.2} ms", r.per_step_sec * 1e3);
+    println!("  memory/GPU    : {:.1} GiB", r.memory.total_gib());
+    let b = r.breakdown;
+    println!(
+        "  breakdown     : linear {:.0}% | MHA {:.0}% | comm {:.0}% | other {:.0}%",
+        100.0 * b.linear / b.total(),
+        100.0 * b.mha / b.total(),
+        100.0 * b.comm / b.total(),
+        100.0 * b.other / b.total()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let n: usize = args
+        .first()
+        .map(|s| s.parse().map_err(|_| format!("invalid token count {s}")))
+        .transpose()?
+        .unwrap_or(12);
+    let cfg = spinfer_llm::model::tiny_config();
+    let weights = TransformerWeights::random(cfg, 2026);
+    let sparse = weights.pruned(0.6, 7);
+    let spec = GpuSpec::rtx4090();
+    println!(
+        "tiny functional transformer ({} layers, h={}, 60% Wanda-pruned)",
+        cfg.layers, cfg.hidden
+    );
+
+    let mut dense_gen = Generator::new(ModelRef::Dense(&weights), spec.clone(), n + 4);
+    let dense_out = dense_gen.generate(&[1, 2, 3], n);
+    println!("  dense  tokens : {dense_out:?}");
+    println!(
+        "  dense  sim    : {:.1} us linear over {} launches",
+        dense_gen.telemetry.linear_sec * 1e6,
+        dense_gen.telemetry.launches
+    );
+
+    let mut sparse_gen = Generator::new(ModelRef::Sparse(&sparse), spec, n + 4);
+    let sparse_out = sparse_gen.generate(&[1, 2, 3], n);
+    println!("  sparse tokens : {sparse_out:?}");
+    println!(
+        "  sparse sim    : {:.1} us linear over {} launches",
+        sparse_gen.telemetry.linear_sec * 1e6,
+        sparse_gen.telemetry.launches
+    );
+    println!(
+        "  linear weights: dense {} B -> encoded {} B",
+        weights.linear_bytes(),
+        sparse.linear_bytes()
+    );
+    let _ = SpMMHandle::encode(&random_sparse(16, 16, 0.5, ValueDist::Uniform, 1));
+    Ok(())
+}

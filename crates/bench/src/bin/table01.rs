@@ -1,0 +1,49 @@
+//! Table 1: kernel-level ablation of SMBD and the asynchronous pipeline.
+
+use gpu_sim::GpuSpec;
+use spinfer_bench::{render_table, save_csv, spinfer_variant, HERO_K, HERO_M};
+use spinfer_core::FormatStats;
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let (n, s) = (16usize, 0.6f64);
+    let stats = FormatStats::synthetic(HERO_M, HERO_K, s);
+
+    let variants = [
+        ("SMBD + AsyncPipe", true, true),
+        ("w/o SMBD", false, true),
+        ("w/o AsyncPipe", true, false),
+    ];
+    let headers = [
+        "variant",
+        "duration (us)",
+        "max BW (%)",
+        "issue slot busy (%)",
+        "warp cycles/inst",
+        "TC pipe util (%)",
+    ];
+    let mut rows = Vec::new();
+    for (name, smbd, apipe) in variants {
+        let r = spinfer_variant(smbd, apipe).estimate(&spec, &stats, n);
+        let l = &r.chain.launches[0];
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", l.timing.time_sec * 1e6),
+            format!("{:.1}", l.timing.bw_util * 100.0),
+            format!("{:.1}", l.timing.issue_util * 100.0),
+            format!("{:.1}", l.timing.warp_cycles_per_inst),
+            format!("{:.1}", l.timing.tc_util * 100.0),
+        ]);
+    }
+    println!(
+        "Table 1 — ablation on {}, M/K/N={HERO_M}/{HERO_K}/{n}, sparsity {:.0}%",
+        spec.name,
+        s * 100.0
+    );
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "Paper shape: removing SMBD costs ~10% duration and collapses \
+         bandwidth/issue/TC utilisation; removing AsyncPipe costs ~2%."
+    );
+    save_csv("table01", &headers, &rows);
+}

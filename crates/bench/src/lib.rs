@@ -1,0 +1,232 @@
+//! # spinfer-bench — the paper's experiment harness
+//!
+//! One binary per table/figure of the SpInfer paper (see `DESIGN.md`'s
+//! per-experiment index). This library holds the shared pieces: the
+//! kernel roster, the model-derived benchmark shapes, and plain-text /
+//! CSV reporting.
+
+use gpu_sim::spec::GpuSpec;
+use spinfer_baselines::kernels::{
+    CublasGemm, CusparseSpmm, FlashLlmSpmm, FlashLlmStats, SmatSpmm, SmatStats, SpartaSpmm,
+    SpartaStats, SputnikSpmm,
+};
+use spinfer_core::{Ablation, FormatStats, SpinferSpmm};
+use spinfer_llm::ModelConfig;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Kernels compared at the kernel level (paper Figures 1, 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense Tensor-Core GEMM (the normalisation baseline).
+    CublasTc,
+    /// SpInfer-SpMM.
+    SpInfer,
+    /// Flash-LLM.
+    FlashLlm,
+    /// SparTA.
+    SparTa,
+    /// Sputnik.
+    Sputnik,
+    /// cuSPARSE.
+    CuSparse,
+    /// SMaT.
+    Smat,
+}
+
+impl KernelKind {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::CublasTc => "cuBLAS_TC",
+            KernelKind::SpInfer => "SpInfer",
+            KernelKind::FlashLlm => "Flash-LLM",
+            KernelKind::SparTa => "SparTA",
+            KernelKind::Sputnik => "Sputnik",
+            KernelKind::CuSparse => "cuSPARSE",
+            KernelKind::Smat => "SMaT",
+        }
+    }
+
+    /// The roster of Figure 10 (SMaT is compared separately in Fig. 11).
+    pub fn figure10_roster() -> [KernelKind; 6] {
+        [
+            KernelKind::CublasTc,
+            KernelKind::SpInfer,
+            KernelKind::FlashLlm,
+            KernelKind::SparTa,
+            KernelKind::Sputnik,
+            KernelKind::CuSparse,
+        ]
+    }
+
+    /// Simulated execution time in microseconds for `M×K (sparsity s) ×
+    /// K×N` on `spec`, via the kernel's analytic estimator.
+    pub fn time_us(self, spec: &GpuSpec, m: usize, k: usize, n: usize, s: f64) -> f64 {
+        let nnz = ((m * k) as f64 * (1.0 - s)).round() as usize;
+        match self {
+            KernelKind::CublasTc => CublasGemm::new().estimate(spec, m, k, n).time_us(),
+            KernelKind::SpInfer => SpinferSpmm::new()
+                .estimate(spec, &FormatStats::synthetic(m, k, s), n)
+                .time_us(),
+            KernelKind::FlashLlm => FlashLlmSpmm::new()
+                .estimate(spec, &FlashLlmStats::synthetic(m, k, s), n)
+                .time_us(),
+            KernelKind::SparTa => SpartaSpmm::new()
+                .estimate(spec, &SpartaStats::synthetic(m, k, s), n)
+                .time_us(),
+            KernelKind::Sputnik => SputnikSpmm::new().estimate(spec, m, k, n, nnz).time_us(),
+            KernelKind::CuSparse => CusparseSpmm::new().estimate(spec, m, k, n, nnz).time_us(),
+            KernelKind::Smat => SmatSpmm::new()
+                .estimate(spec, &SmatStats::synthetic_uniform(m, k, s), n)
+                .time_us(),
+        }
+    }
+}
+
+/// SpInfer ablation variants for Table 1.
+pub fn spinfer_variant(smbd: bool, async_pipe: bool) -> SpinferSpmm {
+    SpinferSpmm::with_ablation(Ablation { smbd, async_pipe })
+}
+
+/// A model-derived weight shape used in Figure 10.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchShape {
+    /// Source model name.
+    pub model: &'static str,
+    /// Output dimension.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+}
+
+/// The benchmark shapes: per zoo model, its two dominant decode-phase
+/// weight matrices — the fused QKV projection and the FFN up projection
+/// (the paper draws its matrix sizes from the same models).
+pub fn figure10_shapes() -> Vec<BenchShape> {
+    let mut out = Vec::new();
+    for m in ModelConfig::zoo() {
+        let mats = m.layer_matrices();
+        let qkv = &mats[0];
+        out.push(BenchShape {
+            model: m.name,
+            m: qkv.m,
+            k: qkv.k,
+        });
+        out.push(BenchShape {
+            model: m.name,
+            m: m.ffn_hidden,
+            k: m.hidden,
+        });
+    }
+    out
+}
+
+/// The paper's recurring single-matrix shape (Figures 1, 12, 16,
+/// Table 1): the LLaMA2-70B FFN projection, M/K = 28672/8192.
+pub const HERO_M: usize = 28672;
+/// See [`HERO_M`].
+pub const HERO_K: usize = 8192;
+
+/// Formats a table as aligned plain text.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Writes a CSV next to the figure output under `results/`.
+pub fn save_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut s = headers.join(",");
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    let _ = fs::write(dir.join(format!("{name}.csv")), s);
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_and_shapes() {
+        assert_eq!(KernelKind::figure10_roster().len(), 6);
+        let shapes = figure10_shapes();
+        assert_eq!(shapes.len(), 24);
+        assert!(shapes.iter().any(|s| s.m == 28672 && s.k == 8192));
+        // Both matrix roles present per model.
+        assert!(shapes.iter().any(|s| s.m == 3 * 5120 && s.k == 5120));
+    }
+
+    #[test]
+    fn all_kernels_produce_times() {
+        let spec = GpuSpec::rtx4090();
+        for kind in [
+            KernelKind::CublasTc,
+            KernelKind::SpInfer,
+            KernelKind::FlashLlm,
+            KernelKind::SparTa,
+            KernelKind::Sputnik,
+            KernelKind::CuSparse,
+            KernelKind::Smat,
+        ] {
+            let t = kind.time_us(&spec, 4096, 4096, 16, 0.5);
+            assert!(t > 0.0 && t.is_finite(), "{:?}: {t}", kind);
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+        );
+        assert!(t.contains("a"));
+        assert!(t.lines().count() == 4);
+    }
+}

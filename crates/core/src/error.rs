@@ -1,0 +1,97 @@
+//! Typed errors for the public API.
+//!
+//! The ergonomic entry points (`SpMMHandle::matmul`, `TcaBme::encode`)
+//! panic on contract violations, matching CUDA's launch-failure
+//! semantics; the `try_*` variants here return typed errors for callers
+//! that handle invalid inputs at runtime (e.g. the CLI).
+
+use crate::tca_bme::{TcaBmeConfig, TT_DIM};
+
+/// Errors from the SpInfer public API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpinferError {
+    /// GroupTile dimensions must be positive multiples of the TCTile edge.
+    InvalidTiling {
+        /// The offending GroupTile rows.
+        gt_rows: usize,
+        /// The offending GroupTile columns.
+        gt_cols: usize,
+    },
+    /// `X` must be `K×N` for a `M×K` weight matrix.
+    DimensionMismatch {
+        /// The weight matrix's K.
+        expected_k: usize,
+        /// The supplied activation row count.
+        got: usize,
+    },
+    /// The sparsity argument must lie in `[0, 1]`.
+    InvalidSparsity(f64),
+}
+
+impl std::fmt::Display for SpinferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpinferError::InvalidTiling { gt_rows, gt_cols } => write!(
+                f,
+                "GroupTile {gt_rows}x{gt_cols} is not a positive multiple of {TT_DIM}"
+            ),
+            SpinferError::DimensionMismatch { expected_k, got } => {
+                write!(f, "X has {got} rows but the weights need K = {expected_k}")
+            }
+            SpinferError::InvalidSparsity(s) => write!(f, "sparsity {s} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for SpinferError {}
+
+/// Validates a tiling configuration.
+pub fn validate_config(config: &TcaBmeConfig) -> Result<(), SpinferError> {
+    let ok = |d: usize| d > 0 && d.is_multiple_of(TT_DIM);
+    if ok(config.gt_rows) && ok(config.gt_cols) {
+        Ok(())
+    } else {
+        Err(SpinferError::InvalidTiling {
+            gt_rows: config.gt_rows,
+            gt_cols: config.gt_cols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_config_accepts_and_rejects() {
+        assert!(validate_config(&TcaBmeConfig::default()).is_ok());
+        let bad = TcaBmeConfig {
+            gt_rows: 24,
+            gt_cols: 64,
+        };
+        assert_eq!(
+            validate_config(&bad).unwrap_err(),
+            SpinferError::InvalidTiling {
+                gt_rows: 24,
+                gt_cols: 64
+            }
+        );
+        assert!(validate_config(&TcaBmeConfig {
+            gt_rows: 0,
+            gt_cols: 64
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = SpinferError::DimensionMismatch {
+            expected_k: 128,
+            got: 64,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(SpinferError::InvalidSparsity(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+}

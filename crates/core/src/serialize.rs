@@ -1,0 +1,248 @@
+//! Binary serialisation of TCA-BME weights.
+//!
+//! A serving deployment converts checkpoints once and loads the encoded
+//! weights at startup (the artifact's "Downloading & Converting OPT
+//! models" step). The layout is a little-endian, versioned container:
+//!
+//! ```text
+//! magic   [8]  b"TCABME\0\1"
+//! m, k, m_pad, k_pad, gt_rows, gt_cols, nnz        u64 × 7
+//! len(gtile_offsets) u64, then u32 entries
+//! len(values)        u64, then u16 (FP16 bits) entries
+//! len(bitmaps)       u64, then u64 entries
+//! ```
+//!
+//! Deserialisation validates the header and cross-checks array lengths
+//! against the geometry, so corrupted or truncated inputs fail with a
+//! typed error rather than producing a malformed matrix.
+
+use crate::tca_bme::{TcaBme, TcaBmeConfig};
+use gpu_sim::fp16::Half;
+
+/// Container magic: format name + version 1.
+const MAGIC: &[u8; 8] = b"TCABME\x00\x01";
+
+/// Deserialisation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic/version.
+    BadMagic,
+    /// Input ended before the declared payload.
+    Truncated,
+    /// Header fields are mutually inconsistent.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a TCA-BME container (bad magic/version)"),
+            DecodeError::Truncated => write!(f, "truncated TCA-BME container"),
+            DecodeError::Inconsistent(what) => write!(f, "inconsistent container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialises an encoded matrix to bytes.
+pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        8 + 7 * 8
+            + 8
+            + 4 * w.gtile_offsets.len()
+            + 8
+            + 2 * w.values.len()
+            + 8
+            + 8 * w.bitmaps.len(),
+    );
+    out.extend_from_slice(MAGIC);
+    for v in [
+        w.m as u64,
+        w.k as u64,
+        w.m_pad as u64,
+        w.k_pad as u64,
+        w.config.gt_rows as u64,
+        w.config.gt_cols as u64,
+        w.nnz as u64,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(w.gtile_offsets.len() as u64).to_le_bytes());
+    for o in &w.gtile_offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    out.extend_from_slice(&(w.values.len() as u64).to_le_bytes());
+    for v in &w.values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(w.bitmaps.len() as u64).to_le_bytes());
+    for b in &w.bitmaps {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+}
+
+/// Deserialises an encoded matrix, validating structure.
+pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let m = r.u64()? as usize;
+    let k = r.u64()? as usize;
+    let m_pad = r.u64()? as usize;
+    let k_pad = r.u64()? as usize;
+    let gt_rows = r.u64()? as usize;
+    let gt_cols = r.u64()? as usize;
+    let nnz = r.u64()? as usize;
+
+    if gt_rows == 0 || gt_cols == 0 || !gt_rows.is_multiple_of(16) || !gt_cols.is_multiple_of(16) {
+        return Err(DecodeError::Inconsistent("GroupTile geometry"));
+    }
+    if m_pad != m.div_ceil(gt_rows) * gt_rows || k_pad != k.div_ceil(gt_cols) * gt_cols {
+        return Err(DecodeError::Inconsistent("padded dimensions"));
+    }
+    let ngt = (m_pad / gt_rows) * (k_pad / gt_cols);
+    let nbt = (m_pad / 8) * (k_pad / 8);
+
+    let n_off = r.u64()? as usize;
+    if n_off != ngt + 1 {
+        return Err(DecodeError::Inconsistent("GTileOffset length"));
+    }
+    let mut gtile_offsets = Vec::with_capacity(n_off);
+    for _ in 0..n_off {
+        gtile_offsets.push(r.u32()?);
+    }
+
+    let n_vals = r.u64()? as usize;
+    if n_vals < nnz || *gtile_offsets.last().unwrap() as usize != n_vals {
+        return Err(DecodeError::Inconsistent("Values length"));
+    }
+    let mut values = Vec::with_capacity(n_vals);
+    for _ in 0..n_vals {
+        values.push(Half::from_bits(r.u16()?));
+    }
+
+    let n_bm = r.u64()? as usize;
+    if n_bm != nbt {
+        return Err(DecodeError::Inconsistent("Bitmap length"));
+    }
+    let mut bitmaps = Vec::with_capacity(n_bm);
+    for _ in 0..n_bm {
+        bitmaps.push(r.u64()?);
+    }
+
+    // Population cross-check: the bitmaps must account for exactly nnz.
+    let pop: u64 = bitmaps.iter().map(|b| u64::from(b.count_ones())).sum();
+    if pop as usize != nnz {
+        return Err(DecodeError::Inconsistent("bitmap population vs nnz"));
+    }
+
+    Ok(TcaBme {
+        m,
+        k,
+        m_pad,
+        k_pad,
+        config: TcaBmeConfig { gt_rows, gt_cols },
+        gtile_offsets,
+        values,
+        bitmaps,
+        nnz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_sparse, ValueDist};
+
+    #[test]
+    fn roundtrip() {
+        let m = random_sparse(192, 128, 0.55, ValueDist::Uniform, 61);
+        let enc = TcaBme::encode(&m);
+        let bytes = to_bytes(&enc);
+        let back = from_bytes(&bytes).expect("valid container");
+        assert_eq!(back.decode(), m);
+        assert_eq!(back.nnz, enc.nnz);
+        assert_eq!(back.bitmaps, enc.bitmaps);
+        assert_eq!(back.gtile_offsets, enc.gtile_offsets);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 62);
+        let mut bytes = to_bytes(&TcaBme::encode(&m));
+        bytes[0] ^= 0xFF;
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 63);
+        let bytes = to_bytes(&TcaBme::encode(&m));
+        for cut in [10usize, 60, bytes.len() - 1] {
+            assert_eq!(
+                from_bytes(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bitmap_population_rejected() {
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 64);
+        let enc = TcaBme::encode(&m);
+        let mut bytes = to_bytes(&enc);
+        // Flip a bit inside the last 8 bytes (a bitmap word).
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(DecodeError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let enc = TcaBme::encode(&gpu_sim::DenseMatrix::zeros(64, 64));
+        let back = from_bytes(&to_bytes(&enc)).unwrap();
+        assert_eq!(back.nnz, 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::Inconsistent("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,489 @@
+//! Tensor-Core-Aware Bitmap Encoding (TCA-BME), paper §4.2.
+//!
+//! The format partitions the weight matrix into three tile levels aligned
+//! with GPU hardware:
+//!
+//! * **BitmapTile (BT)** — 8×8, the Tensor Core's minimum matrix unit. A
+//!   `u64` bitmap marks non-zero positions; bit `i` corresponds to the
+//!   row-major element `i` of the tile, so lane `l` of a warp owns bits
+//!   `2l` and `2l + 1` (matching the `mma` fragment layout).
+//! * **TCTile (TT)** — 16×16 = 2×2 BitmapTiles stored *column-major*
+//!   (top-left, bottom-left, top-right, bottom-right), matching the
+//!   `Ra0..Ra3` registers of `mma.m16n8k16`.
+//! * **GroupTile (GT)** — `GT_H × GT_W` elements, the thread-block work
+//!   unit. TCTiles within a GroupTile are column-major; GroupTiles
+//!   themselves are row-major over the matrix.
+//!
+//! Storage uses three arrays (paper Eq. 9):
+//! `GTileOffset` (`u32`, `NGT + 1` entries), `Values` (FP16 non-zeros in
+//! nested tile order, padded per GroupTile to an 8-byte boundary for
+//! `LDGSTS.128`), and `Bitmap` (`u64` per BitmapTile).
+
+use gpu_sim::fp16::Half;
+use gpu_sim::matrix::DenseMatrix;
+
+/// Height and width of a BitmapTile in elements.
+pub const BT_DIM: usize = 8;
+/// Height and width of a TCTile in elements.
+pub const TT_DIM: usize = 16;
+/// BitmapTiles per TCTile.
+pub const BTS_PER_TT: usize = 4;
+/// Value-array padding granularity in elements (8 bytes / 2 bytes each),
+/// ensuring every GroupTile's values start 8-byte aligned.
+pub const VALUE_PAD: usize = 4;
+
+/// Tiling configuration for the GroupTile level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcaBmeConfig {
+    /// GroupTile height in elements (multiple of 16).
+    pub gt_rows: usize,
+    /// GroupTile width in elements (multiple of 16).
+    pub gt_cols: usize,
+}
+
+impl Default for TcaBmeConfig {
+    fn default() -> Self {
+        // 64×64 GroupTiles: 16 TCTiles, 4 KiB of values when dense —
+        // a good fit for 4-warp thread blocks.
+        TcaBmeConfig {
+            gt_rows: 64,
+            gt_cols: 64,
+        }
+    }
+}
+
+impl TcaBmeConfig {
+    /// TCTile rows per GroupTile.
+    pub fn tt_rows(&self) -> usize {
+        self.gt_rows / TT_DIM
+    }
+
+    /// TCTile columns per GroupTile.
+    pub fn tt_cols(&self) -> usize {
+        self.gt_cols / TT_DIM
+    }
+
+    /// BitmapTiles per GroupTile.
+    pub fn bts_per_gt(&self) -> usize {
+        self.tt_rows() * self.tt_cols() * BTS_PER_TT
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.gt_rows.is_multiple_of(TT_DIM) && self.gt_rows > 0,
+            "gt_rows must be a positive multiple of {TT_DIM}"
+        );
+        assert!(
+            self.gt_cols.is_multiple_of(TT_DIM) && self.gt_cols > 0,
+            "gt_cols must be a positive multiple of {TT_DIM}"
+        );
+    }
+}
+
+/// A sparse matrix in TCA-BME format.
+#[derive(Clone, Debug)]
+pub struct TcaBme {
+    /// Logical (unpadded) rows.
+    pub m: usize,
+    /// Logical (unpadded) columns.
+    pub k: usize,
+    /// Rows padded to a GroupTile multiple.
+    pub m_pad: usize,
+    /// Columns padded to a GroupTile multiple.
+    pub k_pad: usize,
+    /// Tiling configuration.
+    pub config: TcaBmeConfig,
+    /// Start offset of each GroupTile in `values` (element units),
+    /// plus one trailing end offset. Every entry is 4-element aligned.
+    pub gtile_offsets: Vec<u32>,
+    /// Non-zero values in nested GT → TT → BT → bit order, padded per
+    /// GroupTile to [`VALUE_PAD`].
+    pub values: Vec<Half>,
+    /// One 64-bit bitmap per BitmapTile, same nesting order.
+    pub bitmaps: Vec<u64>,
+    /// True non-zero count (excludes padding).
+    pub nnz: usize,
+}
+
+impl TcaBme {
+    /// # Examples
+    ///
+    /// ```
+    /// use gpu_sim::matrix::{random_sparse, ValueDist};
+    /// use spinfer_core::TcaBme;
+    ///
+    /// let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 0);
+    /// let enc = TcaBme::encode(&w);
+    /// assert_eq!(enc.decode(), w);                  // Lossless.
+    /// assert!(enc.compression_ratio() > 1.0);       // CR > 1 at 60%.
+    /// ```
+    /// Encodes a dense matrix with the default 64×64 GroupTile.
+    pub fn encode(matrix: &DenseMatrix) -> Self {
+        Self::encode_with(matrix, TcaBmeConfig::default())
+    }
+
+    /// Fallible [`Self::encode_with`]: an invalid tiling configuration
+    /// becomes a typed error instead of a panic.
+    pub fn try_encode_with(
+        matrix: &DenseMatrix,
+        config: TcaBmeConfig,
+    ) -> Result<Self, crate::error::SpinferError> {
+        crate::error::validate_config(&config)?;
+        Ok(Self::encode_with(matrix, config))
+    }
+
+    /// Encodes a dense matrix with an explicit configuration. Dimensions
+    /// that are not GroupTile multiples are zero-padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid tiling configuration; use
+    /// [`Self::try_encode_with`] for a fallible variant.
+    pub fn encode_with(matrix: &DenseMatrix, config: TcaBmeConfig) -> Self {
+        config.validate();
+        let m = matrix.rows();
+        let k = matrix.cols();
+        let m_pad = m.div_ceil(config.gt_rows) * config.gt_rows;
+        let k_pad = k.div_ceil(config.gt_cols) * config.gt_cols;
+        let gts_y = m_pad / config.gt_rows;
+        let gts_x = k_pad / config.gt_cols;
+        let ngt = gts_y * gts_x;
+
+        let mut gtile_offsets = Vec::with_capacity(ngt + 1);
+        let mut values: Vec<Half> = Vec::new();
+        let mut bitmaps: Vec<u64> = Vec::with_capacity(ngt * config.bts_per_gt());
+        let mut nnz = 0usize;
+
+        let at = |r: usize, c: usize| -> Half {
+            if r < m && c < k {
+                matrix.get(r, c)
+            } else {
+                Half::ZERO
+            }
+        };
+
+        for gty in 0..gts_y {
+            for gtx in 0..gts_x {
+                gtile_offsets.push(values.len() as u32);
+                let base_r = gty * config.gt_rows;
+                let base_c = gtx * config.gt_cols;
+                // TCTiles column-major within the GroupTile.
+                for ttx in 0..config.tt_cols() {
+                    for tty in 0..config.tt_rows() {
+                        let tt_r = base_r + tty * TT_DIM;
+                        let tt_c = base_c + ttx * TT_DIM;
+                        // BitmapTiles column-major within the TCTile:
+                        // TL, BL, TR, BR — matching Ra0..Ra3.
+                        for (dr, dc) in [(0, 0), (BT_DIM, 0), (0, BT_DIM), (BT_DIM, BT_DIM)] {
+                            let bt_r = tt_r + dr;
+                            let bt_c = tt_c + dc;
+                            let mut bitmap = 0u64;
+                            for bit in 0..64 {
+                                let r = bt_r + bit / BT_DIM;
+                                let c = bt_c + bit % BT_DIM;
+                                let v = at(r, c);
+                                if !v.is_zero() {
+                                    bitmap |= 1u64 << bit;
+                                    values.push(v);
+                                    nnz += 1;
+                                }
+                            }
+                            bitmaps.push(bitmap);
+                        }
+                    }
+                }
+                // Pad this GroupTile's values to an 8-byte boundary so the
+                // next GroupTile starts aligned for LDGSTS.128.
+                while !values.len().is_multiple_of(VALUE_PAD) {
+                    values.push(Half::ZERO);
+                }
+            }
+        }
+        gtile_offsets.push(values.len() as u32);
+
+        TcaBme {
+            m,
+            k,
+            m_pad,
+            k_pad,
+            config,
+            gtile_offsets,
+            values,
+            bitmaps,
+            nnz,
+        }
+    }
+
+    /// Number of GroupTiles.
+    pub fn num_gtiles(&self) -> usize {
+        self.gtile_offsets.len() - 1
+    }
+
+    /// GroupTile columns (along K).
+    pub fn gtiles_x(&self) -> usize {
+        self.k_pad / self.config.gt_cols
+    }
+
+    /// GroupTile rows (along M).
+    pub fn gtiles_y(&self) -> usize {
+        self.m_pad / self.config.gt_rows
+    }
+
+    /// Number of BitmapTiles.
+    pub fn num_btiles(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// GroupTile index for GroupTile coordinates (row-major).
+    pub fn gt_index(&self, gty: usize, gtx: usize) -> usize {
+        gty * self.gtiles_x() + gtx
+    }
+
+    /// Slice of `values` belonging to a GroupTile (including padding).
+    pub fn gtile_values(&self, gt: usize) -> &[Half] {
+        let s = self.gtile_offsets[gt] as usize;
+        let e = self.gtile_offsets[gt + 1] as usize;
+        &self.values[s..e]
+    }
+
+    /// Slice of `bitmaps` belonging to a GroupTile, in TCTile-column-major
+    /// then BT order.
+    pub fn gtile_bitmaps(&self, gt: usize) -> &[u64] {
+        let per = self.config.bts_per_gt();
+        &self.bitmaps[gt * per..(gt + 1) * per]
+    }
+
+    /// Actual storage footprint in bytes, including value padding.
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.gtile_offsets.len() + 8 * self.bitmaps.len() + 2 * self.values.len()
+    }
+
+    /// The paper's Eq. 9 (no padding): `4B×(NGT+1) + 8B×NBT + 2B×NNZ`.
+    pub fn storage_bytes_formula(m: usize, k: usize, nnz: usize, config: TcaBmeConfig) -> usize {
+        config.validate();
+        let m_pad = m.div_ceil(config.gt_rows) * config.gt_rows;
+        let k_pad = k.div_ceil(config.gt_cols) * config.gt_cols;
+        let ngt = (m_pad / config.gt_rows) * (k_pad / config.gt_cols);
+        let nbt = (m_pad / BT_DIM) * (k_pad / BT_DIM);
+        4 * (ngt + 1) + 8 * nbt + 2 * nnz
+    }
+
+    /// Compression ratio (paper Eq. 1): dense bytes over format bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        (2 * self.m * self.k) as f64 / self.storage_bytes() as f64
+    }
+
+    /// Largest per-GroupTile value count (with padding), for shared-memory
+    /// buffer sizing in the kernel.
+    pub fn max_values_per_gtile(&self) -> usize {
+        (0..self.num_gtiles())
+            .map(|g| self.gtile_values(g).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decodes back to a dense matrix (logical dimensions). Used as the
+    /// format's correctness oracle.
+    pub fn decode(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.m, self.k);
+        let cfg = self.config;
+        for gty in 0..self.gtiles_y() {
+            for gtx in 0..self.gtiles_x() {
+                let gt = self.gt_index(gty, gtx);
+                let vals = self.gtile_values(gt);
+                let bms = self.gtile_bitmaps(gt);
+                let mut vi = 0usize;
+                let mut bi = 0usize;
+                for ttx in 0..cfg.tt_cols() {
+                    for tty in 0..cfg.tt_rows() {
+                        for (dr, dc) in [(0, 0), (BT_DIM, 0), (0, BT_DIM), (BT_DIM, BT_DIM)] {
+                            let bm = bms[bi];
+                            bi += 1;
+                            let bt_r = gty * cfg.gt_rows + tty * TT_DIM + dr;
+                            let bt_c = gtx * cfg.gt_cols + ttx * TT_DIM + dc;
+                            for bit in 0..64 {
+                                if (bm >> bit) & 1 == 1 {
+                                    let r = bt_r + bit / BT_DIM;
+                                    let c = bt_c + bit % BT_DIM;
+                                    let v = vals[vi];
+                                    vi += 1;
+                                    if r < self.m && c < self.k {
+                                        out.set(r, c, v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_sparse, ValueDist};
+
+    #[test]
+    fn roundtrip_exact() {
+        for &s in &[0.0, 0.3, 0.5, 0.7, 0.95] {
+            let m = random_sparse(128, 192, s, ValueDist::Uniform, 5);
+            let enc = TcaBme::encode(&m);
+            assert_eq!(enc.decode(), m, "sparsity {s}");
+            assert_eq!(enc.nnz, m.nnz());
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_padding_dims() {
+        // 100×70 is not a GroupTile multiple in either dimension.
+        let m = random_sparse(100, 70, 0.5, ValueDist::Uniform, 6);
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.m_pad, 128);
+        assert_eq!(enc.k_pad, 128);
+        assert_eq!(enc.decode(), m);
+    }
+
+    #[test]
+    fn empty_matrix_encodes() {
+        let m = DenseMatrix::zeros(64, 64);
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.nnz, 0);
+        assert!(enc.values.is_empty());
+        assert_eq!(enc.bitmaps.len(), 64);
+        assert!(enc.bitmaps.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn gtile_offsets_are_aligned() {
+        let m = random_sparse(256, 256, 0.47, ValueDist::Uniform, 7);
+        let enc = TcaBme::encode(&m);
+        for &off in &enc.gtile_offsets {
+            assert_eq!(off as usize % VALUE_PAD, 0);
+        }
+    }
+
+    #[test]
+    fn storage_matches_formula_up_to_padding() {
+        let m = random_sparse(512, 512, 0.5, ValueDist::Uniform, 8);
+        let enc = TcaBme::encode(&m);
+        let formula = TcaBme::storage_bytes_formula(512, 512, enc.nnz, enc.config);
+        let actual = enc.storage_bytes();
+        assert!(actual >= formula);
+        // Padding adds at most VALUE_PAD-1 elements (2B each) per GroupTile.
+        let max_pad = enc.num_gtiles() * (VALUE_PAD - 1) * 2;
+        assert!(actual - formula <= max_pad);
+    }
+
+    #[test]
+    fn compression_ratio_above_one_at_30_percent() {
+        // The paper's headline format property: CR > 1 even at 30%.
+        let m = random_sparse(1024, 1024, 0.3, ValueDist::Uniform, 9);
+        let enc = TcaBme::encode(&m);
+        assert!(
+            enc.compression_ratio() > 1.0,
+            "CR {}",
+            enc.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn compression_ratio_formula_at_50_percent() {
+        // Analytical CR at 50%: 2 / (1 + 1/8 + eps) ≈ 1.78 for large M=K.
+        let bytes =
+            TcaBme::storage_bytes_formula(4096, 4096, 4096 * 4096 / 2, TcaBmeConfig::default());
+        let cr = (2.0 * 4096.0 * 4096.0) / bytes as f64;
+        assert!((cr - 1.78).abs() < 0.02, "CR {cr}");
+    }
+
+    #[test]
+    fn bitmap_tile_order_is_column_major_quadrants() {
+        // Single non-zero in each quadrant of the first TCTile; check the
+        // bitmap array ordering TL, BL, TR, BR.
+        let mut m = DenseMatrix::zeros(64, 64);
+        m.set(0, 0, Half::ONE); // TL -> bitmap 0, bit 0.
+        m.set(8, 0, Half::ONE); // BL -> bitmap 1, bit 0.
+        m.set(0, 8, Half::ONE); // TR -> bitmap 2, bit 0.
+        m.set(8, 8, Half::ONE); // BR -> bitmap 3, bit 0.
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.bitmaps[0], 1);
+        assert_eq!(enc.bitmaps[1], 1);
+        assert_eq!(enc.bitmaps[2], 1);
+        assert_eq!(enc.bitmaps[3], 1);
+        assert_eq!(&enc.bitmaps[4..16], &[0u64; 12]);
+    }
+
+    #[test]
+    fn bit_positions_are_rowmajor_within_bt() {
+        let mut m = DenseMatrix::zeros(64, 64);
+        m.set(3, 5, Half::ONE); // Row-major index 3*8+5 = 29.
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.bitmaps[0], 1u64 << 29);
+    }
+
+    #[test]
+    fn tctile_order_is_column_major_in_gtile() {
+        // Non-zero at TCTile (row 1, col 0) of a 64×64 GroupTile: TCTiles
+        // are column-major, so it lands in the second TCTile's bitmaps
+        // (indices 4..8).
+        let mut m = DenseMatrix::zeros(64, 64);
+        m.set(16, 0, Half::ONE);
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.bitmaps[4], 1);
+        // And one at TCTile (0, 1): with 4 TCTile rows, column 1 starts at
+        // TCTile index 4 -> bitmaps 16..20.
+        let mut m2 = DenseMatrix::zeros(64, 64);
+        m2.set(0, 16, Half::ONE);
+        let enc2 = TcaBme::encode(&m2);
+        assert_eq!(enc2.bitmaps[16], 1);
+    }
+
+    #[test]
+    fn values_follow_bitmap_order() {
+        let mut m = DenseMatrix::zeros(64, 64);
+        m.set(0, 0, Half::from_f32(1.0)); // TL BT, bit 0.
+        m.set(0, 1, Half::from_f32(2.0)); // TL BT, bit 1.
+        m.set(8, 0, Half::from_f32(3.0)); // BL BT, bit 0.
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.values[0].to_f32(), 1.0);
+        assert_eq!(enc.values[1].to_f32(), 2.0);
+        assert_eq!(enc.values[2].to_f32(), 3.0);
+        assert_eq!(enc.nnz, 3);
+    }
+
+    #[test]
+    fn custom_config_roundtrip() {
+        let cfg = TcaBmeConfig {
+            gt_rows: 32,
+            gt_cols: 128,
+        };
+        let m = random_sparse(96, 256, 0.6, ValueDist::Uniform, 10);
+        let enc = TcaBme::encode_with(&m, cfg);
+        assert_eq!(enc.decode(), m);
+        assert_eq!(enc.gtiles_y(), 3);
+        assert_eq!(enc.gtiles_x(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn invalid_config_panics() {
+        TcaBmeConfig {
+            gt_rows: 24,
+            gt_cols: 64,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn max_values_per_gtile_bounds_buffer() {
+        let m = random_sparse(256, 256, 0.5, ValueDist::Uniform, 11);
+        let enc = TcaBme::encode(&m);
+        let max = enc.max_values_per_gtile();
+        assert!(max <= 64 * 64);
+        for g in 0..enc.num_gtiles() {
+            assert!(enc.gtile_values(g).len() <= max);
+        }
+    }
+}

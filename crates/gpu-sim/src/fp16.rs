@@ -1,0 +1,359 @@
+//! Software implementation of IEEE 754 binary16 ("half precision").
+//!
+//! The paper's kernels operate on FP16 weights and activations with FP32
+//! accumulation inside the Tensor Core `mma` instruction. No external `half`
+//! crate is used; conversions implement round-to-nearest-even, matching the
+//! behaviour of the `cvt.rn.f16.f32` PTX instruction.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 16-bit IEEE 754 binary16 floating-point value.
+///
+/// Stored as its raw bit pattern. Arithmetic is performed by converting to
+/// `f32`, operating, and rounding back — the same semantics an FP16 ALU
+/// with round-to-nearest-even produces for a single operation.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::fp16::Half;
+///
+/// let a = Half::from_f32(1.5);
+/// let b = Half::from_f32(2.25);
+/// assert_eq!((a + b).to_f32(), 3.75);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Half(u16);
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0x0000);
+    /// One.
+    pub const ONE: Half = Half(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: Half = Half(0xBC00);
+    /// Largest finite value (65504.0).
+    pub const MAX: Half = Half(0x7BFF);
+    /// Smallest finite value (-65504.0).
+    pub const MIN: Half = Half(0xFBFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: Half = Half(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Half = Half(0xFC00);
+    /// A canonical quiet NaN.
+    pub const NAN: Half = Half(0x7E00);
+
+    /// Creates a `Half` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Half(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `Half` with round-to-nearest-even.
+    ///
+    /// Values above the FP16 finite range become infinities; subnormal
+    /// results are produced exactly as the hardware conversion would.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN. Preserve NaN-ness with a quiet payload bit.
+            return if mant == 0 {
+                Half(sign | 0x7C00)
+            } else {
+                Half(sign | 0x7E00)
+            };
+        }
+
+        // Re-bias the exponent from f32 (127) to f16 (15).
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow: round to infinity.
+            return Half(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. Keep 10 bits of mantissa with RNE on the rest.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_mant = (mant >> 13) as u16;
+            let round_bits = mant & 0x1FFF;
+            let mut out = sign | half_exp | half_mant;
+            // Round-to-nearest-even: round up on >half, or on ==half when odd.
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+                out = out.wrapping_add(1); // May carry into the exponent — that is correct.
+            }
+            return Half(out);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: the implicit leading 1 must be made explicit
+            // and shifted right together with the mantissa.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_mant = (full_mant >> shift) as u16;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = full_mant & round_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign | half_mant;
+            if round_bits > halfway || (round_bits == halfway && (half_mant & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return Half(out);
+        }
+        // Underflow to (signed) zero.
+        Half(sign)
+    }
+
+    /// Converts this `Half` to `f32` exactly (every f16 is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = i32::from((self.0 >> 10) & 0x1F);
+        let mant = u32::from(self.0 & 0x03FF);
+
+        let bits = match (exp, mant) {
+            (0, 0) => sign,
+            (0, _) => {
+                // Subnormal: value is mant × 2⁻²⁴. Normalise around the
+                // mantissa's MSB (index p): value = 1.frac × 2^(p−24).
+                let p = 31 - mant.leading_zeros(); // 0..=9.
+                let e = (p as i32 - 24 + 127) as u32;
+                let m = (mant << (23 - p)) & 0x007F_FFFF;
+                sign | (e << 23) | m
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, _) => sign | 0x7FC0_0000 | (mant << 13),
+            _ => {
+                let e = (exp - 15 + 127) as u32;
+                sign | (e << 23) | (mant << 13)
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Returns `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` if the value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Returns `true` for both positive and negative zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & 0x7FFF) == 0
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Self {
+        Half(self.0 & 0x7FFF)
+    }
+}
+
+impl From<f32> for Half {
+    fn from(v: f32) -> Self {
+        Half::from_f32(v)
+    }
+}
+
+impl From<Half> for f32 {
+    fn from(v: Half) -> Self {
+        v.to_f32()
+    }
+}
+
+impl Add for Half {
+    type Output = Half;
+    fn add(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Half {
+    type Output = Half;
+    fn sub(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Half {
+    type Output = Half;
+    fn mul(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Neg for Half {
+    type Output = Half;
+    fn neg(self) -> Half {
+        Half(self.0 ^ 0x8000)
+    }
+}
+
+impl PartialOrd for Half {
+    fn partial_cmp(&self, other: &Half) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Packs two `Half` values into one 32-bit register image (`.f16x2`).
+///
+/// `lo` occupies bits 0..16, `hi` bits 16..32 — the layout Tensor Core
+/// `mma` operands use for their `Ra`/`Rb` registers.
+#[inline]
+pub fn pack_f16x2(lo: Half, hi: Half) -> u32 {
+    u32::from(lo.to_bits()) | (u32::from(hi.to_bits()) << 16)
+}
+
+/// Unpacks a `.f16x2` register image into `(lo, hi)` halves.
+#[inline]
+pub fn unpack_f16x2(reg: u32) -> (Half, Half) {
+    (
+        Half::from_bits((reg & 0xFFFF) as u16),
+        Half::from_bits((reg >> 16) as u16),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_roundtrip() {
+        assert_eq!(Half::from_f32(0.0).to_bits(), 0);
+        assert_eq!(Half::from_f32(-0.0).to_bits(), 0x8000);
+        assert!(Half::ZERO.is_zero());
+        assert!(Half::from_f32(-0.0).is_zero());
+    }
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(Half::from_f32(v).to_f32(), v, "i={i}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let v = (2.0f32).powi(e);
+            assert_eq!(Half::from_f32(v).to_f32(), v, "e={e}");
+        }
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(Half::from_f32(tiny).to_f32(), tiny);
+        let h = Half::from_bits(0x0001);
+        assert_eq!(h.to_f32(), tiny);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(Half::from_f32(70000.0).is_infinite());
+        assert!(Half::from_f32(-70000.0).is_infinite());
+        assert_eq!(Half::from_f32(f32::INFINITY), Half::INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(Half::from_f32(f32::NAN).is_nan());
+        assert!(Half::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn max_value() {
+        assert_eq!(Half::MAX.to_f32(), 65504.0);
+        assert_eq!(Half::from_f32(65504.0), Half::MAX);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16;
+        // RNE keeps the even mantissa (1.0).
+        let halfway = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(Half::from_f32(halfway).to_f32(), 1.0);
+        // 1.0 + 3*2^-11 is halfway with an odd low bit -> rounds up.
+        let halfway_odd = 1.0 + 3.0 * (2.0f32).powi(-11);
+        let next2 = 1.0 + 2.0 * (2.0f32).powi(-10);
+        assert_eq!(Half::from_f32(halfway_odd).to_f32(), next2);
+    }
+
+    #[test]
+    fn arithmetic_matches_f32_then_round() {
+        let a = Half::from_f32(0.1);
+        let b = Half::from_f32(0.2);
+        let s = a + b;
+        assert_eq!(s, Half::from_f32(a.to_f32() + b.to_f32()));
+    }
+
+    #[test]
+    fn neg_flips_sign_bit_only() {
+        let a = Half::from_f32(1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!((-(-a)), a);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let lo = Half::from_f32(3.5);
+        let hi = Half::from_f32(-0.625);
+        let reg = pack_f16x2(lo, hi);
+        let (l2, h2) = unpack_f16x2(reg);
+        assert_eq!(l2, lo);
+        assert_eq!(h2, hi);
+    }
+
+    #[test]
+    fn all_bit_patterns_convert_and_back() {
+        // Every finite f16 must roundtrip f16 -> f32 -> f16 exactly.
+        for bits in 0u16..=u16::MAX {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                assert!(Half::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    Half::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits={bits:#06x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Half::from_f32(1.0) < Half::from_f32(2.0));
+        assert!(Half::from_f32(-1.0) < Half::ZERO);
+    }
+}

@@ -1,0 +1,391 @@
+//! Dense FP16 matrices and workload generators.
+//!
+//! The paper's SpMM computes `O[M×N] = Ws[M×K] × X[K×N]` where `Ws` is the
+//! (sparse) weight matrix and `X` the dense activations. All host-side
+//! matrices here are row-major FP16; reference products accumulate in FP32,
+//! matching Tensor Core semantics.
+
+use crate::fp16::Half;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major FP16 matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Half>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![Half::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Half>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row-major `f32` data (converted to FP16).
+    pub fn from_f32(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        DenseMatrix {
+            rows,
+            cols,
+            data: data.iter().copied().map(Half::from_f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Half {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Half) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Half] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Half] {
+        &mut self.data
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|h| !h.is_zero()).count()
+    }
+
+    /// Fraction of elements that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Storage footprint of the dense representation in bytes (2B/element),
+    /// the numerator of the paper's compression-ratio metric (Eq. 1).
+    pub fn dense_bytes(&self) -> usize {
+        2 * self.rows * self.cols
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Reference matrix product `self × rhs` with FP32 accumulation.
+    ///
+    /// This is the golden model every simulated kernel is validated
+    /// against; the output is FP32 to match the `mma` accumulator type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_ref(&self, rhs: &DenseMatrix) -> Vec<f32> {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = vec![0.0f32; self.rows * rhs.cols];
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k).to_f32();
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[r * rhs.cols + c] += a * rhs.get(k, c).to_f32();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Distribution of non-zero values in generated matrices.
+#[derive(Clone, Copy, Debug)]
+pub enum ValueDist {
+    /// Uniform in `[-1, 1]`, quantised to FP16.
+    Uniform,
+    /// Approximately normal (sum of uniforms), scaled to the given std-dev.
+    Normal { std: f32 },
+}
+
+/// Generates a dense matrix with i.i.d. values (no sparsity).
+pub fn random_dense(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(Half::from_f32(sample(&mut rng, dist)));
+    }
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// Generates a sparse matrix where each element is zero with probability
+/// `sparsity`, matching the uniform-random model the paper uses for kernel
+/// benchmarks (non-zeros follow `dist`). Exact zeros are re-rolled so that
+/// "non-zero" positions genuinely carry non-zero values.
+pub fn random_sparse(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    dist: ValueDist,
+    seed: u64,
+) -> DenseMatrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        if rng.gen::<f64>() < sparsity {
+            data.push(Half::ZERO);
+        } else {
+            data.push(nonzero_sample(&mut rng, dist));
+        }
+    }
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// Generates a sparse matrix with an *exact* number of non-zeros per row
+/// (balanced), the pattern magnitude-style per-row pruning produces.
+pub fn random_sparse_balanced(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    dist: ValueDist,
+    seed: u64,
+) -> DenseMatrix {
+    assert!((0.0..=1.0).contains(&sparsity));
+    let keep_per_row = ((cols as f64) * (1.0 - sparsity)).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = DenseMatrix::zeros(rows, cols);
+    let mut idx: Vec<usize> = (0..cols).collect();
+    for r in 0..rows {
+        // Partial Fisher-Yates: choose `keep_per_row` distinct columns.
+        for i in 0..keep_per_row.min(cols) {
+            let j = rng.gen_range(i..cols);
+            idx.swap(i, j);
+        }
+        for &c in idx.iter().take(keep_per_row) {
+            out.set(r, c, nonzero_sample(&mut rng, dist));
+        }
+    }
+    out
+}
+
+/// Generates an extremely sparse matrix whose non-zeros cluster into a
+/// `block_density` fraction of `block×block` tiles (each chosen tile is
+/// `fill` dense inside) — the structure of scientific/graph matrices that
+/// block-skipping kernels like SMaT exploit (paper Fig. 11).
+pub fn random_sparse_clustered(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    block_density: f64,
+    fill: f64,
+    dist: ValueDist,
+    seed: u64,
+) -> DenseMatrix {
+    assert!(block > 0);
+    assert!((0.0..=1.0).contains(&block_density) && (0.0..=1.0).contains(&fill));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = DenseMatrix::zeros(rows, cols);
+    for br in 0..rows.div_ceil(block) {
+        for bc in 0..cols.div_ceil(block) {
+            if rng.gen::<f64>() >= block_density {
+                continue;
+            }
+            for lr in 0..block {
+                for lc in 0..block {
+                    let (r, c) = (br * block + lr, bc * block + lc);
+                    if r < rows && c < cols && rng.gen::<f64>() < fill {
+                        out.set(r, c, nonzero_sample(&mut rng, dist));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sample(rng: &mut StdRng, dist: ValueDist) -> f32 {
+    match dist {
+        ValueDist::Uniform => Uniform::new_inclusive(-1.0f32, 1.0).sample(rng),
+        ValueDist::Normal { std } => {
+            // Irwin-Hall approximation: sum of 12 uniforms minus 6 is ~N(0,1).
+            let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum::<f32>() - 6.0;
+            s * std
+        }
+    }
+}
+
+fn nonzero_sample(rng: &mut StdRng, dist: ValueDist) -> Half {
+    loop {
+        let h = Half::from_f32(sample(rng, dist));
+        if !h.is_zero() {
+            return h;
+        }
+    }
+}
+
+/// Maximum absolute difference between a kernel output and the reference.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Relative L2 error `‖a−b‖₂ / max(‖b‖₂, ε)`.
+pub fn rel_l2_error(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        num += f64::from(x - y) * f64::from(x - y);
+        den += f64::from(*y) * f64::from(*y);
+    }
+    (num.sqrt() / den.sqrt().max(1e-30)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_full_sparsity() {
+        let m = DenseMatrix::zeros(8, 8);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.sparsity(), 1.0);
+        assert_eq!(m.dense_bytes(), 128);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(4, 6);
+        m.set(2, 5, Half::from_f32(2.5));
+        assert_eq!(m.get(2, 5).to_f32(), 2.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = random_dense(7, 13, ValueDist::Uniform, 1);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn random_sparse_hits_target_sparsity() {
+        let m = random_sparse(256, 256, 0.6, ValueDist::Uniform, 42);
+        let s = m.sparsity();
+        assert!((s - 0.6).abs() < 0.02, "sparsity {s}");
+    }
+
+    #[test]
+    fn balanced_sparsity_is_exact_per_row() {
+        let m = random_sparse_balanced(64, 100, 0.7, ValueDist::Uniform, 7);
+        for r in 0..64 {
+            let nnz_row = (0..100).filter(|&c| !m.get(r, c).is_zero()).count();
+            assert_eq!(nnz_row, 30, "row {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_ref_identity() {
+        let mut id = DenseMatrix::zeros(4, 4);
+        for i in 0..4 {
+            id.set(i, i, Half::ONE);
+        }
+        let x = random_dense(4, 3, ValueDist::Uniform, 3);
+        let y = id.matmul_ref(&x);
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(y[r * 3 + c], x.get(r, c).to_f32());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_ref_small_known() {
+        // [1 2; 3 4] x [5; 6] = [17; 39]
+        let a = DenseMatrix::from_f32(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_f32(2, 1, &[5.0, 6.0]);
+        assert_eq!(a.matmul_ref(&b), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.5, 3.0];
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+        assert!(rel_l2_error(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn clustered_generator_concentrates_nonzeros() {
+        let m = random_sparse_clustered(256, 256, 16, 0.1, 0.8, ValueDist::Uniform, 17);
+        // Count non-empty 16x16 blocks.
+        let mut nonempty = 0;
+        for br in 0..16 {
+            for bc in 0..16 {
+                let any = (0..16)
+                    .any(|lr| (0..16).any(|lc| !m.get(br * 16 + lr, bc * 16 + lc).is_zero()));
+                if any {
+                    nonempty += 1;
+                }
+            }
+        }
+        let density = f64::from(nonempty) / 256.0;
+        assert!((density - 0.1).abs() < 0.07, "block density {density}");
+        // Overall sparsity is extreme even though blocks are dense inside.
+        assert!(m.sparsity() > 0.88);
+    }
+
+    #[test]
+    fn normal_dist_generates_fp16_range_values() {
+        let m = random_dense(32, 32, ValueDist::Normal { std: 0.02 }, 9);
+        assert!(m.as_slice().iter().all(|h| !h.is_nan() && !h.is_infinite()));
+    }
+}

@@ -1,0 +1,323 @@
+//! CUDA occupancy calculator.
+//!
+//! Occupancy — resident warps per SM relative to the maximum — is limited
+//! by whichever resource runs out first: registers, shared memory, thread
+//! slots, or block slots. The paper's micro-analysis (Figure 12) credits
+//! SpInfer's low register usage with higher occupancy than Flash-LLM; this
+//! module makes that effect a computed quantity rather than an assumption.
+
+use crate::spec::GpuSpec;
+
+/// Resource requirements of one thread block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Threads per block (multiple of the warp size for our kernels).
+    pub threads: u32,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block in bytes.
+    pub smem_bytes: u32,
+}
+
+/// Occupancy outcome for a kernel on a given device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm` / device maximum, in `(0, 1]`.
+    pub fraction: f64,
+    /// Which resource bound first.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Thread slots exhausted first.
+    Threads,
+    /// Block slots exhausted first.
+    Blocks,
+}
+
+/// Register allocation granularity (registers are allocated per warp in
+/// chunks of 256 on Ampere/Ada).
+const REG_ALLOC_UNIT: u32 = 256;
+/// Shared memory allocation granularity in bytes.
+const SMEM_ALLOC_UNIT: u32 = 128;
+
+/// Why a block shape cannot launch on a device at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Zero threads or more than the device's per-block maximum.
+    InvalidThreadCount,
+    /// More shared memory than the per-block limit.
+    SharedMemoryExceeded,
+    /// More registers per thread than the architecture allows.
+    RegistersExceeded,
+    /// Resources admit zero resident blocks.
+    NoResidency,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::InvalidThreadCount => write!(f, "invalid thread count for this device"),
+            LaunchError::SharedMemoryExceeded => {
+                write!(
+                    f,
+                    "block requests more shared memory than the device block limit"
+                )
+            }
+            LaunchError::RegistersExceeded => {
+                write!(f, "registers/thread exceeds the device limit")
+            }
+            LaunchError::NoResidency => write!(f, "kernel cannot achieve residency"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Fallible occupancy computation: returns a [`LaunchError`] where
+/// [`occupancy`] would panic.
+pub fn try_occupancy(spec: &GpuSpec, block: &BlockResources) -> Result<Occupancy, LaunchError> {
+    if block.threads < 1 || block.threads > spec.max_threads_per_block {
+        return Err(LaunchError::InvalidThreadCount);
+    }
+    if block.smem_bytes as usize > spec.smem_per_block {
+        return Err(LaunchError::SharedMemoryExceeded);
+    }
+    if block.regs_per_thread > spec.max_regs_per_thread {
+        return Err(LaunchError::RegistersExceeded);
+    }
+    let occ = occupancy_unchecked(spec, block);
+    if occ.blocks_per_sm < 1 {
+        return Err(LaunchError::NoResidency);
+    }
+    Ok(occ)
+}
+
+/// Computes occupancy for a block shape on a device.
+///
+/// # Panics
+///
+/// Panics if the block cannot run at all (e.g. more shared memory than the
+/// device offers) — launch failure, not zero occupancy. Use
+/// [`try_occupancy`] for a fallible variant.
+pub fn occupancy(spec: &GpuSpec, block: &BlockResources) -> Occupancy {
+    match try_occupancy(spec, block) {
+        Ok(o) => o,
+        Err(LaunchError::SharedMemoryExceeded) => panic!(
+            "block requests {} B shared memory, device block limit is {} B",
+            block.smem_bytes, spec.smem_per_block
+        ),
+        Err(LaunchError::RegistersExceeded) => panic!(
+            "{} registers/thread exceeds device limit {}",
+            block.regs_per_thread, spec.max_regs_per_thread
+        ),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn occupancy_unchecked(spec: &GpuSpec, block: &BlockResources) -> Occupancy {
+    let warps_per_block = block.threads.div_ceil(spec.warp_size);
+
+    // Registers: allocated per warp, rounded to the allocation unit.
+    let regs_per_warp =
+        (block.regs_per_thread * spec.warp_size).div_ceil(REG_ALLOC_UNIT) * REG_ALLOC_UNIT;
+    let regs_per_block = regs_per_warp * warps_per_block;
+    let by_regs = spec
+        .regs_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(spec.max_blocks_per_sm);
+
+    // Shared memory, rounded to its allocation unit.
+    let smem_per_block = block.smem_bytes.div_ceil(SMEM_ALLOC_UNIT) * SMEM_ALLOC_UNIT;
+    let by_smem = (spec.smem_per_sm as u32)
+        .checked_div(smem_per_block)
+        .unwrap_or(spec.max_blocks_per_sm);
+
+    let by_threads = spec.max_threads_per_sm / block.threads;
+    let by_blocks = spec.max_blocks_per_sm;
+
+    let blocks = by_regs.min(by_smem).min(by_threads).min(by_blocks);
+
+    // Tie-break in favour of architectural limits so "no pressure at all"
+    // reports `Blocks`, not a coincidentally-equal resource bound.
+    let limiter = if blocks == by_blocks {
+        Limiter::Blocks
+    } else if blocks == by_threads {
+        Limiter::Threads
+    } else if blocks == by_smem {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Registers
+    };
+
+    let warps = blocks * warps_per_block;
+    let max_warps = spec.max_threads_per_sm / spec.warp_size;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: f64::from(warps) / f64::from(max_warps),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod fallible_tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    #[test]
+    fn try_occupancy_reports_typed_errors() {
+        let spec = GpuSpec::rtx4090();
+        let base = BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            smem_bytes: 16 * 1024,
+        };
+        assert!(try_occupancy(&spec, &base).is_ok());
+        assert_eq!(
+            try_occupancy(&spec, &BlockResources { threads: 0, ..base }).unwrap_err(),
+            LaunchError::InvalidThreadCount
+        );
+        assert_eq!(
+            try_occupancy(
+                &spec,
+                &BlockResources {
+                    smem_bytes: 200 * 1024,
+                    ..base
+                }
+            )
+            .unwrap_err(),
+            LaunchError::SharedMemoryExceeded
+        );
+        assert_eq!(
+            try_occupancy(
+                &spec,
+                &BlockResources {
+                    regs_per_thread: 300,
+                    ..base
+                }
+            )
+            .unwrap_err(),
+            LaunchError::RegistersExceeded
+        );
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(LaunchError::NoResidency.to_string().contains("residency"));
+        assert!(LaunchError::SharedMemoryExceeded
+            .to_string()
+            .contains("shared memory"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::rtx4090()
+    }
+
+    #[test]
+    fn small_block_is_block_slot_limited() {
+        let o = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 32,
+                regs_per_thread: 32,
+                smem_bytes: 0,
+            },
+        );
+        assert_eq!(o.blocks_per_sm, 24);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+
+    #[test]
+    fn register_pressure_cuts_occupancy() {
+        let light = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 64,
+                smem_bytes: 16 * 1024,
+            },
+        );
+        let heavy = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 192,
+                smem_bytes: 16 * 1024,
+            },
+        );
+        assert!(heavy.warps_per_sm < light.warps_per_sm);
+        assert_eq!(heavy.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn smem_pressure_limits_blocks() {
+        let o = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 32,
+                smem_bytes: 48 * 1024,
+            },
+        );
+        // 100 KB/SM with 48 KB blocks -> 2 blocks.
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn thread_limit() {
+        let o = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 1024,
+                regs_per_thread: 32,
+                smem_bytes: 0,
+            },
+        );
+        // 1536 threads/SM with 1024-thread blocks -> 1 block, 32 warps.
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.warps_per_sm, 32);
+    }
+
+    #[test]
+    fn fraction_is_bounded() {
+        let o = occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 256,
+                regs_per_thread: 64,
+                smem_bytes: 32 * 1024,
+            },
+        );
+        assert!(o.fraction > 0.0 && o.fraction <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_smem_panics() {
+        occupancy(
+            &spec(),
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 32,
+                smem_bytes: 128 * 1024,
+            },
+        );
+    }
+}

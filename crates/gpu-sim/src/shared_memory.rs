@@ -1,0 +1,210 @@
+//! Shared-memory bank model.
+//!
+//! Modern NVIDIA SMs expose shared memory through 32 banks of 4-byte words.
+//! A warp access completes in one transaction ("wavefront") unless two or
+//! more lanes address *different* 4-byte words in the *same* bank — each
+//! extra word in the most-contended bank costs one replay. Accesses wider
+//! than 4 B per lane are split into phases (8 B → two half-warp phases,
+//! 16 B → four quarter-warp phases), exactly as hardware does.
+//!
+//! Flash-LLM's sparse scatter into shared memory suffers replays here
+//! (paper Figure 12, "bank conflicts"); SpInfer's layout avoids them. Both
+//! facts must *emerge* from addresses, so this model computes conflicts
+//! from the real addresses kernels touch.
+
+use crate::counters::Counters;
+use std::collections::HashMap;
+
+/// Number of shared memory banks.
+pub const NUM_BANKS: u64 = 32;
+/// Bytes per bank word.
+pub const BANK_WORD: u64 = 4;
+
+/// Result of analysing one warp-wide shared-memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmemAccess {
+    /// Total transactions, including replays (minimum 1 per phase with any
+    /// active lane).
+    pub transactions: u64,
+    /// Replay transactions beyond the conflict-free minimum.
+    pub conflicts: u64,
+}
+
+/// Computes transactions and conflicts for per-lane byte addresses into
+/// shared memory, each lane accessing `bytes_per_lane` (4, 8 or 16).
+///
+/// Lanes set to `None` are predicated off. Broadcast (multiple lanes
+/// reading the *same* word) is conflict-free, as on hardware.
+pub fn analyze_warp_access(addrs: &[Option<u64>; 32], bytes_per_lane: u32) -> SmemAccess {
+    assert!(
+        matches!(bytes_per_lane, 2 | 4 | 8 | 16),
+        "unsupported access width {bytes_per_lane}"
+    );
+    // Hardware splits wide accesses into phases of 32/ (width/4) lanes.
+    let lanes_per_phase: usize = match bytes_per_lane {
+        2 | 4 => 32,
+        8 => 16,
+        16 => 8,
+        _ => unreachable!(),
+    };
+    let mut transactions = 0u64;
+    let mut conflicts = 0u64;
+    for phase in addrs.chunks(lanes_per_phase) {
+        // words_in_bank: bank -> set of distinct word addresses.
+        let mut words_in_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut any = false;
+        for addr in phase.iter().flatten() {
+            any = true;
+            // A lane access may span several words when wider than 4 B.
+            let first_word = addr / BANK_WORD;
+            let last_word = (addr + u64::from(bytes_per_lane) - 1) / BANK_WORD;
+            for w in first_word..=last_word {
+                let bank = w % NUM_BANKS;
+                let entry = words_in_bank.entry(bank).or_default();
+                if !entry.contains(&w) {
+                    entry.push(w);
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        let degree = words_in_bank
+            .values()
+            .map(|v| v.len() as u64)
+            .max()
+            .unwrap_or(1);
+        transactions += degree;
+        conflicts += degree - 1;
+    }
+    SmemAccess {
+        transactions,
+        conflicts,
+    }
+}
+
+/// Records a warp shared-memory *load* into the counters.
+pub fn warp_smem_load(counters: &mut Counters, addrs: &[Option<u64>; 32], bytes_per_lane: u32) {
+    let a = analyze_warp_access(addrs, bytes_per_lane);
+    counters.smem_load_transactions += a.transactions;
+    counters.smem_bank_conflicts += a.conflicts;
+    counters.insts_issued += 1;
+}
+
+/// Records a warp shared-memory *store* into the counters.
+pub fn warp_smem_store(counters: &mut Counters, addrs: &[Option<u64>; 32], bytes_per_lane: u32) {
+    let a = analyze_warp_access(addrs, bytes_per_lane);
+    counters.smem_store_transactions += a.transactions;
+    counters.smem_bank_conflicts += a.conflicts;
+    counters.insts_issued += 1;
+}
+
+/// Records an `ldmatrix.x4` load (LDSM.M88 ×4): a warp loads four 8×8 FP16
+/// matrices (16 B per lane-row). With the row-aligned layouts our kernels
+/// use, each of the 4 phases reads 8 rows of 16 B; conflicts are computed
+/// from the supplied 32 row addresses.
+pub fn warp_ldsm_x4(counters: &mut Counters, row_addrs: &[Option<u64>; 32]) {
+    let a = analyze_warp_access(row_addrs, 16);
+    counters.smem_load_transactions += a.transactions;
+    counters.smem_bank_conflicts += a.conflicts;
+    counters.ldsm_insts += 1;
+    counters.insts_issued += 1;
+}
+
+/// Builds a per-lane address array where lane `i` accesses
+/// `base + i * stride` (byte units).
+pub fn strided_addrs(base: u64, stride: u64) -> [Option<u64>; 32] {
+    let mut out = [None; 32];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = Some(base + i as u64 * stride);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_4b_is_conflict_free() {
+        let addrs = strided_addrs(0, 4);
+        let a = analyze_warp_access(&addrs, 4);
+        assert_eq!(a.transactions, 1);
+        assert_eq!(a.conflicts, 0);
+    }
+
+    #[test]
+    fn stride_128_is_32_way_conflict() {
+        // All lanes hit bank 0 with distinct words: the classic worst case.
+        let addrs = strided_addrs(0, 128);
+        let a = analyze_warp_access(&addrs, 4);
+        assert_eq!(a.transactions, 32);
+        assert_eq!(a.conflicts, 31);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        let addrs = [Some(64u64); 32];
+        let a = analyze_warp_access(&addrs, 4);
+        assert_eq!(a.transactions, 1);
+        assert_eq!(a.conflicts, 0);
+    }
+
+    #[test]
+    fn stride_8_is_2way_conflict() {
+        // 4 B accesses with 8 B stride: lanes 0 and 16 share bank 0 with
+        // different words, and so on -> 2-way conflict in a single phase.
+        let addrs = strided_addrs(0, 8);
+        let a = analyze_warp_access(&addrs, 4);
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.conflicts, 1);
+    }
+
+    #[test]
+    fn vector_8b_unit_stride_is_two_clean_phases() {
+        // 8 B per lane, contiguous: two 16-lane phases, each covering
+        // 128 B across all 32 banks exactly once.
+        let addrs = strided_addrs(0, 8);
+        let a = analyze_warp_access(&addrs, 8);
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.conflicts, 0);
+    }
+
+    #[test]
+    fn vector_16b_unit_stride_is_four_clean_phases() {
+        let addrs = strided_addrs(0, 16);
+        let a = analyze_warp_access(&addrs, 16);
+        assert_eq!(a.transactions, 4);
+        assert_eq!(a.conflicts, 0);
+    }
+
+    #[test]
+    fn predicated_off_warp_is_free() {
+        let addrs = [None; 32];
+        let a = analyze_warp_access(&addrs, 4);
+        assert_eq!(a.transactions, 0);
+        assert_eq!(a.conflicts, 0);
+    }
+
+    #[test]
+    fn counter_recording() {
+        let mut c = Counters::new();
+        warp_smem_store(&mut c, &strided_addrs(0, 128), 4);
+        assert_eq!(c.smem_store_transactions, 32);
+        assert_eq!(c.smem_bank_conflicts, 31);
+        warp_smem_load(&mut c, &strided_addrs(0, 4), 4);
+        assert_eq!(c.smem_load_transactions, 1);
+        assert_eq!(c.bank_conflict_rate(), 31.0 / 33.0);
+    }
+
+    #[test]
+    fn ldsm_row_layout_conflict_free() {
+        // 32 rows of 16 B, contiguous: row i at i*16. Phase of 8 lanes
+        // covers 128 B = all banks once.
+        let mut c = Counters::new();
+        warp_ldsm_x4(&mut c, &strided_addrs(0, 16));
+        assert_eq!(c.smem_bank_conflicts, 0);
+        assert_eq!(c.ldsm_insts, 1);
+        assert_eq!(c.smem_load_transactions, 4);
+    }
+}

@@ -1,0 +1,459 @@
+//! Functional emulation of the PTX `mma.m16n8k16.row.col.f32.f16.f16.f32`
+//! Tensor Core instruction (paper Listing 1).
+//!
+//! The emulation is *fragment-level*: each of the 32 lanes of a warp holds
+//! the exact registers the real instruction expects —
+//!
+//! * `A` (16×16 FP16, row-major): four `.f16x2` registers `Ra0..Ra3` per
+//!   lane. With `group = lane / 4` and `tid = lane % 4`:
+//!   - `Ra0` = `A[group][2*tid]`, `A[group][2*tid+1]` (top-left 8×8)
+//!   - `Ra1` = `A[group+8][2*tid..]` (bottom-left)
+//!   - `Ra2` = `A[group][2*tid+8..]` (top-right)
+//!   - `Ra3` = `A[group+8][2*tid+8..]` (bottom-right)
+//! * `B` (16×8 FP16, column-major operand): two registers `Rb0`, `Rb1`:
+//!   - `Rb0` = `B[2*tid][group]`, `B[2*tid+1][group]`
+//!   - `Rb1` = `B[2*tid+8][group]`, `B[2*tid+9][group]`
+//! * `C`/`D` (16×8 FP32): four registers:
+//!   - `c0,c1` = `C[group][2*tid..]`, `c2,c3` = `C[group+8][2*tid..]`
+//!
+//! The `Ra0..Ra3` ↔ 8×8 quadrant correspondence (top-left, bottom-left,
+//! top-right, bottom-right — i.e. column-major quadrants) is exactly why
+//! TCA-BME stores its 2×2 `BitmapTile`s in column-major order (paper
+//! §4.2.1), and the within-quadrant rule "lane `l` holds row-major
+//! elements `2l` and `2l+1`" is why `MaskedPopCount` uses offset `2l`
+//! (paper Algorithm 2). SpInfer's decoder and every Tensor-Core baseline
+//! share this single implementation, so a layout bug cannot cancel out.
+
+use crate::counters::Counters;
+use crate::fp16::{pack_f16x2, unpack_f16x2, Half};
+
+/// Rows of the `mma` A operand / D result.
+pub const MMA_M: usize = 16;
+/// Columns of the B operand / D result.
+pub const MMA_N: usize = 8;
+/// Inner (reduction) dimension.
+pub const MMA_K: usize = 16;
+
+/// Per-warp A fragment: `regs[lane][r]` is the `.f16x2` register `Ra{r}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragA {
+    /// Packed `.f16x2` registers, indexed `[lane][reg]`.
+    pub regs: [[u32; 4]; 32],
+}
+
+/// Per-warp B fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragB {
+    /// Packed `.f16x2` registers, indexed `[lane][reg]`.
+    pub regs: [[u32; 2]; 32],
+}
+
+/// Per-warp FP32 accumulator fragment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FragC {
+    /// FP32 registers, indexed `[lane][reg]`.
+    pub regs: [[f32; 4]; 32],
+}
+
+impl FragA {
+    /// An all-zero fragment.
+    pub fn zero() -> Self {
+        FragA { regs: [[0; 4]; 32] }
+    }
+
+    /// Builds the fragment from a dense 16×16 tile given as a row-major
+    /// accessor `tile(row, col)`.
+    pub fn from_tile<F: Fn(usize, usize) -> Half>(tile: F) -> Self {
+        let mut f = FragA::zero();
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
+                .iter()
+                .enumerate()
+            {
+                let lo = tile(group + dr, 2 * tid + dc);
+                let hi = tile(group + dr, 2 * tid + dc + 1);
+                f.regs[lane][reg] = pack_f16x2(lo, hi);
+            }
+        }
+        f
+    }
+
+    /// Reconstructs the dense 16×16 tile this fragment represents.
+    pub fn to_tile(&self) -> [[Half; MMA_K]; MMA_M] {
+        let mut t = [[Half::ZERO; MMA_K]; MMA_M];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
+                .iter()
+                .enumerate()
+            {
+                let (lo, hi) = unpack_f16x2(self.regs[lane][reg]);
+                t[group + dr][2 * tid + dc] = lo;
+                t[group + dr][2 * tid + dc + 1] = hi;
+            }
+        }
+        t
+    }
+}
+
+impl FragB {
+    /// An all-zero fragment.
+    pub fn zero() -> Self {
+        FragB { regs: [[0; 2]; 32] }
+    }
+
+    /// Builds the fragment from a dense 16×8 tile accessor `tile(k, n)`.
+    pub fn from_tile<F: Fn(usize, usize) -> Half>(tile: F) -> Self {
+        let mut f = FragB::zero();
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            f.regs[lane][0] = pack_f16x2(tile(2 * tid, group), tile(2 * tid + 1, group));
+            f.regs[lane][1] = pack_f16x2(tile(2 * tid + 8, group), tile(2 * tid + 9, group));
+        }
+        f
+    }
+
+    /// Reconstructs the dense 16×8 tile.
+    pub fn to_tile(&self) -> [[Half; MMA_N]; MMA_K] {
+        let mut t = [[Half::ZERO; MMA_N]; MMA_K];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            let (b0, b1) = unpack_f16x2(self.regs[lane][0]);
+            let (b2, b3) = unpack_f16x2(self.regs[lane][1]);
+            t[2 * tid][group] = b0;
+            t[2 * tid + 1][group] = b1;
+            t[2 * tid + 8][group] = b2;
+            t[2 * tid + 9][group] = b3;
+        }
+        t
+    }
+}
+
+impl FragC {
+    /// An all-zero accumulator.
+    pub fn zero() -> Self {
+        FragC {
+            regs: [[0.0; 4]; 32],
+        }
+    }
+
+    /// Builds the fragment from a dense 16×8 FP32 accessor.
+    pub fn from_tile<F: Fn(usize, usize) -> f32>(tile: F) -> Self {
+        let mut f = FragC::zero();
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            f.regs[lane][0] = tile(group, 2 * tid);
+            f.regs[lane][1] = tile(group, 2 * tid + 1);
+            f.regs[lane][2] = tile(group + 8, 2 * tid);
+            f.regs[lane][3] = tile(group + 8, 2 * tid + 1);
+        }
+        f
+    }
+
+    /// Reconstructs the dense 16×8 FP32 tile.
+    pub fn to_tile(&self) -> [[f32; MMA_N]; MMA_M] {
+        let mut t = [[0.0; MMA_N]; MMA_M];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            t[group][2 * tid] = self.regs[lane][0];
+            t[group][2 * tid + 1] = self.regs[lane][1];
+            t[group + 8][2 * tid] = self.regs[lane][2];
+            t[group + 8][2 * tid + 1] = self.regs[lane][3];
+        }
+        t
+    }
+}
+
+/// Executes one warp-wide `mma.m16n8k16`: `acc = A × B + acc`, FP16 inputs
+/// with FP32 accumulation, recording one `mma` instruction.
+pub fn mma_m16n8k16(counters: &mut Counters, a: &FragA, b: &FragB, acc: &mut FragC) {
+    let at = a.to_tile();
+    let bt = b.to_tile();
+    let mut d = acc.to_tile();
+    for m in 0..MMA_M {
+        for n in 0..MMA_N {
+            let mut sum = 0.0f32;
+            for k in 0..MMA_K {
+                sum += at[m][k].to_f32() * bt[k][n].to_f32();
+            }
+            d[m][n] += sum;
+        }
+    }
+    *acc = FragC::from_tile(|r, c| d[r][c]);
+    counters.mma_insts += 1;
+    counters.insts_issued += 1;
+}
+
+/// Maps a lane and register index to the quadrant-local `(row, col)` the
+/// register's *low* half occupies inside its 8×8 quadrant. The high half
+/// is at `(row, col + 1)`.
+///
+/// Exposed for decoders: within a quadrant, lane `l` owns row-major
+/// elements `2l` (low) and `2l + 1` (high).
+#[inline]
+pub fn lane_quadrant_coords(lane: usize) -> (usize, usize) {
+    (lane / 4, (lane % 4) * 2)
+}
+
+/// Per-warp A fragment of the smaller `mma.m16n8k8` instruction: two
+/// `.f16x2` registers per lane covering a 16×8 A tile (the left half of
+/// the m16n8k16 fragment).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragAK8 {
+    /// Packed `.f16x2` registers, indexed `[lane][reg]`.
+    pub regs: [[u32; 2]; 32],
+}
+
+impl FragAK8 {
+    /// Builds the fragment from a dense 16×8 tile accessor.
+    pub fn from_tile<F: Fn(usize, usize) -> Half>(tile: F) -> Self {
+        let mut f = FragAK8 { regs: [[0; 2]; 32] };
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            f.regs[lane][0] = pack_f16x2(tile(group, 2 * tid), tile(group, 2 * tid + 1));
+            f.regs[lane][1] = pack_f16x2(tile(group + 8, 2 * tid), tile(group + 8, 2 * tid + 1));
+        }
+        f
+    }
+}
+
+/// Executes one warp-wide `mma.m16n8k8`: `acc += A[16×8] × B[8×8]`,
+/// where `b_tile(k, n)` supplies the 8×8 B operand. The paper's §4.2.1
+/// microbenchmark compares this against [`mma_m16n8k16`]: two k8 issues
+/// cover one k16 tile, so the larger shape halves instruction count (and
+/// on hardware sustains higher throughput), which is why TCA-BME aligns
+/// TCTiles with m16n8k16.
+pub fn mma_m16n8k8<F: Fn(usize, usize) -> Half>(
+    counters: &mut Counters,
+    a: &FragAK8,
+    b_tile: F,
+    acc: &mut FragC,
+) {
+    // Decode the A fragment.
+    let mut at = [[Half::ZERO; 8]; MMA_M];
+    for lane in 0..32 {
+        let group = lane / 4;
+        let tid = lane % 4;
+        let (l0, h0) = unpack_f16x2(a.regs[lane][0]);
+        let (l1, h1) = unpack_f16x2(a.regs[lane][1]);
+        at[group][2 * tid] = l0;
+        at[group][2 * tid + 1] = h0;
+        at[group + 8][2 * tid] = l1;
+        at[group + 8][2 * tid + 1] = h1;
+    }
+    let mut d = acc.to_tile();
+    for m in 0..MMA_M {
+        for n in 0..MMA_N {
+            let mut sum = 0.0f32;
+            for k in 0..8 {
+                sum += at[m][k].to_f32() * b_tile(k, n).to_f32();
+            }
+            d[m][n] += sum;
+        }
+    }
+    *acc = FragC::from_tile(|r, c| d[r][c]);
+    counters.mma_insts += 1;
+    counters.insts_issued += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{random_dense, ValueDist};
+
+    fn tile_a_from(m: &crate::matrix::DenseMatrix) -> FragA {
+        FragA::from_tile(|r, c| m.get(r, c))
+    }
+
+    fn tile_b_from(m: &crate::matrix::DenseMatrix) -> FragB {
+        FragB::from_tile(|r, c| m.get(r, c))
+    }
+
+    #[test]
+    fn frag_a_roundtrip() {
+        let m = random_dense(16, 16, ValueDist::Uniform, 11);
+        let t = tile_a_from(&m).to_tile();
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(t[r][c], m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn frag_b_roundtrip() {
+        let m = random_dense(16, 8, ValueDist::Uniform, 12);
+        let t = tile_b_from(&m).to_tile();
+        for r in 0..16 {
+            for c in 0..8 {
+                assert_eq!(t[r][c], m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn frag_c_roundtrip() {
+        let f = FragC::from_tile(|r, c| (r * 8 + c) as f32);
+        let t = f.to_tile();
+        for (r, row) in t.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(*v, (r * 8 + c) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_register_mapping_matches_paper() {
+        // Ra0 must be the TOP-LEFT quadrant: set only A[0][0] and check it
+        // appears in lane 0's Ra0 low half.
+        let f = FragA::from_tile(|r, c| {
+            if r == 0 && c == 0 {
+                Half::ONE
+            } else {
+                Half::ZERO
+            }
+        });
+        assert_eq!(f.regs[0][0], u32::from(Half::ONE.to_bits()));
+        for lane in 1..32 {
+            assert_eq!(f.regs[lane], [0, 0, 0, 0]);
+        }
+        // Ra1 = bottom-left: A[8][0] -> lane 0 reg 1.
+        let f = FragA::from_tile(|r, c| {
+            if r == 8 && c == 0 {
+                Half::ONE
+            } else {
+                Half::ZERO
+            }
+        });
+        assert_eq!(f.regs[0][1], u32::from(Half::ONE.to_bits()));
+        // Ra2 = top-right: A[0][8] -> lane 0 reg 2.
+        let f = FragA::from_tile(|r, c| {
+            if r == 0 && c == 8 {
+                Half::ONE
+            } else {
+                Half::ZERO
+            }
+        });
+        assert_eq!(f.regs[0][2], u32::from(Half::ONE.to_bits()));
+        // Ra3 = bottom-right: A[8][8] -> lane 0 reg 3.
+        let f = FragA::from_tile(|r, c| {
+            if r == 8 && c == 8 {
+                Half::ONE
+            } else {
+                Half::ZERO
+            }
+        });
+        assert_eq!(f.regs[0][3], u32::from(Half::ONE.to_bits()));
+    }
+
+    #[test]
+    fn lane_owns_rowmajor_elements_2l_and_2l_plus_1() {
+        // Inside the top-left quadrant, quadrant-linear index of lane l's
+        // low half must be 2l (paper Algorithm 2's offset).
+        for lane in 0..32 {
+            let (r, c) = lane_quadrant_coords(lane);
+            assert_eq!(r * 8 + c, 2 * lane);
+        }
+    }
+
+    #[test]
+    fn mma_matches_reference_product() {
+        let a = random_dense(16, 16, ValueDist::Uniform, 21);
+        let b = random_dense(16, 8, ValueDist::Uniform, 22);
+        let mut counters = Counters::new();
+        let fa = tile_a_from(&a);
+        let fb = tile_b_from(&b);
+        let mut acc = FragC::zero();
+        mma_m16n8k16(&mut counters, &fa, &fb, &mut acc);
+        let d = acc.to_tile();
+        let reference = a.matmul_ref(&b);
+        for r in 0..16 {
+            for c in 0..8 {
+                let diff = (d[r][c] - reference[r * 8 + c]).abs();
+                assert!(diff < 1e-4, "({r},{c}) diff {diff}");
+            }
+        }
+        assert_eq!(counters.mma_insts, 1);
+    }
+
+    #[test]
+    fn mma_accumulates_into_c() {
+        let a = random_dense(16, 16, ValueDist::Uniform, 31);
+        let b = random_dense(16, 8, ValueDist::Uniform, 32);
+        let mut counters = Counters::new();
+        let fa = tile_a_from(&a);
+        let fb = tile_b_from(&b);
+        let mut acc = FragC::from_tile(|_, _| 5.0);
+        mma_m16n8k16(&mut counters, &fa, &fb, &mut acc);
+        let d = acc.to_tile();
+        let reference = a.matmul_ref(&b);
+        for r in 0..16 {
+            for c in 0..8 {
+                assert!((d[r][c] - (reference[r * 8 + c] + 5.0)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn two_k8_issues_equal_one_k16_issue() {
+        // The §4.2.1 microbenchmark's correctness side: splitting a 16×16
+        // A tile into two m16n8k8 issues reproduces the m16n8k16 result,
+        // at twice the instruction count.
+        let a = random_dense(16, 16, ValueDist::Uniform, 61);
+        let b = random_dense(16, 8, ValueDist::Uniform, 62);
+        let mut c16 = Counters::new();
+        let mut acc16 = FragC::zero();
+        mma_m16n8k16(
+            &mut c16,
+            &FragA::from_tile(|r, c| a.get(r, c)),
+            &FragB::from_tile(|r, c| b.get(r, c)),
+            &mut acc16,
+        );
+        let mut c8 = Counters::new();
+        let mut acc8 = FragC::zero();
+        for half in 0..2 {
+            let fa = FragAK8::from_tile(|r, c| a.get(r, c + 8 * half));
+            mma_m16n8k8(&mut c8, &fa, |k, n| b.get(k + 8 * half, n), &mut acc8);
+        }
+        let t16 = acc16.to_tile();
+        let t8 = acc8.to_tile();
+        for r in 0..16 {
+            for c in 0..8 {
+                assert!((t16[r][c] - t8[r][c]).abs() < 1e-4);
+            }
+        }
+        assert_eq!(c16.mma_insts, 1);
+        assert_eq!(c8.mma_insts, 2, "k8 needs twice the issues");
+    }
+
+    #[test]
+    fn two_step_k_accumulation_equals_k32_product() {
+        // Splitting K=32 into two mma calls must equal one 16x32 * 32x8
+        // reference product.
+        let a = random_dense(16, 32, ValueDist::Uniform, 41);
+        let b = random_dense(32, 8, ValueDist::Uniform, 42);
+        let mut counters = Counters::new();
+        let mut acc = FragC::zero();
+        for step in 0..2 {
+            let fa = FragA::from_tile(|r, c| a.get(r, c + 16 * step));
+            let fb = FragB::from_tile(|r, c| b.get(r + 16 * step, c));
+            mma_m16n8k16(&mut counters, &fa, &fb, &mut acc);
+        }
+        let d = acc.to_tile();
+        let reference = a.matmul_ref(&b);
+        for r in 0..16 {
+            for c in 0..8 {
+                assert!((d[r][c] - reference[r * 8 + c]).abs() < 1e-3);
+            }
+        }
+        assert_eq!(counters.mma_insts, 2);
+    }
+}

@@ -1,0 +1,498 @@
+//! Analytical kernel timing model.
+//!
+//! Simulated kernels execute functionally and record [`Counters`]; this
+//! module converts those counters plus launch geometry into estimated
+//! time. The model is deliberately first-order and documented — the goal
+//! is reproducing the paper's *shape* (who wins, by what factor, where
+//! crossovers fall), not cycle-exact numbers:
+//!
+//! * **Memory bound** (`T_mem`): DRAM sector traffic over achieved
+//!   bandwidth. Achieved bandwidth = peak × streaming efficiency × a
+//!   Little's-law latency-hiding factor (resident warps × bytes in flight
+//!   per warp must cover `bandwidth × latency`). Decode-phase SpMM lives
+//!   here, so compression ratio converts directly into speedup — the
+//!   paper's §3.2.2 argument.
+//! * **Tensor-core bound** (`T_tc`): mma instructions at peak throughput.
+//!   Dominates in prefill (Figure 16).
+//! * **CUDA-core / shared-memory chain** (`T_chain`): integer + FP
+//!   instructions and shared-memory wavefronts (including bank-conflict
+//!   replays). SMBD decoding and Flash-LLM's scatter live here.
+//! * **Issue bound** (`T_issue`): total warp instructions over the
+//!   schedulers' issue rate.
+//!
+//! With the asynchronous pipeline (paper §4.3.4) the kernel runs at the
+//! *maximum* of these; without it the stages serialize per iteration.
+
+use crate::counters::Counters;
+use crate::occupancy::{occupancy, BlockResources, Occupancy};
+use crate::spec::GpuSpec;
+
+/// Streaming efficiency of a well-coalesced kernel relative to peak DRAM
+/// bandwidth (DRAM refresh, command overhead, imperfect row locality).
+pub const BASE_MEM_EFF: f64 = 0.92;
+/// Warp-instructions per cycle per SM for the integer/logic pipe.
+pub const INT_WIPC: f64 = 2.0;
+/// Warp-instructions per cycle per SM for the FP32 pipe.
+pub const FP_WIPC: f64 = 2.0;
+/// Shared-memory wavefronts per cycle per SM (128 B/cycle).
+pub const SMEM_TPC: f64 = 1.0;
+/// Total warp-instruction issue slots per cycle per SM.
+pub const ISSUE_WIPC: f64 = 4.0;
+/// Independent dependent-gather chains a warp sustains in flight
+/// (memory-level parallelism of index-then-load sequences).
+pub const DEP_GATHER_ILP: f64 = 2.0;
+/// Fraction of the non-dominant pipeline stages that leaks past the
+/// overlap in async mode (barriers, wait_group stalls, imperfect
+/// scheduling). 0 would be a perfect pipeline; measured kernels leak.
+/// Kernels without double buffering (only inter-warp overlap) set a
+/// higher per-launch leak via [`LaunchShape::overlap_leak`].
+pub const OVERLAP_LEAK: f64 = 0.10;
+
+/// How the kernel schedules its loads relative to compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Double-buffered `cp.async` pipeline: memory, decode and Tensor Core
+    /// stages overlap (SpInfer with AsyncPipe, cuBLAS).
+    AsyncDoubleBuffered,
+    /// Loads complete before compute each iteration (classic
+    /// load-sync-compute): stages serialize.
+    Synchronous,
+}
+
+impl PipelineMode {
+    /// Bytes a warp keeps in flight towards global memory, used by the
+    /// latency-hiding factor. Asynchronous copies prefetch deeply; a
+    /// synchronous vector load keeps one instruction per lane outstanding;
+    /// scalar gather loops keep even less.
+    fn default_inflight_bytes_per_warp(self) -> f64 {
+        match self {
+            PipelineMode::AsyncDoubleBuffered => 2048.0,
+            PipelineMode::Synchronous => 768.0,
+        }
+    }
+}
+
+/// Launch geometry and schedule description supplied by a kernel.
+#[derive(Clone, Debug)]
+pub struct LaunchShape {
+    /// Total thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Per-block resources (for occupancy).
+    pub block: BlockResources,
+    /// Main-loop iterations per block (K-dimension tiles).
+    pub iters_per_block: f64,
+    /// Pipeline discipline.
+    pub mode: PipelineMode,
+    /// Exposed fixed cycles per iteration (barriers, pipeline bubbles).
+    pub per_iter_fixed_cycles: f64,
+    /// One-off cycles per block (prologue load + epilogue store latency).
+    pub ramp_cycles: f64,
+    /// Override for bytes-in-flight per warp; `None` uses the mode default.
+    pub inflight_bytes_per_warp: Option<f64>,
+    /// Override for the async-mode overlap leak; `None` uses
+    /// [`OVERLAP_LEAK`]. Kernels with a single buffer (no prefetch
+    /// pipeline) overlap only through warp interleaving and leak more.
+    pub overlap_leak: Option<f64>,
+}
+
+/// A buffer with reuse: if it fits in L2, repeated reads hit L2 rather
+/// than DRAM. Used for the dense `X` operand, which is tiny in the decode
+/// phase and re-read by every block row.
+#[derive(Clone, Copy, Debug)]
+pub struct L2Reuse {
+    /// Size of the underlying buffer in bytes.
+    pub buffer_bytes: u64,
+    /// Total sector traffic the kernel generated against it.
+    pub requested_bytes: u64,
+}
+
+/// Fraction of L2 usable for a streaming-reuse buffer.
+const L2_USABLE: f64 = 0.8;
+
+/// How many times a GEMM operand panel is effectively streamed from DRAM.
+///
+/// With swizzled block rasterization, blocks in one wave cover a window
+/// of the orthogonal dimension and share the panel through L2. The window
+/// is what fits in (a fair share of) L2 for a `K`-deep panel, at least
+/// 512; `dim` is the orthogonal extent (`N` for the W panel, `M` for the
+/// X panel) and `tile` the per-block tile along it. Returns the effective
+/// stream count in `[1, dim/tile]`.
+pub fn panel_reread_factor(spec: &GpuSpec, k: usize, dim: usize, tile: usize) -> u64 {
+    let window = ((spec.l2_bytes as f64 * 0.4) / (2.0 * k.max(1) as f64)).max(512.0) as usize;
+    let tiles = dim.div_ceil(tile.max(1)) as u64;
+    (dim.div_ceil(window) as u64).clamp(1, tiles.max(1))
+}
+
+/// Effective DRAM bytes for a buffer under the L2 reuse model.
+pub fn l2_effective_bytes(spec: &GpuSpec, reuse: &L2Reuse) -> u64 {
+    if (reuse.buffer_bytes as f64) <= L2_USABLE * spec.l2_bytes as f64 {
+        // Compulsory traffic only: each byte fetched from DRAM once.
+        reuse.requested_bytes.min(reuse.buffer_bytes.max(1))
+    } else {
+        reuse.requested_bytes
+    }
+}
+
+/// What bound the kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// DRAM bandwidth.
+    Memory,
+    /// Tensor Core throughput.
+    TensorCore,
+    /// CUDA-core + shared-memory chain.
+    CudaChain,
+    /// Instruction issue.
+    Issue,
+}
+
+/// Timing estimate with Nsight-style derived metrics (paper Fig. 12 / Tab. 1).
+#[derive(Clone, Debug)]
+pub struct KernelTiming {
+    /// Total kernel cycles.
+    pub cycles: f64,
+    /// Total kernel time in seconds.
+    pub time_sec: f64,
+    /// Achieved fraction of peak DRAM bandwidth ("Max BW" in Table 1).
+    pub bw_util: f64,
+    /// Tensor Core pipe utilisation ("TC Pipe UTIL").
+    pub tc_util: f64,
+    /// Issue-slot busy fraction.
+    pub issue_util: f64,
+    /// Average warp cycles per issued instruction.
+    pub warp_cycles_per_inst: f64,
+    /// Dominant bound.
+    pub bound: Bound,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Effective DRAM bytes after L2 filtering.
+    pub dram_bytes: u64,
+}
+
+/// Estimates kernel time from counters and launch shape.
+///
+/// `l2_reuse` lists buffers whose repeated reads may be absorbed by L2;
+/// their absorbed traffic is subtracted from the counter's DRAM reads.
+pub fn estimate_time(
+    spec: &GpuSpec,
+    shape: &LaunchShape,
+    counters: &Counters,
+    l2_reuse: &[L2Reuse],
+) -> KernelTiming {
+    let occ = occupancy(spec, &shape.block);
+    let sm = f64::from(spec.sm_count);
+    let active_sms = sm.min(shape.grid_blocks as f64);
+    let resident_blocks = (shape.grid_blocks as f64).min(active_sms * f64::from(occ.blocks_per_sm));
+    let warps_per_block = f64::from(shape.block.threads.div_ceil(spec.warp_size));
+    let resident_warps = resident_blocks * warps_per_block;
+
+    // --- Memory bound ---
+    let mut dram_bytes = counters.dram_total_bytes();
+    for r in l2_reuse {
+        let eff = l2_effective_bytes(spec, r);
+        dram_bytes = dram_bytes.saturating_sub(r.requested_bytes - eff);
+    }
+    let device_bpc = spec.dram_bandwidth / spec.clock_hz; // Bytes per cycle.
+    let inflight = shape
+        .inflight_bytes_per_warp
+        .unwrap_or_else(|| shape.mode.default_inflight_bytes_per_warp());
+    let needed_inflight = device_bpc * f64::from(spec.dram_latency_cycles);
+    let latency_factor = ((resident_warps * inflight) / needed_inflight).min(1.0);
+    let mem_eff = BASE_MEM_EFF * latency_factor.max(1e-3);
+    let t_mem = dram_bytes as f64 / (device_bpc * mem_eff);
+
+    // --- Tensor core bound ---
+    let flops_per_mma = 2.0 * 16.0 * 8.0 * 16.0;
+    let mma_cycles_each = flops_per_mma / spec.tc_flops_per_cycle_per_sm;
+    let t_tc = counters.mma_insts as f64 * mma_cycles_each / active_sms;
+
+    // --- CUDA-core + shared-memory chain ---
+    let smem_total = (counters.smem_load_transactions + counters.smem_store_transactions) as f64;
+    let t_smem = smem_total / (SMEM_TPC * active_sms);
+    let t_int = (counters.cuda_int_insts + counters.shfl_insts) as f64 / (INT_WIPC * active_sms);
+    let t_fp = counters.cuda_fp_insts as f64 / (FP_WIPC * active_sms);
+    // Dependent gathers (CSR-style index-then-load) serialize on each
+    // warp's critical path; warps on an SM overlap each other's chains.
+    let warps_per_sm_active = (resident_warps / active_sms).max(1.0);
+    let t_dep = counters.dependent_gathers as f64 * f64::from(spec.l2_latency_cycles)
+        / (active_sms * warps_per_sm_active * DEP_GATHER_ILP);
+    let t_chain = t_smem + t_int.max(t_fp) + t_dep;
+
+    // --- Issue bound ---
+    let t_issue = counters.insts_issued as f64 / (ISSUE_WIPC * active_sms);
+
+    // --- Fixed overheads ---
+    let waves = (shape.grid_blocks as f64 / resident_blocks.max(1.0)).ceil();
+    let t_fixed = waves * shape.iters_per_block * shape.per_iter_fixed_cycles
+        + waves * shape.ramp_cycles
+        + f64::from(spec.dram_latency_cycles); // First-load exposure.
+
+    let (steady, bound) = match shape.mode {
+        PipelineMode::AsyncDoubleBuffered => {
+            let candidates = [
+                (t_mem, Bound::Memory),
+                (t_tc, Bound::TensorCore),
+                (t_chain, Bound::CudaChain),
+                (t_issue, Bound::Issue),
+            ];
+            let (max, bound) = candidates
+                .into_iter()
+                .max_by(|a, b| a.0.total_cmp(&b.0))
+                .unwrap();
+            // Imperfect overlap: a fraction of the hidden stages leaks.
+            let leak = shape.overlap_leak.unwrap_or(OVERLAP_LEAK);
+            let total = t_mem + t_tc + t_chain;
+            (max + leak * (total - max).max(0.0), bound)
+        }
+        PipelineMode::Synchronous => {
+            let total = t_mem + t_chain + t_tc;
+            let bound = if t_mem >= t_chain && t_mem >= t_tc {
+                Bound::Memory
+            } else if t_chain >= t_tc {
+                Bound::CudaChain
+            } else {
+                Bound::TensorCore
+            };
+            (total.max(t_issue), bound)
+        }
+    };
+
+    let cycles = steady + t_fixed;
+    let time_sec = spec.cycles_to_sec(cycles);
+
+    let bw_util = (dram_bytes as f64 / device_bpc) / cycles;
+    let tc_util = t_tc * active_sms / (sm * cycles);
+    let issue_util = counters.insts_issued as f64 / (ISSUE_WIPC * sm * cycles);
+    let warp_cycles_per_inst = if counters.insts_issued == 0 {
+        0.0
+    } else {
+        resident_warps.max(1.0) * cycles / counters.insts_issued as f64
+    };
+
+    KernelTiming {
+        cycles,
+        time_sec,
+        bw_util,
+        tc_util,
+        issue_util,
+        warp_cycles_per_inst,
+        bound,
+        occupancy: occ,
+        dram_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(grid: u64, mode: PipelineMode) -> LaunchShape {
+        LaunchShape {
+            grid_blocks: grid,
+            block: BlockResources {
+                threads: 128,
+                regs_per_thread: 64,
+                smem_bytes: 32 * 1024,
+            },
+            iters_per_block: 128.0,
+            mode,
+            per_iter_fixed_cycles: 20.0,
+            ramp_cycles: 500.0,
+            inflight_bytes_per_warp: None,
+            overlap_leak: None,
+        }
+    }
+
+    fn mem_heavy_counters(bytes: u64) -> Counters {
+        let mut c = Counters::new();
+        c.dram_read_bytes = bytes;
+        c.useful_read_bytes = bytes;
+        c.insts_issued = bytes / 512;
+        c.ldgsts_insts = bytes / 512;
+        c
+    }
+
+    #[test]
+    fn memory_bound_kernel_time_tracks_bytes() {
+        let spec = GpuSpec::rtx4090();
+        let s = shape(1024, PipelineMode::AsyncDoubleBuffered);
+        let t1 = estimate_time(&spec, &s, &mem_heavy_counters(256 << 20), &[]);
+        let t2 = estimate_time(&spec, &s, &mem_heavy_counters(512 << 20), &[]);
+        assert_eq!(t1.bound, Bound::Memory);
+        let ratio = t2.time_sec / t1.time_sec;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn async_mode_overlaps_sync_mode_does_not() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = mem_heavy_counters(256 << 20);
+        // Substantial CUDA-core decode work.
+        c.cuda_int_insts = 40_000_000;
+        c.smem_load_transactions = 10_000_000;
+        let t_async = estimate_time(
+            &spec,
+            &shape(1024, PipelineMode::AsyncDoubleBuffered),
+            &c,
+            &[],
+        );
+        let t_sync = estimate_time(&spec, &shape(1024, PipelineMode::Synchronous), &c, &[]);
+        assert!(t_sync.time_sec > t_async.time_sec * 1.2);
+    }
+
+    #[test]
+    fn full_device_streaming_achieves_high_bw_util() {
+        let spec = GpuSpec::rtx4090();
+        let t = estimate_time(
+            &spec,
+            &shape(4096, PipelineMode::AsyncDoubleBuffered),
+            &mem_heavy_counters(1 << 30),
+            &[],
+        );
+        assert!(t.bw_util > 0.8, "bw_util {}", t.bw_util);
+        assert!(t.bw_util <= 1.0);
+    }
+
+    #[test]
+    fn tiny_grid_underutilises_bandwidth() {
+        let spec = GpuSpec::rtx4090();
+        let t_small = estimate_time(
+            &spec,
+            &shape(4, PipelineMode::AsyncDoubleBuffered),
+            &mem_heavy_counters(64 << 20),
+            &[],
+        );
+        let t_big = estimate_time(
+            &spec,
+            &shape(4096, PipelineMode::AsyncDoubleBuffered),
+            &mem_heavy_counters(64 << 20),
+            &[],
+        );
+        assert!(t_small.time_sec > 2.0 * t_big.time_sec);
+    }
+
+    #[test]
+    fn compute_bound_when_mma_dominates() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = Counters::new();
+        c.dram_read_bytes = 1 << 20;
+        c.mma_insts = 200_000_000;
+        c.insts_issued = 200_000_000;
+        let t = estimate_time(
+            &spec,
+            &shape(4096, PipelineMode::AsyncDoubleBuffered),
+            &c,
+            &[],
+        );
+        assert_eq!(t.bound, Bound::TensorCore);
+        assert!(t.tc_util > 0.5);
+    }
+
+    #[test]
+    fn l2_reuse_discounts_repeated_reads() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = mem_heavy_counters(512 << 20);
+        // 448 MiB of that traffic is re-reads of a 1 MiB buffer.
+        let reuse = L2Reuse {
+            buffer_bytes: 1 << 20,
+            requested_bytes: 448 << 20,
+        };
+        let t = estimate_time(
+            &spec,
+            &shape(1024, PipelineMode::AsyncDoubleBuffered),
+            &c,
+            &[reuse],
+        );
+        assert_eq!(t.dram_bytes, (64 << 20) + (1 << 20));
+        // A buffer larger than L2 gets no discount.
+        let big = L2Reuse {
+            buffer_bytes: 1 << 30,
+            requested_bytes: 448 << 20,
+        };
+        c.dram_read_bytes = 512 << 20;
+        let t2 = estimate_time(
+            &spec,
+            &shape(1024, PipelineMode::AsyncDoubleBuffered),
+            &c,
+            &[big],
+        );
+        assert_eq!(t2.dram_bytes, 512 << 20);
+    }
+
+    #[test]
+    fn empty_counters_yield_finite_fixed_cost() {
+        // A kernel that does nothing still pays ramp + first-load latency;
+        // the estimate must be finite and positive, never NaN.
+        let spec = GpuSpec::rtx4090();
+        let t = estimate_time(
+            &spec,
+            &shape(1, PipelineMode::AsyncDoubleBuffered),
+            &Counters::new(),
+            &[],
+        );
+        assert!(t.time_sec.is_finite() && t.time_sec > 0.0);
+        assert_eq!(t.warp_cycles_per_inst, 0.0);
+        assert!(t.bw_util == 0.0);
+    }
+
+    #[test]
+    fn time_is_monotone_in_every_counter_class() {
+        let spec = GpuSpec::rtx4090();
+        let s = shape(1024, PipelineMode::AsyncDoubleBuffered);
+        let base = mem_heavy_counters(64 << 20);
+        let t0 = estimate_time(&spec, &s, &base, &[]).time_sec;
+        for grow in [
+            |c: &mut Counters| c.dram_read_bytes += 512 << 20,
+            |c: &mut Counters| c.mma_insts += 500_000_000,
+            |c: &mut Counters| c.cuda_int_insts += 800_000_000,
+            |c: &mut Counters| c.smem_load_transactions += 800_000_000,
+            |c: &mut Counters| c.dependent_gathers += 50_000_000,
+        ] {
+            let mut c = base.clone();
+            grow(&mut c);
+            let t = estimate_time(&spec, &s, &c, &[]).time_sec;
+            assert!(
+                t > t0,
+                "growing a counter class must not speed the kernel up"
+            );
+        }
+    }
+
+    #[test]
+    fn utilisations_are_bounded() {
+        let spec = GpuSpec::rtx4090();
+        for mode in [PipelineMode::AsyncDoubleBuffered, PipelineMode::Synchronous] {
+            let mut c = mem_heavy_counters(256 << 20);
+            c.mma_insts = 10_000_000;
+            c.cuda_int_insts = 5_000_000;
+            let t = estimate_time(&spec, &shape(2048, mode), &c, &[]);
+            assert!(t.bw_util >= 0.0 && t.bw_util <= 1.0, "bw {}", t.bw_util);
+            assert!(t.tc_util >= 0.0 && t.tc_util <= 1.0, "tc {}", t.tc_util);
+            assert!(t.issue_util >= 0.0 && t.issue_util <= 1.0);
+        }
+    }
+
+    #[test]
+    fn panel_reread_factor_limits() {
+        let spec = GpuSpec::rtx4090();
+        // Decode batches never re-read; huge N is capped by tile count.
+        assert_eq!(panel_reread_factor(&spec, 8192, 16, 16), 1);
+        let f = panel_reread_factor(&spec, 8192, 1 << 20, 128);
+        assert!(f >= 1);
+        assert!(f <= (1u64 << 20) / 128);
+        // Degenerate k.
+        assert!(panel_reread_factor(&spec, 0, 4096, 128) >= 1);
+    }
+
+    #[test]
+    fn warp_cycles_per_inst_positive() {
+        let spec = GpuSpec::rtx4090();
+        let t = estimate_time(
+            &spec,
+            &shape(1024, PipelineMode::AsyncDoubleBuffered),
+            &mem_heavy_counters(128 << 20),
+            &[],
+        );
+        assert!(t.warp_cycles_per_inst > 0.0);
+    }
+}

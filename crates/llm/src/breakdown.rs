@@ -1,0 +1,88 @@
+//! Execution-time breakdown (paper Figures 2 and 15).
+
+use std::ops::AddAssign;
+
+/// Wall-time decomposition of an inference run, in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Linear layers: SpMM for sparse frameworks, GEMM for dense ones.
+    pub linear: f64,
+    /// Multi-head attention (KV-cache reads, score/value products).
+    pub mha: f64,
+    /// Inter-GPU communication (tensor-parallel all-reduces).
+    pub comm: f64,
+    /// Everything else: layernorms, residuals, sampling, launch overhead.
+    pub other: f64,
+}
+
+impl Breakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.linear + self.mha + self.comm + self.other
+    }
+
+    /// Fraction of total spent in linear layers.
+    pub fn linear_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.linear / self.total()
+        }
+    }
+
+    /// Scales every component (e.g. per-token → per-run).
+    pub fn scaled(&self, f: f64) -> Breakdown {
+        Breakdown {
+            linear: self.linear * f,
+            mha: self.mha * f,
+            comm: self.comm * f,
+            other: self.other * f,
+        }
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        self.linear += rhs.linear;
+        self.mha += rhs.mha;
+        self.comm += rhs.comm;
+        self.other += rhs.other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = Breakdown {
+            linear: 6.0,
+            mha: 2.0,
+            comm: 1.0,
+            other: 1.0,
+        };
+        assert_eq!(b.total(), 10.0);
+        assert_eq!(b.linear_fraction(), 0.6);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Breakdown {
+            linear: 1.0,
+            ..Default::default()
+        };
+        a += Breakdown {
+            mha: 2.0,
+            ..Default::default()
+        };
+        let s = a.scaled(2.0);
+        assert_eq!(s.linear, 2.0);
+        assert_eq!(s.mha, 4.0);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        assert_eq!(Breakdown::default().linear_fraction(), 0.0);
+    }
+}

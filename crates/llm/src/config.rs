@@ -1,0 +1,383 @@
+//! Transformer model zoo.
+//!
+//! Shape sheets for every model family the paper draws weight matrices
+//! from (§5.1): OPT, LLaMA2, LLaMA3, Qwen2, and Mixtral-8×7B. These drive
+//! both the kernel benchmark shapes (Figure 10) and the end-to-end
+//! engine (Figures 13–15).
+
+/// Architecture description sufficient to derive every weight shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (GQA; equals `heads` for MHA models).
+    pub kv_heads: usize,
+    /// FFN intermediate size.
+    pub ffn_hidden: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Gated FFN (SwiGLU: gate + up + down) vs classic 2-matrix FFN.
+    pub gated_ffn: bool,
+    /// Experts per FFN (1 = dense model); Mixtral routes to 2 of them.
+    pub experts: usize,
+    /// Experts active per token.
+    pub active_experts: usize,
+}
+
+impl ModelConfig {
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Total parameter count (approximate, in elements).
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden;
+        let attn = h * h + 2 * h * (self.kv_heads * self.head_dim()) + h * h;
+        let ffn_mats = if self.gated_ffn { 3 } else { 2 };
+        let ffn = ffn_mats * h * self.ffn_hidden * self.experts;
+        let embed = 2 * self.vocab * h; // Embedding + LM head.
+        self.layers * (attn + ffn) + embed
+    }
+
+    /// The per-layer weight matrices `(label, M, K, instances)` a sparse
+    /// framework prunes and multiplies, with `M×K` weights applied to a
+    /// `K×N` activation. Expert FFNs count active instances for compute;
+    /// memory accounting multiplies by `experts` separately.
+    pub fn layer_matrices(&self) -> Vec<LayerMatrix> {
+        let h = self.hidden;
+        let kv = self.kv_heads * self.head_dim();
+        let mut v = vec![
+            LayerMatrix {
+                label: "qkv_proj",
+                m: h + 2 * kv,
+                k: h,
+                compute_instances: 1,
+                memory_instances: 1,
+                col_parallel: true,
+            },
+            LayerMatrix {
+                label: "attn_out",
+                m: h,
+                k: h,
+                compute_instances: 1,
+                memory_instances: 1,
+                col_parallel: false,
+            },
+        ];
+        if self.gated_ffn {
+            v.push(LayerMatrix {
+                label: "ffn_gate_up",
+                m: 2 * self.ffn_hidden,
+                k: h,
+                compute_instances: self.active_experts,
+                memory_instances: self.experts,
+                col_parallel: true,
+            });
+        } else {
+            v.push(LayerMatrix {
+                label: "ffn_up",
+                m: self.ffn_hidden,
+                k: h,
+                compute_instances: self.active_experts,
+                memory_instances: self.experts,
+                col_parallel: true,
+            });
+        }
+        v.push(LayerMatrix {
+            label: "ffn_down",
+            m: h,
+            k: self.ffn_hidden,
+            compute_instances: self.active_experts,
+            memory_instances: self.experts,
+            col_parallel: false,
+        });
+        v
+    }
+
+    // --- OPT family (Zhang et al., 2022) ---
+
+    /// OPT-13B.
+    pub fn opt_13b() -> Self {
+        Self::opt("OPT-13B", 40, 5120, 40)
+    }
+
+    /// OPT-30B.
+    pub fn opt_30b() -> Self {
+        Self::opt("OPT-30B", 48, 7168, 56)
+    }
+
+    /// OPT-66B.
+    pub fn opt_66b() -> Self {
+        Self::opt("OPT-66B", 64, 9216, 72)
+    }
+
+    /// OPT-175B.
+    pub fn opt_175b() -> Self {
+        Self::opt("OPT-175B", 96, 12288, 96)
+    }
+
+    fn opt(name: &'static str, layers: usize, hidden: usize, heads: usize) -> Self {
+        ModelConfig {
+            name,
+            layers,
+            hidden,
+            heads,
+            kv_heads: heads,
+            ffn_hidden: 4 * hidden,
+            vocab: 50272,
+            gated_ffn: false,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    // --- LLaMA2 family ---
+
+    /// LLaMA2-7B.
+    pub fn llama2_7b() -> Self {
+        ModelConfig {
+            name: "LLaMA2-7B",
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 32,
+            ffn_hidden: 11008,
+            vocab: 32000,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    /// LLaMA2-13B.
+    pub fn llama2_13b() -> Self {
+        ModelConfig {
+            name: "LLaMA2-13B",
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 40,
+            ffn_hidden: 13824,
+            vocab: 32000,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    /// LLaMA2-70B.
+    pub fn llama2_70b() -> Self {
+        ModelConfig {
+            name: "LLaMA2-70B",
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 28672,
+            vocab: 32000,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    // --- LLaMA3 family ---
+
+    /// LLaMA3-8B.
+    pub fn llama3_8b() -> Self {
+        ModelConfig {
+            name: "LLaMA3-8B",
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 8,
+            ffn_hidden: 14336,
+            vocab: 128256,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    /// LLaMA3-70B.
+    pub fn llama3_70b() -> Self {
+        ModelConfig {
+            name: "LLaMA3-70B",
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 28672,
+            vocab: 128256,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    // --- Qwen2 family ---
+
+    /// Qwen2-7B.
+    pub fn qwen2_7b() -> Self {
+        ModelConfig {
+            name: "Qwen2-7B",
+            layers: 28,
+            hidden: 3584,
+            heads: 28,
+            kv_heads: 4,
+            ffn_hidden: 18944,
+            vocab: 152064,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    /// Qwen2-72B.
+    pub fn qwen2_72b() -> Self {
+        ModelConfig {
+            name: "Qwen2-72B",
+            layers: 80,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            ffn_hidden: 29568,
+            vocab: 152064,
+            gated_ffn: true,
+            experts: 1,
+            active_experts: 1,
+        }
+    }
+
+    // --- MoE ---
+
+    /// Mixtral-8×7B.
+    pub fn mixtral_8x7b() -> Self {
+        ModelConfig {
+            name: "Mixtral-8x7B",
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 8,
+            ffn_hidden: 14336,
+            vocab: 32000,
+            gated_ffn: true,
+            experts: 8,
+            active_experts: 2,
+        }
+    }
+
+    /// The full model zoo used for kernel benchmark shapes (Figure 10).
+    pub fn zoo() -> Vec<ModelConfig> {
+        vec![
+            Self::opt_13b(),
+            Self::opt_30b(),
+            Self::opt_66b(),
+            Self::opt_175b(),
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+            Self::llama2_70b(),
+            Self::llama3_8b(),
+            Self::llama3_70b(),
+            Self::qwen2_7b(),
+            Self::qwen2_72b(),
+            Self::mixtral_8x7b(),
+        ]
+    }
+}
+
+/// One pruned weight matrix of a layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerMatrix {
+    /// Role label.
+    pub label: &'static str,
+    /// Output dimension.
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Instances multiplied per token (active experts).
+    pub compute_instances: usize,
+    /// Instances resident in memory (all experts).
+    pub memory_instances: usize,
+    /// Megatron split: `true` = column-parallel (M divided over GPUs),
+    /// `false` = row-parallel (K divided, all-reduce after).
+    pub col_parallel: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt13b_parameter_count() {
+        let p = ModelConfig::opt_13b().param_count() as f64 / 1e9;
+        assert!((p - 12.9).abs() < 0.7, "OPT-13B params {p}B");
+    }
+
+    #[test]
+    fn opt66b_parameter_count() {
+        let p = ModelConfig::opt_66b().param_count() as f64 / 1e9;
+        assert!((p - 66.0).abs() < 4.0, "OPT-66B params {p}B");
+    }
+
+    #[test]
+    fn llama2_70b_parameter_count() {
+        let p = ModelConfig::llama2_70b().param_count() as f64 / 1e9;
+        assert!((p - 69.0).abs() < 4.0, "LLaMA2-70B params {p}B");
+    }
+
+    #[test]
+    fn figure1_shape_is_llama2_70b_ffn() {
+        // The paper's Figure 1 uses M/K = 28672/8192: LLaMA2-70B FFN down
+        // transpose / up projection.
+        let mats = ModelConfig::llama2_70b().layer_matrices();
+        assert!(mats
+            .iter()
+            .any(|m| (m.m, m.k) == (57344, 8192) || (m.m, m.k) == (8192, 28672)));
+    }
+
+    #[test]
+    fn opt_models_have_square_attn_and_4x_ffn() {
+        let m = ModelConfig::opt_30b();
+        let mats = m.layer_matrices();
+        assert_eq!(mats[0].m, 3 * 7168);
+        assert_eq!(mats[2].m, 28672);
+        assert_eq!(mats[3].k, 28672);
+    }
+
+    #[test]
+    fn gqa_shrinks_qkv() {
+        let mha = ModelConfig::llama2_13b().layer_matrices()[0].m;
+        let gqa = ModelConfig::llama3_70b().layer_matrices()[0].m;
+        assert_eq!(mha, 3 * 5120);
+        assert_eq!(gqa, 8192 + 2 * 1024);
+    }
+
+    #[test]
+    fn mixtral_memory_vs_compute_instances() {
+        let mats = ModelConfig::mixtral_8x7b().layer_matrices();
+        let ffn = mats.iter().find(|m| m.label == "ffn_down").unwrap();
+        assert_eq!(ffn.memory_instances, 8);
+        assert_eq!(ffn.compute_instances, 2);
+    }
+
+    #[test]
+    fn zoo_has_twelve_models() {
+        assert_eq!(ModelConfig::zoo().len(), 12);
+    }
+
+    #[test]
+    fn head_dims_are_standard() {
+        for m in ModelConfig::zoo() {
+            assert_eq!(m.head_dim() * m.heads, m.hidden, "{}", m.name);
+            assert!(m.head_dim() == 128 || m.head_dim() == 96 || m.head_dim() == 64);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Inference framework profiles.
+//!
+//! The end-to-end comparison (paper §5.2) pits SpInfer against Flash-LLM
+//! (both sparse, integrated into FasterTransformer), dense
+//! FasterTransformer, and dense DeepSpeed. A profile determines how
+//! linear-layer weights are stored (memory model) and which simulated
+//! kernel executes them (latency model).
+
+use gpu_sim::spec::GpuSpec;
+use spinfer_baselines::formats::tiled_csl::TiledCsl;
+use spinfer_baselines::kernels::{CublasGemm, FlashLlmSpmm, FlashLlmStats};
+use spinfer_core::{FormatStats, SpinferSpmm};
+
+/// An inference framework under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// SpInfer: TCA-BME weights + SpInfer-SpMM kernels.
+    SpInfer,
+    /// Flash-LLM: Tiled-CSL weights + Load-as-Sparse-Compute-as-Dense.
+    FlashLlm,
+    /// FasterTransformer: dense FP16 weights + cuBLAS.
+    FasterTransformer,
+    /// DeepSpeed-Inference: dense FP16 weights + cuBLAS with less fused
+    /// surrounding kernels (measured slower in the paper).
+    DeepSpeed,
+}
+
+impl Framework {
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Framework::SpInfer => "SpInfer",
+            Framework::FlashLlm => "Flash-LLM",
+            Framework::FasterTransformer => "FT",
+            Framework::DeepSpeed => "DS",
+        }
+    }
+
+    /// Whether the framework exploits weight sparsity.
+    pub fn is_sparse(self) -> bool {
+        matches!(self, Framework::SpInfer | Framework::FlashLlm)
+    }
+
+    /// Stored bytes for an `m×k` linear weight at `sparsity`.
+    pub fn weight_bytes(self, m: usize, k: usize, sparsity: f64) -> usize {
+        let nnz = ((m * k) as f64 * (1.0 - sparsity)).round() as usize;
+        match self {
+            Framework::SpInfer => FormatStats::synthetic_storage_bytes(m, k, sparsity),
+            Framework::FlashLlm => TiledCsl::storage_bytes_formula(m, k, nnz),
+            Framework::FasterTransformer | Framework::DeepSpeed => 2 * m * k,
+        }
+    }
+
+    /// Simulated time of one `m×k × k×n` linear layer in seconds.
+    pub fn linear_sec(self, spec: &GpuSpec, m: usize, k: usize, n: usize, sparsity: f64) -> f64 {
+        match self {
+            Framework::SpInfer => SpinferSpmm::new()
+                .estimate(spec, &FormatStats::synthetic(m, k, sparsity), n)
+                .chain
+                .time_sec(),
+            Framework::FlashLlm => FlashLlmSpmm::new()
+                .estimate(spec, &FlashLlmStats::synthetic(m, k, sparsity), n)
+                .chain
+                .time_sec(),
+            Framework::FasterTransformer => {
+                CublasGemm::new().estimate(spec, m, k, n).chain.time_sec()
+            }
+            // DeepSpeed's linear path is also cuBLAS; its measured gap
+            // comes from less aggressive fusion around it.
+            Framework::DeepSpeed => {
+                CublasGemm::new().estimate(spec, m, k, n).chain.time_sec() * 1.04
+            }
+        }
+    }
+
+    /// Per-layer non-GEMM overhead in seconds (layernorms, residual adds,
+    /// kernel launches). DeepSpeed's decode path launches more, smaller
+    /// kernels than FT's fused path.
+    pub fn layer_overhead_sec(self) -> f64 {
+        match self {
+            Framework::SpInfer | Framework::FlashLlm | Framework::FasterTransformer => 45.0e-6,
+            Framework::DeepSpeed => 80.0e-6,
+        }
+    }
+
+    /// All frameworks in the paper's end-to-end comparison.
+    pub fn all() -> [Framework; 4] {
+        [
+            Framework::SpInfer,
+            Framework::FlashLlm,
+            Framework::FasterTransformer,
+            Framework::DeepSpeed,
+        ]
+    }
+}
+
+/// Extension trait hook: synthetic TCA-BME storage used by the memory
+/// model without materialising weights.
+trait SyntheticStorage {
+    fn synthetic_storage_bytes(m: usize, k: usize, sparsity: f64) -> usize;
+}
+
+impl SyntheticStorage for FormatStats {
+    fn synthetic_storage_bytes(m: usize, k: usize, sparsity: f64) -> usize {
+        FormatStats::synthetic(m, k, sparsity).storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_frameworks_store_less_at_60_percent() {
+        let dense = Framework::FasterTransformer.weight_bytes(8192, 8192, 0.6);
+        let spinfer = Framework::SpInfer.weight_bytes(8192, 8192, 0.6);
+        let flash = Framework::FlashLlm.weight_bytes(8192, 8192, 0.6);
+        assert!(spinfer < flash, "TCA-BME must beat Tiled-CSL");
+        assert!(flash < dense);
+        // TCA-BME at 60%: ~0.47x dense.
+        let ratio = spinfer as f64 / dense as f64;
+        assert!((ratio - 0.47).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn flash_llm_storage_barely_shrinks_at_50_percent() {
+        let dense = Framework::FasterTransformer.weight_bytes(4096, 4096, 0.5);
+        let flash = Framework::FlashLlm.weight_bytes(4096, 4096, 0.5);
+        assert!((flash as f64 / dense as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn spinfer_linear_is_fastest_at_60_percent_decode() {
+        let spec = GpuSpec::rtx4090();
+        let times: Vec<f64> = Framework::all()
+            .iter()
+            .map(|f| f.linear_sec(&spec, 20480, 5120, 16, 0.6))
+            .collect();
+        let spinfer = times[0];
+        for (i, t) in times.iter().enumerate().skip(1) {
+            assert!(spinfer < *t, "framework {i} beat SpInfer: {t} vs {spinfer}");
+        }
+    }
+
+    #[test]
+    fn deepspeed_trails_ft() {
+        let spec = GpuSpec::rtx4090();
+        let ds = Framework::DeepSpeed.linear_sec(&spec, 20480, 5120, 16, 0.6);
+        let ft = Framework::FasterTransformer.linear_sec(&spec, 20480, 5120, 16, 0.6);
+        assert!(ds > ft);
+        assert!(
+            Framework::DeepSpeed.layer_overhead_sec()
+                > Framework::FasterTransformer.layer_overhead_sec()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # spinfer-llm — end-to-end sparse LLM inference simulation
+//!
+//! Reproduces the paper's framework-level evaluation (§5.2): a model zoo
+//! ([`config`]), per-GPU memory model with OOM detection ([`memory`]),
+//! Megatron-style tensor-parallel communication ([`parallel`]), framework
+//! profiles for SpInfer / Flash-LLM / FasterTransformer / DeepSpeed
+//! ([`frameworks`]), the prefill+decode engine ([`engine`]), and the
+//! wall-time decomposition ([`breakdown`]) behind Figures 2 and 15.
+
+// Lane IDs and coordinate loops are semantic indices here, as in the
+// sibling GPU crates.
+#![allow(clippy::needless_range_loop)]
+
+pub mod breakdown;
+pub mod config;
+pub mod disagg;
+pub mod engine;
+pub mod frameworks;
+pub mod memory;
+pub mod model;
+pub mod parallel;
+pub mod serving;
+
+pub use breakdown::Breakdown;
+pub use config::{LayerMatrix, ModelConfig};
+pub use engine::{simulate, InferenceConfig, InferenceReport};
+pub use frameworks::Framework;
+pub use memory::{footprint, MemoryReport};

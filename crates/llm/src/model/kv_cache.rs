@@ -1,0 +1,160 @@
+//! Key/value cache for autoregressive decoding.
+//!
+//! Stores per-layer, per-head K and V rows in FP16 (as served systems
+//! do); appended once per token, read in full by every subsequent
+//! attention step.
+
+use gpu_sim::fp16::Half;
+
+/// KV cache for one sequence across all layers.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    layers: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    capacity: usize,
+    len: usize,
+    /// `[layer][head]` → `len × head_dim` K rows (flattened FP16).
+    keys: Vec<Vec<Half>>,
+    /// Same layout for V.
+    values: Vec<Vec<Half>>,
+}
+
+impl KvCache {
+    /// Allocates an empty cache with room for `capacity` positions.
+    pub fn new(layers: usize, kv_heads: usize, head_dim: usize, capacity: usize) -> Self {
+        let per = layers * kv_heads;
+        KvCache {
+            layers,
+            kv_heads,
+            head_dim,
+            capacity,
+            len: 0,
+            keys: vec![Vec::with_capacity(capacity * head_dim); per],
+            values: vec![Vec::with_capacity(capacity * head_dim); per],
+        }
+    }
+
+    /// Current cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cache capacity in positions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot(&self, layer: usize, head: usize) -> usize {
+        debug_assert!(layer < self.layers && head < self.kv_heads);
+        layer * self.kv_heads + head
+    }
+
+    /// Appends one position's K and V rows for a `(layer, head)`. The
+    /// caller appends every layer/head for a position, then calls
+    /// [`Self::commit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full or the row length is wrong.
+    pub fn append(&mut self, layer: usize, head: usize, k_row: &[f32], v_row: &[f32]) {
+        assert!(self.len < self.capacity, "KV cache overflow");
+        assert_eq!(k_row.len(), self.head_dim);
+        assert_eq!(v_row.len(), self.head_dim);
+        let s = self.slot(layer, head);
+        self.keys[s].extend(k_row.iter().map(|&x| Half::from_f32(x)));
+        self.values[s].extend(v_row.iter().map(|&x| Half::from_f32(x)));
+    }
+
+    /// Marks one appended position as visible to subsequent reads.
+    pub fn commit(&mut self) {
+        self.len += 1;
+        for s in 0..self.layers * self.kv_heads {
+            debug_assert_eq!(self.keys[s].len(), self.len * self.head_dim);
+            debug_assert_eq!(self.values[s].len(), self.len * self.head_dim);
+        }
+    }
+
+    /// K row of `pos` for `(layer, head)` as FP32.
+    pub fn key(&self, layer: usize, head: usize, pos: usize) -> Vec<f32> {
+        assert!(pos < self.len);
+        let s = self.slot(layer, head);
+        self.keys[s][pos * self.head_dim..(pos + 1) * self.head_dim]
+            .iter()
+            .map(|h| h.to_f32())
+            .collect()
+    }
+
+    /// V row of `pos` for `(layer, head)` as FP32.
+    pub fn value(&self, layer: usize, head: usize, pos: usize) -> Vec<f32> {
+        assert!(pos < self.len);
+        let s = self.slot(layer, head);
+        self.values[s][pos * self.head_dim..(pos + 1) * self.head_dim]
+            .iter()
+            .map(|h| h.to_f32())
+            .collect()
+    }
+
+    /// Bytes resident (2 B per cached element, K and V).
+    pub fn bytes(&self) -> usize {
+        2 * 2 * self.layers * self.kv_heads * self.head_dim * self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_commit_read_roundtrip() {
+        let mut c = KvCache::new(2, 3, 4, 8);
+        assert!(c.is_empty());
+        for layer in 0..2 {
+            for head in 0..3 {
+                let k: Vec<f32> = (0..4).map(|i| (layer * 10 + head + i) as f32).collect();
+                let v: Vec<f32> = k.iter().map(|x| -x).collect();
+                c.append(layer, head, &k, &v);
+            }
+        }
+        c.commit();
+        assert_eq!(c.len(), 1);
+        let k = c.key(1, 2, 0);
+        assert_eq!(k, vec![12.0, 13.0, 14.0, 15.0]);
+        let v = c.value(1, 2, 0);
+        assert_eq!(v, vec![-12.0, -13.0, -14.0, -15.0]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut c = KvCache::new(1, 1, 4, 8);
+        assert_eq!(c.bytes(), 0);
+        c.append(0, 0, &[0.0; 4], &[0.0; 4]);
+        c.commit();
+        assert_eq!(c.bytes(), 2 * 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut c = KvCache::new(1, 1, 2, 1);
+        c.append(0, 0, &[0.0; 2], &[0.0; 2]);
+        c.commit();
+        c.append(0, 0, &[0.0; 2], &[0.0; 2]);
+    }
+
+    #[test]
+    fn fp16_quantisation_is_applied() {
+        let mut c = KvCache::new(1, 1, 1, 2);
+        c.append(0, 0, &[0.1], &[0.1]);
+        c.commit();
+        // 0.1 is not exactly representable in FP16.
+        let k = c.key(0, 0, 0)[0];
+        assert!((k - 0.1).abs() < 1e-4);
+        assert_ne!(k, 0.1);
+    }
+}

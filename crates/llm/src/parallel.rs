@@ -1,0 +1,66 @@
+//! Tensor-parallel communication model.
+//!
+//! Megatron-style tensor parallelism needs two all-reduces per decoder
+//! layer (after attention output and after the FFN down projection). The
+//! cost model uses the standard ring all-reduce volume
+//! `2 (tp−1)/tp × bytes` over the node interconnect — PCIe at 30.5 GB/s
+//! on the RTX4090 platform, pairwise NVLink on the A6000 platform — plus
+//! a per-operation latency. The paper's Figure 15 attributes SpInfer's
+//! extra edge on the PCIe platform to *avoiding* this term by fitting the
+//! model on fewer GPUs.
+
+use gpu_sim::spec::GpuSpec;
+
+/// Time for one all-reduce of `bytes` across `tp` GPUs, in seconds.
+pub fn allreduce_sec(spec: &GpuSpec, tp: usize, bytes: u64) -> f64 {
+    if tp <= 1 {
+        return 0.0;
+    }
+    let link = spec.interconnect.bandwidth_bytes_per_sec();
+    let volume = 2.0 * (tp as f64 - 1.0) / tp as f64 * bytes as f64;
+    volume / link + spec.interconnect.latency_sec()
+}
+
+/// Communication per decoder layer per forward pass: two all-reduces of
+/// the activation tile (`tokens × hidden` FP16).
+pub fn layer_comm_sec(spec: &GpuSpec, tp: usize, tokens: usize, hidden: usize) -> f64 {
+    2.0 * allreduce_sec(spec, tp, (tokens * hidden * 2) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gpu_is_free() {
+        let spec = GpuSpec::rtx4090();
+        assert_eq!(allreduce_sec(&spec, 1, 1 << 20), 0.0);
+        assert_eq!(layer_comm_sec(&spec, 1, 16, 5120), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_bytes_and_tp_fraction() {
+        let spec = GpuSpec::rtx4090();
+        let t2 = allreduce_sec(&spec, 2, 1 << 20);
+        let t4 = allreduce_sec(&spec, 4, 1 << 20);
+        assert!(t4 > t2);
+        let big = allreduce_sec(&spec, 2, 16 << 20);
+        assert!(big > 4.0 * t2);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let pcie = allreduce_sec(&GpuSpec::rtx4090(), 2, 8 << 20);
+        let nvl = allreduce_sec(&GpuSpec::a6000(), 2, 8 << 20);
+        assert!(nvl < pcie);
+    }
+
+    #[test]
+    fn decode_step_comm_magnitude() {
+        // OPT-13B, BS=16, tp=2 on PCIe: ~160 KB per all-reduce; two per
+        // layer -> tens of microseconds.
+        let spec = GpuSpec::rtx4090();
+        let t = layer_comm_sec(&spec, 2, 16, 5120);
+        assert!(t > 10.0e-6 && t < 100.0e-6, "t {t}");
+    }
+}

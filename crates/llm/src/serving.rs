@@ -1,0 +1,357 @@
+//! Continuous-batching serving simulator (ORCA-style iteration-level
+//! scheduling).
+//!
+//! The paper's end-to-end evaluation uses static batches; production
+//! systems admit and retire requests at every decode iteration, bounded
+//! by KV-cache memory. This simulator runs that loop over the same cost
+//! model: per-iteration linear time from the simulated kernels, KV reads
+//! proportional to the live contexts, admission gated by the per-GPU
+//! memory model. It shows the deployment-level consequence of SpInfer's
+//! two wins — faster steps *and* more KV headroom from compressed
+//! weights.
+
+use crate::config::ModelConfig;
+use crate::engine::{decode_overhead_sec, linear_pass_sec};
+use crate::frameworks::Framework;
+use crate::memory::footprint;
+use gpu_sim::spec::GpuSpec;
+use std::collections::HashMap;
+
+/// Request length workload: uniform, or a deterministic round-robin mix
+/// of (input, output) profiles — short chat turns interleaved with long
+/// summarisation requests, say.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LengthMix {
+    /// Every request uses the config's `input_len`/`output_len`.
+    Uniform,
+    /// Request `i` uses `profiles[i % profiles.len()]` as
+    /// `(input_len, output_len)`.
+    RoundRobin(Vec<(usize, usize)>),
+}
+
+impl LengthMix {
+    fn lengths(&self, i: usize, fallback: (usize, usize)) -> (usize, usize) {
+        match self {
+            LengthMix::Uniform => fallback,
+            LengthMix::RoundRobin(p) => p[i % p.len()],
+        }
+    }
+
+    fn max_lengths(&self, fallback: (usize, usize)) -> (usize, usize) {
+        match self {
+            LengthMix::Uniform => fallback,
+            LengthMix::RoundRobin(p) => p
+                .iter()
+                .fold((0, 0), |acc, &(i, o)| (acc.0.max(i), acc.1.max(o))),
+        }
+    }
+}
+
+/// A serving scenario.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Model served.
+    pub model: ModelConfig,
+    /// Framework.
+    pub framework: Framework,
+    /// Weight sparsity for sparse frameworks.
+    pub sparsity: f64,
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Iteration-level batch cap.
+    pub max_batch: usize,
+    /// Request arrival rate (requests/s, deterministic spacing).
+    pub arrival_rps: f64,
+    /// Prompt length per request.
+    pub input_len: usize,
+    /// Tokens generated per request.
+    pub output_len: usize,
+    /// Simulated horizon in seconds.
+    pub duration_sec: f64,
+    /// Request length workload.
+    pub mix: LengthMix,
+}
+
+/// Serving outcome.
+#[derive(Clone, Debug)]
+pub struct ServingReport {
+    /// Requests fully served within the horizon.
+    pub completed: usize,
+    /// Requests still queued/running at the end.
+    pub in_flight: usize,
+    /// Served requests per second.
+    pub throughput_rps: f64,
+    /// Generated tokens per second.
+    pub tokens_per_sec: f64,
+    /// Mean end-to-end latency of completed requests (s).
+    pub mean_latency_sec: f64,
+    /// 95th-percentile latency (s).
+    pub p95_latency_sec: f64,
+    /// Mean decode batch occupancy over iterations.
+    pub mean_batch: f64,
+    /// Maximum concurrent requests the memory model admitted.
+    pub max_concurrency: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    arrival: f64,
+    generated: usize,
+    input_len: usize,
+    output_len: usize,
+}
+
+/// Maximum concurrent sequences the per-GPU memory supports at full
+/// context (weights + KV for `n` sequences must fit).
+fn memory_concurrency_cap(spec: &GpuSpec, cfg: &ServingConfig) -> usize {
+    let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
+    let total_len = max_in + max_out;
+    let mut n = 0usize;
+    while n < 4096 {
+        let fp = footprint(
+            &cfg.model,
+            cfg.framework,
+            cfg.sparsity,
+            cfg.tp,
+            n + 1,
+            total_len,
+        );
+        if fp.is_oom(spec) {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Runs the continuous-batching loop.
+///
+/// # Panics
+///
+/// Panics if the model cannot serve even one request on this deployment.
+pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
+    let mem_cap = memory_concurrency_cap(spec, cfg);
+    assert!(
+        mem_cap >= 1,
+        "{} via {:?} on {}x{} cannot fit a single request",
+        cfg.model.name,
+        cfg.framework,
+        cfg.tp,
+        spec.name
+    );
+    let cap = mem_cap.min(cfg.max_batch).max(1);
+
+    // Memoised per-batch linear pass times (the expensive call).
+    let mut lin_cache: HashMap<usize, f64> = HashMap::new();
+    let mut lin = |n: usize| {
+        *lin_cache.entry(n).or_insert_with(|| {
+            linear_pass_sec(spec, &cfg.model, cfg.framework, cfg.sparsity, cfg.tp, n)
+        })
+    };
+    let mut prefill_cache: HashMap<usize, f64> = HashMap::new();
+    let mut prefill_cost = |tokens: usize| {
+        let tokens = tokens.max(1);
+        *prefill_cache.entry(tokens).or_insert_with(|| {
+            // Per admitted request: a prefill pass over its prompt.
+            linear_pass_sec(
+                spec,
+                &cfg.model,
+                cfg.framework,
+                cfg.sparsity,
+                cfg.tp,
+                tokens,
+            ) + decode_overhead_sec(spec, &cfg.model, cfg.framework, cfg.tp, 1, tokens)
+        })
+    };
+
+    let inter_arrival = 1.0 / cfg.arrival_rps.max(1e-9);
+    let mut next_arrival = 0.0f64;
+    let mut arrived = 0usize;
+    let mut queue: Vec<Request> = Vec::new();
+    let mut running: Vec<Request> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut tokens_out = 0usize;
+    let mut now = 0.0f64;
+    let mut batch_sum = 0.0f64;
+    let mut iterations = 0usize;
+    let mut max_concurrency = 0usize;
+
+    while now < cfg.duration_sec {
+        // Admit arrivals up to `now`.
+        while next_arrival <= now {
+            let (input_len, output_len) = cfg.mix.lengths(arrived, (cfg.input_len, cfg.output_len));
+            queue.push(Request {
+                arrival: next_arrival,
+                generated: 0,
+                input_len,
+                output_len,
+            });
+            arrived += 1;
+            next_arrival = inter_arrival * arrived as f64;
+        }
+        // Admit queued requests into the running batch (prefill each).
+        while running.len() < cap && !queue.is_empty() {
+            let r = queue.remove(0);
+            now += prefill_cost(r.input_len);
+            running.push(r);
+        }
+        max_concurrency = max_concurrency.max(running.len());
+
+        if running.is_empty() {
+            // Idle until the next arrival.
+            if next_arrival >= cfg.duration_sec {
+                break;
+            }
+            now = next_arrival;
+            continue;
+        }
+
+        // One decode iteration for the whole running batch.
+        let b = running.len();
+        let sum_ctx: usize = running.iter().map(|r| r.input_len + r.generated + 1).sum();
+        let step =
+            lin(b) + decode_overhead_sec(spec, &cfg.model, cfg.framework, cfg.tp, b, sum_ctx);
+        now += step;
+        iterations += 1;
+        batch_sum += b as f64;
+        tokens_out += b;
+
+        // Retire finished requests.
+        for r in running.iter_mut() {
+            r.generated += 1;
+        }
+        running.retain(|r| {
+            if r.generated >= r.output_len {
+                latencies.push(now - r.arrival);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let completed = latencies.len();
+    let mean = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / completed as f64
+    };
+    let p95 = if completed == 0 {
+        0.0
+    } else {
+        latencies[((completed as f64 * 0.95) as usize).min(completed - 1)]
+    };
+    ServingReport {
+        completed,
+        in_flight: queue.len() + running.len(),
+        throughput_rps: completed as f64 / now.max(1e-9),
+        tokens_per_sec: tokens_out as f64 / now.max(1e-9),
+        mean_latency_sec: mean,
+        p95_latency_sec: p95,
+        mean_batch: if iterations == 0 {
+            0.0
+        } else {
+            batch_sum / iterations as f64
+        },
+        max_concurrency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(framework: Framework, arrival_rps: f64) -> ServingConfig {
+        ServingConfig {
+            model: ModelConfig::opt_13b(),
+            framework,
+            sparsity: 0.6,
+            tp: 2,
+            max_batch: 32,
+            arrival_rps,
+            input_len: 64,
+            output_len: 128,
+            duration_sec: 60.0,
+            mix: LengthMix::Uniform,
+        }
+    }
+
+    #[test]
+    fn light_load_is_latency_dominated() {
+        let spec = GpuSpec::rtx4090();
+        let r = serve(&spec, &cfg(Framework::SpInfer, 0.2));
+        assert!(r.completed >= 8, "completed {}", r.completed);
+        // At 0.2 rps the server keeps up: throughput ≈ arrival rate.
+        assert!(
+            (r.throughput_rps - 0.2).abs() < 0.06,
+            "rps {}",
+            r.throughput_rps
+        );
+        assert!(r.mean_batch < 4.0, "mean batch {}", r.mean_batch);
+    }
+
+    #[test]
+    fn heavy_load_saturates_and_batches() {
+        let spec = GpuSpec::rtx4090();
+        let light = serve(&spec, &cfg(Framework::SpInfer, 0.2));
+        let heavy = serve(&spec, &cfg(Framework::SpInfer, 50.0));
+        assert!(heavy.mean_batch > 8.0, "mean batch {}", heavy.mean_batch);
+        assert!(heavy.tokens_per_sec > 3.0 * light.tokens_per_sec);
+        // Overload: queueing delay pushes latency far past service time.
+        assert!(heavy.p95_latency_sec > light.p95_latency_sec);
+        assert!(heavy.in_flight > 0);
+    }
+
+    #[test]
+    fn spinfer_sustains_more_load_than_dense() {
+        let spec = GpuSpec::rtx4090();
+        let rate = 50.0; // Overload both; compare saturated throughput.
+        let sp = serve(&spec, &cfg(Framework::SpInfer, rate));
+        let ft = serve(&spec, &cfg(Framework::FasterTransformer, rate));
+        assert!(
+            sp.tokens_per_sec > 1.15 * ft.tokens_per_sec,
+            "SpInfer {} vs FT {}",
+            sp.tokens_per_sec,
+            ft.tokens_per_sec
+        );
+    }
+
+    #[test]
+    fn memory_cap_bounds_concurrency() {
+        let spec = GpuSpec::rtx4090();
+        // Single GPU: dense 13B cannot serve at all; SpInfer can.
+        let mut c = cfg(Framework::SpInfer, 50.0);
+        c.tp = 1;
+        let r = serve(&spec, &c);
+        assert!(r.max_concurrency >= 1);
+        assert!(r.max_concurrency <= 32);
+        let cap = memory_concurrency_cap(&spec, &c);
+        assert!(r.max_concurrency <= cap.min(32));
+    }
+
+    #[test]
+    fn mixed_lengths_complete_and_differ_in_latency() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = cfg(Framework::SpInfer, 2.0);
+        c.mix = LengthMix::RoundRobin(vec![(32, 32), (256, 512)]);
+        let r = serve(&spec, &c);
+        assert!(r.completed > 10, "completed {}", r.completed);
+        // Long requests stretch the tail: p95 well above the mean.
+        assert!(
+            r.p95_latency_sec > 1.5 * r.mean_latency_sec,
+            "p95 {} vs mean {}",
+            r.p95_latency_sec,
+            r.mean_latency_sec
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn infeasible_deployment_panics() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = cfg(Framework::FasterTransformer, 1.0);
+        c.tp = 1; // Dense OPT-13B does not fit one 24 GB GPU.
+        serve(&spec, &c);
+    }
+}

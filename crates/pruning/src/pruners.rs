@@ -1,0 +1,349 @@
+//! Unstructured and semi-structured weight pruners.
+//!
+//! The paper relies on state-of-the-art one-shot pruning (SparseGPT,
+//! Wanda) reaching ~50-60% unstructured sparsity with acceptable accuracy;
+//! SpInfer's job is to turn that sparsity into speed. This module
+//! implements the pruning side:
+//!
+//! * [`magnitude_prune`] — classic per-row |W| threshold.
+//! * [`wanda_prune`] — Wanda's `|W| · ‖X_j‖₂` metric (Sun et al., ICLR'24)
+//!   with per-output-row comparison groups, no weight update.
+//! * [`sparsegpt_prune`] — OBS-style block pruning (Frantar & Alistarh,
+//!   ICML'23): within each column block, prune by `w² / [H⁻¹]_jj` and
+//!   compensate remaining in-block weights with the exact OBS update.
+//! * [`nm_prune`] — N:M semi-structured (2:4) pruning for the SparTA
+//!   decomposition comparison.
+
+use crate::calibration::Calibration;
+use gpu_sim::fp16::Half;
+use gpu_sim::matrix::DenseMatrix;
+
+/// Prunes each row to `sparsity` by smallest absolute value.
+pub fn magnitude_prune(weights: &DenseMatrix, sparsity: f64) -> DenseMatrix {
+    prune_rows_by_metric(weights, sparsity, |w, _c| w.to_f32().abs())
+}
+
+/// Wanda: prune per output row by the metric `|W_ij| · ‖X_j‖₂`.
+/// # Examples
+///
+/// ```
+/// use gpu_sim::matrix::{random_dense, ValueDist};
+/// use spinfer_pruning::{wanda_prune, Calibration};
+///
+/// let w = random_dense(32, 64, ValueDist::Normal { std: 0.05 }, 0);
+/// let calib = Calibration::synthetic(64, 16, 1);
+/// let pruned = wanda_prune(&w, &calib, 0.5);
+/// assert!((pruned.sparsity() - 0.5).abs() < 0.05);
+/// ```
+pub fn wanda_prune(weights: &DenseMatrix, calib: &Calibration, sparsity: f64) -> DenseMatrix {
+    assert_eq!(
+        weights.cols(),
+        calib.features(),
+        "calibration features must match K"
+    );
+    let norms = calib.feature_norms();
+    prune_rows_by_metric(weights, sparsity, |w, c| w.to_f32().abs() * norms[c])
+}
+
+/// SparseGPT-style pruning: per row, process columns in blocks of
+/// `block`; within a block, repeatedly remove the weight with the least
+/// saliency `w² / [H⁻¹]_jj` (diagonal-damped Hessian restricted to the
+/// block) and apply the OBS compensation `w ← w − w_p · H⁻¹ e_p / [H⁻¹]_pp`
+/// to the surviving in-block weights.
+pub fn sparsegpt_prune(
+    weights: &DenseMatrix,
+    calib: &Calibration,
+    sparsity: f64,
+    block: usize,
+) -> DenseMatrix {
+    assert_eq!(weights.cols(), calib.features());
+    assert!(block > 0);
+    let m = weights.rows();
+    let k = weights.cols();
+    let x = &calib.activations;
+    let samples = x.cols();
+    let damping = 0.01 * (calib.hessian_diagonal(0.0).iter().sum::<f32>() / k as f32).max(1e-6);
+
+    let mut out = DenseMatrix::zeros(m, k);
+    let mut hinv_buf = vec![0.0f64; block * block];
+    for c0 in (0..k).step_by(block) {
+        let b = block.min(k - c0);
+        // Block Hessian H = X_b X_bᵀ + λI, then invert (Gauss-Jordan; the
+        // block is small).
+        let mut h = vec![0.0f64; b * b];
+        for i in 0..b {
+            for j in i..b {
+                let mut s = 0.0f64;
+                for t in 0..samples {
+                    s +=
+                        f64::from(x.get(c0 + i, t).to_f32()) * f64::from(x.get(c0 + j, t).to_f32());
+                }
+                h[i * b + j] = s;
+                h[j * b + i] = s;
+            }
+            h[i * b + i] += f64::from(damping);
+        }
+        invert_spd(&mut h, &mut hinv_buf, b);
+        let hinv = &hinv_buf[..b * b];
+
+        let prune_per_row = ((b as f64) * sparsity).round() as usize;
+        for r in 0..m {
+            let mut w: Vec<f64> = (0..b)
+                .map(|j| f64::from(weights.get(r, c0 + j).to_f32()))
+                .collect();
+            let mut pruned = vec![false; b];
+            for _ in 0..prune_per_row {
+                // Least-saliency surviving weight.
+                let mut best = usize::MAX;
+                let mut best_s = f64::INFINITY;
+                for j in 0..b {
+                    if !pruned[j] {
+                        let s = w[j] * w[j] / hinv[j * b + j];
+                        if s < best_s {
+                            best_s = s;
+                            best = j;
+                        }
+                    }
+                }
+                if best == usize::MAX {
+                    break;
+                }
+                // OBS compensation on the survivors.
+                let wp = w[best];
+                let hpp = hinv[best * b + best];
+                for j in 0..b {
+                    if j != best && !pruned[j] {
+                        w[j] -= wp * hinv[best * b + j] / hpp;
+                    }
+                }
+                w[best] = 0.0;
+                pruned[best] = true;
+            }
+            for j in 0..b {
+                out.set(
+                    r,
+                    c0 + j,
+                    if pruned[j] {
+                        Half::ZERO
+                    } else {
+                        Half::from_f32(w[j] as f32)
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+/// N:M semi-structured pruning: keep the `n` largest-metric weights in
+/// every group of `m_group` consecutive row elements (2:4 by default in
+/// callers). Uses the Wanda metric when calibration is supplied.
+pub fn nm_prune(
+    weights: &DenseMatrix,
+    calib: Option<&Calibration>,
+    n: usize,
+    m_group: usize,
+) -> DenseMatrix {
+    assert!(n <= m_group && m_group > 0);
+    let norms = calib.map(Calibration::feature_norms);
+    let rows = weights.rows();
+    let k = weights.cols();
+    let mut out = DenseMatrix::zeros(rows, k);
+    for r in 0..rows {
+        for g0 in (0..k).step_by(m_group) {
+            let ge = (g0 + m_group).min(k);
+            let mut idx: Vec<usize> = (g0..ge).collect();
+            idx.sort_by(|&a, &b| {
+                let ma = metric(weights.get(r, a), a, norms.as_deref());
+                let mb = metric(weights.get(r, b), b, norms.as_deref());
+                mb.total_cmp(&ma)
+            });
+            for &c in idx.iter().take(n) {
+                out.set(r, c, weights.get(r, c));
+            }
+        }
+    }
+    out
+}
+
+fn metric(w: Half, c: usize, norms: Option<&[f32]>) -> f32 {
+    let base = w.to_f32().abs();
+    match norms {
+        Some(n) => base * n[c],
+        None => base,
+    }
+}
+
+/// Shared per-row top-k pruning machinery.
+fn prune_rows_by_metric<F: Fn(Half, usize) -> f32>(
+    weights: &DenseMatrix,
+    sparsity: f64,
+    metric: F,
+) -> DenseMatrix {
+    assert!((0.0..=1.0).contains(&sparsity));
+    let m = weights.rows();
+    let k = weights.cols();
+    let keep = ((k as f64) * (1.0 - sparsity)).round() as usize;
+    let mut out = DenseMatrix::zeros(m, k);
+    let mut idx: Vec<usize> = (0..k).collect();
+    for r in 0..m {
+        idx.sort_by(|&a, &b| metric(weights.get(r, b), b).total_cmp(&metric(weights.get(r, a), a)));
+        for &c in idx.iter().take(keep) {
+            out.set(r, c, weights.get(r, c));
+        }
+    }
+    out
+}
+
+/// In-place inversion of a symmetric positive-definite `n×n` matrix via
+/// Gauss-Jordan with partial pivoting; result written to `out`.
+fn invert_spd(a: &mut [f64], out: &mut [f64], n: usize) {
+    // Initialise out = I.
+    for v in out.iter_mut().take(n * n) {
+        *v = 0.0;
+    }
+    for i in 0..n {
+        out[i * n + i] = 1.0;
+    }
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for j in 0..n {
+                a.swap(col * n + j, piv * n + j);
+                out.swap(col * n + j, piv * n + j);
+            }
+        }
+        let d = a[col * n + col];
+        assert!(d.abs() > 1e-12, "singular Hessian block");
+        for j in 0..n {
+            a[col * n + j] /= d;
+            out[col * n + j] /= d;
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r * n + col];
+                if f != 0.0 {
+                    for j in 0..n {
+                        a[r * n + j] -= f * a[col * n + j];
+                        out[r * n + j] -= f * out[col * n + j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::matrix::{random_dense, ValueDist};
+
+    fn base() -> (DenseMatrix, Calibration) {
+        (
+            random_dense(32, 128, ValueDist::Normal { std: 0.05 }, 101),
+            Calibration::synthetic(128, 64, 102),
+        )
+    }
+
+    #[test]
+    fn magnitude_hits_target_sparsity() {
+        let (w, _) = base();
+        let p = magnitude_prune(&w, 0.5);
+        assert!((p.sparsity() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn magnitude_keeps_largest() {
+        let w = DenseMatrix::from_f32(1, 4, &[0.1, -0.9, 0.5, -0.2]);
+        let p = magnitude_prune(&w, 0.5);
+        assert!(p.get(0, 0).is_zero());
+        assert_eq!(p.get(0, 1), Half::from_f32(-0.9));
+        assert_eq!(p.get(0, 2), Half::from_f32(0.5));
+        assert!(p.get(0, 3).is_zero());
+    }
+
+    #[test]
+    fn wanda_differs_from_magnitude_under_skewed_activations() {
+        let (w, c) = base();
+        let pm = magnitude_prune(&w, 0.5);
+        let pw = wanda_prune(&w, &c, 0.5);
+        assert!((pw.sparsity() - 0.5).abs() < 0.02);
+        assert_ne!(pm, pw, "heavy-tailed norms must change the kept set");
+    }
+
+    #[test]
+    fn sparsegpt_hits_target_and_compensates() {
+        let (w, c) = base();
+        let p = sparsegpt_prune(&w, &c, 0.5, 32);
+        assert!(
+            (p.sparsity() - 0.5).abs() < 0.03,
+            "sparsity {}",
+            p.sparsity()
+        );
+        // Compensation must beat no-compensation (Wanda mask) on the
+        // calibration output error.
+        let pw = wanda_prune(&w, &c, 0.5);
+        let err_gpt = output_error(&w, &p, &c);
+        let err_wanda = output_error(&w, &pw, &c);
+        assert!(
+            err_gpt < err_wanda,
+            "sparsegpt {err_gpt} should beat wanda {err_wanda}"
+        );
+    }
+
+    fn output_error(dense: &DenseMatrix, pruned: &DenseMatrix, c: &Calibration) -> f64 {
+        let yd = dense.matmul_ref(&c.activations);
+        let yp = pruned.matmul_ref(&c.activations);
+        let num: f64 = yd
+            .iter()
+            .zip(&yp)
+            .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
+            .sum();
+        let den: f64 = yd.iter().map(|a| f64::from(*a) * f64::from(*a)).sum();
+        (num / den.max(1e-12)).sqrt()
+    }
+
+    #[test]
+    fn nm_prune_enforces_2_4_pattern() {
+        let (w, _) = base();
+        let p = nm_prune(&w, None, 2, 4);
+        for r in 0..p.rows() {
+            for g in (0..p.cols()).step_by(4) {
+                let nnz = (g..(g + 4).min(p.cols()))
+                    .filter(|&c| !p.get(r, c).is_zero())
+                    .count();
+                assert!(nnz <= 2, "row {r} group {g} has {nnz} non-zeros");
+            }
+        }
+        assert!((p.sparsity() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let (w, _) = base();
+        assert_eq!(magnitude_prune(&w, 0.0), w);
+    }
+
+    #[test]
+    fn full_sparsity_is_zero() {
+        let (w, _) = base();
+        assert_eq!(magnitude_prune(&w, 1.0).nnz(), 0);
+    }
+
+    #[test]
+    fn invert_spd_small_known() {
+        // [[2,0],[0,4]]^-1 = [[0.5,0],[0,0.25]]
+        let mut a = vec![2.0, 0.0, 0.0, 4.0];
+        let mut out = vec![0.0; 4];
+        invert_spd(&mut a, &mut out, 2);
+        assert!((out[0] - 0.5).abs() < 1e-12);
+        assert!((out[3] - 0.25).abs() < 1e-12);
+        assert!(out[1].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Sparsity-pattern statistics.
+//!
+//! TCA-BME's kernel behaviour depends on *where* zeros fall, not just how
+//! many there are: per-BitmapTile non-zero counts size the value gathers,
+//! per-row balance affects split-K fairness, and empty-tile fractions
+//! drive the high-sparsity regime. These statistics connect pruner output
+//! to kernel models.
+
+use gpu_sim::matrix::DenseMatrix;
+
+/// Summary of a sparse matrix's pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparsityStats {
+    /// Overall zero fraction.
+    pub sparsity: f64,
+    /// Mean non-zeros per row.
+    pub row_nnz_mean: f64,
+    /// Standard deviation of per-row non-zeros.
+    pub row_nnz_std: f64,
+    /// Fraction of 8×8 BitmapTiles with no non-zeros.
+    pub empty_bt_fraction: f64,
+    /// Mean non-zeros in a non-empty BitmapTile.
+    pub bt_nnz_mean: f64,
+}
+
+/// Computes pattern statistics.
+pub fn analyze(matrix: &DenseMatrix) -> SparsityStats {
+    let m = matrix.rows();
+    let k = matrix.cols();
+    let total = (m * k) as f64;
+    let mut row_counts = Vec::with_capacity(m);
+    for r in 0..m {
+        row_counts.push((0..k).filter(|&c| !matrix.get(r, c).is_zero()).count());
+    }
+    let nnz: usize = row_counts.iter().sum();
+    let mean = nnz as f64 / m.max(1) as f64;
+    let var = row_counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / m.max(1) as f64;
+
+    let bty = m.div_ceil(8);
+    let btx = k.div_ceil(8);
+    let mut empty = 0usize;
+    let mut nonempty_nnz = 0usize;
+    for by in 0..bty {
+        for bx in 0..btx {
+            let mut cnt = 0usize;
+            for lr in 0..8 {
+                for lc in 0..8 {
+                    let (r, c) = (by * 8 + lr, bx * 8 + lc);
+                    if r < m && c < k && !matrix.get(r, c).is_zero() {
+                        cnt += 1;
+                    }
+                }
+            }
+            if cnt == 0 {
+                empty += 1;
+            } else {
+                nonempty_nnz += cnt;
+            }
+        }
+    }
+    let bts = bty * btx;
+    SparsityStats {
+        sparsity: 1.0 - nnz as f64 / total,
+        row_nnz_mean: mean,
+        row_nnz_std: var.sqrt(),
+        empty_bt_fraction: empty as f64 / bts.max(1) as f64,
+        bt_nnz_mean: if bts == empty {
+            0.0
+        } else {
+            nonempty_nnz as f64 / (bts - empty) as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruners::magnitude_prune;
+    use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+
+    #[test]
+    fn uniform_sparse_has_few_empty_tiles_at_50_percent() {
+        let m = random_sparse(256, 256, 0.5, ValueDist::Uniform, 301);
+        let s = analyze(&m);
+        assert!((s.sparsity - 0.5).abs() < 0.02);
+        assert!(s.empty_bt_fraction < 1e-3);
+        assert!((s.bt_nnz_mean - 32.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn per_row_pruning_is_balanced() {
+        let w = random_dense(64, 256, ValueDist::Normal { std: 0.05 }, 302);
+        let p = magnitude_prune(&w, 0.6);
+        let s = analyze(&p);
+        // Exactly the same keep-count per row.
+        assert!(s.row_nnz_std < 1.0, "std {}", s.row_nnz_std);
+    }
+
+    #[test]
+    fn extreme_sparsity_empties_tiles() {
+        let m = random_sparse(256, 256, 0.995, ValueDist::Uniform, 303);
+        let s = analyze(&m);
+        assert!(s.empty_bt_fraction > 0.5);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let s = analyze(&DenseMatrix::zeros(64, 64));
+        assert_eq!(s.sparsity, 1.0);
+        assert_eq!(s.empty_bt_fraction, 1.0);
+        assert_eq!(s.bt_nnz_mean, 0.0);
+    }
+}

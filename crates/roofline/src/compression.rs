@@ -1,0 +1,122 @@
+//! Compression-ratio curves across formats (paper Eq. 1, Figure 3).
+
+use spinfer_baselines::formats::csr::Csr;
+use spinfer_baselines::formats::sparta_fmt::SpartaFormat;
+use spinfer_baselines::formats::tiled_csl::TiledCsl;
+use spinfer_core::tca_bme::{TcaBme, TcaBmeConfig};
+
+/// A sparse storage format under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Compressed sparse row (Sputnik, cuSPARSE).
+    Csr,
+    /// Flash-LLM's Tiled-CSL.
+    TiledCsl,
+    /// SparTA's 2:4 + CSR composite.
+    SparTa,
+    /// SpInfer's TCA-BME.
+    TcaBme,
+    /// The zero-overhead theoretical optimum (values only).
+    Optimal,
+}
+
+impl FormatKind {
+    /// Display label matching the paper's Figure 3 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            FormatKind::Csr => "CSR",
+            FormatKind::TiledCsl => "Tiled-CSL",
+            FormatKind::SparTa => "SparTA",
+            FormatKind::TcaBme => "TCA-BME",
+            FormatKind::Optimal => "Optimal",
+        }
+    }
+
+    /// Formats plotted in Figure 3.
+    pub fn all() -> [FormatKind; 5] {
+        [
+            FormatKind::Csr,
+            FormatKind::TiledCsl,
+            FormatKind::SparTa,
+            FormatKind::TcaBme,
+            FormatKind::Optimal,
+        ]
+    }
+}
+
+/// Analytical compression ratio of `format` for an `m×k` matrix at
+/// uniform sparsity `s` (expected values; Eqs. 2, 3, 5, 9).
+pub fn compression_ratio(format: FormatKind, m: usize, k: usize, s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&s));
+    let dense = (2 * m * k) as f64;
+    let nnz = ((m * k) as f64 * (1.0 - s)).round() as usize;
+    let stored = match format {
+        FormatKind::Csr => Csr::storage_bytes_formula(m, nnz) as f64,
+        FormatKind::TiledCsl => TiledCsl::storage_bytes_formula(m, k, nnz) as f64,
+        FormatKind::SparTa => SpartaFormat::storage_bytes_formula(m, k, s),
+        FormatKind::TcaBme => {
+            TcaBme::storage_bytes_formula(m, k, nnz, TcaBmeConfig::default()) as f64
+        }
+        FormatKind::Optimal => (2 * nnz).max(1) as f64,
+    };
+    dense / stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 4096;
+    const K: usize = 4096;
+
+    #[test]
+    fn figure3_orderings_at_50_percent() {
+        // Paper Figure 3 at s = 0.5: Optimal > TCA-BME > SparTA > 1 >
+        // Tiled-CSL ≈ 1 > CSR.
+        let opt = compression_ratio(FormatKind::Optimal, M, K, 0.5);
+        let bme = compression_ratio(FormatKind::TcaBme, M, K, 0.5);
+        let sparta = compression_ratio(FormatKind::SparTa, M, K, 0.5);
+        let csl = compression_ratio(FormatKind::TiledCsl, M, K, 0.5);
+        let csr = compression_ratio(FormatKind::Csr, M, K, 0.5);
+        assert!(opt > bme && bme > sparta && sparta > 1.0);
+        assert!((csl - 1.0).abs() < 0.05);
+        assert!(csr < 1.0);
+    }
+
+    #[test]
+    fn tca_bme_above_one_even_at_30_percent() {
+        assert!(compression_ratio(FormatKind::TcaBme, M, K, 0.3) > 1.0);
+    }
+
+    #[test]
+    fn csr_crosses_one_around_two_thirds() {
+        assert!(compression_ratio(FormatKind::Csr, M, K, 0.6) < 1.0);
+        assert!(compression_ratio(FormatKind::Csr, M, K, 0.72) > 1.0);
+    }
+
+    #[test]
+    fn known_values_at_50_percent() {
+        let bme = compression_ratio(FormatKind::TcaBme, M, K, 0.5);
+        assert!((bme - 1.78).abs() < 0.02, "TCA-BME {bme}");
+        let opt = compression_ratio(FormatKind::Optimal, M, K, 0.5);
+        assert!((opt - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn csr_overtakes_bitmap_at_extreme_sparsity() {
+        // Paper §6: above ~90% sparsity the fixed bitmap overhead loses
+        // to CSR-style indexing.
+        let bme = compression_ratio(FormatKind::TcaBme, M, K, 0.99);
+        let csr = compression_ratio(FormatKind::Csr, M, K, 0.99);
+        assert!(csr > bme, "CSR {csr} vs TCA-BME {bme} at 99%");
+    }
+
+    #[test]
+    fn monotone_in_sparsity() {
+        for f in [FormatKind::TcaBme, FormatKind::Optimal, FormatKind::Csr] {
+            let lo = compression_ratio(f, M, K, 0.4);
+            let hi = compression_ratio(f, M, K, 0.8);
+            assert!(hi > lo, "{:?}", f);
+        }
+    }
+}

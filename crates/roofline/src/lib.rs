@@ -1,0 +1,13 @@
+//! # spinfer-roofline — compute-intensity and roofline analysis
+//!
+//! Implements the paper's §3.2 analysis: the compression-ratio metric
+//! (Eq. 1) across sparse formats (Figure 3) and the compute-intensity /
+//! roofline placement of GEMM vs SpMM (Eqs. 6–8, Figure 4).
+
+pub mod ci;
+pub mod compression;
+pub mod sweep;
+
+pub use ci::{attainable_flops, ci_gemm, ci_optimal, ci_spmm, RooflinePoint};
+pub use compression::{compression_ratio, FormatKind};
+pub use sweep::{classify_launch, format_operating_points, roofline_curve};

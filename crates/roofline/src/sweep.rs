@@ -1,0 +1,142 @@
+//! Roofline curve generation and launch classification.
+//!
+//! Produces the data series behind Figure 4 (attainable-performance curve
+//! plus per-format operating points across a sparsity/batch grid) and
+//! classifies simulated kernel launches against the device roofline —
+//! connecting the analytical model's achieved numbers back to the
+//! first-principles bound.
+
+use crate::ci::{attainable_flops, ci_spmm};
+use crate::compression::{compression_ratio, FormatKind};
+use gpu_sim::kernel::LaunchResult;
+use gpu_sim::spec::GpuSpec;
+
+/// One point of a roofline data series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Compute intensity, FLOP/byte.
+    pub ci: f64,
+    /// Attainable throughput, FLOP/s.
+    pub attainable: f64,
+}
+
+/// Samples the device roofline at logarithmically spaced CI values in
+/// `[ci_min, ci_max]` — the backdrop curve of Figure 4.
+pub fn roofline_curve(spec: &GpuSpec, ci_min: f64, ci_max: f64, points: usize) -> Vec<SweepPoint> {
+    assert!(ci_min > 0.0 && ci_max > ci_min && points >= 2);
+    let step = (ci_max / ci_min).powf(1.0 / (points - 1) as f64);
+    let mut ci = ci_min;
+    let mut out = Vec::with_capacity(points);
+    for _ in 0..points {
+        out.push(SweepPoint {
+            ci,
+            attainable: attainable_flops(spec, ci).flops,
+        });
+        ci *= step;
+    }
+    out
+}
+
+/// Operating points of every format for an `m×k` weight across batch
+/// sizes and sparsities: `(format, n, sparsity, ci, attainable)`.
+pub fn format_operating_points(
+    spec: &GpuSpec,
+    m: usize,
+    k: usize,
+    batches: &[usize],
+    sparsities: &[f64],
+) -> Vec<(FormatKind, usize, f64, f64, f64)> {
+    let mut out = Vec::new();
+    for &n in batches {
+        for &s in sparsities {
+            for f in FormatKind::all() {
+                let ci = match f {
+                    FormatKind::Optimal => crate::ci::ci_optimal(m, n, s),
+                    _ => ci_spmm(m, n, compression_ratio(f, m, k, s)),
+                };
+                out.push((f, n, s, ci, attainable_flops(spec, ci).flops));
+            }
+        }
+    }
+    out
+}
+
+/// How a simulated launch sits relative to the device roofline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaunchClassification {
+    /// Achieved FLOP/s (Tensor Core FLOPs over kernel time).
+    pub achieved_flops: f64,
+    /// Effective compute intensity (TC FLOPs over effective DRAM bytes).
+    pub effective_ci: f64,
+    /// The roofline bound at that CI.
+    pub bound_flops: f64,
+    /// Achieved over bound, in `(0, 1]` for a sound model.
+    pub efficiency: f64,
+    /// Whether the launch sits in the memory-bound region.
+    pub memory_bound: bool,
+}
+
+/// Classifies a simulated launch against the device roofline.
+pub fn classify_launch(spec: &GpuSpec, launch: &LaunchResult) -> LaunchClassification {
+    let flops = launch.counters.tc_flops() as f64;
+    let achieved = flops / launch.timing.time_sec.max(1e-12);
+    let bytes = launch.timing.dram_bytes.max(1) as f64;
+    let ci = flops / bytes;
+    let point = attainable_flops(spec, ci);
+    LaunchClassification {
+        achieved_flops: achieved,
+        effective_ci: ci,
+        bound_flops: point.flops,
+        efficiency: achieved / point.flops.max(1.0),
+        memory_bound: point.memory_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinfer_core::{FormatStats, SpinferSpmm};
+
+    #[test]
+    fn curve_is_monotone_then_flat() {
+        let spec = GpuSpec::rtx4090();
+        let curve = roofline_curve(&spec, 1.0, 10_000.0, 64);
+        assert_eq!(curve.len(), 64);
+        for w in curve.windows(2) {
+            assert!(w[1].attainable >= w[0].attainable);
+        }
+        assert_eq!(curve.last().unwrap().attainable, spec.peak_tc_flops());
+    }
+
+    #[test]
+    fn operating_points_order_by_compression() {
+        // At fixed n and s, the TCA-BME point must sit above CSR's.
+        let spec = GpuSpec::rtx4090();
+        let pts = format_operating_points(&spec, 4096, 4096, &[16], &[0.5]);
+        let get = |f: FormatKind| pts.iter().find(|p| p.0 == f).unwrap().4;
+        assert!(get(FormatKind::TcaBme) > get(FormatKind::Csr));
+        assert!(get(FormatKind::Optimal) >= get(FormatKind::TcaBme));
+    }
+
+    #[test]
+    fn classify_decode_launch_as_memory_bound_and_near_bound() {
+        // The SpInfer kernel at a decode shape should achieve a healthy
+        // fraction of its own roofline bound and be classified
+        // memory-bound — the Figure 4 story, measured not assumed.
+        let spec = GpuSpec::rtx4090();
+        let run = SpinferSpmm::new().estimate(&spec, &FormatStats::synthetic(8192, 8192, 0.6), 16);
+        let c = classify_launch(&spec, &run.chain.launches[0]);
+        assert!(c.memory_bound);
+        assert!(
+            c.efficiency > 0.5 && c.efficiency <= 1.0,
+            "efficiency {}",
+            c.efficiency
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_curve_range_panics() {
+        roofline_curve(&GpuSpec::rtx4090(), 10.0, 1.0, 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! Deployment planner: given a model, a GPU type, and a latency-free
+//! throughput objective, search the (framework, GPU count, batch) space
+//! for feasible configurations — the resource-constrained-deployment
+//! story of the paper's introduction.
+//!
+//! Run with: `cargo run --release --example deploy_planner -- [OPT-13B|OPT-30B|OPT-66B]`
+
+use spinfer_suite::gpu_sim::GpuSpec;
+use spinfer_suite::llm::{simulate, Framework, InferenceConfig, ModelConfig};
+
+fn main() {
+    let model_name = std::env::args().nth(1).unwrap_or_else(|| "OPT-30B".into());
+    let model = match model_name.as_str() {
+        "OPT-13B" => ModelConfig::opt_13b(),
+        "OPT-30B" => ModelConfig::opt_30b(),
+        "OPT-66B" => ModelConfig::opt_66b(),
+        other => {
+            eprintln!("unknown model {other}; use OPT-13B / OPT-30B / OPT-66B");
+            std::process::exit(1);
+        }
+    };
+
+    for spec in [GpuSpec::rtx4090(), GpuSpec::a6000()] {
+        println!(
+            "=== {} on {} (60% Wanda sparsity, in=64, out=256) ===",
+            model.name, spec.name
+        );
+        let mut best: Option<(f64, String)> = None;
+        for fw in Framework::all() {
+            for tp in [1usize, 2, 4] {
+                for batch in [8usize, 16, 32] {
+                    let cfg = InferenceConfig {
+                        model,
+                        framework: fw,
+                        sparsity: 0.6,
+                        batch,
+                        input_len: 64,
+                        output_len: 256,
+                        tp,
+                    };
+                    let r = simulate(&spec, &cfg);
+                    if r.oom {
+                        continue;
+                    }
+                    // Throughput per GPU is the deployment-efficiency metric.
+                    let per_gpu = r.tokens_per_sec / tp as f64;
+                    let desc = format!(
+                        "{:>9} tp={tp} bs={batch}: {:>6.0} tok/s total, {:>6.0} tok/s/GPU, {:.1} GiB/GPU",
+                        fw.label(),
+                        r.tokens_per_sec,
+                        per_gpu,
+                        r.memory.total_gib()
+                    );
+                    println!("  {desc}");
+                    if best.as_ref().map(|(b, _)| per_gpu > *b).unwrap_or(true) {
+                        best = Some((per_gpu, desc));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, desc)) => println!("  --> best tokens/s per GPU: {desc}\n"),
+            None => println!("  --> no feasible configuration on this GPU type\n"),
+        }
+    }
+}

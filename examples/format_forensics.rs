@@ -1,0 +1,107 @@
+//! Format forensics: visualise how TCA-BME lays a matrix out — bitmap
+//! occupancy per tile, value-array padding, the per-level storage split,
+//! and where every byte of Eq. 9 goes — for a matrix you choose.
+//!
+//! Run with:
+//! `cargo run --release --example format_forensics -- [sparsity]`
+
+use spinfer_suite::core::TcaBme;
+use spinfer_suite::gpu_sim::bitops::popc64;
+use spinfer_suite::gpu_sim::matrix::{random_sparse, ValueDist};
+
+fn main() {
+    let sparsity: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.6);
+    let (m, k) = (128usize, 128usize);
+    let w = random_sparse(m, k, sparsity, ValueDist::Uniform, 7);
+    let enc = TcaBme::encode(&w);
+
+    println!(
+        "TCA-BME forensics: {m}x{k} at {:.0}% sparsity (GroupTile {}x{})\n",
+        sparsity * 100.0,
+        enc.config.gt_rows,
+        enc.config.gt_cols
+    );
+
+    // Where every byte goes (paper Eq. 9 terms).
+    let off_bytes = 4 * enc.gtile_offsets.len();
+    let bm_bytes = 8 * enc.bitmaps.len();
+    let val_bytes = 2 * enc.values.len();
+    let pad_vals = enc.values.len() - enc.nnz;
+    let total = enc.storage_bytes();
+    println!("storage split (dense would be {} B):", 2 * m * k);
+    println!(
+        "  GTileOffset : {:>7} B ({:>5.2}%)  [{} x u32]",
+        off_bytes,
+        100.0 * off_bytes as f64 / total as f64,
+        enc.gtile_offsets.len()
+    );
+    println!(
+        "  Bitmap      : {:>7} B ({:>5.2}%)  [{} x u64, one per 8x8 tile]",
+        bm_bytes,
+        100.0 * bm_bytes as f64 / total as f64,
+        enc.bitmaps.len()
+    );
+    println!(
+        "  Values      : {:>7} B ({:>5.2}%)  [{} FP16, {} alignment padding]",
+        val_bytes,
+        100.0 * val_bytes as f64 / total as f64,
+        enc.nnz,
+        pad_vals
+    );
+    println!(
+        "  total {} B -> compression {:.3}x\n",
+        total,
+        enc.compression_ratio()
+    );
+
+    // BitmapTile occupancy histogram.
+    let mut hist = [0usize; 9]; // Buckets of 8 non-zeros.
+    for &bm in &enc.bitmaps {
+        hist[(popc64(bm) as usize).div_ceil(8).min(8)] += 1;
+    }
+    println!("BitmapTile occupancy histogram (non-zeros per 8x8 tile):");
+    let max = hist.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in hist.iter().enumerate() {
+        let label = if i == 0 {
+            "   0".to_string()
+        } else {
+            format!("{:>2}-{:>2}", (i - 1) * 8 + 1, i * 8)
+        };
+        println!(
+            "  {label} | {}{}",
+            "#".repeat(count * 48 / max),
+            if count > 0 {
+                format!(" {count}")
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    // ASCII map of one GroupTile's first TCTile: x = non-zero.
+    println!("\nfirst 16x16 TCTile pattern (x = non-zero), with its 4");
+    println!("quadrant bitmaps in storage order TL, BL, TR, BR:");
+    for r in 0..16 {
+        let row: String = (0..16)
+            .map(|c| if w.get(r, c).is_zero() { '.' } else { 'x' })
+            .collect();
+        println!("  {row}");
+    }
+    for (q, name) in ["TL(Ra0)", "BL(Ra1)", "TR(Ra2)", "BR(Ra3)"]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  {name}: {:#018x} (popc {})",
+            enc.bitmaps[q],
+            popc64(enc.bitmaps[q])
+        );
+    }
+    println!(
+        "\nThe quadrant order is the mma.m16n8k16 register order — the\n\
+         reason SMBD can decode straight into Ra0..Ra3 (paper Fig. 8)."
+    );
+}

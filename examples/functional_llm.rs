@@ -1,0 +1,60 @@
+//! End-to-end *functional* inference: a miniature transformer whose
+//! linear layers run through the simulated SpInfer-SpMM and dense GEMM
+//! kernels — real logits, real KV cache, real greedy decoding, plus the
+//! simulated device time each path would take.
+//!
+//! Run with: `cargo run --release --example functional_llm`
+
+use spinfer_suite::gpu_sim::GpuSpec;
+use spinfer_suite::llm::model::{tiny_config, Generator, ModelRef, TransformerWeights};
+
+fn main() {
+    let mut cfg = tiny_config();
+    cfg.layers = 4;
+    cfg.hidden = 128;
+    cfg.heads = 8;
+    cfg.kv_heads = 8;
+    cfg.ffn_hidden = 512;
+    let spec = GpuSpec::rtx4090();
+    println!(
+        "functional transformer: {} layers, h={}, vocab={}",
+        cfg.layers, cfg.hidden, cfg.vocab
+    );
+
+    let dense = TransformerWeights::random(cfg, 2025);
+    let prompt = [3usize, 14, 15, 9, 26];
+    let new_tokens = 16;
+
+    // Dense serving (FasterTransformer-style).
+    let mut gen_d = Generator::new(ModelRef::Dense(&dense), spec.clone(), 64);
+    let out_d = gen_d.generate(&prompt, new_tokens);
+    println!("\ndense (cuBLAS_TC path):");
+    println!("  tokens         : {out_d:?}");
+    println!(
+        "  simulated time : {:.1} us across {} kernel launches",
+        gen_d.telemetry.linear_sec * 1e6,
+        gen_d.telemetry.launches
+    );
+
+    // Pruned + encoded serving (SpInfer path) at three sparsities.
+    for sparsity in [0.0, 0.5, 0.7] {
+        let sparse = dense.pruned(sparsity, 99);
+        let mut gen_s = Generator::new(ModelRef::Sparse(&sparse), spec.clone(), 64);
+        let out_s = gen_s.generate(&prompt, new_tokens);
+        let agree = out_d.iter().zip(&out_s).take_while(|(a, b)| a == b).count();
+        println!("\nSpInfer path at {:.0}% sparsity:", sparsity * 100.0);
+        println!("  tokens         : {out_s:?}");
+        println!("  agrees with dense for the first {agree}/{new_tokens} tokens");
+        println!(
+            "  simulated time : {:.1} us, weights {} B (dense {} B)",
+            gen_s.telemetry.linear_sec * 1e6,
+            sparse.linear_bytes(),
+            dense.linear_bytes()
+        );
+    }
+    println!(
+        "\nAt 0% sparsity the SpInfer path reproduces the dense tokens \
+         exactly (bit-identical kernels); pruning then trades tokens for \
+         memory and simulated speed."
+    );
+}

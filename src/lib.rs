@@ -1,0 +1,39 @@
+//! # spinfer-suite — umbrella crate for the SpInfer reproduction
+//!
+//! A from-scratch Rust reproduction of *SpInfer: Leveraging Low-Level
+//! Sparsity for Efficient Large Language Model Inference on GPUs*
+//! (EuroSys 2025), built on a simulated GPU substrate (see `DESIGN.md`
+//! for the hardware-substitution rationale).
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`):
+//!
+//! * [`gpu_sim`] — warp-level GPU simulator (FP16, Tensor Core fragment
+//!   emulation, shared-memory banks, occupancy, timing).
+//! * [`core`] (`spinfer-core`) — TCA-BME format, SMBD decoding, and the
+//!   SpInfer-SpMM kernel.
+//! * [`baselines`] — cuBLAS/Flash-LLM/SparTA/Sputnik/cuSPARSE/SMaT.
+//! * [`pruning`] — magnitude/Wanda/SparseGPT-style/2:4 pruners.
+//! * [`llm`] — model zoo, memory model, and the end-to-end engine.
+//! * [`roofline`] — compression-ratio and compute-intensity analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spinfer_suite::core::SpMMHandle;
+//! use spinfer_suite::gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+//! use spinfer_suite::gpu_sim::GpuSpec;
+//!
+//! let weights = random_sparse(256, 256, 0.6, ValueDist::Uniform, 0);
+//! let x = random_dense(256, 16, ValueDist::Uniform, 1);
+//! let handle = SpMMHandle::encode(&weights);
+//! let run = handle.matmul(&GpuSpec::rtx4090(), &x);
+//! println!("CR {:.2}, {:.1} us", handle.compression_ratio(), run.time_us());
+//! ```
+
+pub use gpu_sim;
+pub use spinfer_baselines as baselines;
+pub use spinfer_core as core;
+pub use spinfer_llm as llm;
+pub use spinfer_pruning as pruning;
+pub use spinfer_roofline as roofline;
