@@ -103,6 +103,29 @@ impl Csr {
         }
         out
     }
+
+    /// [`Csr::spmm_ref`] fanned across host cores via
+    /// [`gpu_sim::exec`]: each worker computes a contiguous band of
+    /// output rows with the serial per-row loop, so the result is
+    /// bit-identical to `spmm_ref` at any job count.
+    pub fn par_spmm_ref(&self, x: &DenseMatrix) -> Vec<f32> {
+        assert_eq!(x.rows(), self.k);
+        let n = x.cols();
+        let bands = gpu_sim::exec::par_chunks(self.m, |rows| {
+            let mut band = vec![0.0f32; rows.len() * n];
+            for (i, r) in rows.enumerate() {
+                for idx in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                    let v = self.values[idx].to_f32();
+                    let c = self.col_idx[idx] as usize;
+                    for j in 0..n {
+                        band[i * n + j] += v * x.get(c, j).to_f32();
+                    }
+                }
+            }
+            band
+        });
+        bands.concat()
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +177,14 @@ mod tests {
         for (p, q) in a.iter().zip(&b) {
             assert!((p - q).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn par_spmm_ref_is_bit_identical_to_serial() {
+        let w = random_sparse(123, 77, 0.7, ValueDist::Uniform, 7);
+        let x = random_dense(77, 9, ValueDist::Uniform, 8);
+        let enc = Csr::encode(&w);
+        assert_eq!(enc.par_spmm_ref(&x), enc.spmm_ref(&x));
     }
 
     #[test]

@@ -103,7 +103,9 @@ impl CublasGemm {
     /// Panics if `x.rows() != w.cols()`.
     pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
         assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        let out = w.matmul_ref(x);
+        // Fanned across host cores; bit-identical to the serial
+        // reference (see `gpu_sim::exec`).
+        let out = w.par_matmul_ref(x);
         let mut r = self.estimate(spec, w.rows(), w.cols(), x.cols());
         r.output = Some(out);
         r

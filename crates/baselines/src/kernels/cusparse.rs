@@ -87,9 +87,17 @@ impl CusparseSpmm {
     /// Functional execution via CSR.
     pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
         assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        let enc = Csr::encode(w);
-        let mut r = self.estimate(spec, w.rows(), w.cols(), x.cols(), enc.nnz());
-        r.output = Some(enc.spmm_ref(x));
+        self.run_encoded(spec, &Csr::encode(w), x)
+    }
+
+    /// [`CusparseSpmm::run`] from a pre-built encoding, so encode-once
+    /// sweeps can reuse one CSR across batch sizes.
+    pub fn run_encoded(&self, spec: &GpuSpec, enc: &Csr, x: &DenseMatrix) -> SpmmRun {
+        assert_eq!(x.rows(), enc.k, "X must be K×N");
+        let mut r = self.estimate(spec, enc.m, enc.k, x.cols(), enc.nnz());
+        // Fanned across host cores; bit-identical to the serial
+        // reference (see `gpu_sim::exec`).
+        r.output = Some(enc.par_spmm_ref(x));
         r
     }
 }

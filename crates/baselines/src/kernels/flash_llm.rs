@@ -19,6 +19,7 @@ use crate::kernels::common::{
     stream_ldg_via_rf, stream_ldgsts, tensor_core_work,
 };
 use gpu_sim::counters::Counters;
+use gpu_sim::exec::CounterShard;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::shared_memory::warp_smem_store;
@@ -52,22 +53,33 @@ pub struct FlashLlmStats {
 impl FlashLlmStats {
     /// Measures statistics from a real encoding, computing scatter
     /// conflicts from actual non-zero positions.
+    ///
+    /// Tiles are independent, so ranges of them fan out across host
+    /// cores (`gpu_sim::exec`), each worker tallying bank transactions
+    /// into its own [`CounterShard`]; the `u64` tallies sum
+    /// commutatively, so the result is bit-identical to a serial scan.
     pub fn from_encoded(w: &TiledCsl) -> Self {
-        let mut txns = 0u64;
-        let mut stores = 0u64;
-        let mut c = Counters::new();
-        for t in 0..w.num_tiles() {
-            for chunk in w.tile_entries(t).chunks(32) {
-                let mut addrs = [None; 32];
-                for (i, e) in chunk.iter().enumerate() {
-                    addrs[i] = Some(u64::from(e.pos()) * 2);
+        let partials = gpu_sim::exec::par_chunks(w.num_tiles(), |tiles| {
+            let mut shard = CounterShard::new();
+            let mut txns = 0u64;
+            let mut stores = 0u64;
+            for t in tiles {
+                for chunk in w.tile_entries(t).chunks(32) {
+                    let mut addrs = [None; 32];
+                    for (i, e) in chunk.iter().enumerate() {
+                        addrs[i] = Some(u64::from(e.pos()) * 2);
+                    }
+                    let before = shard.counters().smem_store_transactions;
+                    warp_smem_store(shard.counters(), &addrs, 2);
+                    txns += shard.counters().smem_store_transactions - before;
+                    stores += 1;
                 }
-                let before = c.smem_store_transactions;
-                warp_smem_store(&mut c, &addrs, 2);
-                txns += c.smem_store_transactions - before;
-                stores += 1;
             }
-        }
+            (txns, stores)
+        });
+        let (txns, stores) = partials
+            .into_iter()
+            .fold((0u64, 0u64), |(t, s), (pt, ps)| (t + pt, s + ps));
         FlashLlmStats {
             m: w.m,
             k: w.k,
@@ -176,11 +188,17 @@ impl FlashLlmSpmm {
     /// conflicts, computes the reference product.
     pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
         assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        let enc = TiledCsl::encode(w);
-        let stats = FlashLlmStats::from_encoded(&enc);
+        self.run_encoded(spec, &TiledCsl::encode(w), x)
+    }
+
+    /// [`FlashLlmSpmm::run`] from a pre-built encoding, so encode-once
+    /// sweeps can reuse one Tiled-CSL across batch sizes.
+    pub fn run_encoded(&self, spec: &GpuSpec, enc: &TiledCsl, x: &DenseMatrix) -> SpmmRun {
+        assert_eq!(x.rows(), enc.k, "X must be K×N");
+        let stats = FlashLlmStats::from_encoded(enc);
         let mut r = self.estimate(spec, &stats, x.cols());
         // The decoded tile product validates the format roundtrip too.
-        r.output = Some(enc.decode().matmul_ref(x));
+        r.output = Some(enc.decode().par_matmul_ref(x));
         r
     }
 }

@@ -126,10 +126,18 @@ impl SmatSpmm {
     /// Functional execution via BCSR.
     pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
         assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        let enc = Bcsr::encode(w);
-        let stats = SmatStats::from_encoded(&enc);
+        self.run_encoded(spec, &Bcsr::encode(w), x)
+    }
+
+    /// [`SmatSpmm::run`] from a pre-built encoding, so encode-once
+    /// sweeps can reuse one BCSR across batch sizes.
+    pub fn run_encoded(&self, spec: &GpuSpec, enc: &Bcsr, x: &DenseMatrix) -> SpmmRun {
+        assert_eq!(x.rows(), enc.k, "X must be K×N");
+        let stats = SmatStats::from_encoded(enc);
         let mut r = self.estimate(spec, &stats, x.cols());
-        r.output = Some(enc.decode().matmul_ref(x));
+        // Fanned across host cores; bit-identical to the serial
+        // reference (see `gpu_sim::exec`).
+        r.output = Some(enc.decode().par_matmul_ref(x));
         r
     }
 }

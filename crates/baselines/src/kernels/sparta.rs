@@ -158,10 +158,18 @@ impl SpartaSpmm {
     /// Functional execution via the real decomposition.
     pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
         assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        let enc = SpartaFormat::encode(w);
-        let stats = SpartaStats::from_encoded(&enc);
+        self.run_encoded(spec, &SpartaFormat::encode(w), x)
+    }
+
+    /// [`SpartaSpmm::run`] from a pre-built decomposition, so
+    /// encode-once sweeps can reuse one encoding across batch sizes.
+    pub fn run_encoded(&self, spec: &GpuSpec, enc: &SpartaFormat, x: &DenseMatrix) -> SpmmRun {
+        assert_eq!(x.rows(), enc.k, "X must be K×N");
+        let stats = SpartaStats::from_encoded(enc);
         let mut r = self.estimate(spec, &stats, x.cols());
-        r.output = Some(enc.decode().matmul_ref(x));
+        // Fanned across host cores; bit-identical to the serial
+        // reference (see `gpu_sim::exec`).
+        r.output = Some(enc.decode().par_matmul_ref(x));
         r
     }
 }

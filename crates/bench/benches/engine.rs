@@ -1,0 +1,44 @@
+//! Execution-engine benchmark: serial vs parallel `SpinferSpmm::run`
+//! at the paper's hero shape (Figure 1: M/K/N = 28672/8192/16).
+//!
+//! This measures *host* wall-clock of the functional simulator, not
+//! simulated GPU time — the two runs produce bit-identical counters
+//! and output (see `tests/determinism.rs`); only the time to compute
+//! them changes. On an N-core runner the parallel row should approach
+//! N× the serial row for large N-independent block counts.
+//!
+//! Run with `cargo bench -p spinfer-bench --bench engine`. Respects
+//! `SPINFER_JOBS` for the parallel row's worker count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::exec;
+use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+use gpu_sim::GpuSpec;
+use spinfer_bench::{HERO_K, HERO_M};
+use spinfer_core::{SpinferSpmm, TcaBme};
+
+fn engine(c: &mut Criterion) {
+    let spec = GpuSpec::rtx4090();
+    let w = random_sparse(HERO_M, HERO_K, 0.6, ValueDist::Uniform, 1);
+    let x = random_dense(HERO_K, 16, ValueDist::Uniform, 2);
+    let enc = TcaBme::encode(&w);
+    let kernel = SpinferSpmm::new();
+
+    let mut g = c.benchmark_group("engine");
+    // Hero-scale functional runs cost seconds each; keep samples low.
+    g.sample_size(3);
+    g.bench_function("spinfer_run/serial", |b| {
+        exec::set_jobs(1);
+        b.iter(|| kernel.run(&spec, &enc, &x));
+    });
+    g.bench_function("spinfer_run/parallel", |b| {
+        // Default resolution: SPINFER_JOBS, else all hardware threads.
+        exec::set_jobs(0);
+        b.iter(|| kernel.run(&spec, &enc, &x));
+    });
+    g.finish();
+    exec::set_jobs(0);
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

@@ -3,13 +3,23 @@
 //! RTX4090 and A6000.
 
 use gpu_sim::GpuSpec;
-use spinfer_bench::{figure10_shapes, geomean, render_table, save_csv, KernelKind};
+use spinfer_bench::{figure10_shapes, geomean, render_table, save_csv, sweep, KernelKind};
 use std::collections::HashMap;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    sweep::configure_jobs(&args);
     for spec in [GpuSpec::rtx4090(), GpuSpec::a6000()] {
         run_platform(&spec);
     }
+}
+
+/// One (shape, N, sparsity) grid cell: every sparse kernel's speedup
+/// over the dense baseline.
+struct Cell {
+    row: Vec<String>,
+    speedups: Vec<f64>,
+    sparsity_pct: u32,
 }
 
 fn run_platform(spec: &GpuSpec) {
@@ -19,40 +29,63 @@ fn run_platform(spec: &GpuSpec) {
         .into_iter()
         .chain(sparse_kernels.iter().map(|k| k.label()))
         .collect();
+
+    // Fan (shape × N × sparsity) cells across host cores. Each cell is
+    // a pure function of its point, and cells come back in grid order,
+    // so tables and aggregates are identical to the serial loop at any
+    // job count.
+    let mut grid = Vec::new();
+    for shape in figure10_shapes() {
+        for &n in &[8usize, 16, 32] {
+            for &sp in &[40u32, 50, 60, 70] {
+                grid.push((shape, n, sp));
+            }
+        }
+    }
+    let cells = sweep::par_points(grid, |(shape, n, sp)| {
+        let base = KernelKind::CublasTc.time_us(spec, shape.m, shape.k, n, 0.5);
+        let s = f64::from(sp) / 100.0;
+        let mut row = vec![
+            shape.model.to_string(),
+            shape.m.to_string(),
+            shape.k.to_string(),
+            n.to_string(),
+            format!("{sp}%"),
+        ];
+        let mut speedups = Vec::with_capacity(sparse_kernels.len());
+        for kind in &sparse_kernels {
+            let t = kind.time_us(spec, shape.m, shape.k, n, s);
+            let speedup = base / t;
+            row.push(format!("{speedup:.2}"));
+            speedups.push(speedup);
+        }
+        Cell {
+            row,
+            speedups,
+            sparsity_pct: sp,
+        }
+    });
+
     let mut rows = Vec::new();
     let mut per_kernel: HashMap<&str, Vec<f64>> = HashMap::new();
     let mut per_sparsity: HashMap<u32, Vec<f64>> = HashMap::new();
     let mut spinfer_wins = 0usize;
     let mut cases = 0usize;
-
-    for shape in figure10_shapes() {
-        for &n in &[8usize, 16, 32] {
-            let base = KernelKind::CublasTc.time_us(spec, shape.m, shape.k, n, 0.5);
-            for &sp in &[40u32, 50, 60, 70] {
-                let s = f64::from(sp) / 100.0;
-                let mut row = vec![
-                    shape.model.to_string(),
-                    shape.m.to_string(),
-                    shape.k.to_string(),
-                    n.to_string(),
-                    format!("{sp}%"),
-                ];
-                for kind in &sparse_kernels {
-                    let t = kind.time_us(spec, shape.m, shape.k, n, s);
-                    let speedup = base / t;
-                    row.push(format!("{speedup:.2}"));
-                    per_kernel.entry(kind.label()).or_default().push(speedup);
-                    if *kind == KernelKind::SpInfer {
-                        per_sparsity.entry(sp).or_default().push(speedup);
-                        cases += 1;
-                        if speedup > 1.0 {
-                            spinfer_wins += 1;
-                        }
-                    }
+    for cell in cells {
+        for (kind, &speedup) in sparse_kernels.iter().zip(&cell.speedups) {
+            per_kernel.entry(kind.label()).or_default().push(speedup);
+            if *kind == KernelKind::SpInfer {
+                per_sparsity
+                    .entry(cell.sparsity_pct)
+                    .or_default()
+                    .push(speedup);
+                cases += 1;
+                if speedup > 1.0 {
+                    spinfer_wins += 1;
                 }
-                rows.push(row);
             }
         }
+        rows.push(cell.row);
     }
 
     println!(

@@ -3,7 +3,8 @@
 //! ```text
 //! spinfer encode <M> <K> <sparsity> [--out FILE]   encode random weights to TCA-BME
 //! spinfer inspect <FILE>                            show stats of an encoded file
-//! spinfer bench <M> <K> <N> <sparsity> [--gpu G]    kernel roster comparison
+//! spinfer bench <M> <K> <N> <sparsity> [--gpu G] [--functional]
+//!                                                   kernel roster comparison
 //! spinfer tune <M> <K> <N> <sparsity> [--gpu G]     autotune the SpInfer kernel
 //! spinfer serve <MODEL> <FW> <TP> <BATCH> <OUT>     end-to-end serving simulation
 //! spinfer generate [TOKENS]                         run the tiny functional model
@@ -11,9 +12,15 @@
 //!
 //! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
 //! `opt-30b`, `opt-66b`. Frameworks: `spinfer`, `flash-llm`, `ft`, `ds`.
+//!
+//! Every subcommand accepts `--jobs N` to set the host worker count for
+//! the parallel execution engine (default: `SPINFER_JOBS`, then all
+//! hardware threads). Job count never changes simulated results —
+//! `spinfer bench ... --jobs 1` and `--jobs 16` print identical tables.
 
 use gpu_sim::matrix::{random_sparse, ValueDist};
 use gpu_sim::GpuSpec;
+use spinfer_bench::sweep::{self, EncodeCache, SweepPoint};
 use spinfer_bench::{render_table, KernelKind};
 use spinfer_core::{serialize, tune, SpMMHandle, TcaBme};
 use spinfer_llm::model::{Generator, ModelRef, TransformerWeights};
@@ -22,6 +29,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    sweep::configure_jobs(&args);
     let result = match args.first().map(String::as_str) {
         Some("encode") => cmd_encode(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -119,15 +127,14 @@ fn cmd_bench(args: &[String]) -> CliResult {
     let n: usize = parse(args, 2, "N")?;
     let s: f64 = parse(args, 3, "sparsity")?;
     let spec = gpu(args)?;
+    let functional = args.iter().any(|a| a == "--functional");
     println!(
-        "kernel comparison: {m}x{k} (s={:.0}%) x {k}x{n} on {}",
+        "kernel comparison: {m}x{k} (s={:.0}%) x {k}x{n} on {}{}",
         s * 100.0,
-        spec.name
+        spec.name,
+        if functional { " [functional]" } else { "" }
     );
-    let headers = ["kernel", "time (us)", "speedup vs cuBLAS"];
-    let base = KernelKind::CublasTc.time_us(&spec, m, k, n, s);
-    let mut rows = Vec::new();
-    for kind in [
+    let roster = [
         KernelKind::CublasTc,
         KernelKind::SpInfer,
         KernelKind::FlashLlm,
@@ -135,14 +142,44 @@ fn cmd_bench(args: &[String]) -> CliResult {
         KernelKind::Sputnik,
         KernelKind::CuSparse,
         KernelKind::Smat,
-    ] {
-        let t = kind.time_us(&spec, m, k, n, s);
-        rows.push(vec![
-            kind.label().to_string(),
-            format!("{t:.1}"),
-            format!("{:.2}x", base / t),
-        ]);
-    }
+    ];
+    let headers = ["kernel", "time (us)", "speedup vs cuBLAS"];
+    let times: Vec<f64> = if functional {
+        // Functional path: one weight matrix, encoded at most once per
+        // format (the cache is shared by all kernels), bit-exact output
+        // and counters from real addresses.
+        let cache = EncodeCache::new();
+        roster
+            .iter()
+            .map(|&kernel| {
+                let p = SweepPoint {
+                    m,
+                    k,
+                    n,
+                    sparsity: s,
+                    kernel,
+                };
+                sweep::run_functional(&cache, &spec, &p, 0).time_us()
+            })
+            .collect()
+    } else {
+        roster
+            .iter()
+            .map(|kind| kind.time_us(&spec, m, k, n, s))
+            .collect()
+    };
+    let base = times[0];
+    let rows: Vec<Vec<String>> = roster
+        .iter()
+        .zip(&times)
+        .map(|(kind, &t)| {
+            vec![
+                kind.label().to_string(),
+                format!("{t:.1}"),
+                format!("{:.2}x", base / t),
+            ]
+        })
+        .collect();
     println!("{}", render_table(&headers, &rows));
     Ok(())
 }

@@ -2,8 +2,11 @@
 //!
 //! One binary per table/figure of the SpInfer paper (see `DESIGN.md`'s
 //! per-experiment index). This library holds the shared pieces: the
-//! kernel roster, the model-derived benchmark shapes, and plain-text /
-//! CSV reporting.
+//! kernel roster, the model-derived benchmark shapes, plain-text /
+//! CSV reporting, and the parallel sweep runner with its encode-once
+//! cache ([`sweep`]).
+
+pub mod sweep;
 
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::kernels::{

@@ -1,0 +1,288 @@
+//! Parallel sweep runner: fans benchmark grid points across host cores
+//! and encodes each weight matrix exactly once.
+//!
+//! Figure-scale experiments evaluate a grid of (shape, sparsity, N,
+//! kernel) points. Every point is an independent pure function of its
+//! inputs, so the grid fans out over `gpu_sim::exec`'s worker pool —
+//! results come back in point order and simulated times are identical
+//! at any job count (host parallelism only changes wall-clock; see
+//! `docs/TIMING_MODEL.md`). The job count follows `gpu_sim::exec`
+//! resolution: [`configure_jobs`] (`--jobs N`) → `SPINFER_JOBS` →
+//! available hardware threads.
+//!
+//! Functional sweeps additionally share an [`EncodeCache`]: a (shape,
+//! sparsity) point generates its weight matrix and encodes TCA-BME /
+//! CSR / Tiled-CSL / SparTA / BCSR at most once each, reused across
+//! all batch sizes and kernels that touch the point.
+
+use crate::KernelKind;
+use gpu_sim::exec;
+use gpu_sim::matrix::{random_dense, random_sparse, DenseMatrix, ValueDist};
+use gpu_sim::spec::GpuSpec;
+use spinfer_baselines::kernels::{
+    CublasGemm, CusparseSpmm, FlashLlmSpmm, SmatSpmm, SpartaSpmm, SputnikSpmm,
+};
+use spinfer_baselines::{Bcsr, Csr, SpartaFormat, TiledCsl};
+use spinfer_core::spmm::SpmmRun;
+use spinfer_core::{SpinferSpmm, TcaBme};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Parses a `--jobs N` command-line override.
+pub fn jobs_flag(args: &[String]) -> Option<usize> {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Applies a `--jobs N` override (if present) to the process-wide
+/// worker count used by every parallel primitive.
+pub fn configure_jobs(args: &[String]) {
+    if let Some(n) = jobs_flag(args) {
+        exec::set_jobs(n);
+    }
+}
+
+/// One grid point of a kernel sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Weight rows.
+    pub m: usize,
+    /// Weight columns (reduction dimension).
+    pub k: usize,
+    /// Batch size (columns of X).
+    pub n: usize,
+    /// Weight sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Kernel under test.
+    pub kernel: KernelKind,
+}
+
+/// Fans arbitrary grid points across host cores; results in point
+/// order, identical to a serial map at any job count.
+pub fn par_points<I, R, F>(points: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    exec::par_map(points, f)
+}
+
+/// Analytic sweep: simulated time in microseconds per point, in point
+/// order.
+pub fn run_grid(spec: &GpuSpec, points: Vec<SweepPoint>) -> Vec<f64> {
+    par_points(points, |p| {
+        p.kernel.time_us(spec, p.m, p.k, p.n, p.sparsity)
+    })
+}
+
+/// A weight matrix with every kernel encoding built lazily, at most
+/// once, behind `OnceLock` (concurrent first callers block rather than
+/// re-encode).
+pub struct EncodedWeights {
+    weight: DenseMatrix,
+    tca_bme: OnceLock<TcaBme>,
+    csr: OnceLock<Csr>,
+    tiled_csl: OnceLock<TiledCsl>,
+    sparta: OnceLock<SpartaFormat>,
+    bcsr: OnceLock<Bcsr>,
+}
+
+impl EncodedWeights {
+    fn new(m: usize, k: usize, sparsity: f64, seed: u64) -> Self {
+        EncodedWeights {
+            weight: random_sparse(m, k, sparsity, ValueDist::Uniform, seed),
+            tca_bme: OnceLock::new(),
+            csr: OnceLock::new(),
+            tiled_csl: OnceLock::new(),
+            sparta: OnceLock::new(),
+            bcsr: OnceLock::new(),
+        }
+    }
+
+    /// The dense weight matrix.
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// TCA-BME encoding (SpInfer), built on first use.
+    pub fn tca_bme(&self) -> &TcaBme {
+        self.tca_bme.get_or_init(|| TcaBme::encode(&self.weight))
+    }
+
+    /// CSR encoding (Sputnik, cuSPARSE), built on first use.
+    pub fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::encode(&self.weight))
+    }
+
+    /// Tiled-CSL encoding (Flash-LLM), built on first use.
+    pub fn tiled_csl(&self) -> &TiledCsl {
+        self.tiled_csl
+            .get_or_init(|| TiledCsl::encode(&self.weight))
+    }
+
+    /// 2:4 + CSR decomposition (SparTA), built on first use.
+    pub fn sparta(&self) -> &SpartaFormat {
+        self.sparta
+            .get_or_init(|| SpartaFormat::encode(&self.weight))
+    }
+
+    /// BCSR encoding (SMaT), built on first use.
+    pub fn bcsr(&self) -> &Bcsr {
+        self.bcsr.get_or_init(|| Bcsr::encode(&self.weight))
+    }
+}
+
+/// Cache key: (m, k, sparsity in basis points, seed).
+type PointKey = (usize, usize, u32, u64);
+
+/// Encode-once cache over (m, k, sparsity, seed) weight points.
+#[derive(Default)]
+pub struct EncodeCache {
+    points: Mutex<HashMap<PointKey, Arc<EncodedWeights>>>,
+}
+
+impl EncodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared weights for a (shape, sparsity) point, generating
+    /// them on first request. Sparsity is keyed at basis-point
+    /// resolution.
+    pub fn point(&self, m: usize, k: usize, sparsity: f64, seed: u64) -> Arc<EncodedWeights> {
+        let key = (m, k, (sparsity * 1e4).round() as u32, seed);
+        self.points
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(EncodedWeights::new(m, k, sparsity, seed)))
+            .clone()
+    }
+
+    /// Number of distinct weight points generated so far.
+    pub fn len(&self) -> usize {
+        self.points.lock().unwrap().len()
+    }
+
+    /// Whether no point has been generated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Functional execution of one grid point through the encode cache.
+///
+/// The weight matrix is seeded by `seed` and X by a value derived from
+/// `seed` and the point's batch size, so a grid point's result is a
+/// pure function of `(point, seed)` — independent of sweep order and
+/// job count.
+pub fn run_functional(cache: &EncodeCache, spec: &GpuSpec, p: &SweepPoint, seed: u64) -> SpmmRun {
+    let enc = cache.point(p.m, p.k, p.sparsity, seed);
+    let x = random_dense(
+        p.k,
+        p.n,
+        ValueDist::Uniform,
+        seed ^ (p.n as u64).rotate_left(32),
+    );
+    match p.kernel {
+        KernelKind::CublasTc => CublasGemm::new().run(spec, enc.weight(), &x),
+        KernelKind::SpInfer => SpinferSpmm::new().run(spec, enc.tca_bme(), &x),
+        KernelKind::FlashLlm => FlashLlmSpmm::new().run_encoded(spec, enc.tiled_csl(), &x),
+        KernelKind::SparTa => SpartaSpmm::new().run_encoded(spec, enc.sparta(), &x),
+        KernelKind::Sputnik => SputnikSpmm::new().run_encoded(spec, enc.csr(), &x),
+        KernelKind::CuSparse => CusparseSpmm::new().run_encoded(spec, enc.csr(), &x),
+        KernelKind::Smat => SmatSpmm::new().run_encoded(spec, enc.bcsr(), &x),
+    }
+}
+
+/// Functional sweep: fans every point across host cores through one
+/// shared [`EncodeCache`], so each (shape, sparsity) encodes once no
+/// matter how many batch sizes and kernels visit it.
+pub fn run_functional_grid(spec: &GpuSpec, points: Vec<SweepPoint>, seed: u64) -> Vec<SpmmRun> {
+    let cache = EncodeCache::new();
+    par_points(points, |p| run_functional(&cache, spec, &p, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_flag_parses() {
+        let args: Vec<String> = ["x", "--jobs", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(jobs_flag(&args), Some(3));
+        let none: Vec<String> = vec!["--jobs".into(), "zero".into()];
+        assert_eq!(jobs_flag(&none), None);
+        assert_eq!(jobs_flag(&[]), None);
+    }
+
+    #[test]
+    fn cache_returns_same_point_and_encodes_once() {
+        let cache = EncodeCache::new();
+        let a = cache.point(64, 64, 0.5, 1);
+        let b = cache.point(64, 64, 0.5, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one entry");
+        assert_eq!(cache.len(), 1);
+        // Distinct sparsity is a distinct point.
+        let c = cache.point(64, 64, 0.6, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // Encodings are built once and shared thereafter.
+        let csr1 = a.csr() as *const Csr;
+        let csr2 = b.csr() as *const Csr;
+        assert_eq!(csr1, csr2);
+    }
+
+    #[test]
+    fn analytic_grid_matches_serial_map() {
+        let spec = GpuSpec::rtx4090();
+        let points: Vec<SweepPoint> = [0.4, 0.6]
+            .iter()
+            .flat_map(|&s| {
+                [KernelKind::SpInfer, KernelKind::CublasTc]
+                    .into_iter()
+                    .map(move |kernel| SweepPoint {
+                        m: 1024,
+                        k: 1024,
+                        n: 16,
+                        sparsity: s,
+                        kernel,
+                    })
+            })
+            .collect();
+        let serial: Vec<f64> = points
+            .iter()
+            .map(|p| p.kernel.time_us(&spec, p.m, p.k, p.n, p.sparsity))
+            .collect();
+        assert_eq!(run_grid(&spec, points), serial);
+    }
+
+    #[test]
+    fn functional_grid_matches_direct_runs() {
+        let spec = GpuSpec::rtx4090();
+        let mk = 64usize;
+        let points: Vec<SweepPoint> = [KernelKind::SpInfer, KernelKind::FlashLlm]
+            .into_iter()
+            .flat_map(|kernel| {
+                [8usize, 16].into_iter().map(move |n| SweepPoint {
+                    m: mk,
+                    k: mk,
+                    n,
+                    sparsity: 0.6,
+                    kernel,
+                })
+            })
+            .collect();
+        let runs = run_functional_grid(&spec, points.clone(), 9);
+        for (p, r) in points.iter().zip(&runs) {
+            // Rebuild the point without the cache: identical output.
+            let direct = run_functional(&EncodeCache::new(), &spec, p, 9);
+            assert_eq!(r.output, direct.output, "{:?} n={}", p.kernel, p.n);
+        }
+    }
+}

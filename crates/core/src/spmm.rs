@@ -26,6 +26,7 @@ use crate::smbd::{bt_decode_cost, decode_tctile};
 use crate::tca_bme::{TcaBme, TT_DIM};
 use gpu_sim::bitops::popc64;
 use gpu_sim::counters::Counters;
+use gpu_sim::exec::{self, CounterShard};
 use gpu_sim::fp16::Half;
 use gpu_sim::global::{warp_global_store, warp_ldgsts, GlobalMemory, VAddr};
 use gpu_sim::kernel::{LaunchChain, LaunchResult};
@@ -330,32 +331,77 @@ impl SpinferSpmm {
 
         let gtiles_y = w.gtiles_y();
         let gtiles_x = w.gtiles_x();
-        for gty in 0..gtiles_y {
-            for nt in 0..geo.grid_x {
-                let n0 = nt * geo.tile_n;
-                for split in 0..geo.split_k {
-                    let gx0 = split * geo.gtx_per_split;
-                    let gx1 = (gx0 + geo.gtx_per_split).min(gtiles_x);
-                    self.run_block(
-                        spec,
-                        w,
-                        x,
-                        &mut counters,
-                        &mut x_counters,
-                        &mut workspace[split * w.m_pad * geo.n_pad..][..w.m_pad * geo.n_pad],
-                        &geo,
-                        gty,
-                        n0,
-                        gx0,
-                        gx1,
-                        values_base,
-                        bitmaps_base,
-                        x_base,
-                        ws_base,
-                        smem_values,
-                    );
+        let slice_len = w.m_pad * geo.n_pad;
+        let band_len = w.config.gt_rows * geo.n_pad;
+
+        // Block-level fan-out (see `gpu_sim::exec`): block rows `gty`
+        // write disjoint workspace row bands, so they distribute across
+        // host cores. Pre-cut the workspace into per-(split, gty) bands
+        // and hand each task the bands it owns — safe disjoint `&mut`
+        // access with no runtime aliasing checks.
+        let mut split_bands: Vec<_> = workspace
+            .chunks_mut(slice_len)
+            .map(|s| s.chunks_mut(band_len))
+            .collect();
+        let tasks: Vec<(usize, Vec<&mut [f32]>)> = (0..gtiles_y)
+            .map(|gty| {
+                let bands = split_bands
+                    .iter_mut()
+                    .map(|it| it.next().unwrap())
+                    .collect();
+                (gty, bands)
+            })
+            .collect();
+
+        // `run_block` addresses the workspace by *global* row, so each
+        // worker runs its block rows against a reusable full-size
+        // scratch image, then copies the finished band out and
+        // re-zeroes it. Event counts shard per task and merge
+        // field-wise (`u64` addition commutes), so both the numerics
+        // (disjoint copies) and the counters are bit-identical to the
+        // serial gty → nt → split loop at any job count.
+        let shards = exec::par_map_with(
+            tasks,
+            || vec![0.0f32; geo.split_k * slice_len],
+            |scratch, (gty, bands)| {
+                let mut shard = CounterShard::new();
+                let mut x_shard = CounterShard::new();
+                for nt in 0..geo.grid_x {
+                    let n0 = nt * geo.tile_n;
+                    for split in 0..geo.split_k {
+                        let gx0 = split * geo.gtx_per_split;
+                        let gx1 = (gx0 + geo.gtx_per_split).min(gtiles_x);
+                        self.run_block(
+                            spec,
+                            w,
+                            x,
+                            shard.counters(),
+                            x_shard.counters(),
+                            &mut scratch[split * slice_len..][..slice_len],
+                            &geo,
+                            gty,
+                            n0,
+                            gx0,
+                            gx1,
+                            values_base,
+                            bitmaps_base,
+                            x_base,
+                            ws_base,
+                            smem_values,
+                        );
+                    }
                 }
-            }
+                for (split, band) in bands.into_iter().enumerate() {
+                    let src = &mut scratch[split * slice_len + gty * band_len..][..band_len];
+                    band.copy_from_slice(src);
+                    src.fill(0.0);
+                }
+                (shard, x_shard)
+            },
+        );
+        for (shard, x_shard) in shards {
+            counters.merge(&shard.into_counters());
+            x_counters.merge(&x_shard.into_counters());
         }
 
         let x_requested = x_counters.dram_read_bytes;
@@ -462,7 +508,7 @@ impl SpinferSpmm {
             );
             cp_async.issue();
             cp_async.commit_group(); // Bitmap + sparse values group.
-            // --- 3. XTile loading ---
+                                     // --- 3. XTile loading ---
             let row_bytes = (geo.tile_n * 2) as u64;
             for kr in (0..cfg.gt_cols).step_by(4) {
                 // Four X rows per warp instruction (8 lanes × 16 B when
@@ -486,8 +532,8 @@ impl SpinferSpmm {
             }
             cp_async.issue();
             cp_async.commit_group(); // Dense XTile group.
-            // SMBD may start once the sparse group lands (dense still in
-            // flight) — Algorithm 1 line 24.
+                                     // SMBD may start once the sparse group lands (dense still in
+                                     // flight) — Algorithm 1 line 24.
             let retired = cp_async.wait_group(1);
             debug_assert_eq!(retired, 1, "sparse group retires first");
 

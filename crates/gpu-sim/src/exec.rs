@@ -1,0 +1,302 @@
+//! # Host-side parallel execution engine
+//!
+//! The simulator is a pure host program: every kernel "launch" is a
+//! deterministic function of its inputs that produces numerical output
+//! plus a [`Counters`] record. That makes block-level fan-out across
+//! host cores safe *provided* the parallel decomposition is exact:
+//!
+//! * **Counters** — every field of [`Counters`] is a `u64` event count
+//!   and [`Counters::merge`] is field-wise addition, which is
+//!   commutative and associative. Sharding counts per worker and
+//!   merging after the barrier therefore yields bit-identical totals
+//!   regardless of schedule.
+//! * **Numerics** — callers must partition floating-point work so each
+//!   worker owns a disjoint output region (e.g. disjoint block rows of
+//!   a workspace). Disjoint writes are plain copies; no cross-worker
+//!   reduction order exists, so results are bit-identical to serial.
+//!
+//! Host parallelism here changes *wall-clock* time of the simulation
+//! only. Simulated kernel time is a pure function of the merged
+//! counters and launch geometry (see `docs/TIMING_MODEL.md`), so every
+//! reported figure is identical at any job count.
+//!
+//! Job count resolution: [`set_jobs`] override → `SPINFER_JOBS`
+//! environment variable → [`std::thread::available_parallelism`].
+
+use crate::counters::Counters;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide job override set by [`set_jobs`]; 0 means "no override".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker count for subsequent parallel calls.
+///
+/// `set_jobs(1)` forces serial execution; `set_jobs(0)` clears the
+/// override, restoring `SPINFER_JOBS` / hardware detection. The
+/// override is process-global: tests that flip it must keep the
+/// flip-and-restore inside a single `#[test]` body (the default test
+/// harness runs tests on concurrent threads).
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Resolves the worker count: [`set_jobs`] override, else the
+/// `SPINFER_JOBS` environment variable, else the number of available
+/// hardware threads (at least 1).
+pub fn num_jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(s) = std::env::var("SPINFER_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// input order.
+///
+/// Workers claim items dynamically (an atomic cursor over the shared
+/// list), so uneven per-item cost load-balances; results are stitched
+/// back by item index, so the output is identical to
+/// `items.into_iter().map(f).collect()` for any job count.
+pub fn par_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    par_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch state.
+///
+/// Each worker calls `init` once and threads the resulting state
+/// through every item it processes — the hook for reusable scratch
+/// buffers and per-worker [`CounterShard`]s. The serial path (one job
+/// or ≤1 item) uses a single state, which is indistinguishable
+/// because worker state must never affect results (only counters
+/// recorded into shards that are merged commutatively).
+pub fn par_map_with<I, S, R, F, N>(items: Vec<I>, init: N, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> R + Sync,
+{
+    let jobs = num_jobs().min(items.len().max(1));
+    if jobs <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Hold the queue lock only for the claim, not
+                        // for the (arbitrarily long) item execution.
+                        let next = queue.lock().unwrap().next();
+                        match next {
+                            Some((idx, item)) => local.push((idx, f(&mut state, item))),
+                            None => break local,
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+
+    collected.sort_unstable_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Partitions `0..len` into contiguous ranges and maps `f` over them on
+/// the worker pool, returning per-range results in range order.
+///
+/// The `par_chunks` counterpart to [`par_map`]: several ranges are cut
+/// per worker so uneven per-range cost load-balances. Chunk geometry
+/// depends only on `len` and the job count, never on the data; callers
+/// that compute each output element entirely within one range (e.g.
+/// row bands of a matrix product) get bit-identical results at any job
+/// count because no floating-point reduction crosses a range boundary.
+pub fn par_chunks<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    par_map(chunk_ranges(len, num_jobs()), f)
+}
+
+/// Cuts `0..len` into contiguous ranges, about four per job.
+fn chunk_ranges(len: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(jobs.max(1) * 4).max(1);
+    (0..len.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Per-worker event-count shard.
+///
+/// The pattern for parallelising an instrumented kernel: give each
+/// worker its own shard via [`par_map_with`], record into
+/// [`CounterShard::counters`] exactly as the serial code records into
+/// its single [`Counters`], return the shard (or fold it into the
+/// per-item result), and total with [`CounterShard::merge_all`] after
+/// the pool joins. Because merging is field-wise `u64` addition, the
+/// total is bit-identical to serial accumulation in any order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterShard(Counters);
+
+impl CounterShard {
+    /// A fresh zeroed shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shard's counters, for kernels to record into.
+    pub fn counters(&mut self) -> &mut Counters {
+        &mut self.0
+    }
+
+    /// Consumes the shard, yielding its counts.
+    pub fn into_counters(self) -> Counters {
+        self.0
+    }
+
+    /// Merges any number of shards into one total via
+    /// [`Counters::merge`].
+    pub fn merge_all(shards: impl IntoIterator<Item = CounterShard>) -> Counters {
+        let mut total = Counters::default();
+        for shard in shards {
+            total.merge(&shard.0);
+        }
+        total
+    }
+}
+
+impl From<Counters> for CounterShard {
+    fn from(c: Counters) -> Self {
+        CounterShard(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        let out = par_map((0..257usize).collect(), |i| i * i);
+        assert_eq!(out, (0..257usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<usize>::new(), |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(vec![41usize], |i| i + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        // Each worker's scratch buffer is initialised once; results
+        // must not depend on which worker processed which item.
+        let out = par_map_with(
+            (0..64u64).collect(),
+            || vec![0u8; 16],
+            |scratch, i| {
+                scratch[0] = scratch[0].wrapping_add(1); // state mutates freely
+                i * 3
+            },
+        );
+        assert_eq!(out, (0..64u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_exactly_once() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            let ranges = par_chunks(len, |r| r);
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_contiguous_and_balanced() {
+        let ranges = chunk_ranges(100, 4);
+        assert!(ranges.len() >= 4, "want several chunks per job");
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 100);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn counter_shards_merge_to_serial_total() {
+        // Serial reference: one Counters accumulating every item.
+        let mut serial = Counters::default();
+        for i in 0..100u64 {
+            serial.mma_insts += i;
+            serial.dram_read_bytes += 2 * i;
+        }
+        // Sharded: each item records into its worker's shard.
+        let shards = par_map((0..100u64).collect(), |i| {
+            let mut shard = CounterShard::new();
+            shard.counters().mma_insts += i;
+            shard.counters().dram_read_bytes += 2 * i;
+            shard
+        });
+        let total = CounterShard::merge_all(shards);
+        assert_eq!(total, serial);
+    }
+
+    #[test]
+    fn job_counts_agree_bitwise() {
+        // Flip-and-restore stays inside one #[test]: the override is
+        // process-global and the harness runs tests concurrently.
+        set_jobs(1);
+        let serial = par_map((0..500usize).collect(), |i| (i as f32).sin());
+        set_jobs(4);
+        let parallel = par_map((0..500usize).collect(), |i| (i as f32).sin());
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        set_jobs(0); // harmless even if racing: default is multi-job
+        par_map((0..8usize).collect(), |i| {
+            if i == 5 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+}

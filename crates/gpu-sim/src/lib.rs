@@ -14,6 +14,9 @@
 //! * [`async_copy`] — `cp.async` commit-group semantics.
 //! * [`mod@occupancy`], [`timing`], [`kernel`], [`counters`] — the profiling
 //!   and time-estimation layer (Nsight-style metrics).
+//! * [`exec`] — host-side parallel execution engine (worker pool +
+//!   sharded counters) for running simulations across host cores with
+//!   bit-identical results.
 //!
 //! Kernels built on this substrate (in `spinfer-core` and
 //! `spinfer-baselines`) compute bit-exact numerical results on the host
@@ -27,6 +30,7 @@
 pub mod async_copy;
 pub mod bitops;
 pub mod counters;
+pub mod exec;
 pub mod fp16;
 pub mod global;
 pub mod kernel;

@@ -142,6 +142,38 @@ impl DenseMatrix {
         }
         out
     }
+
+    /// [`DenseMatrix::matmul_ref`] fanned across host cores (see
+    /// [`crate::exec`]).
+    ///
+    /// Each worker computes a contiguous band of output rows with the
+    /// serial element loop, so every `out[r][c]` accumulates in the
+    /// same order as `matmul_ref` and the result is bit-identical at
+    /// any job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn par_matmul_ref(&self, rhs: &DenseMatrix) -> Vec<f32> {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let n = rhs.cols;
+        let bands = crate::exec::par_chunks(self.rows, |rows| {
+            let mut band = vec![0.0f32; rows.len() * n];
+            for (i, r) in rows.enumerate() {
+                for k in 0..self.cols {
+                    let a = self.get(r, k).to_f32();
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for c in 0..n {
+                        band[i * n + c] += a * rhs.get(k, c).to_f32();
+                    }
+                }
+            }
+            band
+        });
+        bands.concat()
+    }
 }
 
 /// Distribution of non-zero values in generated matrices.
@@ -353,6 +385,13 @@ mod tests {
         let a = DenseMatrix::from_f32(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let b = DenseMatrix::from_f32(2, 1, &[5.0, 6.0]);
         assert_eq!(a.matmul_ref(&b), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn par_matmul_ref_is_bit_identical_to_serial() {
+        let a = random_sparse(97, 130, 0.6, ValueDist::Uniform, 11);
+        let x = random_dense(130, 13, ValueDist::Uniform, 12);
+        assert_eq!(a.par_matmul_ref(&x), a.matmul_ref(&x));
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Parallel execution engine determinism (see `gpu_sim::exec`).
+//!
+//! Host parallelism must be invisible in every simulated result: the
+//! worker-pool fan-out has to produce the same bits as forced
+//! single-thread execution — full [`gpu_sim::Counters`] equality on
+//! every launch and identical FP32 output — for SpInfer and the
+//! baseline kernels.
+
+use gpu_sim::exec;
+use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+use gpu_sim::GpuSpec;
+use spinfer_baselines::kernels::{CublasGemm, CusparseSpmm, FlashLlmSpmm, SputnikSpmm};
+use spinfer_core::{SpinferSpmm, TcaBme};
+
+/// One `#[test]` on purpose: `exec::set_jobs` is process-global and the
+/// default harness runs `#[test]` fns on concurrent threads, so the
+/// flip-and-restore must not interleave with other tests.
+#[test]
+fn parallel_run_is_bit_identical_to_serial() {
+    let spec = GpuSpec::rtx4090();
+    // Several block rows (gtiles_y > 1) and a non-trivial batch, so the
+    // parallel path genuinely fans out.
+    let w = random_sparse(256, 512, 0.6, ValueDist::Uniform, 41);
+    let x = random_dense(512, 16, ValueDist::Uniform, 42);
+    let enc = TcaBme::encode(&w);
+
+    let run_all = || {
+        vec![
+            ("spinfer", SpinferSpmm::new().run(&spec, &enc, &x)),
+            ("flash_llm", FlashLlmSpmm::new().run(&spec, &w, &x)),
+            ("sputnik", SputnikSpmm::new().run(&spec, &w, &x)),
+            ("cusparse", CusparseSpmm::new().run(&spec, &w, &x)),
+            ("cublas", CublasGemm::new().run(&spec, &w, &x)),
+        ]
+    };
+
+    exec::set_jobs(1);
+    let serial = run_all();
+    exec::set_jobs(8);
+    let parallel = run_all();
+    exec::set_jobs(0);
+
+    for ((name, s), (_, p)) in serial.iter().zip(&parallel) {
+        // Bit-identical numerics: disjoint output bands mean no
+        // cross-worker FP reduction exists.
+        assert_eq!(s.output, p.output, "{name}: output differs");
+        // Bit-identical instrumentation: full Counters equality on
+        // every launch of the chain (u64 shard merges commute).
+        assert_eq!(
+            s.chain.launches.len(),
+            p.chain.launches.len(),
+            "{name}: launch count differs"
+        );
+        for (ls, lp) in s.chain.launches.iter().zip(&p.chain.launches) {
+            assert_eq!(
+                ls.counters, lp.counters,
+                "{name}/{}: counters differ",
+                ls.name
+            );
+        }
+        assert_eq!(s.time_us(), p.time_us(), "{name}: simulated time differs");
+    }
+}

@@ -64,7 +64,7 @@ proptest! {
         let mut s = seed;
         for a in addrs.iter_mut() {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if s % 4 != 0 {
+            if !s.is_multiple_of(4) {
                 *a = Some((s >> 16) % 4096);
             }
         }

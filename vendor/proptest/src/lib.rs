@@ -1,0 +1,326 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of the proptest 1.x surface the workspace's
+//! property tests use: the `proptest!` macro (with
+//! `#![proptest_config(..)]`, `name in strategy` and `name: Type`
+//! parameters), range and `prop::sample::select` strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Unlike upstream proptest there is no shrinking and no persisted
+//! failure corpus: each test runs `cases` deterministic random cases
+//! seeded from the test's name, so failures reproduce exactly across
+//! runs and hosts.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name and case index so every case is
+    /// reproducible and distinct.
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name.
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % width) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// Types with a whole-domain default strategy (`name: Type` parameters).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Combinator namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling combinators.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy drawing uniformly from a fixed set of options.
+        #[derive(Clone, Debug)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice among `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics (at generation time) if `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(!self.options.is_empty(), "select over no options");
+                self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+
+    /// The default whole-domain strategy for `T` (rarely used directly;
+    /// `name: Type` parameters route through [`Arbitrary`]).
+    pub fn any<T: crate::Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Strategy form of [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: crate::Arbitrary> crate::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut crate::TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Property assertion; behaves like `assert!` (no shrinking here, so a
+/// failure panics with the generated inputs baked into the message by
+/// the harness loop).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion; behaves like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion; behaves like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The `proptest!` test-block macro. Supports the two forms the
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, seed: u64) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` item inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($params:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(stringify!($name), __case);
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: expands `proptest!` parameters into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed strategy and typed parameters bind and stay in range.
+        #[test]
+        fn ranges_and_arbitrary(x in 3usize..9, f in -2.0f32..2.0, seed: u64, bits: u16) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            let _ = (seed, bits);
+        }
+
+        /// Inclusive full-width ranges do not overflow.
+        #[test]
+        fn full_width_inclusive(bits in 0u16..=u16::MAX) {
+            prop_assert!(u32::from(bits) <= 0xFFFF);
+        }
+
+        /// `select` only yields listed options.
+        #[test]
+        fn select_yields_options(w in prop::sample::select(vec![2u32, 4, 8, 16])) {
+            prop_assert!([2, 4, 8, 16].contains(&w));
+        }
+    }
+
+    proptest! {
+        /// Default config applies when no attribute is given.
+        #[test]
+        fn default_config(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a = TestRng::new("t", 3).next_u64();
+        let b = TestRng::new("t", 3).next_u64();
+        let c = TestRng::new("t", 4).next_u64();
+        let d = TestRng::new("u", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}
