@@ -1,0 +1,82 @@
+//! Golden-constant probe for the determinism suite.
+//!
+//! Prints, as ready-to-paste Rust array literals, the pinned values the
+//! golden-counter test in `tests/determinism.rs` asserts: per-kernel
+//! merged-counter digest, simulated-time bit pattern, and FP32 output
+//! checksum for the fixed-seed functional shape, plus the analytic
+//! simulated times for the fig01 hero shape. Run it after any hot-path
+//! change: the output must be byte-identical to the constants already in
+//! the test, or the change altered simulated results.
+//!
+//! ```text
+//! cargo run --release --bin golden
+//! ```
+
+use gpu_sim::exec;
+use gpu_sim::matrix::checksum_f32;
+use gpu_sim::GpuSpec;
+use spinfer_bench::sweep::{run_functional, EncodeCache, SweepPoint};
+use spinfer_bench::{KernelKind, HERO_K, HERO_M};
+
+/// The functional golden shape: large enough to cross GroupTile and
+/// split-K boundaries with ragged edges (900 and 720 are not multiples
+/// of 64; 20 is not a multiple of 8), small enough for a debug-mode
+/// test run.
+const GOLDEN: (usize, usize, usize, f64, u64) = (900, 720, 20, 0.65, 1234);
+
+fn roster() -> [KernelKind; 7] {
+    [
+        KernelKind::CublasTc,
+        KernelKind::SpInfer,
+        KernelKind::FlashLlm,
+        KernelKind::SparTa,
+        KernelKind::Sputnik,
+        KernelKind::CuSparse,
+        KernelKind::Smat,
+    ]
+}
+
+fn main() {
+    let spec = GpuSpec::rtx4090();
+    let (m, k, n, sparsity, seed) = GOLDEN;
+    exec::set_jobs(1);
+
+    println!("// Captured by `cargo run --release --bin golden`.");
+    println!(
+        "// Functional golden shape: {m}x{k}x{n} s={sparsity} seed={seed} on {}.",
+        spec.name
+    );
+    println!("const GOLDEN_FUNCTIONAL: [(&str, u64, u64, u64); 7] = [");
+    let cache = EncodeCache::new();
+    for kernel in roster() {
+        let p = SweepPoint {
+            m,
+            k,
+            n,
+            sparsity,
+            kernel,
+        };
+        let run = run_functional(&cache, &spec, &p, seed);
+        let digest = run.chain.merged_counters().digest();
+        let time_bits = run.time_us().to_bits();
+        let checksum = checksum_f32(run.output.as_ref().expect("functional output"));
+        println!(
+            "    (\"{}\", {:#018x}, {:#018x}, {:#018x}),",
+            kernel.label(),
+            digest,
+            time_bits,
+            checksum
+        );
+    }
+    println!("];");
+
+    println!(
+        "// Analytic simulated time (µs, f64 bits) at the hero shape {HERO_M}x{HERO_K}x16 s=0.6."
+    );
+    println!("const GOLDEN_HERO_ANALYTIC: [(&str, u64); 7] = [");
+    for kernel in roster() {
+        let us = kernel.time_us(&spec, HERO_M, HERO_K, 16, 0.6);
+        println!("    (\"{}\", {:#018x}),", kernel.label(), us.to_bits());
+    }
+    println!("];");
+}

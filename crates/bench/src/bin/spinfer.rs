@@ -8,6 +8,8 @@
 //! spinfer tune <M> <K> <N> <sparsity> [--gpu G]     autotune the SpInfer kernel
 //! spinfer serve <MODEL> <FW> <TP> <BATCH> <OUT>     end-to-end serving simulation
 //! spinfer generate [TOKENS]                         run the tiny functional model
+//! spinfer snapshot [M K N sparsity] [--gpu G] [--out FILE]
+//!                                                   perf snapshot → BENCH_kernels.json
 //! ```
 //!
 //! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
@@ -37,8 +39,9 @@ fn main() -> ExitCode {
         Some("tune") => cmd_tune(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         _ => {
-            eprintln!("usage: spinfer <encode|inspect|bench|tune|serve|generate> ...");
+            eprintln!("usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot> ...");
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
         }
@@ -316,5 +319,39 @@ fn cmd_generate(args: &[String]) -> CliResult {
         sparse.linear_bytes()
     );
     let _ = SpMMHandle::encode(&random_sparse(16, 16, 0.5, ValueDist::Uniform, 1));
+    Ok(())
+}
+
+fn cmd_snapshot(args: &[String]) -> CliResult {
+    let spec = gpu(args)?;
+    let mut cfg = spinfer_bench::snapshot::SnapshotConfig::default();
+    // Positional overrides: M K N sparsity (all four or none).
+    if args.first().is_some_and(|a| !a.starts_with("--")) {
+        cfg.m = parse(args, 0, "M")?;
+        cfg.k = parse(args, 1, "K")?;
+        cfg.n = parse(args, 2, "N")?;
+        cfg.sparsity = parse(args, 3, "sparsity")?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| format!("invalid seed: {s}"))?;
+    }
+    eprintln!(
+        "snapshot: {}x{}x{} s={} on {} (functional run at --jobs 1 and default jobs)",
+        cfg.m, cfg.k, cfg.n, cfg.sparsity, spec.name
+    );
+    let snap = spinfer_bench::snapshot::measure(&spec, &cfg);
+    let json = snap.to_json();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} (jobs1 {:.3}s, default({}) {:.3}s)",
+                snap.spinfer_functional_jobs1_s,
+                snap.default_jobs,
+                snap.spinfer_functional_default_s
+            );
+        }
+        None => print!("{json}"),
+    }
     Ok(())
 }

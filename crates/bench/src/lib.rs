@@ -6,6 +6,7 @@
 //! CSV reporting, and the parallel sweep runner with its encode-once
 //! cache ([`sweep`]).
 
+pub mod snapshot;
 pub mod sweep;
 
 use gpu_sim::spec::GpuSpec;

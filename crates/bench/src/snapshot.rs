@@ -1,0 +1,232 @@
+//! Perf-snapshot harness: the measurement rail every perf PR is judged
+//! against.
+//!
+//! A snapshot measures, at one benchmark point (default: the fig01 hero
+//! shape, LLaMA2-70B's 28672×8192 FFN projection at 60% sparsity, N=16):
+//!
+//! * **Host wall-clock** of the functional `SpinferSpmm::run` at
+//!   `--jobs 1` (the serial hot path this repository optimises) and at
+//!   the default job count (how the serial speedup multiplies with the
+//!   PR 1 parallel engine), plus weight generation + encode time.
+//! * **Simulated kernel time** (µs) for the full kernel roster from the
+//!   analytic estimators — pinned here so a host-side optimisation that
+//!   accidentally changes *simulated* results is visible in the diff of
+//!   `BENCH_kernels.json`.
+//!
+//! The snapshot is emitted as JSON (no external serializer — the format
+//! is flat) by `spinfer snapshot` and `scripts/bench_snapshot.sh`, and
+//! the committed `BENCH_kernels.json` forms the perf trajectory across
+//! PRs.
+
+use crate::sweep::{EncodeCache, SweepPoint};
+use crate::{KernelKind, HERO_K, HERO_M};
+use gpu_sim::exec;
+use gpu_sim::matrix::checksum_f32;
+use gpu_sim::spec::GpuSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The benchmark point a snapshot measures.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotConfig {
+    /// Weight rows.
+    pub m: usize,
+    /// Weight columns (reduction dimension).
+    pub k: usize,
+    /// Batch size (columns of X).
+    pub n: usize,
+    /// Weight sparsity.
+    pub sparsity: f64,
+    /// Weight/X generation seed.
+    pub seed: u64,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            m: HERO_M,
+            k: HERO_K,
+            n: 16,
+            sparsity: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+/// One measured snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The point measured.
+    pub config: SnapshotConfig,
+    /// GPU spec name the simulated times refer to.
+    pub gpu: String,
+    /// Default host job count at measurement time.
+    pub default_jobs: usize,
+    /// Seconds to generate the weight matrix and X.
+    pub gen_s: f64,
+    /// Seconds to encode the weight to TCA-BME.
+    pub encode_s: f64,
+    /// Functional `SpinferSpmm::run` wall-clock at `--jobs 1`.
+    pub spinfer_functional_jobs1_s: f64,
+    /// Functional `SpinferSpmm::run` wall-clock at the default job count.
+    pub spinfer_functional_default_s: f64,
+    /// FNV digest of the functional FP32 output (regression tripwire).
+    pub output_checksum: u64,
+    /// Simulated time of the functional run in µs.
+    pub spinfer_simulated_us: f64,
+    /// `(label, simulated µs)` for the full analytic kernel roster.
+    pub simulated_us: Vec<(&'static str, f64)>,
+}
+
+/// The roster whose simulated times a snapshot pins.
+fn roster() -> [KernelKind; 7] {
+    [
+        KernelKind::CublasTc,
+        KernelKind::SpInfer,
+        KernelKind::FlashLlm,
+        KernelKind::SparTa,
+        KernelKind::Sputnik,
+        KernelKind::CuSparse,
+        KernelKind::Smat,
+    ]
+}
+
+/// Measures one snapshot. The functional run executes twice (once at
+/// `--jobs 1`, once at the default job count); job count never changes
+/// simulated results, so the checksum is asserted identical across both.
+pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
+    let point = SweepPoint {
+        m: cfg.m,
+        k: cfg.k,
+        n: cfg.n,
+        sparsity: cfg.sparsity,
+        kernel: KernelKind::SpInfer,
+    };
+
+    let cache = EncodeCache::new();
+    let t0 = Instant::now();
+    let enc = cache.point(cfg.m, cfg.k, cfg.sparsity, cfg.seed);
+    let gen_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let _ = enc.tca_bme();
+    let encode_s = t0.elapsed().as_secs_f64();
+
+    let default_jobs = exec::num_jobs();
+    exec::set_jobs(1);
+    let t0 = Instant::now();
+    let serial = crate::sweep::run_functional(&cache, spec, &point, cfg.seed);
+    let spinfer_functional_jobs1_s = t0.elapsed().as_secs_f64();
+    exec::set_jobs(0);
+    let t0 = Instant::now();
+    let pooled = crate::sweep::run_functional(&cache, spec, &point, cfg.seed);
+    let spinfer_functional_default_s = t0.elapsed().as_secs_f64();
+
+    let serial_out = serial.output.as_ref().expect("functional output");
+    let pooled_out = pooled.output.as_ref().expect("functional output");
+    let output_checksum = checksum_f32(serial_out);
+    assert_eq!(
+        output_checksum,
+        checksum_f32(pooled_out),
+        "job count changed the functional output"
+    );
+
+    let simulated_us = roster()
+        .iter()
+        .map(|&kind| {
+            (
+                kind.label(),
+                kind.time_us(spec, cfg.m, cfg.k, cfg.n, cfg.sparsity),
+            )
+        })
+        .collect();
+
+    Snapshot {
+        config: *cfg,
+        gpu: spec.name.to_string(),
+        default_jobs,
+        gen_s,
+        encode_s,
+        spinfer_functional_jobs1_s,
+        spinfer_functional_default_s,
+        output_checksum,
+        spinfer_simulated_us: serial.time_us(),
+        simulated_us,
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"spinfer-bench-snapshot/v1\",");
+        let _ = writeln!(s, "  \"gpu\": \"{}\",", self.gpu);
+        let _ = writeln!(
+            s,
+            "  \"shape\": {{ \"m\": {}, \"k\": {}, \"n\": {}, \"sparsity\": {}, \"seed\": {} }},",
+            self.config.m, self.config.k, self.config.n, self.config.sparsity, self.config.seed
+        );
+        let _ = writeln!(s, "  \"default_jobs\": {},", self.default_jobs);
+        let _ = writeln!(s, "  \"wall_clock_s\": {{");
+        let _ = writeln!(s, "    \"generate\": {:.3},", self.gen_s);
+        let _ = writeln!(s, "    \"encode\": {:.3},", self.encode_s);
+        let _ = writeln!(
+            s,
+            "    \"spinfer_functional_jobs1\": {:.3},",
+            self.spinfer_functional_jobs1_s
+        );
+        let _ = writeln!(
+            s,
+            "    \"spinfer_functional_default\": {:.3}",
+            self.spinfer_functional_default_s
+        );
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(
+            s,
+            "  \"output_checksum\": \"{:#018x}\",",
+            self.output_checksum
+        );
+        let _ = writeln!(
+            s,
+            "  \"spinfer_functional_simulated_us\": {:.3},",
+            self.spinfer_simulated_us
+        );
+        let _ = writeln!(s, "  \"simulated_us\": {{");
+        for (i, (label, us)) in self.simulated_us.iter().enumerate() {
+            let comma = if i + 1 == self.simulated_us.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(s, "    \"{label}\": {us:.3}{comma}");
+        }
+        let _ = writeln!(s, "  }}");
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_snapshot_is_consistent() {
+        let spec = GpuSpec::rtx4090();
+        let cfg = SnapshotConfig {
+            m: 128,
+            k: 128,
+            n: 16,
+            sparsity: 0.6,
+            seed: 7,
+        };
+        let snap = measure(&spec, &cfg);
+        assert!(snap.spinfer_functional_jobs1_s >= 0.0);
+        assert!(snap.spinfer_simulated_us > 0.0);
+        assert_eq!(snap.simulated_us.len(), 7);
+        let json = snap.to_json();
+        assert!(json.contains("\"spinfer_functional_jobs1\""));
+        assert!(json.contains("\"cuBLAS_TC\""));
+        assert!(json.contains("output_checksum"));
+    }
+}

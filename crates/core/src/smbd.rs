@@ -123,6 +123,25 @@ pub fn decode_tctile(
     (frag, offset - base)
 }
 
+/// Decodes a full 16×16 TCTile straight to the decode-once `f32` row
+/// view the flat-array mma entry points
+/// ([`gpu_sim::tensor_core::mma_m16n8k16_f32`] /
+/// [`mma_m16n8k16_bslice`](gpu_sim::tensor_core::mma_m16n8k16_bslice))
+/// consume. One decode serves every N-block the tile multiplies, so the
+/// per-MAC bit-decode of the fragment path disappears from the SpMM hot
+/// loop. Counter writes are exactly those of [`decode_tctile`] — it *is*
+/// the same decode, followed by one unpack of the 64 registers.
+pub fn decode_tctile_f32(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+) -> ([[f32; 16]; 16], usize) {
+    let (frag, consumed) = decode_tctile(counters, bitmaps, values, base, values_smem_base);
+    (frag.to_f32_rows(), consumed)
+}
+
 /// Analytic cost of decoding one BitmapTile, mirroring the counter writes
 /// of [`decode_bitmap_tile`] without executing it. Used by the estimator.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -22,7 +22,7 @@
 //! statistics) are provided; tests pin them against each other so
 //! paper-scale benchmarks can use the cheap path.
 
-use crate::smbd::{bt_decode_cost, decode_tctile};
+use crate::smbd::{bt_decode_cost, decode_tctile_f32};
 use crate::tca_bme::{TcaBme, TT_DIM};
 use gpu_sim::bitops::popc64;
 use gpu_sim::counters::Counters;
@@ -34,7 +34,7 @@ use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::shared_memory::warp_ldsm_x4;
 use gpu_sim::spec::GpuSpec;
-use gpu_sim::tensor_core::{mma_m16n8k16, FragB, FragC};
+use gpu_sim::tensor_core::{mma_m16n8k16_bslice, FragC, MMA_K};
 use gpu_sim::timing::{L2Reuse, LaunchShape, PipelineMode};
 
 /// Ablation switches (paper Table 1). Both `true` is the full kernel.
@@ -482,6 +482,15 @@ impl SpinferSpmm {
             .map(|_| (0..n8).map(|_| FragC::zero()).collect())
             .collect();
 
+        // Decode-once X tile: the `gt_cols × tile_n` activation window
+        // every warp of this block multiplies, converted to `f32` once
+        // per GroupTile column. All warps and all N-blocks stride into
+        // this buffer directly (`mma_m16n8k16_bslice`), replacing the
+        // per-mma `FragB` build that re-decoded each X element
+        // `warps × 2` times. Out-of-range rows/columns are zero,
+        // exactly as the fragment path's predicated accessor produced.
+        let mut xf = vec![0.0f32; cfg.gt_cols * geo.tile_n];
+
         // Algorithm 1's cp.async discipline: two independent commit groups
         // per iteration (bitmap+sparse, then dense), retired in order with
         // wait_group(1) before SMBD and wait_group(0) before the Tensor
@@ -537,6 +546,20 @@ impl SpinferSpmm {
             let retired = cp_async.wait_group(1);
             debug_assert_eq!(retired, 1, "sparse group retires first");
 
+            // Fill the decode-once X tile for this GroupTile column.
+            for kk in 0..cfg.gt_cols {
+                let kr = gtx * cfg.gt_cols + kk;
+                let row = &mut xf[kk * geo.tile_n..(kk + 1) * geo.tile_n];
+                if kr < x.rows() {
+                    for (nn, slot) in row.iter_mut().enumerate() {
+                        let nc = n0 + nn;
+                        *slot = if nc < n { x.get(kr, nc).to_f32() } else { 0.0 };
+                    }
+                } else {
+                    row.fill(0.0);
+                }
+            }
+
             // --- 2. WTile decoding, 4./5. fragment loads + Tensor Cores ---
             for warp in 0..geo.warps {
                 let tty = warp % tt_rows;
@@ -545,7 +568,7 @@ impl SpinferSpmm {
                     // Base offset: popcounts of preceding TCTiles.
                     let base: usize = bms[..tc_idx * 4].iter().map(|&b| popc64(b) as usize).sum();
                     let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().unwrap();
-                    let (frag_a, _) = decode_tctile(counters, &tc_bms, vals, base, smem_values);
+                    let (a_rows, _) = decode_tctile_f32(counters, &tc_bms, vals, base, smem_values);
                     if !self.config.ablation.smbd {
                         // Register decode: the same values reach the same
                         // fragments, but through per-thread fetches and
@@ -555,18 +578,7 @@ impl SpinferSpmm {
                         counters.shfl_insts += REG_DECODE_SHFL * 4;
                         counters.insts_issued += (REG_DECODE_EXTRA_INT + REG_DECODE_SHFL) * 4;
                     }
-                    self.mma_row(
-                        counters,
-                        x,
-                        geo,
-                        cfg.gt_cols,
-                        gtx,
-                        n0,
-                        ttx,
-                        n,
-                        &frag_a,
-                        &mut accs[warp],
-                    );
+                    self.mma_row(counters, &xf, geo, ttx, &a_rows, &mut accs[warp]);
                 }
             }
             // The dense group must land before its fragments feed the
@@ -608,22 +620,19 @@ impl SpinferSpmm {
     }
 
     /// Tensor Core computation for one decoded TCTile against every n8
-    /// column of the X tile.
-    #[allow(clippy::too_many_arguments)]
+    /// column of the X tile. `xf` is the block's decode-once `f32` X
+    /// tile (leading dimension `tile_n`); `a_rows` the TCTile's
+    /// decode-once A view. Every mma strides straight into both flat
+    /// arrays.
     fn mma_row(
         &self,
         counters: &mut Counters,
-        x: &DenseMatrix,
+        xf: &[f32],
         geo: &Geometry,
-        gt_cols: usize,
-        gtx: usize,
-        n0: usize,
         ttx: usize,
-        n: usize,
-        frag_a: &gpu_sim::tensor_core::FragA,
+        a_rows: &[[f32; MMA_K]; MMA_K],
         accs: &mut [FragC],
     ) {
-        let k0 = gtx * gt_cols + ttx * TT_DIM;
         let n8 = geo.tile_n / 8;
         // One ldmatrix.x4 covers two B fragments (16×16 of X).
         let ldsm_count = n8.div_ceil(2);
@@ -632,16 +641,10 @@ impl SpinferSpmm {
             let rows = gpu_sim::shared_memory::strided_addrs(0, 16);
             warp_ldsm_x4(counters, &rows);
         }
+        let k_off = ttx * TT_DIM * geo.tile_n;
         for (j, acc) in accs.iter_mut().enumerate().take(n8) {
-            let frag_b = FragB::from_tile(|kk, nn| {
-                let (kr, nc) = (k0 + kk, n0 + j * 8 + nn);
-                if kr < x.rows() && nc < n {
-                    x.get(kr, nc)
-                } else {
-                    Half::ZERO
-                }
-            });
-            mma_m16n8k16(counters, frag_a, &frag_b, acc);
+            let b = &xf[k_off + j * 8..];
+            mma_m16n8k16_bslice(counters, a_rows, b, geo.tile_n, acc);
         }
     }
 

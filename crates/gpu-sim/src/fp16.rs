@@ -115,29 +115,23 @@ impl Half {
     }
 
     /// Converts this `Half` to `f32` exactly (every f16 is representable).
+    ///
+    /// This is a table lookup: the conversion is a pure function of the
+    /// 16-bit pattern, so all 65536 results are precomputed at compile
+    /// time ([`F16_TO_F32`]) and the hot path is one indexed load. The
+    /// functional simulator calls this twice per simulated
+    /// multiply-accumulate, which made the bit-level decode the single
+    /// hottest operation in figure-scale sweeps.
+    #[inline]
     pub fn to_f32(self) -> f32 {
-        let sign = u32::from(self.0 & 0x8000) << 16;
-        let exp = i32::from((self.0 >> 10) & 0x1F);
-        let mant = u32::from(self.0 & 0x03FF);
+        F16_TO_F32[usize::from(self.0)]
+    }
 
-        let bits = match (exp, mant) {
-            (0, 0) => sign,
-            (0, _) => {
-                // Subnormal: value is mant × 2⁻²⁴. Normalise around the
-                // mantissa's MSB (index p): value = 1.frac × 2^(p−24).
-                let p = 31 - mant.leading_zeros(); // 0..=9.
-                let e = (p as i32 - 24 + 127) as u32;
-                let m = (mant << (23 - p)) & 0x007F_FFFF;
-                sign | (e << 23) | m
-            }
-            (0x1F, 0) => sign | 0x7F80_0000,
-            (0x1F, _) => sign | 0x7FC0_0000 | (mant << 13),
-            _ => {
-                let e = (exp - 15 + 127) as u32;
-                sign | (e << 23) | (mant << 13)
-            }
-        };
-        f32::from_bits(bits)
+    /// Bit-level `f16 → f32` conversion — the reference implementation
+    /// the [`F16_TO_F32`] table is generated from. Kept public so tests
+    /// can exhaustively verify the table against first principles.
+    pub const fn to_f32_bitwise(self) -> f32 {
+        f32::from_bits(f16_to_f32_bits(self.0))
     }
 
     /// Returns `true` if the value is NaN.
@@ -164,6 +158,48 @@ impl Half {
         Half(self.0 & 0x7FFF)
     }
 }
+
+/// Bit-level widening of an f16 pattern to the equivalent f32 pattern.
+/// `const` so the [`F16_TO_F32`] table can be built at compile time.
+const fn f16_to_f32_bits(h: u16) -> u32 {
+    let sign = (h as u32 & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1F) as i32;
+    let mant = (h & 0x03FF) as u32;
+
+    if exp == 0 {
+        if mant == 0 {
+            return sign; // Signed zero.
+        }
+        // Subnormal: value is mant × 2⁻²⁴. Normalise around the
+        // mantissa's MSB (index p): value = 1.frac × 2^(p−24).
+        let p = 31 - mant.leading_zeros(); // 0..=9.
+        let e = (p as i32 - 24 + 127) as u32;
+        let m = (mant << (23 - p)) & 0x007F_FFFF;
+        return sign | (e << 23) | m;
+    }
+    if exp == 0x1F {
+        return if mant == 0 {
+            sign | 0x7F80_0000
+        } else {
+            sign | 0x7FC0_0000 | (mant << 13)
+        };
+    }
+    let e = (exp - 15 + 127) as u32;
+    sign | (e << 23) | (mant << 13)
+}
+
+/// Compile-time `f16 → f32` table, indexed by the raw f16 bit pattern.
+/// 256 KiB of read-only data; every entry equals the bit-level
+/// conversion (`all_patterns_match_bitwise_conversion` proves it).
+static F16_TO_F32: [f32; 1 << 16] = {
+    let mut table = [0.0f32; 1 << 16];
+    let mut bits = 0usize;
+    while bits < (1 << 16) {
+        table[bits] = f32::from_bits(f16_to_f32_bits(bits as u16));
+        bits += 1;
+    }
+    table
+};
 
 impl From<f32> for Half {
     fn from(v: f32) -> Self {
@@ -241,9 +277,129 @@ pub fn unpack_f16x2(reg: u32) -> (Half, Half) {
     )
 }
 
+/// Unpacks a `.f16x2` register image straight to `(lo, hi)` as `f32` —
+/// two [`F16_TO_F32`] lookups, the form the decode-once mma fragment
+/// views consume.
+#[inline]
+pub fn unpack_f16x2_f32(reg: u32) -> (f32, f32) {
+    (
+        F16_TO_F32[(reg & 0xFFFF) as usize],
+        F16_TO_F32[(reg >> 16) as usize],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// Next f16 toward +∞ / −∞ in value order (sign-magnitude bits mapped
+    /// to a contiguous integer line, −0 adjacent to +0).
+    fn f16_ord(b: u16) -> i32 {
+        if b & 0x8000 != 0 {
+            -i32::from(b & 0x7FFF) - 1
+        } else {
+            i32::from(b)
+        }
+    }
+
+    fn f16_unord(o: i32) -> Half {
+        Half::from_bits(if o < 0 {
+            0x8000 | ((-o - 1) as u16)
+        } else {
+            o as u16
+        })
+    }
+
+    /// RNE oracle: `from_f32(v)` must be at least as close to `v` as both
+    /// of its f16 neighbours, and on an exact halfway tie the chosen
+    /// mantissa must be even.
+    fn assert_nearest_even(v: f32) {
+        let h = Half::from_f32(v);
+        assert!(!h.is_nan(), "finite input must not produce NaN");
+        if h.is_infinite() {
+            // Overflow threshold: 65520 is halfway between MAX (65504)
+            // and the next step; RNE sends it (and everything above) up.
+            assert!(v.abs() >= 65520.0, "premature overflow for {v}");
+            return;
+        }
+        let d = (f64::from(h.to_f32()) - f64::from(v)).abs();
+        for n in [
+            f16_unord(f16_ord(h.to_bits()) - 1),
+            f16_unord(f16_ord(h.to_bits()) + 1),
+        ] {
+            if n.is_nan() || n.is_infinite() {
+                continue;
+            }
+            let dn = (f64::from(n.to_f32()) - f64::from(v)).abs();
+            assert!(
+                d < dn || (d == dn && h.to_bits() & 1 == 0),
+                "{v} -> {h:?} but neighbour {n:?} is closer (or wins the even tie)"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn from_f32_is_nearest_even_in_subnormal_range(
+            mant in 0u32..0x0080_0000,
+            unbiased in prop::sample::select(vec![-30i32, -26, -25, -24, -20, -16, -15, -14]),
+            neg in prop::sample::select(vec![0u32, 1]),
+        ) {
+            // f32 inputs whose f16 image is subnormal, the smallest
+            // normal, or an underflow to signed zero.
+            let bits = (neg << 31) | (((unbiased + 127) as u32) << 23) | mant;
+            assert_nearest_even(f32::from_bits(bits));
+        }
+
+        #[test]
+        fn from_f32_is_nearest_even_in_normal_range(
+            mant in 0u32..0x0080_0000,
+            exp_off in 0u32..30,
+            neg in prop::sample::select(vec![0u32, 1]),
+        ) {
+            // Unbiased f16-range exponents −14 ..= 15.
+            let unbiased = exp_off as i32 - 14;
+            let bits = (neg << 31) | (((unbiased + 127) as u32) << 23) | mant;
+            assert_nearest_even(f32::from_bits(bits));
+        }
+
+        #[test]
+        fn from_f32_overflows_to_signed_infinity(v in 65520.0f32..3.0e38) {
+            prop_assert_eq!(Half::from_f32(v), Half::INFINITY);
+            prop_assert_eq!(Half::from_f32(-v), Half::NEG_INFINITY);
+        }
+
+        #[test]
+        fn from_f32_below_halfway_stays_finite(v in 0.0f32..65519.0) {
+            prop_assert!(!Half::from_f32(v).is_infinite());
+            prop_assert!(!Half::from_f32(-v).is_infinite());
+        }
+
+        #[test]
+        fn from_f32_quiets_every_nan(
+            payload in 1u32..0x0080_0000,
+            neg in prop::sample::select(vec![0u32, 1]),
+        ) {
+            let v = f32::from_bits((neg << 31) | 0x7F80_0000 | payload);
+            let h = Half::from_f32(v);
+            prop_assert!(h.is_nan());
+            prop_assert!(h.to_bits() & 0x0200 != 0, "quiet bit must be set");
+            prop_assert!(h.to_f32().is_nan(), "NaN survives the return trip");
+        }
+
+        #[test]
+        fn roundtrip_is_identity_for_non_nan_patterns(bits: u16) {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                prop_assert!(Half::from_f32(h.to_f32()).is_nan());
+            } else {
+                prop_assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits);
+            }
+        }
+    }
 
     #[test]
     fn zero_roundtrip() {
@@ -348,6 +504,31 @@ mod tests {
                     "bits={bits:#06x}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn all_patterns_match_bitwise_conversion() {
+        // The LUT behind `to_f32` must agree with the bit-level
+        // conversion for every one of the 65536 f16 patterns, compared
+        // at the bit level so NaN payloads and signed zeros count too.
+        for bits in 0u16..=u16::MAX {
+            let h = Half::from_bits(bits);
+            assert_eq!(
+                h.to_f32().to_bits(),
+                h.to_f32_bitwise().to_bits(),
+                "bits={bits:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn unpack_f32_matches_scalar_conversions() {
+        for &(lo, hi) in &[(0u16, 0x3C00u16), (0x8001, 0x7BFF), (0xFC00, 0x7E01)] {
+            let reg = pack_f16x2(Half::from_bits(lo), Half::from_bits(hi));
+            let (a, b) = unpack_f16x2_f32(reg);
+            assert_eq!(a.to_bits(), Half::from_bits(lo).to_f32().to_bits());
+            assert_eq!(b.to_bits(), Half::from_bits(hi).to_f32().to_bits());
         }
     }
 

@@ -9,7 +9,6 @@
 //! charged more traffic than streaming `LDGSTS.128` loads.
 
 use crate::counters::Counters;
-use std::collections::BTreeSet;
 
 /// Size of a DRAM sector in bytes (fixed on NVIDIA hardware).
 pub const SECTOR_BYTES: u64 = 32;
@@ -53,15 +52,24 @@ impl GlobalMemory {
 /// per-lane accesses of `bytes_per_lane` starting at each address.
 /// `None` lanes are predicated off and generate no traffic.
 pub fn sectors_touched(addrs: &[Option<VAddr>], bytes_per_lane: u32) -> u64 {
-    let mut sectors: BTreeSet<u64> = BTreeSet::new();
+    // Allocation-free distinct count: this runs for every warp global
+    // access. 32 lanes × ≤3 sectors each (width ≤ 64 B) bounds the
+    // distinct set at 96; linear dedup over a stack array beats a heap
+    // set at that size.
+    assert!(bytes_per_lane <= 64, "unsupported width {bytes_per_lane}");
+    let mut sectors = [0u64; 96];
+    let mut count = 0usize;
     for addr in addrs.iter().flatten() {
         let start = addr / SECTOR_BYTES;
         let end = (addr + u64::from(bytes_per_lane) - 1) / SECTOR_BYTES;
         for s in start..=end {
-            sectors.insert(s);
+            if !sectors[..count].contains(&s) {
+                sectors[count] = s;
+                count += 1;
+            }
         }
     }
-    sectors.len() as u64
+    count as u64
 }
 
 /// Records a warp-wide global *load* into `counters`: sector traffic,

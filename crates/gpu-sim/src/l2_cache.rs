@@ -9,7 +9,7 @@
 //! check the heuristics' predicted DRAM traffic against the simulated
 //! miss traffic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cache line size in bytes (L2 lines on NVIDIA parts).
 pub const LINE_BYTES: u64 = 128;
@@ -122,7 +122,12 @@ pub fn replay_weight_panel(
     tile_m: usize,
     window: usize,
 ) -> u64 {
-    let mut w_traffic = HashMap::new();
+    // BTreeMap, not HashMap: the validation walk below iterates the
+    // histogram, and a hash map would visit tiles in randomised order
+    // (std's SipHash is seeded per process) — any output derived from
+    // the iteration would differ run to run. Address order is
+    // deterministic.
+    let mut w_traffic: BTreeMap<usize, u64> = BTreeMap::new();
     let before = cache.misses;
     let m_tiles = m.div_ceil(tile_m);
     // Swizzled rasterisation: walk N tiles in windows, M-major inside.
@@ -136,6 +141,14 @@ pub fn replay_weight_panel(
                 *w_traffic.entry(mt).or_insert(0u64) += 1;
             }
         }
+    }
+    // Deterministic address-order validation: the swizzled walk must
+    // still stream every M tile exactly once per N tile.
+    for (&mt, &visits) in &w_traffic {
+        debug_assert!(
+            mt < m_tiles && visits == n_tiles as u64,
+            "tile {mt}: {visits} visits, expected {n_tiles}"
+        );
     }
     (cache.misses - before) * LINE_BYTES
 }
@@ -240,6 +253,18 @@ mod tests {
             (0.4..=2.5).contains(&ratio),
             "simulated {simulated} vs predicted {predicted} (ratio {ratio})"
         );
+    }
+
+    #[test]
+    fn panel_replay_is_deterministic() {
+        // Two fresh replays of the same walk must report identical DRAM
+        // traffic — the visit histogram iterates in address order, never
+        // in (process-seeded) hash order.
+        let run = || {
+            let mut cache = L2Cache::new(1 << 20, 16);
+            replay_weight_panel(&mut cache, 1024, 512, 8, 128, 2)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -128,19 +128,49 @@ impl DenseMatrix {
     /// Panics if inner dimensions disagree.
     pub fn matmul_ref(&self, rhs: &DenseMatrix) -> Vec<f32> {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        // Convert the right operand once: the f16→f32 conversion of
+        // each rhs element is hoisted out of the per-output-row loop
+        // (it is value-exact, so results are unchanged).
+        let rhs_f32 = rhs.to_f32_vec();
         let mut out = vec![0.0f32; self.rows * rhs.cols];
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k).to_f32();
+        self.matmul_ref_rows(&rhs_f32, rhs.cols, 0..self.rows, &mut out);
+        out
+    }
+
+    /// Row-major `f32` conversion of every element, in one pass.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        self.data.iter().map(|h| h.to_f32()).collect()
+    }
+
+    /// Serial inner loop of the reference product for output rows
+    /// `rows`, writing into `out` (densely packed starting at the first
+    /// requested row). `rhs_f32` is the pre-converted right operand with
+    /// `n` columns. Shared by [`Self::matmul_ref`] and
+    /// [`Self::par_matmul_ref`] so the accumulation order — ascending
+    /// `k` per output row, skipping zero lhs elements — is identical by
+    /// construction at every job count.
+    fn matmul_ref_rows(
+        &self,
+        rhs_f32: &[f32],
+        n: usize,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let r0 = rows.start;
+        for r in rows {
+            let lhs_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let out_row = &mut out[(r - r0) * n..(r - r0 + 1) * n];
+            for (k, &lhs) in lhs_row.iter().enumerate() {
+                let a = lhs.to_f32();
                 if a == 0.0 {
                     continue;
                 }
-                for c in 0..rhs.cols {
-                    out[r * rhs.cols + c] += a * rhs.get(k, c).to_f32();
+                let rhs_row = &rhs_f32[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// [`DenseMatrix::matmul_ref`] fanned across host cores (see
@@ -157,19 +187,13 @@ impl DenseMatrix {
     pub fn par_matmul_ref(&self, rhs: &DenseMatrix) -> Vec<f32> {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         let n = rhs.cols;
+        // One shared conversion of rhs, read by every worker — the
+        // serial band loop previously re-converted each rhs element
+        // once per output row.
+        let rhs_f32 = rhs.to_f32_vec();
         let bands = crate::exec::par_chunks(self.rows, |rows| {
             let mut band = vec![0.0f32; rows.len() * n];
-            for (i, r) in rows.enumerate() {
-                for k in 0..self.cols {
-                    let a = self.get(r, k).to_f32();
-                    if a == 0.0 {
-                        continue;
-                    }
-                    for c in 0..n {
-                        band[i * n + c] += a * rhs.get(k, c).to_f32();
-                    }
-                }
-            }
+            self.matmul_ref_rows(&rhs_f32, n, rows, &mut band);
             band
         });
         bands.concat()
@@ -299,6 +323,20 @@ fn nonzero_sample(rng: &mut StdRng, dist: ValueDist) -> Half {
             return h;
         }
     }
+}
+
+/// Order-sensitive FNV-1a digest over the raw bit patterns of an FP32
+/// buffer. Golden-output regression tests pin this value: any change to
+/// a single output bit (or to the element order) changes the digest.
+pub fn checksum_f32(xs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in xs {
+        for byte in x.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Maximum absolute difference between a kernel output and the reference.

@@ -13,7 +13,6 @@
 //! from the real addresses kernels touch.
 
 use crate::counters::Counters;
-use std::collections::HashMap;
 
 /// Number of shared memory banks.
 pub const NUM_BANKS: u64 = 32;
@@ -49,9 +48,17 @@ pub fn analyze_warp_access(addrs: &[Option<u64>; 32], bytes_per_lane: u32) -> Sm
     };
     let mut transactions = 0u64;
     let mut conflicts = 0u64;
+    // Fixed per-bank word lists on the stack instead of a heap map.
+    // This analysis runs for every warp shared-memory access the
+    // simulator executes, so it must not allocate. Capacity 32 per bank
+    // is exact: a lane's words are consecutive, hence in distinct banks
+    // (a ≤16 B access spans ≤4 of the 32-word bank cycle), so one bank
+    // holds at most one word per lane per phase — and the worst case
+    // (stride 128: all 32 lanes, one bank) genuinely reaches 32. The
+    // word storage is never cleared; `word_count` tracks validity.
+    let mut bank_words = [[0u64; 32]; NUM_BANKS as usize];
     for phase in addrs.chunks(lanes_per_phase) {
-        // words_in_bank: bank -> set of distinct word addresses.
-        let mut words_in_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut word_count = [0u8; NUM_BANKS as usize];
         let mut any = false;
         for addr in phase.iter().flatten() {
             any = true;
@@ -59,21 +66,18 @@ pub fn analyze_warp_access(addrs: &[Option<u64>; 32], bytes_per_lane: u32) -> Sm
             let first_word = addr / BANK_WORD;
             let last_word = (addr + u64::from(bytes_per_lane) - 1) / BANK_WORD;
             for w in first_word..=last_word {
-                let bank = w % NUM_BANKS;
-                let entry = words_in_bank.entry(bank).or_default();
-                if !entry.contains(&w) {
-                    entry.push(w);
+                let bank = (w % NUM_BANKS) as usize;
+                let n = usize::from(word_count[bank]);
+                if !bank_words[bank][..n].contains(&w) {
+                    bank_words[bank][n] = w;
+                    word_count[bank] = (n + 1) as u8;
                 }
             }
         }
         if !any {
             continue;
         }
-        let degree = words_in_bank
-            .values()
-            .map(|v| v.len() as u64)
-            .max()
-            .unwrap_or(1);
+        let degree = u64::from(*word_count.iter().max().expect("32 banks"));
         transactions += degree;
         conflicts += degree - 1;
     }
@@ -124,6 +128,115 @@ pub fn strided_addrs(base: u64, stride: u64) -> [Option<u64>; 32] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// The previous `HashMap`-based implementation, kept verbatim as the
+    /// reference the allocation-free rewrite is property-tested against.
+    fn analyze_warp_access_hashmap(addrs: &[Option<u64>; 32], bytes_per_lane: u32) -> SmemAccess {
+        let lanes_per_phase: usize = match bytes_per_lane {
+            2 | 4 => 32,
+            8 => 16,
+            16 => 8,
+            _ => unreachable!(),
+        };
+        let mut transactions = 0u64;
+        let mut conflicts = 0u64;
+        for phase in addrs.chunks(lanes_per_phase) {
+            let mut words_in_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+            let mut any = false;
+            for addr in phase.iter().flatten() {
+                any = true;
+                let first_word = addr / BANK_WORD;
+                let last_word = (addr + u64::from(bytes_per_lane) - 1) / BANK_WORD;
+                for w in first_word..=last_word {
+                    let bank = w % NUM_BANKS;
+                    let entry = words_in_bank.entry(bank).or_default();
+                    if !entry.contains(&w) {
+                        entry.push(w);
+                    }
+                }
+            }
+            if !any {
+                continue;
+            }
+            let degree = words_in_bank
+                .values()
+                .map(|v| v.len() as u64)
+                .max()
+                .unwrap_or(1);
+            transactions += degree;
+            conflicts += degree - 1;
+        }
+        SmemAccess {
+            transactions,
+            conflicts,
+        }
+    }
+
+    /// 32 lanes derived from `seed` (SplitMix64): each lane predicated
+    /// off with probability `off_pct`% or holding an arbitrary byte
+    /// address within a 16 KiB shared-memory window. Unaligned addresses
+    /// are included so word-spanning paths are exercised.
+    fn random_addrs(seed: u64, off_pct: u64) -> [Option<u64>; 32] {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut addrs = [None; 32];
+        for slot in addrs.iter_mut() {
+            if next() % 100 >= off_pct {
+                *slot = Some(next() % 16384);
+            }
+        }
+        addrs
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn allocation_free_matches_hashmap_reference(
+            seed: u64,
+            off_pct in prop::sample::select(vec![0u64, 20, 90, 100]),
+            width in prop::sample::select(vec![2u32, 4, 8, 16]),
+        ) {
+            let addrs = random_addrs(seed, off_pct);
+            prop_assert_eq!(
+                analyze_warp_access(&addrs, width),
+                analyze_warp_access_hashmap(&addrs, width)
+            );
+        }
+
+        #[test]
+        fn broadcast_matches_reference_at_every_width(
+            addr in 0u64..16384,
+            width in prop::sample::select(vec![2u32, 4, 8, 16]),
+        ) {
+            let addrs = [Some(addr); 32];
+            prop_assert_eq!(
+                analyze_warp_access(&addrs, width),
+                analyze_warp_access_hashmap(&addrs, width)
+            );
+        }
+
+        #[test]
+        fn strided_matches_reference(
+            base in 0u64..4096,
+            stride in 0u64..256,
+            width in prop::sample::select(vec![2u32, 4, 8, 16]),
+        ) {
+            let addrs = strided_addrs(base, stride);
+            prop_assert_eq!(
+                analyze_warp_access(&addrs, width),
+                analyze_warp_access_hashmap(&addrs, width)
+            );
+        }
+    }
 
     #[test]
     fn unit_stride_4b_is_conflict_free() {

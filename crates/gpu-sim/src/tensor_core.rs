@@ -25,7 +25,7 @@
 //! share this single implementation, so a layout bug cannot cancel out.
 
 use crate::counters::Counters;
-use crate::fp16::{pack_f16x2, unpack_f16x2, Half};
+use crate::fp16::{pack_f16x2, unpack_f16x2, unpack_f16x2_f32, Half};
 
 /// Rows of the `mma` A operand / D result.
 pub const MMA_M: usize = 16;
@@ -97,6 +97,28 @@ impl FragA {
         }
         t
     }
+
+    /// Decode-once `f32` view of the 16×16 A tile: every element is
+    /// unpacked and converted exactly once, so an mma MAC loop over the
+    /// returned rows performs no per-element bit-decode. Decoding an A
+    /// fragment once and reusing the view across the N-blocks it
+    /// multiplies is the simulator's main serial hot-path optimisation.
+    pub fn to_f32_rows(&self) -> [[f32; MMA_K]; MMA_M] {
+        let mut t = [[0.0f32; MMA_K]; MMA_M];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
+                .iter()
+                .enumerate()
+            {
+                let (lo, hi) = unpack_f16x2_f32(self.regs[lane][reg]);
+                t[group + dr][2 * tid + dc] = lo;
+                t[group + dr][2 * tid + dc + 1] = hi;
+            }
+        }
+        t
+    }
 }
 
 impl FragB {
@@ -125,6 +147,23 @@ impl FragB {
             let tid = lane % 4;
             let (b0, b1) = unpack_f16x2(self.regs[lane][0]);
             let (b2, b3) = unpack_f16x2(self.regs[lane][1]);
+            t[2 * tid][group] = b0;
+            t[2 * tid + 1][group] = b1;
+            t[2 * tid + 8][group] = b2;
+            t[2 * tid + 9][group] = b3;
+        }
+        t
+    }
+
+    /// Decode-once `f32` view of the 16×8 B tile (row-major `[k][n]`),
+    /// the B-side counterpart of [`FragA::to_f32_rows`].
+    pub fn to_f32_rows(&self) -> [[f32; MMA_N]; MMA_K] {
+        let mut t = [[0.0f32; MMA_N]; MMA_K];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            let (b0, b1) = unpack_f16x2_f32(self.regs[lane][0]);
+            let (b2, b3) = unpack_f16x2_f32(self.regs[lane][1]);
             t[2 * tid][group] = b0;
             t[2 * tid + 1][group] = b1;
             t[2 * tid + 8][group] = b2;
@@ -171,22 +210,73 @@ impl FragC {
     }
 }
 
+/// The accumulator register holding output element `(m, n)`: inverting
+/// the `FragC` layout (`regs[lane] = [C[g][2t], C[g][2t+1], C[g+8][2t],
+/// C[g+8][2t+1]]` with `g = lane/4`, `t = lane%4`) gives `lane =
+/// (m%8)*4 + n/2`, `reg = 2*(m/8) + n%2`. Because the map is a
+/// bijection, the MAC loops below update `acc.regs` in place instead of
+/// round-tripping through `to_tile`/`from_tile`.
+#[inline]
+fn acc_slot(m: usize, n: usize) -> (usize, usize) {
+    ((m % 8) * 4 + n / 2, 2 * (m / 8) + n % 2)
+}
+
 /// Executes one warp-wide `mma.m16n8k16`: `acc = A × B + acc`, FP16 inputs
 /// with FP32 accumulation, recording one `mma` instruction.
 pub fn mma_m16n8k16(counters: &mut Counters, a: &FragA, b: &FragB, acc: &mut FragC) {
-    let at = a.to_tile();
-    let bt = b.to_tile();
-    let mut d = acc.to_tile();
-    for m in 0..MMA_M {
+    mma_m16n8k16_f32(counters, &a.to_f32_rows(), &b.to_f32_rows(), acc);
+}
+
+/// Decode-once `mma.m16n8k16` on pre-decoded operand views
+/// ([`FragA::to_f32_rows`] / [`FragB::to_f32_rows`]): the MAC loop runs
+/// on flat `f32` arrays — no per-element bit-decode, no closure
+/// dispatch — and accumulates into `acc.regs` in place. Per output
+/// element the partial products still sum in ascending-`k` order into a
+/// local `f32` which is then added to the accumulator once, so results
+/// are bit-identical to the fragment-level path.
+pub fn mma_m16n8k16_f32(
+    counters: &mut Counters,
+    a: &[[f32; MMA_K]; MMA_M],
+    b: &[[f32; MMA_N]; MMA_K],
+    acc: &mut FragC,
+) {
+    for (m, a_row) in a.iter().enumerate() {
         for n in 0..MMA_N {
             let mut sum = 0.0f32;
-            for k in 0..MMA_K {
-                sum += at[m][k].to_f32() * bt[k][n].to_f32();
+            for (k, &av) in a_row.iter().enumerate() {
+                sum += av * b[k][n];
             }
-            d[m][n] += sum;
+            let (lane, reg) = acc_slot(m, n);
+            acc.regs[lane][reg] += sum;
         }
     }
-    *acc = FragC::from_tile(|r, c| d[r][c]);
+    counters.mma_insts += 1;
+    counters.insts_issued += 1;
+}
+
+/// [`mma_m16n8k16_f32`] reading B from a row-major `f32` buffer with
+/// leading dimension `ld` (`B[k][n] = b[k * ld + n]`). This is the SpMM
+/// hot path: the X activation tile is converted to `f32` once per
+/// GroupTile column and every mma strides straight into that buffer —
+/// no per-N-block `FragB` construction at all. `b` must cover
+/// `(MMA_K - 1) * ld + MMA_N` elements.
+pub fn mma_m16n8k16_bslice(
+    counters: &mut Counters,
+    a: &[[f32; MMA_K]; MMA_M],
+    b: &[f32],
+    ld: usize,
+    acc: &mut FragC,
+) {
+    for (m, a_row) in a.iter().enumerate() {
+        for n in 0..MMA_N {
+            let mut sum = 0.0f32;
+            for (k, &av) in a_row.iter().enumerate() {
+                sum += av * b[k * ld + n];
+            }
+            let (lane, reg) = acc_slot(m, n);
+            acc.regs[lane][reg] += sum;
+        }
+    }
     counters.mma_insts += 1;
     counters.insts_issued += 1;
 }
@@ -223,6 +313,23 @@ impl FragAK8 {
         }
         f
     }
+
+    /// Decode-once `f32` view of the 16×8 A tile, the k8 counterpart of
+    /// [`FragA::to_f32_rows`].
+    pub fn to_f32_rows(&self) -> [[f32; 8]; MMA_M] {
+        let mut t = [[0.0f32; 8]; MMA_M];
+        for lane in 0..32 {
+            let group = lane / 4;
+            let tid = lane % 4;
+            let (l0, h0) = unpack_f16x2_f32(self.regs[lane][0]);
+            let (l1, h1) = unpack_f16x2_f32(self.regs[lane][1]);
+            t[group][2 * tid] = l0;
+            t[group][2 * tid + 1] = h0;
+            t[group + 8][2 * tid] = l1;
+            t[group + 8][2 * tid + 1] = h1;
+        }
+        t
+    }
 }
 
 /// Executes one warp-wide `mma.m16n8k8`: `acc += A[16×8] × B[8×8]`,
@@ -237,29 +344,34 @@ pub fn mma_m16n8k8<F: Fn(usize, usize) -> Half>(
     b_tile: F,
     acc: &mut FragC,
 ) {
-    // Decode the A fragment.
-    let mut at = [[Half::ZERO; 8]; MMA_M];
-    for lane in 0..32 {
-        let group = lane / 4;
-        let tid = lane % 4;
-        let (l0, h0) = unpack_f16x2(a.regs[lane][0]);
-        let (l1, h1) = unpack_f16x2(a.regs[lane][1]);
-        at[group][2 * tid] = l0;
-        at[group][2 * tid + 1] = h0;
-        at[group + 8][2 * tid] = l1;
-        at[group + 8][2 * tid + 1] = h1;
-    }
-    let mut d = acc.to_tile();
-    for m in 0..MMA_M {
-        for n in 0..MMA_N {
-            let mut sum = 0.0f32;
-            for k in 0..8 {
-                sum += at[m][k].to_f32() * b_tile(k, n).to_f32();
-            }
-            d[m][n] += sum;
+    // Decode the 8×8 B operand once, then run the flat-f32 MAC loop.
+    let mut bt = [[0.0f32; MMA_N]; 8];
+    for (k, row) in bt.iter_mut().enumerate() {
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = b_tile(k, n).to_f32();
         }
     }
-    *acc = FragC::from_tile(|r, c| d[r][c]);
+    mma_m16n8k8_f32(counters, &a.to_f32_rows(), &bt, acc);
+}
+
+/// Decode-once `mma.m16n8k8` on pre-decoded operand views; see
+/// [`mma_m16n8k16_f32`] for the bit-identity argument.
+pub fn mma_m16n8k8_f32(
+    counters: &mut Counters,
+    a: &[[f32; 8]; MMA_M],
+    b: &[[f32; MMA_N]; 8],
+    acc: &mut FragC,
+) {
+    for (m, a_row) in a.iter().enumerate() {
+        for n in 0..MMA_N {
+            let mut sum = 0.0f32;
+            for (k, &av) in a_row.iter().enumerate() {
+                sum += av * b[k][n];
+            }
+            let (lane, reg) = acc_slot(m, n);
+            acc.regs[lane][reg] += sum;
+        }
+    }
     counters.mma_insts += 1;
     counters.insts_issued += 1;
 }
@@ -432,6 +544,76 @@ mod tests {
         }
         assert_eq!(c16.mma_insts, 1);
         assert_eq!(c8.mma_insts, 2, "k8 needs twice the issues");
+    }
+
+    #[test]
+    fn acc_slot_inverts_fragc_layout() {
+        // The in-place accumulator update relies on acc_slot being the
+        // exact inverse of the FragC register layout.
+        let f = FragC::from_tile(|r, c| (r * 8 + c) as f32);
+        for m in 0..MMA_M {
+            for n in 0..MMA_N {
+                let (lane, reg) = acc_slot(m, n);
+                assert_eq!(f.regs[lane][reg], (m * 8 + n) as f32, "({m},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_views_match_half_tiles() {
+        let a = random_dense(16, 16, ValueDist::Uniform, 71);
+        let b = random_dense(16, 8, ValueDist::Uniform, 72);
+        let fa = tile_a_from(&a);
+        let fb = tile_b_from(&b);
+        let (at, av) = (fa.to_tile(), fa.to_f32_rows());
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(av[r][c].to_bits(), at[r][c].to_f32().to_bits());
+            }
+        }
+        let (bt, bv) = (fb.to_tile(), fb.to_f32_rows());
+        for r in 0..16 {
+            for c in 0..8 {
+                assert_eq!(bv[r][c].to_bits(), bt[r][c].to_f32().to_bits());
+            }
+        }
+        let fa8 = FragAK8::from_tile(|r, c| a.get(r, c));
+        let a8 = fa8.to_f32_rows();
+        for r in 0..16 {
+            for c in 0..8 {
+                assert_eq!(a8[r][c].to_bits(), a.get(r, c).to_f32().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bslice_path_is_bit_identical_to_fragment_path() {
+        // The strided-B entry point used by the SpMM hot path must
+        // reproduce the fragment-level mma exactly, including a
+        // non-trivial leading dimension and a non-zero accumulator.
+        let a = random_dense(16, 16, ValueDist::Uniform, 81);
+        let b = random_dense(16, 8, ValueDist::Uniform, 82);
+        let fa = tile_a_from(&a);
+        let fb = tile_b_from(&b);
+        let mut c_ref = Counters::new();
+        let mut acc_ref = FragC::from_tile(|r, c| (r + c) as f32 * 0.25);
+        mma_m16n8k16(&mut c_ref, &fa, &fb, &mut acc_ref);
+
+        // Embed B at column offset 3 of a wider ld=13 buffer.
+        let ld = 13;
+        let mut buf = vec![0.0f32; 16 * ld];
+        for k in 0..16 {
+            for n in 0..8 {
+                buf[k * ld + 3 + n] = b.get(k, n).to_f32();
+            }
+        }
+        let mut c_fast = Counters::new();
+        let mut acc_fast = FragC::from_tile(|r, c| (r + c) as f32 * 0.25);
+        mma_m16n8k16_bslice(&mut c_fast, &fa.to_f32_rows(), &buf[3..], ld, &mut acc_fast);
+
+        assert_eq!(acc_ref.regs, acc_fast.regs);
+        assert_eq!(c_ref.mma_insts, c_fast.mma_insts);
+        assert_eq!(c_ref.insts_issued, c_fast.insts_issued);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf snapshot: build the release CLI and record host wall-clock +
+# simulated kernel times for the fig01 hero shape into BENCH_kernels.json.
+#
+#   scripts/bench_snapshot.sh [--out FILE] [extra `spinfer snapshot` args]
+#
+# The JSON is the perf trajectory artifact committed at the repo root; CI
+# runs this script and prints the result so every PR's wall-clock numbers
+# are recorded. Compare `wall_clock_s.spinfer_functional_jobs1` across
+# commits to judge serial hot-path changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_kernels.json
+if [ "${1:-}" = "--out" ]; then
+  OUT="$2"
+  shift 2
+fi
+
+cargo build --release -p spinfer-bench --bin spinfer
+./target/release/spinfer snapshot --out "$OUT" "$@"
+echo "--- $OUT ---"
+cat "$OUT"

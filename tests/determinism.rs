@@ -7,10 +7,125 @@
 //! baseline kernels.
 
 use gpu_sim::exec;
-use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+use gpu_sim::matrix::{checksum_f32, random_dense, random_sparse, ValueDist};
 use gpu_sim::GpuSpec;
 use spinfer_baselines::kernels::{CublasGemm, CusparseSpmm, FlashLlmSpmm, SputnikSpmm};
+use spinfer_bench::sweep::{run_functional, EncodeCache, SweepPoint};
+use spinfer_bench::{KernelKind, HERO_K, HERO_M};
 use spinfer_core::{SpinferSpmm, TcaBme};
+
+// Captured by `cargo run --release --bin golden`.
+// Functional golden shape: 900x720x20 s=0.65 seed=1234 on RTX4090.
+const GOLDEN_FUNCTIONAL: [(&str, u64, u64, u64); 7] = [
+    (
+        "cuBLAS_TC",
+        0x6c43e71288bfb56c,
+        0x401d95bc36eb4cb5,
+        0x8115af377686b55e,
+    ),
+    (
+        "SpInfer",
+        0x7f02b711256e7bec,
+        0x4010fe5ce279a901,
+        0xbec8add38b5809ac,
+    ),
+    (
+        "Flash-LLM",
+        0x1f6db66aee63ca5f,
+        0x40126532e5089162,
+        0x8115af377686b55e,
+    ),
+    (
+        "SparTA",
+        0xe5cdcfc1605bcb2d,
+        0x4020692093478b54,
+        0x8115af377686b55e,
+    ),
+    (
+        "Sputnik",
+        0x6884a7c24b335f49,
+        0x402313a9ab12274b,
+        0x8115af377686b55e,
+    ),
+    (
+        "cuSPARSE",
+        0x8cf6fff4051068b5,
+        0x4081a748d296d866,
+        0x8115af377686b55e,
+    ),
+    (
+        "SMaT",
+        0x3d9cf9f386209224,
+        0x4013c687b0524209,
+        0x8115af377686b55e,
+    ),
+];
+// Analytic simulated time (µs, f64 bits) at the hero shape 28672x8192x16 s=0.6.
+const GOLDEN_HERO_ANALYTIC: [(&str, u64); 7] = [
+    ("cuBLAS_TC", 0x408060673be0d215),
+    ("SpInfer", 0x406f949d0661a6aa),
+    ("Flash-LLM", 0x407a17e77fed010b),
+    ("SparTA", 0x40789a56e8b3885c),
+    ("Sputnik", 0x4089b73e495a85c2),
+    ("cuSPARSE", 0x40b5fcc3a7ee98ff),
+    ("SMaT", 0x4080675514e03113),
+];
+
+const ROSTER: [KernelKind; 7] = [
+    KernelKind::CublasTc,
+    KernelKind::SpInfer,
+    KernelKind::FlashLlm,
+    KernelKind::SparTa,
+    KernelKind::Sputnik,
+    KernelKind::CuSparse,
+    KernelKind::Smat,
+];
+
+/// Golden-counter regression gate: a fixed-seed run of every kernel must
+/// reproduce the pinned counter digests, simulated-time bit patterns, and
+/// FP32 output checksums exactly. Host-side optimisations (LUT decode,
+/// decode-once fragments, allocation-free analyzers) are only admissible
+/// when this stays green — they may change wall-clock, never results.
+/// Re-capture with `cargo run --release --bin golden` when a *modelling*
+/// change legitimately moves the constants.
+fn assert_golden_constants(spec: &GpuSpec) {
+    let (m, k, n, sparsity, seed) = (900, 720, 20, 0.65, 1234);
+    let cache = EncodeCache::new();
+    for (kernel, &(label, digest, time_bits, checksum)) in ROSTER.iter().zip(&GOLDEN_FUNCTIONAL) {
+        assert_eq!(kernel.label(), label, "roster order");
+        let p = SweepPoint {
+            m,
+            k,
+            n,
+            sparsity,
+            kernel: *kernel,
+        };
+        let run = run_functional(&cache, spec, &p, seed);
+        assert_eq!(
+            run.chain.merged_counters().digest(),
+            digest,
+            "{label}: counter digest drifted"
+        );
+        assert_eq!(
+            run.time_us().to_bits(),
+            time_bits,
+            "{label}: simulated time drifted"
+        );
+        assert_eq!(
+            checksum_f32(run.output.as_ref().expect("functional output")),
+            checksum,
+            "{label}: output checksum drifted"
+        );
+    }
+    for (kernel, &(label, time_bits)) in ROSTER.iter().zip(&GOLDEN_HERO_ANALYTIC) {
+        let us = kernel.time_us(spec, HERO_M, HERO_K, 16, 0.6);
+        assert_eq!(
+            us.to_bits(),
+            time_bits,
+            "{label}: hero analytic time drifted"
+        );
+    }
+}
 
 /// One `#[test]` on purpose: `exec::set_jobs` is process-global and the
 /// default harness runs `#[test]` fns on concurrent threads, so the
@@ -36,6 +151,10 @@ fn parallel_run_is_bit_identical_to_serial() {
 
     exec::set_jobs(1);
     let serial = run_all();
+    // Golden-counter gate rides the serial phase: the pinned constants
+    // were captured at --jobs 1 (any job count must match them, but one
+    // deterministic setting keeps the failure report unambiguous).
+    assert_golden_constants(&spec);
     exec::set_jobs(8);
     let parallel = run_all();
     exec::set_jobs(0);
