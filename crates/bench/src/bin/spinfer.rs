@@ -10,6 +10,16 @@
 //! spinfer generate [TOKENS]                         run the tiny functional model
 //! spinfer snapshot [M K N sparsity] [--gpu G] [--out FILE]
 //!                                                   perf snapshot → BENCH_kernels.json
+//! spinfer faults <M> <K> <N> <sparsity> [--rate R] [--seed S] [--gpu G]
+//!                                                   fault-injection smoke: run the
+//!                                                   checked kernel under a seeded
+//!                                                   fault plan; nonzero exit unless
+//!                                                   faults were detected, handled,
+//!                                                   and the output stayed correct
+//! spinfer sweep <M> <K> <N> [--checkpoint FILE] [--resume] [--panic-at IDX] [--gpu G]
+//!                                                   hardened analytic sweep with
+//!                                                   per-point panic isolation and a
+//!                                                   JSONL checkpoint
 //! ```
 //!
 //! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
@@ -20,11 +30,12 @@
 //! hardware threads). Job count never changes simulated results —
 //! `spinfer bench ... --jobs 1` and `--jobs 16` print identical tables.
 
-use gpu_sim::matrix::{random_sparse, ValueDist};
+use gpu_sim::fault::{FaultInjector, FaultPlan};
+use gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, ValueDist};
 use gpu_sim::GpuSpec;
-use spinfer_bench::sweep::{self, EncodeCache, SweepPoint};
+use spinfer_bench::sweep::{self, EncodeCache, SweepOutcome, SweepPoint};
 use spinfer_bench::{render_table, KernelKind};
-use spinfer_core::{serialize, tune, SpMMHandle, TcaBme};
+use spinfer_core::{serialize, tune, SpMMHandle, SpinferSpmm, TcaBme};
 use spinfer_llm::model::{Generator, ModelRef, TransformerWeights};
 use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
 use std::process::ExitCode;
@@ -40,8 +51,12 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
-            eprintln!("usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot> ...");
+            eprintln!(
+                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep> ..."
+            );
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
         }
@@ -319,6 +334,149 @@ fn cmd_generate(args: &[String]) -> CliResult {
         sparse.linear_bytes()
     );
     let _ = SpMMHandle::encode(&random_sparse(16, 16, 0.5, ValueDist::Uniform, 1));
+    Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let n: usize = parse(args, 2, "N")?;
+    let s: f64 = parse(args, 3, "sparsity")?;
+    let spec = gpu(args)?;
+    let rate: f64 = match flag_value(args, "--rate") {
+        Some(v) => v.parse().map_err(|_| format!("invalid rate: {v}"))?,
+        None => 0.02,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| format!("invalid seed: {v}"))?,
+        None => 1234,
+    };
+    println!(
+        "fault smoke: {m}x{k}x{n} s={:.0}% rate={rate} seed={seed} on {}",
+        s * 100.0,
+        spec.name
+    );
+    let w = random_sparse(m, k, s, ValueDist::Uniform, seed);
+    let x = random_dense(k, n, ValueDist::Uniform, seed ^ 0xff);
+    let enc = TcaBme::encode(&w);
+    let inj = FaultInjector::new(FaultPlan::uniform(seed, rate));
+    let run = SpinferSpmm::new()
+        .run_checked(&spec, &enc, &x, Some(&inj))
+        .map_err(|e| format!("checked kernel aborted: {e}"))?;
+    let c = &run.chain.launches[0].counters;
+    let out = run
+        .output
+        .as_ref()
+        .ok_or("functional run must have output")?;
+    let finite = out.iter().all(|v| v.is_finite());
+    let err = max_abs_diff(out, &w.matmul_ref(&x));
+    println!("  faults injected : {}", c.faults_injected);
+    println!("  faults detected : {}", c.faults_detected);
+    println!("  recovered       : {}", c.faults_recovered);
+    println!("  fallbacks       : {}", c.fault_fallbacks);
+    println!("  output finite   : {finite}");
+    println!("  max |err|       : {err:.4}");
+    if c.faults_injected == 0 || c.faults_detected == 0 {
+        return Err("expected at least one injected and detected fault".into());
+    }
+    if c.faults_recovered + c.fault_fallbacks == 0 {
+        return Err("no detection was resolved by retry or fallback".into());
+    }
+    if !finite {
+        return Err("corruption escaped as non-finite output".into());
+    }
+    if err >= 0.5 {
+        return Err(format!("recovered output diverges from reference ({err})"));
+    }
+    println!("  OK: all detections handled, output correct");
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let n: usize = parse(args, 2, "N")?;
+    let spec = gpu(args)?;
+    let checkpoint = flag_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let panic_at: Option<usize> = match flag_value(args, "--panic-at") {
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid --panic-at: {v}"))?),
+        None => None,
+    };
+    let points: Vec<SweepPoint> = [0.4, 0.5, 0.6, 0.7]
+        .iter()
+        .flat_map(|&sparsity| {
+            KernelKind::figure10_roster()
+                .into_iter()
+                .map(move |kernel| SweepPoint {
+                    m,
+                    k,
+                    n,
+                    sparsity,
+                    kernel,
+                })
+        })
+        .collect();
+    println!(
+        "hardened sweep: {} points on {}{}{}",
+        points.len(),
+        spec.name,
+        checkpoint
+            .as_deref()
+            .map(|p| format!(" [checkpoint {}]", p.display()))
+            .unwrap_or_default(),
+        if resume { " [resume]" } else { "" }
+    );
+    let outcomes = match panic_at {
+        Some(idx) => {
+            let spec2 = spec.clone();
+            sweep::run_grid_hardened_with(
+                points.clone(),
+                checkpoint.as_deref(),
+                resume,
+                move |i, p| {
+                    if i == idx {
+                        panic!("injected sweep panic at point {i}");
+                    }
+                    p.kernel.time_us(&spec2, p.m, p.k, p.n, p.sparsity)
+                },
+            )
+        }
+        None => sweep::run_grid_hardened(&spec, points.clone(), checkpoint.as_deref(), resume),
+    }
+    .map_err(|e| format!("checkpoint I/O: {e}"))?;
+
+    let headers = ["idx", "kernel", "sparsity", "status", "time (us)"];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .zip(&outcomes)
+        .enumerate()
+        .map(|(i, (p, o))| {
+            let (status, time) = match o {
+                SweepOutcome::Done(t) => ("done", format!("{t:.1}")),
+                SweepOutcome::Resumed(t) => ("resumed", format!("{t:.1}")),
+                SweepOutcome::Panicked(msg) => ("panicked", msg.clone()),
+            };
+            vec![
+                i.to_string(),
+                p.kernel.label().to_string(),
+                format!("{:.2}", p.sparsity),
+                status.to_string(),
+                time,
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    let done = outcomes
+        .iter()
+        .filter(|o| matches!(o, SweepOutcome::Done(_)))
+        .count();
+    let resumed = outcomes
+        .iter()
+        .filter(|o| matches!(o, SweepOutcome::Resumed(_)))
+        .count();
+    let panicked = outcomes.len() - done - resumed;
+    println!("summary: done {done} resumed {resumed} panicked {panicked}");
     Ok(())
 }
 

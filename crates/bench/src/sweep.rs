@@ -26,6 +26,8 @@ use spinfer_baselines::{Bcsr, Csr, SpartaFormat, TiledCsl};
 use spinfer_core::spmm::SpmmRun;
 use spinfer_core::{SpinferSpmm, TcaBme};
 use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Parses a `--jobs N` command-line override.
@@ -208,6 +210,201 @@ pub fn run_functional_grid(spec: &GpuSpec, points: Vec<SweepPoint>, seed: u64) -
     par_points(points, |p| run_functional(&cache, spec, &p, seed))
 }
 
+/// Outcome of one isolated sweep point (see [`run_grid_hardened_with`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepOutcome {
+    /// Completed this process; simulated time in microseconds.
+    Done(f64),
+    /// Loaded from the checkpoint instead of re-running.
+    Resumed(f64),
+    /// The evaluator panicked; the sweep continued without the point.
+    Panicked(String),
+}
+
+impl SweepOutcome {
+    /// The point's simulated time, when it has one.
+    pub fn time_us(&self) -> Option<f64> {
+        match self {
+            SweepOutcome::Done(t) | SweepOutcome::Resumed(t) => Some(*t),
+            SweepOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+/// Stable identity of a grid point inside a checkpoint file: the
+/// resume logic only trusts a line whose key matches the same index in
+/// the *current* grid, so editing the sweep invalidates stale rows
+/// instead of silently mismatching them.
+fn point_key(p: &SweepPoint) -> String {
+    format!(
+        "m{}k{}n{}s{:.4}x{}",
+        p.m,
+        p.k,
+        p.n,
+        p.sparsity,
+        p.kernel.label()
+    )
+}
+
+/// Minimal JSON string escape for checkpoint lines (panic messages may
+/// contain quotes, backslashes, or newlines).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Pulls a field's raw value out of one of our own checkpoint lines.
+/// Not a general JSON parser — the writer below is the only producer.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.find('"').map(|e| &stripped[..e])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Completed `(idx, time_us)` entries of a checkpoint whose key still
+/// matches the current grid. Lines that are malformed (e.g. truncated
+/// by a crash mid-write), stale, or record a panic are ignored — a
+/// panicked point is retried on resume.
+fn load_checkpoint(path: &Path, points: &[SweepPoint]) -> io::Result<HashMap<usize, f64>> {
+    let mut done = HashMap::new();
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(done),
+        Err(e) => return Err(e),
+    };
+    for line in io::BufReader::new(file).lines() {
+        let line = line?;
+        let Some(idx) = field(&line, "idx").and_then(|v| v.parse::<usize>().ok()) else {
+            continue;
+        };
+        let (Some(key), Some(status)) = (field(&line, "key"), field(&line, "status")) else {
+            continue;
+        };
+        if status != "done" || points.get(idx).map(point_key).as_deref() != Some(key) {
+            continue;
+        }
+        if let Some(t) = field(&line, "time_us").and_then(|v| v.parse::<f64>().ok()) {
+            done.insert(idx, t);
+        }
+    }
+    Ok(done)
+}
+
+fn checkpoint_line(idx: usize, key: &str, outcome: &SweepOutcome) -> String {
+    match outcome {
+        SweepOutcome::Done(t) | SweepOutcome::Resumed(t) => {
+            format!("{{\"idx\":{idx},\"key\":\"{key}\",\"status\":\"done\",\"time_us\":{t}}}\n")
+        }
+        SweepOutcome::Panicked(msg) => format!(
+            "{{\"idx\":{idx},\"key\":\"{key}\",\"status\":\"panicked\",\"error\":\"{}\"}}\n",
+            json_escape(msg)
+        ),
+    }
+}
+
+/// Hardened analytic sweep: [`run_grid_hardened_with`] with the default
+/// per-point evaluator ([`KernelKind::time_us`]).
+pub fn run_grid_hardened(
+    spec: &GpuSpec,
+    points: Vec<SweepPoint>,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> io::Result<Vec<SweepOutcome>> {
+    let spec = spec.clone();
+    run_grid_hardened_with(points, checkpoint, resume, move |_, p| {
+        p.kernel.time_us(&spec, p.m, p.k, p.n, p.sparsity)
+    })
+}
+
+/// Fault-isolated, checkpointed sweep.
+///
+/// Every grid point runs `eval` inside a per-point `catch_unwind`
+/// (via [`exec::par_map_catch`]): a panicking point becomes
+/// [`SweepOutcome::Panicked`] while every other point completes. With a
+/// `checkpoint` path, each completed point appends one JSONL line —
+/// flushed immediately, so a killed sweep loses at most in-flight
+/// points — and `resume: true` skips points whose `done` line matches
+/// the current grid ([`SweepOutcome::Resumed`]); panicked and stale
+/// lines are retried. Results come back in point order at any job
+/// count.
+pub fn run_grid_hardened_with<F>(
+    points: Vec<SweepPoint>,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    eval: F,
+) -> io::Result<Vec<SweepOutcome>>
+where
+    F: Fn(usize, &SweepPoint) -> f64 + Sync + std::panic::RefUnwindSafe,
+{
+    let prior = match (checkpoint, resume) {
+        (Some(path), true) => load_checkpoint(path, &points)?,
+        _ => HashMap::new(),
+    };
+    let keys: Vec<String> = points.iter().map(point_key).collect();
+    let writer = checkpoint
+        .map(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+        })
+        .transpose()?
+        .map(Mutex::new);
+
+    let items: Vec<(usize, SweepPoint)> = points.into_iter().enumerate().collect();
+    let results = exec::par_map_catch(items, |(idx, p)| {
+        if let Some(&t) = prior.get(&idx) {
+            return (idx, p, SweepOutcome::Resumed(t));
+        }
+        let t = eval(idx, &p);
+        let outcome = SweepOutcome::Done(t);
+        if let Some(w) = &writer {
+            // Flush per point: the checkpoint must survive a kill.
+            let line = checkpoint_line(idx, &point_key(&p), &outcome);
+            let mut w = w.lock().unwrap();
+            let _ = w.write_all(line.as_bytes()).and_then(|()| w.flush());
+        }
+        (idx, p, outcome)
+    });
+
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (idx, res) in results.into_iter().enumerate() {
+        let outcome = match res {
+            Ok((_, _, outcome)) => outcome,
+            Err(msg) => SweepOutcome::Panicked(msg),
+        };
+        // Panicked points unwound before reaching the in-flight writer;
+        // record them now so the checkpoint mirrors the full grid (the
+        // `panicked` status is never resumed, only retried).
+        if let (Some(w), SweepOutcome::Panicked(_)) = (&writer, &outcome) {
+            let line = checkpoint_line(idx, &keys[idx], &outcome);
+            let mut w = w.lock().unwrap();
+            let _ = w.write_all(line.as_bytes()).and_then(|()| w.flush());
+        }
+        outcomes.push(outcome);
+    }
+    Ok(outcomes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +457,125 @@ mod tests {
             .map(|p| p.kernel.time_us(&spec, p.m, p.k, p.n, p.sparsity))
             .collect();
         assert_eq!(run_grid(&spec, points), serial);
+    }
+
+    fn small_grid() -> Vec<SweepPoint> {
+        [0.4, 0.6]
+            .iter()
+            .flat_map(|&s| {
+                [KernelKind::SpInfer, KernelKind::CublasTc]
+                    .into_iter()
+                    .map(move |kernel| SweepPoint {
+                        m: 512,
+                        k: 512,
+                        n: 16,
+                        sparsity: s,
+                        kernel,
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hardened_grid_without_checkpoint_matches_plain_grid() {
+        let spec = GpuSpec::rtx4090();
+        let points = small_grid();
+        let plain = run_grid(&spec, points.clone());
+        let hardened = run_grid_hardened(&spec, points, None, false).expect("no I/O involved");
+        let times: Vec<f64> = hardened
+            .iter()
+            .map(|o| o.time_us().expect("no point panics"))
+            .collect();
+        assert_eq!(times, plain);
+    }
+
+    #[test]
+    fn hardened_grid_isolates_panics_and_resumes_from_checkpoint() {
+        let spec = GpuSpec::rtx4090();
+        let points = small_grid();
+        let path = std::env::temp_dir().join(format!(
+            "spinfer_sweep_ckpt_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // First pass: point 2 is poisoned and panics mid-sweep.
+        let first = run_grid_hardened_with(points.clone(), Some(&path), false, |i, p| {
+            if i == 2 {
+                panic!("poisoned grid point");
+            }
+            p.kernel.time_us(&spec, p.m, p.k, p.n, p.sparsity)
+        })
+        .expect("checkpoint writes");
+        assert_eq!(first.len(), 4);
+        for (i, o) in first.iter().enumerate() {
+            match o {
+                SweepOutcome::Done(t) if i != 2 => assert!(t.is_finite() && *t > 0.0),
+                SweepOutcome::Panicked(msg) if i == 2 => {
+                    assert!(msg.contains("poisoned"), "payload survives: {msg}");
+                }
+                other => panic!("point {i}: unexpected outcome {other:?}"),
+            }
+        }
+
+        // A crash-truncated trailing line must not break the parser.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"idx\":7,\"key\":\"trunc").unwrap();
+        }
+
+        // Resume: completed points load from the checkpoint, the
+        // panicked point re-runs (healthy this time).
+        let second = run_grid_hardened_with(points.clone(), Some(&path), true, |_, p| {
+            p.kernel.time_us(&spec, p.m, p.k, p.n, p.sparsity)
+        })
+        .expect("resume reads");
+        let reference = run_grid(&spec, points);
+        for (i, (o, want)) in second.iter().zip(&reference).enumerate() {
+            match o {
+                SweepOutcome::Resumed(t) if i != 2 => assert_eq!(t, want, "point {i}"),
+                SweepOutcome::Done(t) if i == 2 => assert_eq!(t, want, "retried point"),
+                other => panic!("point {i}: unexpected outcome {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_rejects_stale_keys() {
+        let spec = GpuSpec::rtx4090();
+        let points = small_grid();
+        let path = std::env::temp_dir().join(format!(
+            "spinfer_sweep_stale_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // A checkpoint written for a *different* grid: keys won't match.
+        std::fs::write(
+            &path,
+            "{\"idx\":0,\"key\":\"m1k1n1s0.0000xNope\",\"status\":\"done\",\"time_us\":1.0}\n",
+        )
+        .unwrap();
+        let out = run_grid_hardened(&spec, points, Some(&path), true).unwrap();
+        assert!(
+            out.iter().all(|o| matches!(o, SweepOutcome::Done(_))),
+            "stale rows must be re-run, not resumed: {out:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(field("{\"a\":\"x\",\"b\":3}", "a"), Some("x"));
+        assert_eq!(field("{\"a\":\"x\",\"b\":3}", "b"), Some("3"));
+        assert_eq!(field("{\"a\":\"x\"", "missing"), None);
     }
 
     #[test]

@@ -5,22 +5,33 @@
 //! models" step). The layout is a little-endian, versioned container:
 //!
 //! ```text
-//! magic   [8]  b"TCABME\0\1"
+//! magic   [8]  b"TCABME\0\2"
 //! m, k, m_pad, k_pad, gt_rows, gt_cols, nnz        u64 × 7
+//! len(checksums)     u64, then u32 entries          (v2 only; = NGT)
 //! len(gtile_offsets) u64, then u32 entries
 //! len(values)        u64, then u16 (FP16 bits) entries
 //! len(bitmaps)       u64, then u64 entries
 //! ```
 //!
-//! Deserialisation validates the header and cross-checks array lengths
-//! against the geometry, so corrupted or truncated inputs fail with a
-//! typed error rather than producing a malformed matrix.
+//! Version 2 adds one FNV-1a checksum per GroupTile (over that tile's
+//! bitmaps + values, see [`crate::tca_bme::checksum_gtile`]) directly
+//! after the header; version-1 containers are still readable, just
+//! without checksum verification. Deserialisation validates the header,
+//! cross-checks array lengths against the geometry, verifies the
+//! per-tile checksums, and runs full structural validation
+//! ([`TcaBme::validate`]), so corrupted or truncated inputs fail with a
+//! typed error rather than producing a malformed matrix — and *never*
+//! panic or over-allocate, however adversarial the bytes (all declared
+//! lengths are bounded against the remaining input before allocation).
 
-use crate::tca_bme::{TcaBme, TcaBmeConfig};
+use crate::error::IntegrityError;
+use crate::tca_bme::{checksum_gtile, TcaBme, TcaBmeConfig};
 use gpu_sim::fp16::Half;
 
-/// Container magic: format name + version 1.
-const MAGIC: &[u8; 8] = b"TCABME\x00\x01";
+/// Container magic: format name + version 2 (per-GroupTile checksums).
+const MAGIC_V2: &[u8; 8] = b"TCABME\x00\x02";
+/// Version-1 magic (no checksum section), still accepted on read.
+const MAGIC_V1: &[u8; 8] = b"TCABME\x00\x01";
 
 /// Deserialisation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +42,13 @@ pub enum DecodeError {
     Truncated,
     /// Header fields are mutually inconsistent.
     Inconsistent(&'static str),
+    /// A GroupTile's payload doesn't match its stored checksum.
+    Checksum {
+        /// First GroupTile that failed verification.
+        gt: usize,
+    },
+    /// The container parsed but failed structural validation.
+    Integrity(IntegrityError),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -39,16 +57,23 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a TCA-BME container (bad magic/version)"),
             DecodeError::Truncated => write!(f, "truncated TCA-BME container"),
             DecodeError::Inconsistent(what) => write!(f, "inconsistent container: {what}"),
+            DecodeError::Checksum { gt } => {
+                write!(f, "GroupTile {gt} failed checksum verification")
+            }
+            DecodeError::Integrity(e) => write!(f, "invalid container structure: {e}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
-/// Serialises an encoded matrix to bytes.
+/// Serialises an encoded matrix to bytes (version 2, checksummed).
 pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
+    let sums = w.gtile_checksums();
     let mut out = Vec::with_capacity(
         8 + 7 * 8
+            + 8
+            + 4 * sums.len()
             + 8
             + 4 * w.gtile_offsets.len()
             + 8
@@ -56,7 +81,7 @@ pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
             + 8
             + 8 * w.bitmaps.len(),
     );
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(MAGIC_V2);
     for v in [
         w.m as u64,
         w.k as u64,
@@ -67,6 +92,10 @@ pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
         w.nnz as u64,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(sums.len() as u64).to_le_bytes());
+    for s in &sums {
+        out.extend_from_slice(&s.to_le_bytes());
     }
     out.extend_from_slice(&(w.gtile_offsets.len() as u64).to_le_bytes());
     for o in &w.gtile_offsets {
@@ -90,12 +119,19 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.buf.len() - self.pos {
             return Err(DecodeError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Bytes left in the input — the bound every declared array length
+    /// is checked against *before* allocation, so a mutated length field
+    /// can neither overflow arithmetic nor trigger a huge allocation.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
@@ -109,12 +145,33 @@ impl<'a> Reader<'a> {
     fn u16(&mut self) -> Result<u16, DecodeError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
+
+    /// Reads a declared element count and bounds it: `count * elem_size`
+    /// must fit in the remaining input.
+    fn bounded_len(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
+        let n = usize::try_from(self.u64()?).map_err(|_| DecodeError::Truncated)?;
+        match n.checked_mul(elem_size) {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(DecodeError::Truncated),
+        }
+    }
 }
 
-/// Deserialises an encoded matrix, validating structure.
+/// `pad` is the smallest multiple of `tile` that is ≥ `dim` — checked
+/// without the `div_ceil * tile` product, which overflows on
+/// adversarial 64-bit header fields.
+fn valid_padding(dim: usize, pad: usize, tile: usize) -> bool {
+    pad >= dim && pad.is_multiple_of(tile) && pad - dim < tile
+}
+
+/// Deserialises an encoded matrix, validating structure. Accepts
+/// version 2 (verifying per-GroupTile checksums) and version 1 (no
+/// checksums stored; structural validation only).
 pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
     let mut r = Reader { buf, pos: 0 };
-    if r.take(8)? != MAGIC {
+    let magic = r.take(8)?;
+    let v2 = magic == MAGIC_V2;
+    if !v2 && magic != MAGIC_V1 {
         return Err(DecodeError::BadMagic);
     }
     let m = r.u64()? as usize;
@@ -128,14 +185,32 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
     if gt_rows == 0 || gt_cols == 0 || !gt_rows.is_multiple_of(16) || !gt_cols.is_multiple_of(16) {
         return Err(DecodeError::Inconsistent("GroupTile geometry"));
     }
-    if m_pad != m.div_ceil(gt_rows) * gt_rows || k_pad != k.div_ceil(gt_cols) * gt_cols {
+    if !valid_padding(m, m_pad, gt_rows) || !valid_padding(k, k_pad, gt_cols) {
         return Err(DecodeError::Inconsistent("padded dimensions"));
     }
-    let ngt = (m_pad / gt_rows) * (k_pad / gt_cols);
-    let nbt = (m_pad / 8) * (k_pad / 8);
+    let ngt = (m_pad / gt_rows)
+        .checked_mul(k_pad / gt_cols)
+        .ok_or(DecodeError::Inconsistent("GroupTile count overflow"))?;
+    let nbt = (m_pad / 8)
+        .checked_mul(k_pad / 8)
+        .ok_or(DecodeError::Inconsistent("BitmapTile count overflow"))?;
 
-    let n_off = r.u64()? as usize;
-    if n_off != ngt + 1 {
+    let checksums = if v2 {
+        let n_sums = r.bounded_len(4)?;
+        if n_sums != ngt {
+            return Err(DecodeError::Inconsistent("checksum count"));
+        }
+        let mut sums = Vec::with_capacity(n_sums);
+        for _ in 0..n_sums {
+            sums.push(r.u32()?);
+        }
+        Some(sums)
+    } else {
+        None
+    };
+
+    let n_off = r.bounded_len(4)?;
+    if n_off != ngt.checked_add(1).ok_or(DecodeError::Truncated)? {
         return Err(DecodeError::Inconsistent("GTileOffset length"));
     }
     let mut gtile_offsets = Vec::with_capacity(n_off);
@@ -143,8 +218,8 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         gtile_offsets.push(r.u32()?);
     }
 
-    let n_vals = r.u64()? as usize;
-    if n_vals < nnz || *gtile_offsets.last().unwrap() as usize != n_vals {
+    let n_vals = r.bounded_len(2)?;
+    if n_vals < nnz || *gtile_offsets.last().expect("n_off >= 1") as usize != n_vals {
         return Err(DecodeError::Inconsistent("Values length"));
     }
     let mut values = Vec::with_capacity(n_vals);
@@ -152,7 +227,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         values.push(Half::from_bits(r.u16()?));
     }
 
-    let n_bm = r.u64()? as usize;
+    let n_bm = r.bounded_len(8)?;
     if n_bm != nbt {
         return Err(DecodeError::Inconsistent("Bitmap length"));
     }
@@ -161,13 +236,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         bitmaps.push(r.u64()?);
     }
 
-    // Population cross-check: the bitmaps must account for exactly nnz.
-    let pop: u64 = bitmaps.iter().map(|b| u64::from(b.count_ones())).sum();
-    if pop as usize != nnz {
-        return Err(DecodeError::Inconsistent("bitmap population vs nnz"));
-    }
-
-    Ok(TcaBme {
+    let out = TcaBme {
         m,
         k,
         m_pad,
@@ -177,7 +246,28 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         values,
         bitmaps,
         nnz,
-    })
+    };
+
+    // v2: per-tile checksums localise the damage before the (coarser)
+    // structural pass. The slice accessors need consistent offsets, so
+    // guard them with a bounds pre-check rather than trusting the data.
+    if let Some(sums) = checksums {
+        for gt in 0..ngt {
+            let (s, e) = (
+                out.gtile_offsets[gt] as usize,
+                out.gtile_offsets[gt + 1] as usize,
+            );
+            if s > e || e > out.values.len() {
+                return Err(DecodeError::Inconsistent("GTileOffset bounds"));
+            }
+            let got = checksum_gtile(out.gtile_bitmaps(gt), &out.values[s..e]);
+            if got != sums[gt] {
+                return Err(DecodeError::Checksum { gt });
+            }
+        }
+    }
+    out.validate().map_err(DecodeError::Integrity)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -223,13 +313,98 @@ mod tests {
         let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 64);
         let enc = TcaBme::encode(&m);
         let mut bytes = to_bytes(&enc);
-        // Flip a bit inside the last 8 bytes (a bitmap word).
+        // Flip a bit inside the last 8 bytes (a bitmap word). v2 catches
+        // this at the checksum layer, pinpointing the damaged tile.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert_eq!(
+            from_bytes(&bytes).unwrap_err(),
+            DecodeError::Checksum { gt: 0 }
+        );
+    }
+
+    /// Writes the version-1 layout (no checksum section) so read-compat
+    /// stays covered now that `to_bytes` emits v2.
+    fn to_bytes_v1(w: &TcaBme) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V1);
+        for v in [
+            w.m as u64,
+            w.k as u64,
+            w.m_pad as u64,
+            w.k_pad as u64,
+            w.config.gt_rows as u64,
+            w.config.gt_cols as u64,
+            w.nnz as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(w.gtile_offsets.len() as u64).to_le_bytes());
+        for o in &w.gtile_offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        out.extend_from_slice(&(w.values.len() as u64).to_le_bytes());
+        for v in &w.values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(w.bitmaps.len() as u64).to_le_bytes());
+        for b in &w.bitmaps {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn v1_containers_still_load() {
+        let m = random_sparse(192, 128, 0.55, ValueDist::Uniform, 65);
+        let enc = TcaBme::encode(&m);
+        let back = from_bytes(&to_bytes_v1(&enc)).expect("v1 read-compat");
+        assert_eq!(back.decode(), m);
+        // v1 has no checksums, but a bitmap flip (changing population)
+        // still dies in structural validation.
+        let mut bytes = to_bytes_v1(&enc);
         let n = bytes.len();
         bytes[n - 1] ^= 0x01;
         assert!(matches!(
             from_bytes(&bytes),
-            Err(DecodeError::Inconsistent(_))
+            Err(DecodeError::Integrity(_)) | Err(DecodeError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn value_corruption_detected_by_checksum_only() {
+        // A flipped FP16 payload bit changes no length or population —
+        // only the v2 checksum can see it. Locate the first value byte:
+        // header + checksums + offsets sections precede it.
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 66);
+        let enc = TcaBme::encode(&m);
+        assert!(enc.nnz > 0);
+        let mut bytes = to_bytes(&enc);
+        let value_pos = 8 + 7 * 8 + 8 + 4 * enc.num_gtiles() + 8 + 4 * enc.gtile_offsets.len() + 8;
+        bytes[value_pos] ^= 0x10;
+        assert_eq!(
+            from_bytes(&bytes).unwrap_err(),
+            DecodeError::Checksum { gt: 0 }
+        );
+        // The same corruption in a v1 stream loads silently — the gap
+        // the version bump exists to close.
+        let mut v1 = to_bytes_v1(&enc);
+        let v1_value_pos = 8 + 7 * 8 + 8 + 4 * enc.gtile_offsets.len() + 8;
+        v1[v1_value_pos] ^= 0x10;
+        assert!(from_bytes(&v1).is_ok());
+    }
+
+    #[test]
+    fn mutated_length_fields_fail_without_allocating() {
+        // Set every plausible length-field position to u64::MAX: decode
+        // must fail with a typed error, not a capacity panic or OOM.
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 67);
+        let bytes = to_bytes(&TcaBme::encode(&m));
+        for pos in (8..bytes.len().min(256)).step_by(8) {
+            let mut bad = bytes.clone();
+            bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(from_bytes(&bad).is_err(), "length bomb at {pos} accepted");
+        }
     }
 
     #[test]
@@ -244,5 +419,14 @@ mod tests {
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
         assert!(DecodeError::Inconsistent("x").to_string().contains('x'));
+        assert!(DecodeError::Checksum { gt: 3 }
+            .to_string()
+            .contains("GroupTile 3"));
+        assert!(DecodeError::Integrity(IntegrityError::NnzMismatch {
+            expected: 2,
+            got: 1
+        })
+        .to_string()
+        .contains("nnz 1"));
     }
 }

@@ -20,9 +20,30 @@
 
 use gpu_sim::bitops::{masked_popc64, popc64, test_bit};
 use gpu_sim::counters::Counters;
+use gpu_sim::fault::FaultInjector;
 use gpu_sim::fp16::{pack_f16x2, Half};
-use gpu_sim::shared_memory::warp_smem_load;
+use gpu_sim::shared_memory::{warp_smem_load, warp_smem_load_f};
 use gpu_sim::tensor_core::FragA;
+
+/// A decode invariant violated at runtime — the typed form of what the
+/// unchecked decode would do by panicking (overrun) or silently
+/// propagating (non-finite values). Mapped to
+/// [`crate::error::KernelError`] by the checked SpMM path, which adds
+/// the GroupTile coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeFault {
+    /// The bitmaps demanded more values than the buffer holds — the
+    /// signature of a flipped bitmap bit inflating `popc64` offsets.
+    Overrun {
+        /// Highest value index the decode tried to touch, plus one.
+        needed: usize,
+        /// Values actually available.
+        available: usize,
+    },
+    /// A decoded element is NaN/Inf. Weights are finite by contract, so
+    /// a non-finite decode means an in-flight value was poisoned.
+    NonFinite,
+}
 
 /// Integer instructions per lane for Phase I: mask build, popcount, bit
 /// test, address add.
@@ -51,7 +72,38 @@ pub fn decode_bitmap_tile(
     base: usize,
     values_smem_base: u64,
 ) -> [u32; 32] {
+    decode_bitmap_tile_f(counters, bitmap, values, base, values_smem_base, None, 0).expect(
+        "SMBD decode overran the GroupTile value buffer — bitmap population \
+         exceeds the encoded value span (corrupted bitmap?)",
+    )
+}
+
+/// Fault-aware, non-panicking [`decode_bitmap_tile`]: the single decode
+/// implementation. With `fault = None` the counter stream and registers
+/// are exactly the golden path's; a bitmap whose population overruns
+/// `values` returns [`DecodeFault::Overrun`] instead of panicking. When
+/// an injector is supplied, each value gather may have one lane's
+/// loaded FP16 poisoned (keyed by `site_key`, which the caller derives
+/// from the GroupTile/TCTile coordinates — shared-memory addresses
+/// repeat across tiles and cannot serve as keys).
+#[allow(clippy::too_many_arguments)]
+pub fn decode_bitmap_tile_f(
+    counters: &mut Counters,
+    bitmap: u64,
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<[u32; 32], DecodeFault> {
     let mut regs = [0u32; 32];
+    let need = base + popc64(bitmap) as usize;
+    if need > values.len() {
+        return Err(DecodeFault::Overrun {
+            needed: need,
+            available: values.len(),
+        });
+    }
 
     // Bitmap broadcast load: every lane reads the same 8-byte word.
     warp_smem_load(counters, &[Some(values_smem_base); 32], 8);
@@ -60,6 +112,8 @@ pub fn decode_bitmap_tile(
     let mut a0 = [Half::ZERO; 32];
     let mut phase1_count = [0u32; 32];
     let mut phase1_addrs = [None; 32];
+    let mut phase1_lanes = [0usize; 32];
+    let mut phase1_active = 0usize;
     for lane in 0..32 {
         let off = 2 * lane as u32;
         let count = masked_popc64(bitmap, off);
@@ -68,17 +122,25 @@ pub fn decode_bitmap_tile(
             let idx = base + count as usize;
             a0[lane] = values[idx];
             phase1_addrs[lane] = Some(values_smem_base + idx as u64 * 2);
+            phase1_lanes[phase1_active] = lane;
+            phase1_active += 1;
         }
     }
     counters.cuda_int_insts += INT_INSTS_PHASE1 + INT_INSTS_BASE;
     counters.insts_issued += INT_INSTS_PHASE1 + INT_INSTS_BASE;
-    if phase1_addrs.iter().any(Option::is_some) {
-        warp_smem_load(counters, &phase1_addrs, 2);
+    if phase1_active > 0 {
+        if let Some((sel, poison)) =
+            warp_smem_load_f(counters, &phase1_addrs, 2, fault, site_key ^ 0x5048_3141)
+        {
+            a0[phase1_lanes[sel]] = poison;
+        }
     }
 
     // Phase II: decode a1 (bit 2*lane + 1), reusing the Phase I count.
     let mut a1 = [Half::ZERO; 32];
     let mut phase2_addrs = [None; 32];
+    let mut phase2_lanes = [0usize; 32];
+    let mut phase2_active = 0usize;
     for lane in 0..32 {
         let off = 2 * lane as u32 + 1;
         if test_bit(bitmap, off) {
@@ -86,18 +148,24 @@ pub fn decode_bitmap_tile(
             let idx = base + (phase1_count[lane] + advance) as usize;
             a1[lane] = values[idx];
             phase2_addrs[lane] = Some(values_smem_base + idx as u64 * 2);
+            phase2_lanes[phase2_active] = lane;
+            phase2_active += 1;
         }
     }
     counters.cuda_int_insts += INT_INSTS_PHASE2;
     counters.insts_issued += INT_INSTS_PHASE2;
-    if phase2_addrs.iter().any(Option::is_some) {
-        warp_smem_load(counters, &phase2_addrs, 2);
+    if phase2_active > 0 {
+        if let Some((sel, poison)) =
+            warp_smem_load_f(counters, &phase2_addrs, 2, fault, site_key ^ 0x5048_3242)
+        {
+            a1[phase2_lanes[sel]] = poison;
+        }
     }
 
     for lane in 0..32 {
         regs[lane] = pack_f16x2(a0[lane], a1[lane]);
     }
-    regs
+    Ok(regs)
 }
 
 /// Decodes a full 16×16 TCTile (four BitmapTiles in TL, BL, TR, BR order)
@@ -111,16 +179,41 @@ pub fn decode_tctile(
     base: usize,
     values_smem_base: u64,
 ) -> (FragA, usize) {
+    decode_tctile_f(counters, bitmaps, values, base, values_smem_base, None, 0).expect(
+        "SMBD TCTile decode overran the GroupTile value buffer — bitmap \
+         population exceeds the encoded value span (corrupted bitmap?)",
+    )
+}
+
+/// Fault-aware, non-panicking [`decode_tctile`]; see
+/// [`decode_bitmap_tile_f`] for the `fault`/`site_key` contract.
+pub fn decode_tctile_f(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<(FragA, usize), DecodeFault> {
     let mut frag = FragA::zero();
     let mut offset = base;
     for (reg, &bm) in bitmaps.iter().enumerate() {
-        let regs = decode_bitmap_tile(counters, bm, values, offset, values_smem_base);
+        let regs = decode_bitmap_tile_f(
+            counters,
+            bm,
+            values,
+            offset,
+            values_smem_base,
+            fault,
+            site_key.wrapping_add((reg as u64 + 1) << 48),
+        )?;
         for lane in 0..32 {
             frag.regs[lane][reg] = regs[lane];
         }
         offset += popc64(bm) as usize;
     }
-    (frag, offset - base)
+    Ok((frag, offset - base))
 }
 
 /// Decodes a full 16×16 TCTile straight to the decode-once `f32` row
@@ -140,6 +233,35 @@ pub fn decode_tctile_f32(
 ) -> ([[f32; 16]; 16], usize) {
     let (frag, consumed) = decode_tctile(counters, bitmaps, values, base, values_smem_base);
     (frag.to_f32_rows(), consumed)
+}
+
+/// Checked [`decode_tctile_f32`]: non-panicking on overruns, optional
+/// fault injection on the value gathers, and a finiteness scan over the
+/// decoded rows — a poisoned FP16 surfaces as [`DecodeFault::NonFinite`]
+/// here instead of escaping into the accumulators.
+pub fn decode_tctile_f32_checked(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<([[f32; 16]; 16], usize), DecodeFault> {
+    let (frag, consumed) = decode_tctile_f(
+        counters,
+        bitmaps,
+        values,
+        base,
+        values_smem_base,
+        fault,
+        site_key,
+    )?;
+    let rows = frag.to_f32_rows();
+    if rows.iter().flatten().any(|v| !v.is_finite()) {
+        return Err(DecodeFault::NonFinite);
+    }
+    Ok((rows, consumed))
 }
 
 /// Analytic cost of decoding one BitmapTile, mirroring the counter writes
@@ -278,6 +400,95 @@ mod tests {
         let mut c2 = Counters::new();
         decode_bitmap_tile(&mut c2, 0, &[], 0, 0);
         assert_eq!(c2.smem_load_transactions, empty_model.smem_transactions);
+    }
+
+    #[test]
+    fn checked_decode_matches_golden_with_no_injector() {
+        let tile = random_sparse(8, 8, 0.5, ValueDist::Uniform, 83);
+        let (bm, vals) = encode_bt(&tile);
+        let mut cg = Counters::new();
+        let golden = decode_bitmap_tile(&mut cg, bm, &vals, 0, 128);
+        let mut cc = Counters::new();
+        let checked = decode_bitmap_tile_f(&mut cc, bm, &vals, 0, 128, None, 9).expect("in bounds");
+        assert_eq!(golden, checked);
+        assert_eq!(cg, cc, "checked path must not perturb the counter stream");
+    }
+
+    #[test]
+    fn checked_decode_reports_overrun_instead_of_panicking() {
+        let tile = random_sparse(8, 8, 0.3, ValueDist::Uniform, 84);
+        let (bm, vals) = encode_bt(&tile);
+        assert!(!vals.is_empty());
+        // Inflate the bitmap population past the value buffer — the
+        // flipped-bit failure mode the unchecked path dies on.
+        let corrupt = bm | (1u64 << 63) | (1u64 << 62) | 1;
+        let pop = popc64(corrupt) as usize;
+        if pop > vals.len() {
+            let err = decode_bitmap_tile_f(&mut Counters::new(), corrupt, &vals, 0, 0, None, 0)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                DecodeFault::Overrun {
+                    needed: pop,
+                    available: vals.len()
+                }
+            );
+        }
+        // Same corruption through the TCTile wrapper.
+        let bitmaps = [corrupt, 0, 0, 0];
+        assert!(matches!(
+            decode_tctile_f32_checked(&mut Counters::new(), &bitmaps, &vals, 0, 0, None, 0),
+            Err(DecodeFault::Overrun { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted bitmap")]
+    fn unchecked_decode_panics_on_overrun_with_named_invariant() {
+        decode_bitmap_tile(&mut Counters::new(), u64::MAX, &[Half::ONE; 3], 0, 0);
+    }
+
+    #[test]
+    fn poison_injection_is_caught_by_finiteness_scan() {
+        use gpu_sim::fault::{FaultInjector, FaultPlan};
+        let tile = random_sparse(16, 16, 0.4, ValueDist::Uniform, 85);
+        let mut bitmaps = [0u64; 4];
+        let mut values = Vec::new();
+        for (q, (dr, dc)) in [(0, 0), (8, 0), (0, 8), (8, 8)].iter().enumerate() {
+            let mut sub = DenseMatrix::zeros(8, 8);
+            for r in 0..8 {
+                for c in 0..8 {
+                    sub.set(r, c, tile.get(r + dr, c + dc));
+                }
+            }
+            let (bm, vals) = encode_bt(&sub);
+            bitmaps[q] = bm;
+            values.extend(vals);
+        }
+        let plan = FaultPlan {
+            fp16_poison_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let res =
+            decode_tctile_f32_checked(&mut Counters::new(), &bitmaps, &values, 0, 0, Some(&inj), 7);
+        assert_eq!(res.unwrap_err(), DecodeFault::NonFinite);
+        // And with rates at zero the same call returns the golden rows.
+        let clean = FaultInjector::new(FaultPlan::default());
+        let (rows, consumed) = decode_tctile_f32_checked(
+            &mut Counters::new(),
+            &bitmaps,
+            &values,
+            0,
+            0,
+            Some(&clean),
+            7,
+        )
+        .expect("zero rates never poison");
+        let (golden_rows, golden_consumed) =
+            decode_tctile_f32(&mut Counters::new(), &bitmaps, &values, 0, 0);
+        assert_eq!(rows, golden_rows);
+        assert_eq!(consumed, golden_consumed);
     }
 
     #[test]

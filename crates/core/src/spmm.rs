@@ -22,13 +22,15 @@
 //! statistics) are provided; tests pin them against each other so
 //! paper-scale benchmarks can use the cheap path.
 
-use crate::smbd::{bt_decode_cost, decode_tctile_f32};
-use crate::tca_bme::{TcaBme, TT_DIM};
+use crate::error::{KernelError, SpinferError};
+use crate::smbd::{bt_decode_cost, decode_tctile_f32, decode_tctile_f32_checked, DecodeFault};
+use crate::tca_bme::{checksum_gtile, TcaBme, TT_DIM};
 use gpu_sim::bitops::popc64;
 use gpu_sim::counters::Counters;
 use gpu_sim::exec::{self, CounterShard};
+use gpu_sim::fault::{flip_bit_u16, flip_bit_u64, CommitFault, FaultInjector};
 use gpu_sim::fp16::Half;
-use gpu_sim::global::{warp_global_store, warp_ldgsts, GlobalMemory, VAddr};
+use gpu_sim::global::{warp_global_store, warp_ldgsts, warp_ldgsts_f, GlobalMemory, VAddr};
 use gpu_sim::kernel::{LaunchChain, LaunchResult};
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
@@ -84,6 +86,28 @@ impl Default for SpmmConfig {
             split_k: 0,
             max_tile_n: 32,
             ablation: Ablation::default(),
+        }
+    }
+}
+
+/// Recovery policy for the fault-detecting path
+/// ([`SpinferSpmm::run_checked_with`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Total load/decode attempts per GroupTile (1 = no retries).
+    pub max_attempts: u32,
+    /// When the budget is exhausted: `true` recomputes the GroupTile
+    /// from its pristine encoding with the reference scalar product;
+    /// `false` aborts the run with
+    /// [`KernelError::RetryBudgetExhausted`].
+    pub fallback: bool,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_attempts: 3,
+            fallback: true,
         }
     }
 }
@@ -347,7 +371,13 @@ impl SpinferSpmm {
             .map(|gty| {
                 let bands = split_bands
                     .iter_mut()
-                    .map(|it| it.next().unwrap())
+                    .map(|it| {
+                        it.next().expect(
+                            "workspace band iterator exhausted: every split slice must hold \
+                             one band per block row (workspace sized split_k * m_pad * n_pad \
+                             with m_pad = gtiles_y * gt_rows)",
+                        )
+                    })
                     .collect();
                 (gty, bands)
             })
@@ -447,6 +477,210 @@ impl SpinferSpmm {
             output: Some(output),
             chain,
         }
+    }
+
+    /// Fault-detecting functional execution with the default
+    /// [`FaultPolicy`] (three attempts per GroupTile, then the
+    /// pristine-encoding reference fallback). See
+    /// [`Self::run_checked_with`].
+    pub fn run_checked(
+        &self,
+        spec: &GpuSpec,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        fault: Option<&FaultInjector>,
+    ) -> Result<SpmmRun, SpinferError> {
+        self.run_checked_with(spec, w, x, fault, FaultPolicy::default())
+    }
+
+    /// Fault-detecting functional execution.
+    ///
+    /// Same product and counters as [`Self::run`] — bit-identical when
+    /// `fault` is `None` or an unarmed plan — but every hazard becomes a
+    /// typed outcome instead of a panic or silent garbage:
+    ///
+    /// 1. The container is [`TcaBme::validate`]d up front
+    ///    ([`SpinferError::Integrity`] on structural damage) and
+    ///    per-GroupTile [FNV-1a checksums](crate::tca_bme::checksum_gtile)
+    ///    are precomputed from the pristine encoding.
+    /// 2. When an armed [`FaultInjector`] is supplied, the `LDGSTS`
+    ///    streams and `cp.async` commits of each GroupTile run through
+    ///    the fault hooks and land in a *local shared-memory image*;
+    ///    the image's checksum is compared against the pristine one
+    ///    before SMBD consumes it (detection **D1**).
+    /// 3. SMBD runs through the checked decode: offset overruns from
+    ///    flipped bitmap bits surface as [`DecodeFault::Overrun`]
+    ///    (**D2**) and poisoned FP16 gathers as
+    ///    [`DecodeFault::NonFinite`] (**D3**) instead of escaping into
+    ///    the accumulators.
+    /// 4. On detection the GroupTile is re-streamed from global memory
+    ///    with a [reseeded](FaultInjector::reseeded) draw stream, up to
+    ///    [`FaultPolicy::max_attempts`]; recoveries and exhausted
+    ///    budgets are tallied in [`Counters::faults_recovered`] and
+    ///    [`Counters::fault_fallbacks`]. An exhausted budget takes the
+    ///    reference scalar product of the pristine GroupTile
+    ///    (`fallback: true`) or aborts with
+    ///    [`KernelError::RetryBudgetExhausted`] (`fallback: false`).
+    ///
+    /// Injection is restricted to checksum-protected structures (the
+    /// sparse bitmap/value streams and their commit group, plus the
+    /// decode gathers); the dense X path has no integrity metadata, so
+    /// corrupting it could only produce the silent garbage this path
+    /// exists to rule out. Integrity checks model zero-cost host-side
+    /// verification: they record no counter events.
+    pub fn run_checked_with(
+        &self,
+        spec: &GpuSpec,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        fault: Option<&FaultInjector>,
+        policy: FaultPolicy,
+    ) -> Result<SpmmRun, SpinferError> {
+        if x.rows() != w.k {
+            return Err(SpinferError::DimensionMismatch {
+                expected_k: w.k,
+                got: x.rows(),
+            });
+        }
+        w.validate()?;
+        let w_checksums = w.gtile_checksums();
+
+        let n = x.cols();
+        let stats = FormatStats::from_encoded(w);
+        let geo = self.geometry(spec, &stats, n);
+
+        let mut gm = GlobalMemory::new();
+        let _offsets_base = gm.alloc(4 * w.gtile_offsets.len());
+        let values_base = gm.alloc(2 * w.values.len());
+        let bitmaps_base = gm.alloc(8 * w.bitmaps.len());
+        let x_base = gm.alloc(2 * w.k * geo.n_pad);
+        let ws_base = gm.alloc(4 * w.m_pad * geo.n_pad * geo.split_k);
+        let smem_values: u64 = (w.config.bts_per_gt() * 8) as u64;
+
+        let mut counters = Counters::new();
+        let mut x_counters = Counters::new();
+        let mut workspace = vec![0.0f32; geo.split_k * w.m_pad * geo.n_pad];
+
+        let gtiles_y = w.gtiles_y();
+        let gtiles_x = w.gtiles_x();
+        let slice_len = w.m_pad * geo.n_pad;
+        let band_len = w.config.gt_rows * geo.n_pad;
+
+        let mut split_bands: Vec<_> = workspace
+            .chunks_mut(slice_len)
+            .map(|s| s.chunks_mut(band_len))
+            .collect();
+        let tasks: Vec<(usize, Vec<&mut [f32]>)> = (0..gtiles_y)
+            .map(|gty| {
+                let bands = split_bands
+                    .iter_mut()
+                    .map(|it| {
+                        it.next().expect(
+                            "workspace band iterator exhausted: every split slice must hold \
+                             one band per block row (workspace sized split_k * m_pad * n_pad \
+                             with m_pad = gtiles_y * gt_rows)",
+                        )
+                    })
+                    .collect();
+                (gty, bands)
+            })
+            .collect();
+
+        // Same fan-out as `run`; a block row that aborts on an
+        // unrecoverable fault zeroes its reusable scratch (the next task
+        // on that worker expects it clean) and carries the typed error
+        // out through the shard results.
+        let shards = exec::par_map_with(
+            tasks,
+            || vec![0.0f32; geo.split_k * slice_len],
+            |scratch, (gty, bands)| {
+                let mut shard = CounterShard::new();
+                let mut x_shard = CounterShard::new();
+                for nt in 0..geo.grid_x {
+                    let n0 = nt * geo.tile_n;
+                    for split in 0..geo.split_k {
+                        let gx0 = split * geo.gtx_per_split;
+                        let gx1 = (gx0 + geo.gtx_per_split).min(gtiles_x);
+                        if let Err(e) = self.run_block_checked(
+                            spec,
+                            w,
+                            x,
+                            shard.counters(),
+                            x_shard.counters(),
+                            &mut scratch[split * slice_len..][..slice_len],
+                            &geo,
+                            gty,
+                            n0,
+                            gx0,
+                            gx1,
+                            values_base,
+                            bitmaps_base,
+                            x_base,
+                            ws_base,
+                            smem_values,
+                            &w_checksums,
+                            fault,
+                            policy,
+                        ) {
+                            scratch.fill(0.0);
+                            return Err(e);
+                        }
+                    }
+                }
+                for (split, band) in bands.into_iter().enumerate() {
+                    let src = &mut scratch[split * slice_len + gty * band_len..][..band_len];
+                    band.copy_from_slice(src);
+                    src.fill(0.0);
+                }
+                Ok((shard, x_shard))
+            },
+        );
+        for res in shards {
+            let (shard, x_shard) = res.map_err(SpinferError::Kernel)?;
+            counters.merge(&shard.into_counters());
+            x_counters.merge(&x_shard.into_counters());
+        }
+
+        let x_requested = x_counters.dram_read_bytes;
+        counters.merge(&x_counters);
+        let l2 = [L2Reuse {
+            buffer_bytes: (2 * w.k * geo.n_pad) as u64,
+            requested_bytes: x_requested,
+        }];
+
+        let mut chain = LaunchChain::new();
+        chain.push(LaunchResult::from_execution(
+            kernel_name(self.config.ablation),
+            spec,
+            self.launch_shape(&geo),
+            counters,
+            &l2,
+        ));
+
+        let mut out_pad = vec![0.0f32; w.m_pad * geo.n_pad];
+        if geo.split_k > 1 {
+            let out_base = gm.alloc(4 * w.m_pad * geo.n_pad);
+            chain.push(crate::reduction::run_reduction(
+                spec,
+                &workspace,
+                &mut out_pad,
+                w.m_pad * geo.n_pad,
+                geo.split_k,
+                ws_base,
+                out_base,
+            ));
+        } else {
+            out_pad.copy_from_slice(&workspace);
+        }
+
+        let mut output = vec![0.0f32; w.m * n];
+        for r in 0..w.m {
+            output[r * n..(r + 1) * n].copy_from_slice(&out_pad[r * geo.n_pad..r * geo.n_pad + n]);
+        }
+        Ok(SpmmRun {
+            output: Some(output),
+            chain,
+        })
     }
 
     /// One thread block's work: all GroupTiles in `gx0..gx1` for block row
@@ -567,7 +801,10 @@ impl SpinferSpmm {
                     let tc_idx = ttx * tt_rows + tty;
                     // Base offset: popcounts of preceding TCTiles.
                     let base: usize = bms[..tc_idx * 4].iter().map(|&b| popc64(b) as usize).sum();
-                    let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().unwrap();
+                    let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().expect(
+                        "TCTile bitmap slice must hold exactly 4 BitmapTiles: gtile_bitmaps \
+                         returns bts_per_gt() words, a multiple of BTS_PER_TT = 4",
+                    );
                     let (a_rows, _) = decode_tctile_f32(counters, &tc_bms, vals, base, smem_values);
                     if !self.config.ablation.smbd {
                         // Register decode: the same values reach the same
@@ -617,6 +854,312 @@ impl SpinferSpmm {
                 }
             }
         }
+    }
+
+    /// [`Self::run_block`] with integrity checking and bounded-retry
+    /// recovery — the per-block half of [`Self::run_checked_with`].
+    ///
+    /// With `fault` absent (or unarmed) the counter stream and numerics
+    /// are bit-identical to `run_block`: the `_f` hooks collapse to the
+    /// golden functions and no shared-memory image is materialised.
+    #[allow(clippy::too_many_arguments)]
+    fn run_block_checked(
+        &self,
+        _spec: &GpuSpec,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        counters: &mut Counters,
+        x_counters: &mut Counters,
+        workspace: &mut [f32],
+        geo: &Geometry,
+        gty: usize,
+        n0: usize,
+        gx0: usize,
+        gx1: usize,
+        values_base: VAddr,
+        bitmaps_base: VAddr,
+        x_base: VAddr,
+        ws_base: VAddr,
+        smem_values: u64,
+        w_checksums: &[u32],
+        fault: Option<&FaultInjector>,
+        policy: FaultPolicy,
+    ) -> Result<(), KernelError> {
+        let cfg = w.config;
+        let tt_rows = cfg.tt_rows();
+        let tt_cols = cfg.tt_cols();
+        let n8 = geo.tile_n / 8;
+        let n = x.cols();
+
+        let mut accs: Vec<Vec<FragC>> = (0..geo.warps)
+            .map(|_| (0..n8).map(|_| FragC::zero()).collect())
+            .collect();
+        let mut xf = vec![0.0f32; cfg.gt_cols * geo.tile_n];
+
+        // Local shared-memory image of the GroupTile under injection;
+        // reused across iterations to stay allocation-free per tile.
+        let mut bms_img: Vec<u64> = Vec::new();
+        let mut vals_img: Vec<Half> = Vec::new();
+
+        let mut cp_async = gpu_sim::async_copy::AsyncCopyState::new();
+        for gtx in gx0..gx1 {
+            let gt = w.gt_index(gty, gtx);
+            let pristine_vals = w.gtile_values(gt);
+            let pristine_bms = w.gtile_bitmaps(gt);
+            let bm_addr = bitmaps_base + (gt * cfg.bts_per_gt() * 8) as u64;
+            let val_addr = values_base + (w.gtile_offsets[gt] as u64) * 2;
+            // Injection only matters for this tile when the plan is
+            // armed and the tile filter admits it; otherwise the golden
+            // path runs against the pristine slices directly.
+            let inject = fault.filter(|i| i.plan().armed() && i.gtile_enabled(gt));
+
+            // --- 1. GTile loading, fault-aware ---
+            load_gtile_image(
+                counters,
+                inject,
+                pristine_bms,
+                pristine_vals,
+                bm_addr,
+                val_addr,
+                &mut bms_img,
+                &mut vals_img,
+            );
+            cp_async.issue();
+            apply_commit_fault(
+                cp_async.commit_group_f(counters, inject, bm_addr),
+                &mut bms_img,
+                &mut vals_img,
+                inject.is_some(),
+            );
+
+            // --- 3. XTile loading (no integrity metadata; golden path) ---
+            let row_bytes = (geo.tile_n * 2) as u64;
+            for kr in (0..cfg.gt_cols).step_by(4) {
+                let mut addrs = [None; 32];
+                let mut li = 0usize;
+                for dr in 0..4 {
+                    let krow = gtx * cfg.gt_cols + kr + dr;
+                    let base = x_base + (krow * geo.n_pad + n0) as u64 * 2;
+                    let lanes = (row_bytes as usize).div_ceil(16);
+                    for l in 0..lanes {
+                        if li < 32 {
+                            addrs[li] = Some(base + (l * 16) as u64);
+                            li += 1;
+                        }
+                    }
+                }
+                warp_ldgsts(x_counters, &addrs, 16);
+                counters.smem_store_transactions += (4 * row_bytes).div_ceil(128);
+            }
+            cp_async.issue();
+            cp_async.commit_group();
+            let retired = cp_async.wait_group(1);
+            debug_assert_eq!(retired, 1, "sparse group retires first");
+
+            for kk in 0..cfg.gt_cols {
+                let kr = gtx * cfg.gt_cols + kk;
+                let row = &mut xf[kk * geo.tile_n..(kk + 1) * geo.tile_n];
+                if kr < x.rows() {
+                    for (nn, slot) in row.iter_mut().enumerate() {
+                        let nc = n0 + nn;
+                        *slot = if nc < n { x.get(kr, nc).to_f32() } else { 0.0 };
+                    }
+                } else {
+                    row.fill(0.0);
+                }
+            }
+
+            // --- D1: checksum the landed image; retry from DRAM ---
+            let mut verified = true;
+            if let Some(inj0) = inject {
+                let expected = w_checksums[gt];
+                let mut attempt: u32 = 0;
+                verified = loop {
+                    attempt += 1;
+                    if checksum_gtile(&bms_img, &vals_img) == expected {
+                        if attempt > 1 {
+                            counters.faults_recovered += 1;
+                        }
+                        break true;
+                    }
+                    counters.faults_detected += 1;
+                    if attempt >= policy.max_attempts {
+                        break false;
+                    }
+                    // Synchronous re-stream of the GroupTile with a
+                    // reseeded draw stream (a fresh DRAM transfer hits
+                    // fresh fault sites, not the same ones again).
+                    let inj_r = inj0.reseeded(u64::from(attempt));
+                    load_gtile_image(
+                        counters,
+                        Some(&inj_r),
+                        pristine_bms,
+                        pristine_vals,
+                        bm_addr,
+                        val_addr,
+                        &mut bms_img,
+                        &mut vals_img,
+                    );
+                    cp_async.issue();
+                    apply_commit_fault(
+                        cp_async.commit_group_f(counters, Some(&inj_r), bm_addr),
+                        &mut bms_img,
+                        &mut vals_img,
+                        true,
+                    );
+                    cp_async.wait_group(0);
+                };
+            }
+            if !verified {
+                if !policy.fallback {
+                    return Err(KernelError::RetryBudgetExhausted {
+                        gt,
+                        attempts: policy.max_attempts,
+                    });
+                }
+                // Reference product from the pristine encoding: slower,
+                // but guaranteed correct — nothing from the corrupted
+                // image reaches the accumulators.
+                counters.fault_fallbacks += 1;
+                fallback_gtile_product(cfg, pristine_bms, pristine_vals, &xf, geo, &mut accs);
+                cp_async.wait_group(0);
+                counters.barriers += 1;
+                continue;
+            }
+            let (bms, vals): (&[u64], &[Half]) = if inject.is_some() {
+                (&bms_img, &vals_img)
+            } else {
+                (pristine_bms, pristine_vals)
+            };
+
+            // --- 2./4./5. checked SMBD + Tensor Cores (D2, D3) ---
+            for warp in 0..geo.warps {
+                let tty = warp % tt_rows;
+                for ttx in 0..tt_cols {
+                    let tc_idx = ttx * tt_rows + tty;
+                    let base: usize = bms[..tc_idx * 4].iter().map(|&b| popc64(b) as usize).sum();
+                    let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().expect(
+                        "TCTile bitmap slice must hold exactly 4 BitmapTiles: gtile_bitmaps \
+                         returns bts_per_gt() words, a multiple of BTS_PER_TT = 4",
+                    );
+                    // Distinct per TCTile: BitmapTiles are 8 B apart and
+                    // a TCTile owns four of them.
+                    let site_key = bm_addr + (tc_idx * 32) as u64;
+                    let mut decoded = None;
+                    let mut last_fault: Option<DecodeFault> = None;
+                    let mut att: u32 = 0;
+                    while decoded.is_none() && att < policy.max_attempts {
+                        let inj_a = inject.map(|i| {
+                            if att == 0 {
+                                *i
+                            } else {
+                                i.reseeded(0x0de0_0000 | u64::from(att))
+                            }
+                        });
+                        match decode_tctile_f32_checked(
+                            counters,
+                            &tc_bms,
+                            vals,
+                            base,
+                            smem_values,
+                            inj_a.as_ref(),
+                            site_key,
+                        ) {
+                            Ok((rows, _)) => {
+                                if att > 0 {
+                                    counters.faults_recovered += 1;
+                                }
+                                decoded = Some(rows);
+                            }
+                            Err(f) => {
+                                counters.faults_detected += 1;
+                                last_fault = Some(f);
+                            }
+                        }
+                        att += 1;
+                    }
+                    let a_rows = match decoded {
+                        Some(rows) => rows,
+                        None => {
+                            if !policy.fallback {
+                                return Err(match last_fault {
+                                    Some(DecodeFault::Overrun { needed, available }) => {
+                                        KernelError::DecodeOverrun {
+                                            gt,
+                                            needed,
+                                            available,
+                                        }
+                                    }
+                                    Some(DecodeFault::NonFinite) => {
+                                        KernelError::NonFiniteDecode { gt }
+                                    }
+                                    None => KernelError::RetryBudgetExhausted {
+                                        gt,
+                                        attempts: policy.max_attempts,
+                                    },
+                                });
+                            }
+                            // Pristine re-decode: the validated encoding
+                            // cannot overrun and weights are finite by
+                            // contract.
+                            counters.fault_fallbacks += 1;
+                            let pbase: usize = pristine_bms[..tc_idx * 4]
+                                .iter()
+                                .map(|&b| popc64(b) as usize)
+                                .sum();
+                            let pbms: [u64; 4] = pristine_bms[tc_idx * 4..tc_idx * 4 + 4]
+                                .try_into()
+                                .expect("pristine bitmaps carry 4 BitmapTiles per TCTile");
+                            let (rows, _) = decode_tctile_f32(
+                                counters,
+                                &pbms,
+                                pristine_vals,
+                                pbase,
+                                smem_values,
+                            );
+                            rows
+                        }
+                    };
+                    if !self.config.ablation.smbd {
+                        counters.cuda_int_insts += REG_DECODE_EXTRA_INT * 4;
+                        counters.shfl_insts += REG_DECODE_SHFL * 4;
+                        counters.insts_issued += (REG_DECODE_EXTRA_INT + REG_DECODE_SHFL) * 4;
+                    }
+                    self.mma_row(counters, &xf, geo, ttx, &a_rows, &mut accs[warp]);
+                }
+            }
+            cp_async.wait_group(0);
+            counters.barriers += 1;
+        }
+        cp_async.assert_drained();
+
+        for (warp, acc_row) in accs.iter().enumerate() {
+            let tty = warp % tt_rows;
+            for (j, frag) in acc_row.iter().enumerate() {
+                let tile = frag.to_tile();
+                for r in 0..TT_DIM {
+                    let gr = gty * cfg.gt_rows + tty * TT_DIM + r;
+                    for c in 0..8 {
+                        let gc = n0 + j * 8 + c;
+                        if gc < geo.n_pad {
+                            workspace[gr * geo.n_pad + gc] += tile[r][c];
+                        }
+                    }
+                }
+                for half in 0..2 {
+                    let mut addrs = [None; 32];
+                    for (lane, slot) in addrs.iter_mut().enumerate() {
+                        let group = lane / 4;
+                        let tid = lane % 4;
+                        let gr = gty * cfg.gt_rows + tty * TT_DIM + group + 8 * half;
+                        let gc = n0 + j * 8 + 2 * tid;
+                        *slot = Some(ws_base + (gr * geo.n_pad + gc) as u64 * 4);
+                    }
+                    warp_global_store(counters, &addrs, 8);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Tensor Core computation for one decoded TCTile against every n8
@@ -800,6 +1343,20 @@ fn sector_span(bytes: usize) -> u64 {
 /// Streams `bytes` from `base` as LDGSTS.128 warp instructions, recording
 /// coalesced traffic.
 fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
+    record_ldgsts_stream_f(counters, base, bytes, None, &mut |_, _| {});
+}
+
+/// [`record_ldgsts_stream`] with a fault hook: when the injector strikes
+/// a warp access, `on_flip(stream_byte, bit_in_byte)` reports which byte
+/// of the streamed payload took the hit. With `fault` absent the counter
+/// stream is bit-identical to the golden recorder.
+fn record_ldgsts_stream_f(
+    counters: &mut Counters,
+    base: VAddr,
+    bytes: u64,
+    fault: Option<&FaultInjector>,
+    on_flip: &mut dyn FnMut(u64, u32),
+) {
     let mut off = 0u64;
     while off < bytes {
         let mut addrs = [None; 32];
@@ -809,10 +1366,148 @@ fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
                 *slot = Some(base + a);
             }
         }
-        warp_ldgsts(counters, &addrs, 16);
+        if let Some(hit) = warp_ldgsts_f(counters, &addrs, 16, fault) {
+            // Active lanes are contiguous from lane 0, 16 B apart.
+            on_flip(
+                off + hit.lane_sel as u64 * 16 + u64::from(hit.bit / 8),
+                hit.bit % 8,
+            );
+        }
         // LDGSTS writes shared memory directly (conflict-free stream).
         counters.smem_store_transactions += (bytes - off).min(512).div_ceil(128);
         off += 512;
+    }
+}
+
+/// Loads one GroupTile's bitmaps and values as LDGSTS streams into the
+/// caller's shared-memory image, applying any injected load bit flips.
+/// With `inject` absent no image is materialised (the buffers are
+/// cleared) and only the golden counter stream is recorded.
+#[allow(clippy::too_many_arguments)]
+fn load_gtile_image(
+    counters: &mut Counters,
+    inject: Option<&FaultInjector>,
+    pristine_bms: &[u64],
+    pristine_vals: &[Half],
+    bm_addr: VAddr,
+    val_addr: VAddr,
+    bms_img: &mut Vec<u64>,
+    vals_img: &mut Vec<Half>,
+) {
+    let bm_bytes = (pristine_bms.len() * 8) as u64;
+    let val_bytes = (pristine_vals.len() * 2) as u64;
+    bms_img.clear();
+    vals_img.clear();
+    if inject.is_none() {
+        record_ldgsts_stream(counters, bm_addr, bm_bytes);
+        record_ldgsts_stream(counters, val_addr, val_bytes);
+        return;
+    }
+    bms_img.extend_from_slice(pristine_bms);
+    vals_img.extend_from_slice(pristine_vals);
+    record_ldgsts_stream_f(counters, bm_addr, bm_bytes, inject, &mut |byte, bit| {
+        // A flip can land in the tail padding of the last 16 B lane;
+        // only bytes inside the payload reach the image.
+        let b = byte as usize;
+        if b < bms_img.len() * 8 {
+            let word = b / 8;
+            bms_img[word] = flip_bit_u64(bms_img[word], ((b % 8) as u32) * 8 + bit);
+        }
+    });
+    record_ldgsts_stream_f(counters, val_addr, val_bytes, inject, &mut |byte, bit| {
+        let b = byte as usize;
+        if b < vals_img.len() * 2 {
+            let i = b / 2;
+            let flipped = flip_bit_u16(vals_img[i].to_bits(), ((b % 2) as u32) * 8 + bit);
+            vals_img[i] = Half::from_bits(flipped);
+        }
+    });
+}
+
+/// Applies a `cp.async` commit outcome to the GroupTile image. A
+/// corrupt commit flips one byte of the landed payload; a dropped
+/// commit leaves the (zero-initialised) destination stale.
+fn apply_commit_fault(
+    outcome: CommitFault,
+    bms_img: &mut [u64],
+    vals_img: &mut [Half],
+    armed: bool,
+) {
+    if !armed {
+        return;
+    }
+    let bm_bytes = bms_img.len() * 8;
+    let total = bm_bytes + vals_img.len() * 2;
+    match outcome {
+        CommitFault::None => {}
+        CommitFault::Corrupt { byte_sel, bit } => {
+            if total > 0 {
+                let b = (byte_sel % total as u64) as usize;
+                if b < bm_bytes {
+                    let word = b / 8;
+                    bms_img[word] = flip_bit_u64(bms_img[word], ((b % 8) as u32) * 8 + bit);
+                } else {
+                    let i = (b - bm_bytes) / 2;
+                    let within = (((b - bm_bytes) % 2) as u32) * 8 + bit;
+                    vals_img[i] = Half::from_bits(flip_bit_u16(vals_img[i].to_bits(), within));
+                }
+            }
+        }
+        CommitFault::Dropped => {
+            bms_img.iter_mut().for_each(|w| *w = 0);
+            vals_img.iter_mut().for_each(|v| *v = Half::ZERO);
+        }
+    }
+}
+
+/// Reference scalar product of one GroupTile from its pristine
+/// encoding, accumulated into the block's `FragC` accumulators — the
+/// guaranteed-correct slow path taken when the retry budget is
+/// exhausted. Walks the bitmaps in packed-value order, so it touches
+/// exactly the encoded non-zeros.
+fn fallback_gtile_product(
+    cfg: crate::tca_bme::TcaBmeConfig,
+    bms: &[u64],
+    vals: &[Half],
+    xf: &[f32],
+    geo: &Geometry,
+    accs: &mut [Vec<FragC>],
+) {
+    let tile_n = geo.tile_n;
+    let mut contrib = vec![0.0f32; cfg.gt_rows * tile_n];
+    let mut vi = 0usize;
+    for (bi, &bm) in bms.iter().enumerate() {
+        let tc_idx = bi / 4;
+        // Quadrant order within a TCTile: TL, BL, TR, BR (column-major
+        // 8×8 blocks), matching `TcaBme::decode_cell`.
+        let (qr, qc) = [(0, 0), (8, 0), (0, 8), (8, 8)][bi % 4];
+        let ttx = tc_idx / cfg.tt_rows();
+        let tty = tc_idx % cfg.tt_rows();
+        for bit in 0..64 {
+            if (bm >> bit) & 1 == 1 {
+                let v = vals[vi].to_f32();
+                vi += 1;
+                let lr = tty * TT_DIM + qr + bit / 8;
+                let lc = ttx * TT_DIM + qc + bit % 8;
+                let xrow = &xf[lc * tile_n..(lc + 1) * tile_n];
+                let dst = &mut contrib[lr * tile_n..(lr + 1) * tile_n];
+                for (d, xv) in dst.iter_mut().zip(xrow) {
+                    *d += v * xv;
+                }
+            }
+        }
+    }
+    for (warp, acc_row) in accs.iter_mut().enumerate() {
+        let tty = warp % cfg.tt_rows();
+        for (j, frag) in acc_row.iter_mut().enumerate() {
+            let mut tile = frag.to_tile();
+            for (r, row) in tile.iter_mut().enumerate() {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot += contrib[(tty * TT_DIM + r) * tile_n + j * 8 + c];
+                }
+            }
+            *frag = FragC::from_tile(|r, c| tile[r][c]);
+        }
     }
 }
 
@@ -829,6 +1524,7 @@ fn kernel_name(ablation: Ablation) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::fault::FaultPlan;
     use gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, ValueDist};
 
     fn check_correct(m: usize, k: usize, n: usize, sparsity: f64, config: SpmmConfig) {
@@ -898,6 +1594,170 @@ mod tests {
             ..SpmmConfig::default()
         };
         check_correct(128, 128, 16, 0.5, cfg);
+    }
+
+    #[test]
+    fn checked_run_with_no_faults_is_bit_identical_to_golden() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 110);
+        let x = random_dense(128, 16, ValueDist::Uniform, 111);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let golden = kernel.run(&spec, &enc, &x);
+        let unarmed = FaultInjector::new(FaultPlan::default());
+        for fault in [None, Some(&unarmed)] {
+            let checked = kernel
+                .run_checked(&spec, &enc, &x, fault)
+                .expect("clean container, clean run");
+            assert_eq!(checked.output, golden.output, "bit-identical output");
+            assert_eq!(
+                checked.chain.launches[0].counters, golden.chain.launches[0].counters,
+                "bit-identical counters"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_run_detects_recovers_and_stays_correct_under_injection() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 112);
+        let x = random_dense(128, 16, ValueDist::Uniform, 113);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let inj = FaultInjector::new(FaultPlan::uniform(77, 0.02));
+        let run = kernel
+            .run_checked(&spec, &enc, &x, Some(&inj))
+            .expect("default policy always recovers or falls back");
+        let out = run.output.as_ref().expect("functional output");
+        assert!(
+            out.iter().all(|v| v.is_finite()),
+            "detected corruption must never escape as NaN/Inf"
+        );
+        let c = &run.chain.launches[0].counters;
+        assert!(c.faults_injected > 0, "2% over many sites must fire");
+        assert!(c.faults_detected > 0, "injected faults must be detected");
+        assert!(
+            c.faults_recovered + c.fault_fallbacks > 0,
+            "every detection resolves by retry or fallback"
+        );
+        let reference = w.matmul_ref(&x);
+        let err = max_abs_diff(out, &reference);
+        assert!(err < 0.5, "recovered product must be correct, err {err}");
+    }
+
+    #[test]
+    fn checked_run_seeded_injection_is_deterministic() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 114);
+        let x = random_dense(128, 16, ValueDist::Uniform, 115);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let inj = FaultInjector::new(FaultPlan::uniform(31, 0.03));
+        let a = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        let b = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        assert_eq!(a.output, b.output, "same seed, same output");
+        assert_eq!(
+            a.chain.launches[0].counters, b.chain.launches[0].counters,
+            "same seed, same fault sites and counters"
+        );
+        assert!(a.chain.launches[0].counters.faults_injected > 0);
+    }
+
+    #[test]
+    fn checked_run_exhausted_budget_without_fallback_is_a_typed_error() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 116);
+        let x = random_dense(128, 16, ValueDist::Uniform, 117);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        // Rate 1.0 on one GroupTile: every reload re-corrupts.
+        let plan = FaultPlan {
+            only_gtile: Some(0),
+            ..FaultPlan::uniform(5, 1.0)
+        };
+        let inj = FaultInjector::new(plan);
+        let policy = FaultPolicy {
+            max_attempts: 2,
+            fallback: false,
+        };
+        let err = kernel
+            .run_checked_with(&spec, &enc, &x, Some(&inj), policy)
+            .expect_err("unrecoverable corruption must surface");
+        assert!(
+            matches!(err, SpinferError::Kernel(_)),
+            "typed kernel error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checked_run_falls_back_to_reference_product_when_retries_exhaust() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 118);
+        let x = random_dense(128, 16, ValueDist::Uniform, 119);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let plan = FaultPlan {
+            only_gtile: Some(0),
+            ..FaultPlan::uniform(5, 1.0)
+        };
+        let inj = FaultInjector::new(plan);
+        let policy = FaultPolicy {
+            max_attempts: 2,
+            fallback: true,
+        };
+        let run = kernel
+            .run_checked_with(&spec, &enc, &x, Some(&inj), policy)
+            .expect("fallback path completes the run");
+        let c = &run.chain.launches[0].counters;
+        assert!(c.fault_fallbacks > 0, "budget exhaustion must fall back");
+        let out = run.output.as_ref().unwrap();
+        assert!(out.iter().all(|v| v.is_finite()));
+        let reference = w.matmul_ref(&x);
+        let err = max_abs_diff(out, &reference);
+        assert!(err < 0.5, "fallback product must be correct, err {err}");
+    }
+
+    #[test]
+    fn checked_run_poison_only_recovers_through_decode_retry() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 120);
+        let x = random_dense(128, 16, ValueDist::Uniform, 121);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let plan = FaultPlan {
+            fp16_poison_rate: 0.10,
+            seed: 21,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let run = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        let c = &run.chain.launches[0].counters;
+        assert!(c.faults_detected > 0, "poison must be caught by D3");
+        assert!(c.faults_recovered + c.fault_fallbacks > 0);
+        let out = run.output.as_ref().unwrap();
+        assert!(out.iter().all(|v| v.is_finite()), "no poison escapes");
+        let reference = w.matmul_ref(&x);
+        assert!(max_abs_diff(out, &reference) < 0.5);
+    }
+
+    #[test]
+    fn checked_run_rejects_dimension_mismatch_and_corrupt_container() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(64, 64, 0.5, ValueDist::Uniform, 122);
+        let x = random_dense(64, 8, ValueDist::Uniform, 123);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let bad_x = random_dense(32, 8, ValueDist::Uniform, 124);
+        assert!(matches!(
+            kernel.run_checked(&spec, &enc, &bad_x, None),
+            Err(SpinferError::DimensionMismatch { .. })
+        ));
+        let mut corrupt = enc.clone();
+        corrupt.nnz += 1;
+        assert!(matches!(
+            kernel.run_checked(&spec, &corrupt, &x, None),
+            Err(SpinferError::Integrity(_))
+        ));
     }
 
     #[test]

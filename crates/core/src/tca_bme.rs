@@ -19,8 +19,30 @@
 //! nested tile order, padded per GroupTile to an 8-byte boundary for
 //! `LDGSTS.128`), and `Bitmap` (`u64` per BitmapTile).
 
+use crate::error::IntegrityError;
 use gpu_sim::fp16::Half;
 use gpu_sim::matrix::DenseMatrix;
+
+/// FNV-1a (32-bit) over one GroupTile's image: bitmaps (LE bytes) then
+/// values (LE FP16 payloads, *including* alignment padding — padding is
+/// part of the bytes `LDGSTS.128` moves, so a flip there must still be
+/// detected). Free function so the checked kernel can checksum its
+/// shared-memory copy without owning a [`TcaBme`].
+pub fn checksum_gtile(bitmaps: &[u64], values: &[Half]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    for bm in bitmaps {
+        for b in bm.to_le_bytes() {
+            eat(b);
+        }
+    }
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
 
 /// Height and width of a BitmapTile in elements.
 pub const BT_DIM: usize = 8;
@@ -282,6 +304,87 @@ impl TcaBme {
             .unwrap_or(0)
     }
 
+    /// Integrity checksum of one GroupTile (see [`checksum_gtile`]).
+    pub fn gtile_checksum(&self, gt: usize) -> u32 {
+        checksum_gtile(self.gtile_bitmaps(gt), self.gtile_values(gt))
+    }
+
+    /// Checksums for every GroupTile, in GroupTile order — the reference
+    /// the checked kernel path and the v2 wire format verify against.
+    pub fn gtile_checksums(&self) -> Vec<u32> {
+        (0..self.num_gtiles())
+            .map(|g| self.gtile_checksum(g))
+            .collect()
+    }
+
+    /// Structural validation of the three-array format: offset count,
+    /// monotonicity, [`VALUE_PAD`] alignment, end-of-array agreement,
+    /// bitmap count, per-GroupTile `popc64`-vs-value-span consistency,
+    /// and the stored `nnz`. A container that passes cannot make SMBD
+    /// decode index out of bounds.
+    pub fn validate(&self) -> Result<(), IntegrityError> {
+        let ngt = self.gtiles_y() * self.gtiles_x();
+        if self.gtile_offsets.len() != ngt + 1 {
+            return Err(IntegrityError::OffsetCount {
+                expected: ngt + 1,
+                got: self.gtile_offsets.len(),
+            });
+        }
+        for (i, &off) in self.gtile_offsets.iter().enumerate() {
+            if !(off as usize).is_multiple_of(VALUE_PAD) {
+                return Err(IntegrityError::OffsetAlignment {
+                    index: i,
+                    offset: off,
+                });
+            }
+        }
+        for gt in 0..ngt {
+            let (start, end) = (self.gtile_offsets[gt], self.gtile_offsets[gt + 1]);
+            if start > end {
+                return Err(IntegrityError::OffsetOrder { gt, start, end });
+            }
+        }
+        let last = self.gtile_offsets[ngt] as usize;
+        if last != self.values.len() {
+            return Err(IntegrityError::OffsetEnd {
+                expected: self.values.len(),
+                got: last,
+            });
+        }
+        let expected_bts = ngt * self.config.bts_per_gt();
+        if self.bitmaps.len() != expected_bts {
+            return Err(IntegrityError::BitmapCount {
+                expected: expected_bts,
+                got: self.bitmaps.len(),
+            });
+        }
+        let mut total_pop = 0usize;
+        for gt in 0..ngt {
+            let pop: usize = self
+                .gtile_bitmaps(gt)
+                .iter()
+                .map(|bm| bm.count_ones() as usize)
+                .sum();
+            let span = self.gtile_offsets[gt + 1] as usize - self.gtile_offsets[gt] as usize;
+            // Padding adds at most VALUE_PAD - 1 zero elements per tile.
+            if pop > span || span - pop >= VALUE_PAD {
+                return Err(IntegrityError::PopulationMismatch {
+                    gt,
+                    population: pop,
+                    span,
+                });
+            }
+            total_pop += pop;
+        }
+        if total_pop != self.nnz {
+            return Err(IntegrityError::NnzMismatch {
+                expected: total_pop,
+                got: self.nnz,
+            });
+        }
+        Ok(())
+    }
+
     /// Decodes back to a dense matrix (logical dimensions). Used as the
     /// format's correctness oracle.
     pub fn decode(&self) -> DenseMatrix {
@@ -474,6 +577,117 @@ mod tests {
             gt_cols: 64,
         }
         .validate();
+    }
+
+    #[test]
+    fn validate_accepts_every_encode() {
+        for &s in &[0.0, 0.5, 0.95] {
+            let m = random_sparse(100, 70, s, ValueDist::Uniform, 12);
+            TcaBme::encode(&m)
+                .validate()
+                .expect("fresh encode is valid");
+        }
+    }
+
+    #[test]
+    fn validate_catches_each_corruption_class() {
+        use crate::error::IntegrityError;
+        let fresh = || TcaBme::encode(&random_sparse(128, 128, 0.5, ValueDist::Uniform, 13));
+
+        let mut e = fresh();
+        e.gtile_offsets.pop();
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::OffsetCount { .. })
+        ));
+
+        let mut e = fresh();
+        e.gtile_offsets[1] = e.gtile_offsets[2] + 8;
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::OffsetOrder { gt: 1, .. })
+        ));
+
+        let mut e = fresh();
+        e.gtile_offsets[1] += 1;
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::OffsetAlignment { index: 1, .. })
+        ));
+
+        let mut e = fresh();
+        let n = e.gtile_offsets.len();
+        e.gtile_offsets[n - 1] -= VALUE_PAD as u32;
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::OffsetEnd { .. })
+        ));
+
+        let mut e = fresh();
+        e.bitmaps.pop();
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::BitmapCount { .. })
+        ));
+
+        // A flipped bitmap bit changes a tile's population but not its
+        // span — exactly the silent-corruption case the paper's popc64
+        // offsets are vulnerable to.
+        let mut e = fresh();
+        e.bitmaps[0] ^= 1u64 << 63;
+        let v = e.validate();
+        assert!(
+            matches!(
+                v,
+                Err(IntegrityError::PopulationMismatch { gt: 0, .. })
+                    | Err(IntegrityError::NnzMismatch { .. })
+            ),
+            "bitmap flip must be caught, got {v:?}"
+        );
+
+        let mut e = fresh();
+        e.nnz += 1;
+        assert!(matches!(
+            e.validate(),
+            Err(IntegrityError::NnzMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gtile_checksums_detect_single_bit_damage() {
+        let m = random_sparse(128, 128, 0.6, ValueDist::Uniform, 14);
+        let enc = TcaBme::encode(&m);
+        let sums = enc.gtile_checksums();
+        assert_eq!(sums.len(), enc.num_gtiles());
+        for gt in 0..enc.num_gtiles() {
+            assert_eq!(enc.gtile_checksum(gt), sums[gt], "checksums are pure");
+        }
+        // Any single-bit flip in a tile's bitmaps or values moves its sum.
+        let mut bad = enc.clone();
+        bad.bitmaps[0] ^= 1;
+        assert_ne!(bad.gtile_checksum(0), sums[0]);
+        let mut bad = enc.clone();
+        let s = bad.gtile_offsets[0] as usize;
+        bad.values[s] = Half::from_bits(bad.values[s].to_bits() ^ 0x0400);
+        assert_ne!(bad.gtile_checksum(0), sums[0]);
+        // Checksums are per-tile: damage in tile 0 leaves tile 1 intact.
+        assert_eq!(bad.gtile_checksum(1), sums[1]);
+    }
+
+    #[test]
+    fn checksum_covers_padding_bytes() {
+        // 3 non-zeros in one GroupTile -> one padding element. A flip in
+        // the padding region must still change the checksum.
+        let mut m = DenseMatrix::zeros(64, 64);
+        m.set(0, 0, Half::ONE);
+        m.set(1, 1, Half::ONE);
+        m.set(2, 2, Half::ONE);
+        let enc = TcaBme::encode(&m);
+        assert_eq!(enc.values.len(), 4, "3 nnz + 1 pad");
+        let clean = enc.gtile_checksum(0);
+        let mut bad = enc.clone();
+        bad.values[3] = Half::from_bits(0x0001);
+        assert_ne!(bad.gtile_checksum(0), clean);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! verifies the *ordering discipline* (no reads of a buffer before the
 //! matching wait) and counts groups for the pipeline model.
 
+use crate::counters::Counters;
+use crate::fault::{CommitFault, FaultInjector};
+
 /// Tracks cp.async group state for one thread block.
 #[derive(Debug, Default)]
 pub struct AsyncCopyState {
@@ -44,6 +47,27 @@ impl AsyncCopyState {
         self.in_flight.push(self.uncommitted);
         self.uncommitted = 0;
         self.groups_committed += 1;
+    }
+
+    /// Fault-aware variant of [`AsyncCopyState::commit_group`]: the
+    /// group is sealed exactly as on the golden path, then — when an
+    /// injector is supplied — a deterministic draw keyed by `key`
+    /// (typically the group's source address) decides whether the
+    /// committed payload lands intact, corrupted, or not at all. The
+    /// *group tracking* is unaffected either way: a dropped group still
+    /// occupies a commit slot and must still be awaited, exactly like a
+    /// hardware `LDGSTS` whose data was lost in flight.
+    pub fn commit_group_f(
+        &mut self,
+        counters: &mut Counters,
+        fault: Option<&FaultInjector>,
+        key: u64,
+    ) -> CommitFault {
+        self.commit_group();
+        match fault {
+            Some(inj) => inj.commit_fault(counters, key),
+            None => CommitFault::None,
+        }
     }
 
     /// Blocks until at most `n` groups remain in flight
@@ -116,6 +140,37 @@ mod tests {
         s.assert_drained();
         assert_eq!(s.groups_committed, 8);
         assert_eq!(s.waits, 8);
+    }
+
+    #[test]
+    fn commit_group_f_tracks_groups_regardless_of_outcome() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut c = Counters::new();
+        // No injector: plain commit, CommitFault::None.
+        let mut s = AsyncCopyState::new();
+        s.issue();
+        assert_eq!(s.commit_group_f(&mut c, None, 7), CommitFault::None);
+        assert_eq!(s.groups_in_flight(), 1);
+        s.wait_group(0);
+        s.assert_drained();
+        assert_eq!(c.faults_injected, 0);
+        // Drop-everything injector: the outcome reports the drop but the
+        // group still occupies a commit slot and drains normally.
+        let plan = FaultPlan {
+            commit_drop_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let mut s = AsyncCopyState::new();
+        s.issue();
+        assert_eq!(
+            s.commit_group_f(&mut c, Some(&inj), 7),
+            CommitFault::Dropped
+        );
+        assert_eq!(s.groups_in_flight(), 1);
+        s.wait_group(0);
+        s.assert_drained();
+        assert_eq!(c.faults_injected, 1);
     }
 
     #[test]

@@ -133,6 +133,68 @@ where
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map`] with per-item panic isolation.
+///
+/// Each item runs under `catch_unwind`: a panicking item yields
+/// `Err(message)` in its slot while every other item still completes —
+/// one poisoned input cannot take the whole pool down. Output order and
+/// values are otherwise identical to [`par_map`]. The standard panic
+/// hook is suppressed for the duration of the call so isolated panics
+/// don't spray backtraces over the caller's output; because the hook is
+/// process-global, concurrent *uncaught* panics in other threads would
+/// also be quieted for that window — acceptable for the sweep harness,
+/// which owns the process.
+pub fn par_map_catch<I, R, F>(items: Vec<I>, f: F) -> Vec<Result<R, String>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync + std::panic::RefUnwindSafe,
+{
+    let quiet = QuietPanics::install();
+    let out = par_map(items, |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    });
+    drop(quiet);
+    out
+}
+
+/// Extracts the human-readable message from a panic payload
+/// (`&str` / `String` payloads; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// RAII guard that silences the global panic hook, restoring the
+/// default on drop. Nested installs refcount so concurrent
+/// [`par_map_catch`] calls compose.
+struct QuietPanics;
+
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+impl QuietPanics {
+    fn install() -> Self {
+        if QUIET_DEPTH.fetch_add(1, Ordering::SeqCst) == 0 {
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if QUIET_DEPTH.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _ = std::panic::take_hook();
+        }
+    }
+}
+
 /// Partitions `0..len` into contiguous ranges and maps `f` over them on
 /// the worker pool, returning per-range results in range order.
 ///
@@ -286,6 +348,36 @@ mod tests {
         let parallel = par_map((0..500usize).collect(), |i| (i as f32).sin());
         set_jobs(0);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_catch_isolates_poisoned_items() {
+        let out = par_map_catch((0..16usize).collect(), |i| {
+            if i == 5 || i == 11 {
+                panic!("poisoned item {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            match r {
+                Ok(v) if i != 5 && i != 11 => assert_eq!(*v, i * 2),
+                Err(msg) if i == 5 || i == 11 => {
+                    assert_eq!(msg, &format!("poisoned item {i}"));
+                }
+                other => panic!("slot {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_message_handles_payload_kinds() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+        let odd: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(odd.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! charged more traffic than streaming `LDGSTS.128` loads.
 
 use crate::counters::Counters;
+use crate::fault::FaultInjector;
 
 /// Size of a DRAM sector in bytes (fixed on NVIDIA hardware).
 pub const SECTOR_BYTES: u64 = 32;
@@ -104,6 +105,60 @@ pub fn warp_global_store(counters: &mut Counters, addrs: &[Option<VAddr>], bytes
     counters.insts_issued += 1;
 }
 
+/// A bit flip struck by fault injection on a warp-wide load: flip bit
+/// `bit` of the payload loaded by the `lane_sel`-th *active* lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadFault {
+    /// Index among the access's active (non-predicated) lanes.
+    pub lane_sel: usize,
+    /// Bit position within that lane's `bytes_per_lane * 8`-bit payload.
+    pub bit: u32,
+}
+
+/// Draws a fault decision for one warp global access. Keyed by the
+/// lowest active address, so the decision depends only on *what* is
+/// loaded — never on host thread schedule.
+fn strike(
+    counters: &mut Counters,
+    addrs: &[Option<VAddr>],
+    bytes_per_lane: u32,
+    inj: &FaultInjector,
+) -> Option<LoadFault> {
+    let active = addrs.iter().flatten().count() as u32;
+    let key = *addrs.iter().flatten().min()?;
+    let per_lane = bytes_per_lane * 8;
+    let flat = inj.bitflip(counters, key, active * per_lane)?;
+    Some(LoadFault {
+        lane_sel: (flat / per_lane) as usize,
+        bit: flat % per_lane,
+    })
+}
+
+/// Fault-aware variant of [`warp_global_load`]: identical counter
+/// accounting, plus an injection draw when `fault` is `Some`. With
+/// `None` this is exactly the golden path.
+pub fn warp_global_load_f(
+    counters: &mut Counters,
+    addrs: &[Option<VAddr>],
+    bytes_per_lane: u32,
+    fault: Option<&FaultInjector>,
+) -> Option<LoadFault> {
+    warp_global_load(counters, addrs, bytes_per_lane);
+    strike(counters, addrs, bytes_per_lane, fault?)
+}
+
+/// Fault-aware variant of [`warp_ldgsts`]: identical counter accounting,
+/// plus an injection draw when `fault` is `Some`.
+pub fn warp_ldgsts_f(
+    counters: &mut Counters,
+    addrs: &[Option<VAddr>],
+    bytes_per_lane: u32,
+    fault: Option<&FaultInjector>,
+) -> Option<LoadFault> {
+    warp_ldgsts(counters, addrs, bytes_per_lane);
+    strike(counters, addrs, bytes_per_lane, fault?)
+}
+
 /// Convenience: builds the per-lane address array for a fully coalesced
 /// warp access where lane `i` reads `bytes_per_lane` at
 /// `base + i * bytes_per_lane`.
@@ -182,6 +237,43 @@ mod tests {
         assert_eq!(c.useful_read_bytes, 64);
         assert_eq!(c.dram_read_bytes, 32 * 32);
         assert!(c.read_coalescing() < 0.1);
+    }
+
+    #[test]
+    fn fault_hook_none_is_golden_path() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let addrs = coalesced_addrs(0x4000, 16);
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        warp_ldgsts(&mut a, &addrs, 16);
+        assert_eq!(warp_ldgsts_f(&mut b, &addrs, 16, None), None);
+        assert_eq!(a, b);
+        // A zero-rate injector never strikes and leaves counters equal too.
+        let inj = FaultInjector::new(FaultPlan::default());
+        let mut c0 = Counters::new();
+        assert_eq!(warp_global_load_f(&mut c0, &addrs, 16, Some(&inj)), None);
+        let mut c1 = Counters::new();
+        warp_global_load(&mut c1, &addrs, 16);
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    fn fault_hook_rate_one_strikes_in_bounds() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let inj = FaultInjector::new(FaultPlan::uniform(5, 1.0));
+        let mut c = Counters::new();
+        for g in 0..32u64 {
+            let addrs = coalesced_addrs(0x1_0000 + g * 512, 16);
+            let hit = warp_ldgsts_f(&mut c, &addrs, 16, Some(&inj)).expect("rate 1.0 fires");
+            assert!(hit.lane_sel < 32, "lane_sel within active lanes");
+            assert!(hit.bit < 128, "bit within a 16 B payload");
+        }
+        assert_eq!(c.faults_injected, 32);
+        // Deterministic: the same addresses re-draw the same faults.
+        let mut c2 = Counters::new();
+        let first = warp_ldgsts_f(&mut c2, &coalesced_addrs(0x1_0000, 16), 16, Some(&inj));
+        let again = warp_ldgsts_f(&mut c2, &coalesced_addrs(0x1_0000, 16), 16, Some(&inj));
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod async_copy;
 pub mod bitops;
 pub mod counters;
 pub mod exec;
+pub mod fault;
 pub mod fp16;
 pub mod global;
 pub mod kernel;

@@ -13,6 +13,8 @@
 //! from the real addresses kernels touch.
 
 use crate::counters::Counters;
+use crate::fault::FaultInjector;
+use crate::fp16::Half;
 
 /// Number of shared memory banks.
 pub const NUM_BANKS: u64 = 32;
@@ -101,6 +103,27 @@ pub fn warp_smem_store(counters: &mut Counters, addrs: &[Option<u64>; 32], bytes
     counters.smem_store_transactions += a.transactions;
     counters.smem_bank_conflicts += a.conflicts;
     counters.insts_issued += 1;
+}
+
+/// Fault-aware variant of [`warp_smem_load`]: identical counter
+/// accounting, plus an FP16-poison draw when `fault` is `Some`. Returns
+/// `Some((lane_sel, poison))` when the `lane_sel`-th *active* lane's
+/// gathered value must be replaced by `poison` (NaN/±Inf). `key` must
+/// identify the access site deterministically (e.g. GroupTile index
+/// mixed with the iteration) — shared-memory addresses repeat across
+/// tiles, so the address alone is not a usable key.
+pub fn warp_smem_load_f(
+    counters: &mut Counters,
+    addrs: &[Option<u64>; 32],
+    bytes_per_lane: u32,
+    fault: Option<&FaultInjector>,
+    key: u64,
+) -> Option<(usize, Half)> {
+    warp_smem_load(counters, addrs, bytes_per_lane);
+    let inj = fault?;
+    let active = addrs.iter().flatten().count() as u32;
+    let (site, poison) = inj.poison_site(counters, key, active)?;
+    Some((site as usize, poison))
 }
 
 /// Records an `ldmatrix.x4` load (LDSM.M88 ×4): a warp loads four 8×8 FP16
@@ -308,6 +331,32 @@ mod tests {
         warp_smem_load(&mut c, &strided_addrs(0, 4), 4);
         assert_eq!(c.smem_load_transactions, 1);
         assert_eq!(c.bank_conflict_rate(), 31.0 / 33.0);
+    }
+
+    #[test]
+    fn smem_fault_hook_poisons_one_active_lane() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let addrs = strided_addrs(0, 4);
+        // None: golden accounting, no poison.
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        warp_smem_load(&mut a, &addrs, 4);
+        assert_eq!(warp_smem_load_f(&mut b, &addrs, 4, None, 9), None);
+        assert_eq!(a, b);
+        // Rate 1.0: a non-finite value lands on an in-range lane, and the
+        // same key re-draws the same poison.
+        let plan = FaultPlan {
+            fp16_poison_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let mut c = Counters::new();
+        let (lane, p) = warp_smem_load_f(&mut c, &addrs, 4, Some(&inj), 9).expect("fires");
+        assert!(lane < 32);
+        assert!(p.is_nan() || p.is_infinite());
+        let again = warp_smem_load_f(&mut c, &addrs, 4, Some(&inj), 9);
+        assert_eq!(again, Some((lane, p)));
+        assert_eq!(c.faults_injected, 2);
     }
 
     #[test]

@@ -125,6 +125,33 @@ proptest! {
         prop_assert_eq!(back.decode(), m);
     }
 
+    /// Arbitrary byte mutations (and truncations) of a valid container
+    /// never panic the loader: every outcome is `Ok` or a typed
+    /// `DecodeError` whose `Display` also never panics. Length-field
+    /// mutations in particular must be rejected *before* any
+    /// allocation is sized from them.
+    #[test]
+    fn serialize_fuzzed_mutations_never_panic(
+        seed: u64,
+        mutations in prop::collection::vec((0usize..8192, 0u8..=255u8), 1..16),
+        truncate in prop::option::of(0usize..8192),
+    ) {
+        let m = random_sparse(48, 80, 0.6, ValueDist::Uniform, seed);
+        let mut bytes = serialize::to_bytes(&TcaBme::encode(&m));
+        for (pos, val) in mutations {
+            let idx = pos % bytes.len();
+            bytes[idx] = val;
+        }
+        if let Some(t) = truncate {
+            bytes.truncate(t % (bytes.len() + 1));
+        }
+        match serialize::from_bytes(&bytes) {
+            // A surviving container is structurally valid by contract.
+            Ok(back) => prop_assert!(back.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
     /// INT8 quantisation keeps every element within half a quantisation
     /// step of the original for any sparsity.
     #[test]

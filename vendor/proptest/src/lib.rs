@@ -4,7 +4,8 @@
 //! implements the subset of the proptest 1.x surface the workspace's
 //! property tests use: the `proptest!` macro (with
 //! `#![proptest_config(..)]`, `name in strategy` and `name: Type`
-//! parameters), range and `prop::sample::select` strategies, and the
+//! parameters), range, tuple, `prop::sample::select`,
+//! `prop::collection::vec` and `prop::option::of` strategies, and the
 //! `prop_assert!` / `prop_assert_eq!` assertion macros.
 //!
 //! Unlike upstream proptest there is no shrinking and no persisted
@@ -113,6 +114,22 @@ macro_rules! impl_strategy_float_range {
 }
 impl_strategy_float_range!(f32, f64);
 
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+}
+
 /// Types with a whole-domain default strategy (`name: Type` parameters).
 pub trait Arbitrary: Sized {
     /// Draws one value from the type's full domain.
@@ -138,6 +155,61 @@ impl Arbitrary for bool {
 
 /// Combinator namespace, mirroring `proptest::prop`.
 pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for vectors whose elements come from `element` and
+        /// whose length is drawn from `len`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// `Vec` of `len` elements drawn from `element`, mirroring
+        /// `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding `None` or `Some(inner)`, mirroring
+        /// `proptest::option::of` (upstream's 3:1 Some bias).
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some` three times out of four, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64().is_multiple_of(4) {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
     /// Sampling combinators.
     pub mod sample {
         use crate::{Strategy, TestRng};
@@ -302,6 +374,24 @@ mod tests {
         #[test]
         fn select_yields_options(w in prop::sample::select(vec![2u32, 4, 8, 16])) {
             prop_assert!([2, 4, 8, 16].contains(&w));
+        }
+
+        /// `collection::vec` of tuples respects length and element ranges.
+        #[test]
+        fn vec_of_tuples_in_range(v in prop::collection::vec((0usize..7, 1u8..=9u8), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 7);
+                prop_assert!((1..=9).contains(&b));
+            }
+        }
+
+        /// `option::of` yields both variants and in-range payloads.
+        #[test]
+        fn option_of_in_range(o in prop::option::of(10u32..20)) {
+            if let Some(x) = o {
+                prop_assert!((10..20).contains(&x));
+            }
         }
     }
 
