@@ -16,14 +16,25 @@
 //!                                                   fault plan; nonzero exit unless
 //!                                                   faults were detected, handled,
 //!                                                   and the output stayed correct
-//! spinfer sweep <M> <K> <N> [--checkpoint FILE] [--resume] [--panic-at IDX] [--gpu G]
+//! spinfer sweep <M> <K> <N> [--checkpoint FILE] [--resume] [--panic-at IDX]
+//!               [--trace-dir DIR] [--gpu G]
 //!                                                   hardened analytic sweep with
 //!                                                   per-point panic isolation and a
-//!                                                   JSONL checkpoint
+//!                                                   JSONL checkpoint; --trace-dir
+//!                                                   writes a Chrome trace + metrics
+//!                                                   snapshot of the grid
+//! spinfer trace <M> <K> <N> <sparsity> [--gpu G] [--out FILE]
+//!                                                   run the functional SpInfer kernel
+//!                                                   with span recording on: writes a
+//!                                                   Chrome-trace JSON (load it at
+//!                                                   ui.perfetto.dev) and prints a
+//!                                                   per-phase p50/p95/p99 breakdown
 //! ```
 //!
 //! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
 //! `opt-30b`, `opt-66b`. Frameworks: `spinfer`, `flash-llm`, `ft`, `ds`.
+//! `serve` and `faults` accept `--json` to emit a machine-readable
+//! metrics snapshot (`spinfer-obs-snapshot/v1`) instead of tables.
 //!
 //! Every subcommand accepts `--jobs N` to set the host worker count for
 //! the parallel execution engine (default: `SPINFER_JOBS`, then all
@@ -32,12 +43,14 @@
 
 use gpu_sim::fault::{FaultInjector, FaultPlan};
 use gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, ValueDist};
+use gpu_sim::trace::{pids, TraceEvent, TraceSink};
 use gpu_sim::GpuSpec;
 use spinfer_bench::sweep::{self, EncodeCache, SweepOutcome, SweepPoint};
 use spinfer_bench::{render_table, KernelKind};
 use spinfer_core::{serialize, tune, SpMMHandle, SpinferSpmm, TcaBme};
 use spinfer_llm::model::{Generator, ModelRef, TransformerWeights};
 use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
+use spinfer_obs::Registry;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -53,9 +66,10 @@ fn main() -> ExitCode {
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep> ..."
+                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace> ..."
             );
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
@@ -266,6 +280,25 @@ fn cmd_serve(args: &[String]) -> CliResult {
         tp,
     };
     let r = simulate(&spec, &cfg);
+    if args.iter().any(|a| a == "--json") {
+        let mut reg = Registry::new();
+        reg.gauge_set("serve.oom", if r.oom { 1.0 } else { 0.0 });
+        reg.gauge_set("serve.memory_gib", r.memory.total_gib());
+        reg.gauge_set("serve.tp", tp as f64);
+        reg.gauge_set("serve.batch", batch as f64);
+        if !r.oom {
+            reg.gauge_set("serve.tokens_per_sec", r.tokens_per_sec);
+            reg.gauge_set("serve.prefill_sec", r.prefill_sec);
+            reg.gauge_set("serve.per_step_sec", r.per_step_sec);
+            let b = r.breakdown;
+            reg.gauge_set("serve.breakdown.linear_frac", b.linear / b.total());
+            reg.gauge_set("serve.breakdown.mha_frac", b.mha / b.total());
+            reg.gauge_set("serve.breakdown.comm_frac", b.comm / b.total());
+            reg.gauge_set("serve.breakdown.other_frac", b.other / b.total());
+        }
+        println!("{}", reg.snapshot_json());
+        return Ok(());
+    }
     println!(
         "{} via {} on {}x{} (BS={batch}, out={out}, 60% sparsity)",
         model.name,
@@ -351,11 +384,14 @@ fn cmd_faults(args: &[String]) -> CliResult {
         Some(v) => v.parse().map_err(|_| format!("invalid seed: {v}"))?,
         None => 1234,
     };
-    println!(
-        "fault smoke: {m}x{k}x{n} s={:.0}% rate={rate} seed={seed} on {}",
-        s * 100.0,
-        spec.name
-    );
+    let json = args.iter().any(|a| a == "--json");
+    if !json {
+        println!(
+            "fault smoke: {m}x{k}x{n} s={:.0}% rate={rate} seed={seed} on {}",
+            s * 100.0,
+            spec.name
+        );
+    }
     let w = random_sparse(m, k, s, ValueDist::Uniform, seed);
     let x = random_dense(k, n, ValueDist::Uniform, seed ^ 0xff);
     let enc = TcaBme::encode(&w);
@@ -370,12 +406,24 @@ fn cmd_faults(args: &[String]) -> CliResult {
         .ok_or("functional run must have output")?;
     let finite = out.iter().all(|v| v.is_finite());
     let err = max_abs_diff(out, &w.matmul_ref(&x));
-    println!("  faults injected : {}", c.faults_injected);
-    println!("  faults detected : {}", c.faults_detected);
-    println!("  recovered       : {}", c.faults_recovered);
-    println!("  fallbacks       : {}", c.fault_fallbacks);
-    println!("  output finite   : {finite}");
-    println!("  max |err|       : {err:.4}");
+    if json {
+        let mut reg = Registry::new();
+        reg.counter_add("faults.injected", c.faults_injected);
+        reg.counter_add("faults.detected", c.faults_detected);
+        reg.counter_add("faults.recovered", c.faults_recovered);
+        reg.counter_add("faults.fallbacks", c.fault_fallbacks);
+        reg.gauge_set("faults.output_finite", if finite { 1.0 } else { 0.0 });
+        reg.gauge_set("faults.max_abs_err", f64::from(err));
+        reg.gauge_set("faults.rate", rate);
+        println!("{}", reg.snapshot_json());
+    } else {
+        println!("  faults injected : {}", c.faults_injected);
+        println!("  faults detected : {}", c.faults_detected);
+        println!("  recovered       : {}", c.faults_recovered);
+        println!("  fallbacks       : {}", c.fault_fallbacks);
+        println!("  output finite   : {finite}");
+        println!("  max |err|       : {err:.4}");
+    }
     if c.faults_injected == 0 || c.faults_detected == 0 {
         return Err("expected at least one injected and detected fault".into());
     }
@@ -388,7 +436,9 @@ fn cmd_faults(args: &[String]) -> CliResult {
     if err >= 0.5 {
         return Err(format!("recovered output diverges from reference ({err})"));
     }
-    println!("  OK: all detections handled, output correct");
+    if !json {
+        println!("  OK: all detections handled, output correct");
+    }
     Ok(())
 }
 
@@ -477,6 +527,58 @@ fn cmd_sweep(args: &[String]) -> CliResult {
         .count();
     let panicked = outcomes.len() - done - resumed;
     println!("summary: done {done} resumed {resumed} panicked {panicked}");
+    if let Some(dir) = flag_value(args, "--trace-dir") {
+        write_sweep_trace(dir, &points, &outcomes)?;
+    }
+    Ok(())
+}
+
+/// Reconstructs the sweep grid as a trace — one span per completed point
+/// laid end to end on the *simulated* time axis (cumulative point times,
+/// so the track reads as "where did the simulated microseconds go") —
+/// plus a metrics snapshot with outcome counters and a point-time
+/// histogram. Writes `DIR/sweep_trace.json` and `DIR/sweep_metrics.json`.
+fn write_sweep_trace(dir: &str, points: &[SweepPoint], outcomes: &[SweepOutcome]) -> CliResult {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+    let sink = TraceSink::new();
+    sink.name_track((pids::SWEEP, 0), "sweep grid (sim µs)", "points");
+    let mut reg = Registry::new();
+    let mut cursor = 0.0f64;
+    for (p, o) in points.iter().zip(outcomes) {
+        match o {
+            SweepOutcome::Done(t) | SweepOutcome::Resumed(t) => {
+                sink.record(
+                    TraceEvent::span((pids::SWEEP, 0), p.kernel.label(), "sweep", cursor, *t)
+                        .with_arg("sparsity", p.sparsity),
+                );
+                cursor += *t;
+                let key = if matches!(o, SweepOutcome::Done(_)) {
+                    "sweep.done"
+                } else {
+                    "sweep.resumed"
+                };
+                reg.counter_add(key, 1);
+                reg.histogram_record("sweep.point_time_us", *t);
+            }
+            SweepOutcome::Panicked(_) => {
+                sink.record(TraceEvent::instant(
+                    (pids::SWEEP, 0),
+                    "panicked",
+                    "sweep",
+                    cursor,
+                ));
+                reg.counter_add("sweep.panicked", 1);
+            }
+        }
+    }
+    let trace_json = spinfer_obs::export(&sink.finish());
+    spinfer_obs::validate(&trace_json).map_err(|e| format!("sweep trace is invalid: {e}"))?;
+    let trace_path = format!("{dir}/sweep_trace.json");
+    let metrics_path = format!("{dir}/sweep_metrics.json");
+    std::fs::write(&trace_path, &trace_json).map_err(|e| format!("write {trace_path}: {e}"))?;
+    std::fs::write(&metrics_path, reg.snapshot_json())
+        .map_err(|e| format!("write {metrics_path}: {e}"))?;
+    println!("wrote {trace_path} and {metrics_path}");
     Ok(())
 }
 
@@ -510,6 +612,78 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
             );
         }
         None => print!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    let m: usize = parse(args, 0, "M")?;
+    let k: usize = parse(args, 1, "K")?;
+    let n: usize = parse(args, 2, "N")?;
+    let s: f64 = parse(args, 3, "sparsity")?;
+    let spec = gpu(args)?;
+    let out = flag_value(args, "--out").unwrap_or("trace.json");
+    eprintln!(
+        "trace: functional SpInfer {m}x{k}x{n} s={:.0}% on {}",
+        s * 100.0,
+        spec.name
+    );
+    let w = random_sparse(m, k, s, ValueDist::Uniform, 1234);
+    let x = random_dense(k, n, ValueDist::Uniform, 1234 ^ 0xff);
+    let enc = TcaBme::encode(&w);
+
+    let sink = std::sync::Arc::new(TraceSink::new());
+    gpu_sim::exec::set_task_trace(Some(sink.clone()));
+    let run = SpinferSpmm::new().run_traced(&spec, &enc, &x, &sink);
+    gpu_sim::exec::set_task_trace(None);
+    let trace = sink.finish();
+
+    let json = spinfer_obs::export(&trace);
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    let stats =
+        spinfer_obs::validate(&json).map_err(|e| format!("emitted trace is invalid: {e}"))?;
+
+    let headers = [
+        "phase",
+        "spans",
+        "total (us)",
+        "p50 (us)",
+        "p95 (us)",
+        "p99 (us)",
+    ];
+    let rows: Vec<Vec<String>> = spinfer_obs::phase_breakdown(&trace)
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.count.to_string(),
+                format!("{:.1}", r.total_us),
+                format!("{:.3}", r.p50_us),
+                format!("{:.3}", r.p95_us),
+                format!("{:.3}", r.p99_us),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    let sim_us = run.time_us();
+    let rel = (stats.phase_total_us - sim_us).abs() / sim_us.max(1e-9);
+    println!(
+        "simulated time {sim_us:.1} us | phase spans sum {:.1} us ({:+.3}%) | {} spans, {} flow pairs",
+        stats.phase_total_us,
+        100.0 * (stats.phase_total_us - sim_us) / sim_us.max(1e-9),
+        stats.spans,
+        stats.flow_pairs
+    );
+    println!(
+        "wrote {out} ({} bytes) — load it at ui.perfetto.dev",
+        json.len()
+    );
+    if rel > 0.01 {
+        return Err(format!(
+            "phase attribution drifted: spans sum to {:.1} us but the kernel simulated {sim_us:.1} us",
+            stats.phase_total_us
+        ));
     }
     Ok(())
 }

@@ -38,6 +38,7 @@ use gpu_sim::shared_memory::warp_ldsm_x4;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::tensor_core::{mma_m16n8k16_bslice, FragC, MMA_K};
 use gpu_sim::timing::{L2Reuse, LaunchShape, PipelineMode};
+use gpu_sim::trace::{attribution_weight, pids, TraceEvent, TraceSink};
 
 /// Ablation switches (paper Table 1). Both `true` is the full kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +110,62 @@ impl Default for FaultPolicy {
             max_attempts: 3,
             fallback: true,
         }
+    }
+}
+
+/// Kernel phase labels for the trace seam (see [`gpu_sim::trace`]). One
+/// record per GroupTile iteration and phase, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TracePhase {
+    /// Bitmap + sparse-value LDGSTS stream and its cp.async commit.
+    StreamW,
+    /// Dense X-tile LDGSTS stream, its commit, and the sparse-group wait.
+    StreamX,
+    /// Per-TCTile SMBD decode (accumulated over the block's warps).
+    Decode,
+    /// Tensor-core mma waves (plus iteration-end barrier bookkeeping).
+    Mma,
+    /// Accumulator store to the reduction workspace.
+    Epilogue,
+}
+
+impl TracePhase {
+    fn name(self) -> &'static str {
+        match self {
+            TracePhase::StreamW => "stream_w",
+            TracePhase::StreamX => "stream_x",
+            TracePhase::Decode => "smbd_decode",
+            TracePhase::Mma => "mma",
+            TracePhase::Epilogue => "epilogue",
+        }
+    }
+}
+
+/// Per-task phase recorder for the traced kernel run. `run_block` pushes
+/// `(phase, attribution weight)` pairs in execution order; weights are
+/// counter deltas through [`attribution_weight`], so they are pure
+/// functions of simulated events — deterministic at any host job count.
+/// [`SpinferSpmm::run_with`] converts weights into sim-time spans once
+/// the launch's estimated time is known (weights scale so all phase
+/// spans of a launch sum exactly to its simulated time).
+#[derive(Default)]
+struct BlockTracer {
+    spans: Vec<(TracePhase, u64)>,
+    mark: u64,
+}
+
+impl BlockTracer {
+    /// Re-baselines the weight cursor at a phase boundary.
+    fn sync(&mut self, counters: &Counters, x_counters: &Counters) {
+        self.mark = attribution_weight(counters) + attribution_weight(x_counters);
+    }
+
+    /// Closes a phase: records the weight accumulated since the last
+    /// boundary and re-baselines.
+    fn phase(&mut self, phase: TracePhase, counters: &Counters, x_counters: &Counters) {
+        let now = attribution_weight(counters) + attribution_weight(x_counters);
+        self.spans.push((phase, now - self.mark));
+        self.mark = now;
     }
 }
 
@@ -331,6 +388,42 @@ impl SpinferSpmm {
     ///
     /// Panics if `x.rows() != w.k`.
     pub fn run(&self, spec: &GpuSpec, w: &TcaBme, x: &DenseMatrix) -> SpmmRun {
+        self.run_with(spec, w, x, None)
+    }
+
+    /// [`Self::run`] with span recording into `sink` (see
+    /// [`gpu_sim::trace`]): per GroupTile iteration, `stream_w` /
+    /// `stream_x` / `smbd_decode` / `mma` phase spans on one compute
+    /// track per block row, cp.async in-flight windows with
+    /// issue→commit→wait flow arrows on a sibling track, one `epilogue`
+    /// span per block, and a `reduction` span when split-K > 1.
+    ///
+    /// Output, counters, and simulated time are bit-identical to
+    /// [`Self::run`]: tracing only *reads* the counter stream. Spans are
+    /// timestamped in simulated µs — phase attribution weights scaled so
+    /// the main launch's phase spans sum exactly to its estimated time —
+    /// so traces are byte-identical at any host job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != w.k`.
+    pub fn run_traced(
+        &self,
+        spec: &GpuSpec,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        sink: &TraceSink,
+    ) -> SpmmRun {
+        self.run_with(spec, w, x, Some(sink))
+    }
+
+    fn run_with(
+        &self,
+        spec: &GpuSpec,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        sink: Option<&TraceSink>,
+    ) -> SpmmRun {
         assert_eq!(x.rows(), w.k, "X must be K×N");
         let n = x.cols();
         let stats = FormatStats::from_encoded(w);
@@ -396,6 +489,7 @@ impl SpinferSpmm {
             |scratch, (gty, bands)| {
                 let mut shard = CounterShard::new();
                 let mut x_shard = CounterShard::new();
+                let mut tracer = sink.map(|_| BlockTracer::default());
                 for nt in 0..geo.grid_x {
                     let n0 = nt * geo.tile_n;
                     for split in 0..geo.split_k {
@@ -418,6 +512,7 @@ impl SpinferSpmm {
                             x_base,
                             ws_base,
                             smem_values,
+                            tracer.as_mut(),
                         );
                     }
                 }
@@ -426,12 +521,18 @@ impl SpinferSpmm {
                     band.copy_from_slice(src);
                     src.fill(0.0);
                 }
-                (shard, x_shard)
+                (shard, x_shard, tracer.map(|t| t.spans))
             },
         );
-        for (shard, x_shard) in shards {
+        // Per-task phase records come back in task (block-row) order from
+        // `par_map_with`, so the trace below is independent of scheduling.
+        let mut task_spans: Vec<Vec<(TracePhase, u64)>> = Vec::new();
+        for (shard, x_shard, spans) in shards {
             counters.merge(&shard.into_counters());
             x_counters.merge(&x_shard.into_counters());
+            if let Some(spans) = spans {
+                task_spans.push(spans);
+            }
         }
 
         let x_requested = x_counters.dram_read_bytes;
@@ -472,6 +573,9 @@ impl SpinferSpmm {
         let mut output = vec![0.0f32; w.m * n];
         for r in 0..w.m {
             output[r * n..(r + 1) * n].copy_from_slice(&out_pad[r * geo.n_pad..r * geo.n_pad + n]);
+        }
+        if let Some(sink) = sink {
+            emit_kernel_trace(sink, self.config.ablation, &chain, &task_spans);
         }
         SpmmRun {
             output: Some(output),
@@ -704,12 +808,20 @@ impl SpinferSpmm {
         x_base: VAddr,
         ws_base: VAddr,
         smem_values: u64,
+        mut tracer: Option<&mut BlockTracer>,
     ) {
         let cfg = w.config;
         let tt_rows = cfg.tt_rows();
         let tt_cols = cfg.tt_cols();
         let n8 = geo.tile_n / 8;
         let n = x.cols();
+        // Tracing only *reads* the counter stream (attribution-weight
+        // checkpoints at phase boundaries); with `tracer` absent, no
+        // extra work runs and the code path is the pre-existing one.
+        let trace_on = tracer.is_some();
+        if let Some(t) = tracer.as_deref_mut() {
+            t.sync(counters, x_counters);
+        }
 
         // Per-warp accumulators: warp = TCTile row strip.
         let mut accs: Vec<Vec<FragC>> = (0..geo.warps)
@@ -751,7 +863,10 @@ impl SpinferSpmm {
             );
             cp_async.issue();
             cp_async.commit_group(); // Bitmap + sparse values group.
-                                     // --- 3. XTile loading ---
+            if let Some(t) = tracer.as_deref_mut() {
+                t.phase(TracePhase::StreamW, counters, x_counters);
+            }
+            // --- 3. XTile loading ---
             let row_bytes = (geo.tile_n * 2) as u64;
             for kr in (0..cfg.gt_cols).step_by(4) {
                 // Four X rows per warp instruction (8 lanes × 16 B when
@@ -779,6 +894,9 @@ impl SpinferSpmm {
                                      // flight) — Algorithm 1 line 24.
             let retired = cp_async.wait_group(1);
             debug_assert_eq!(retired, 1, "sparse group retires first");
+            if let Some(t) = tracer.as_deref_mut() {
+                t.phase(TracePhase::StreamX, counters, x_counters);
+            }
 
             // Fill the decode-once X tile for this GroupTile column.
             for kk in 0..cfg.gt_cols {
@@ -795,6 +913,12 @@ impl SpinferSpmm {
             }
 
             // --- 2. WTile decoding, 4./5. fragment loads + Tensor Cores ---
+            // Decode and mma interleave per TCTile; with tracing on,
+            // their weights accumulate separately so each gets one span
+            // per GroupTile iteration.
+            let mut dec_w = 0u64;
+            let mut mma_w = 0u64;
+            let mut wmark = 0u64;
             for warp in 0..geo.warps {
                 let tty = warp % tt_rows;
                 for ttx in 0..tt_cols {
@@ -805,6 +929,9 @@ impl SpinferSpmm {
                         "TCTile bitmap slice must hold exactly 4 BitmapTiles: gtile_bitmaps \
                          returns bts_per_gt() words, a multiple of BTS_PER_TT = 4",
                     );
+                    if trace_on {
+                        wmark = attribution_weight(counters);
+                    }
                     let (a_rows, _) = decode_tctile_f32(counters, &tc_bms, vals, base, smem_values);
                     if !self.config.ablation.smbd {
                         // Register decode: the same values reach the same
@@ -815,7 +942,15 @@ impl SpinferSpmm {
                         counters.shfl_insts += REG_DECODE_SHFL * 4;
                         counters.insts_issued += (REG_DECODE_EXTRA_INT + REG_DECODE_SHFL) * 4;
                     }
+                    if trace_on {
+                        let now = attribution_weight(counters);
+                        dec_w += now - wmark;
+                        wmark = now;
+                    }
                     self.mma_row(counters, &xf, geo, ttx, &a_rows, &mut accs[warp]);
+                    if trace_on {
+                        mma_w += attribution_weight(counters) - wmark;
+                    }
                 }
             }
             // The dense group must land before its fragments feed the
@@ -823,6 +958,16 @@ impl SpinferSpmm {
             cp_async.wait_group(0);
             // Pipeline bookkeeping (barrier between iterations).
             counters.barriers += 1;
+            if let Some(t) = tracer.as_deref_mut() {
+                // The iteration-end barrier weight folds into the mma
+                // span (it is the pipeline bookkeeping that gates the
+                // next wave).
+                let now = attribution_weight(counters) + attribution_weight(x_counters);
+                let residual = now - t.mark - dec_w - mma_w;
+                t.spans.push((TracePhase::Decode, dec_w));
+                t.spans.push((TracePhase::Mma, mma_w + residual));
+                t.mark = now;
+            }
         }
         cp_async.assert_drained();
 
@@ -853,6 +998,9 @@ impl SpinferSpmm {
                     warp_global_store(counters, &addrs, 8);
                 }
             }
+        }
+        if let Some(t) = tracer {
+            t.phase(TracePhase::Epilogue, counters, x_counters);
         }
     }
 
@@ -1521,6 +1669,129 @@ fn kernel_name(ablation: Ablation) -> &'static str {
     }
 }
 
+/// Converts per-task phase weights into sim-time trace events.
+///
+/// Weights scale uniformly by `launch time / total weight`, so the
+/// `cat:"phase"` spans of the main launch sum *exactly* to its estimated
+/// time; each block row gets a compute track (phases laid end to end)
+/// and a cp.async track whose in-flight windows span commit→wait, with
+/// flow arrows into the consuming phase. Everything here is a pure
+/// function of the deterministic weight records, so the emitted trace is
+/// byte-identical at any host job count.
+fn emit_kernel_trace(
+    sink: &TraceSink,
+    ablation: Ablation,
+    chain: &LaunchChain,
+    task_spans: &[Vec<(TracePhase, u64)>],
+) {
+    let kname = kernel_name(ablation);
+    let t_main_us = chain.launches[0].time_us();
+    let total_w: u64 = task_spans
+        .iter()
+        .flat_map(|s| s.iter().map(|&(_, wgt)| wgt))
+        .sum();
+    let scale = if total_w == 0 {
+        0.0
+    } else {
+        t_main_us / total_w as f64
+    };
+    let mut evs = Vec::new();
+    for (gty, spans) in task_spans.iter().enumerate() {
+        let compute = (pids::KERNEL, (gty as u32) * 2);
+        let copy = (pids::KERNEL, (gty as u32) * 2 + 1);
+        sink.name_track(compute, kname, &format!("block-row {gty} compute"));
+        sink.name_track(copy, kname, &format!("block-row {gty} cp.async"));
+        let mut cursor = 0u64;
+        let mut iter_idx = 0u64;
+        // Boundaries of the current GroupTile iteration (sim-time µs).
+        let mut w_end = 0.0f64;
+        let mut x_end = 0.0f64;
+        let mut decode_ts = 0.0f64;
+        for &(phase, wgt) in spans {
+            let ts = cursor as f64 * scale;
+            cursor += wgt;
+            let end = cursor as f64 * scale;
+            let mut ev = TraceEvent::span(compute, phase.name(), "phase", ts, end - ts);
+            ev.arg = Some(("weight", wgt as f64));
+            evs.push(ev);
+            match phase {
+                TracePhase::StreamW => w_end = end,
+                TracePhase::StreamX => x_end = end,
+                TracePhase::Decode => decode_ts = ts,
+                TracePhase::Mma => {
+                    // cp.async windows: the sparse group commits at the
+                    // end of stream_w and retires at the wait before
+                    // decode; the dense group commits at the end of
+                    // stream_x and retires at the iteration-end
+                    // wait_group(0). Flow arrows land on the phase that
+                    // consumed the copied bytes.
+                    let id = ((gty as u64) << 32) | (iter_idx << 1);
+                    evs.push(TraceEvent::span(
+                        copy,
+                        "cp.async sparse",
+                        "cp.async",
+                        w_end,
+                        decode_ts - w_end,
+                    ));
+                    evs.push(TraceEvent::flow(
+                        copy,
+                        "cp.async sparse",
+                        "cp.async",
+                        w_end,
+                        true,
+                        id,
+                    ));
+                    evs.push(TraceEvent::flow(
+                        compute,
+                        "cp.async sparse",
+                        "cp.async",
+                        decode_ts,
+                        false,
+                        id,
+                    ));
+                    evs.push(TraceEvent::span(
+                        copy,
+                        "cp.async dense",
+                        "cp.async",
+                        x_end,
+                        end - x_end,
+                    ));
+                    evs.push(TraceEvent::flow(
+                        copy,
+                        "cp.async dense",
+                        "cp.async",
+                        x_end,
+                        true,
+                        id | 1,
+                    ));
+                    evs.push(TraceEvent::flow(
+                        compute,
+                        "cp.async dense",
+                        "cp.async",
+                        ts,
+                        false,
+                        id | 1,
+                    ));
+                    iter_idx += 1;
+                }
+                TracePhase::Epilogue => {}
+            }
+        }
+    }
+    if let Some(reduction) = chain.launches.get(1) {
+        let track = (pids::KERNEL, u32::MAX);
+        sink.name_track(track, kname, "split-K reduction");
+        evs.push(TraceEvent::span(
+            track,
+            "reduction",
+            "phase",
+            t_main_us,
+            reduction.time_us(),
+        ));
+    }
+    sink.extend(evs);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1561,6 +1832,75 @@ mod tests {
     #[test]
     fn correct_unaligned_dims() {
         check_correct(100, 72, 12, 0.5, SpmmConfig::default());
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_phases_sum_to_launch_time() {
+        use gpu_sim::trace::EventKind;
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 256, 0.6, ValueDist::Uniform, 42);
+        let x = random_dense(256, 16, ValueDist::Uniform, 43);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm {
+            config: SpmmConfig {
+                split_k: 2, // exercise the reduction span
+                ..SpmmConfig::default()
+            },
+        };
+        let plain = kernel.run(&spec, &enc, &x);
+        let sink = TraceSink::new();
+        let traced = kernel.run_traced(&spec, &enc, &x, &sink);
+
+        // Attaching a sink must not perturb output, counters, or time.
+        assert_eq!(plain.output, traced.output);
+        assert_eq!(
+            plain.chain.merged_counters(),
+            traced.chain.merged_counters()
+        );
+        assert_eq!(plain.time_us().to_bits(), traced.time_us().to_bits());
+
+        let t = sink.finish();
+        assert!(!t.events.is_empty());
+        // All spans have non-negative durations; cat:"phase" spans sum to
+        // the chain's simulated time (main launch + reduction).
+        let phase_sum: f64 = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.cat == "phase")
+            .map(|e| {
+                assert!(e.dur_us >= 0.0);
+                e.dur_us
+            })
+            .sum();
+        let total = traced.time_us();
+        assert!(
+            (phase_sum - total).abs() <= 0.01 * total,
+            "phase sum {phase_sum} vs simulated {total}"
+        );
+        // Every kernel phase shows up, plus the reduction span.
+        for name in [
+            "stream_w",
+            "stream_x",
+            "smbd_decode",
+            "mma",
+            "epilogue",
+            "reduction",
+        ] {
+            assert!(t.phase_total_us(name) > 0.0, "missing phase {name}");
+        }
+        // Flow events pair up (one start, one end per id).
+        let mut starts = std::collections::BTreeMap::new();
+        let mut ends = std::collections::BTreeMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::FlowStart => *starts.entry(e.flow_id).or_insert(0u32) += 1,
+                EventKind::FlowEnd => *ends.entry(e.flow_id).or_insert(0u32) += 1,
+                _ => {}
+            }
+        }
+        assert!(!starts.is_empty());
+        assert_eq!(starts, ends);
+        assert!(starts.values().all(|&n| n == 1));
     }
 
     #[test]

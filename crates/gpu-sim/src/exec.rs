@@ -24,11 +24,66 @@
 //! environment variable → [`std::thread::available_parallelism`].
 
 use crate::counters::Counters;
+use crate::trace::{pids, TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Process-wide job override set by [`set_jobs`]; 0 means "no override".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Optional trace sink for pool-call/task-lifetime spans, plus the
+    /// ordinal clock (next free tick). Thread-local on purpose: only
+    /// pool calls *coordinated by the attaching thread* are recorded, so
+    /// concurrent tests can't pollute each other's traces and nested
+    /// pool calls issued from worker threads stay silent.
+    static TASK_TRACE: std::cell::RefCell<(Option<Arc<TraceSink>>, u64)> =
+        const { std::cell::RefCell::new((None, 0)) };
+}
+
+/// Attaches (or with `None` detaches) a [`TraceSink`] that records this
+/// thread's worker-pool call and task-lifetime spans.
+///
+/// The pool has no simulated clock, so its spans use a deterministic
+/// *ordinal* clock instead of wall-clock: each [`par_map`]-family call
+/// claims a contiguous tick range and task `i` occupies `[t0+i, t0+i+1)`.
+/// Spans are recorded by the coordinating thread *after* the pool joins,
+/// in item-index order, so the stream is byte-identical at any job count
+/// — wall-clock timing never leaks into a trace. Attaching resets the
+/// ordinal clock, so a given program phase always lands at the same
+/// ticks.
+pub fn set_task_trace(sink: Option<Arc<TraceSink>>) {
+    TASK_TRACE.with(|slot| *slot.borrow_mut() = (sink, 0));
+}
+
+/// Records one pool call (n tasks) into the attached sink, if any.
+fn record_pool_call(label: &'static str, n: usize) {
+    let sink = TASK_TRACE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        slot.0.clone().map(|sink| {
+            let t0 = slot.1;
+            slot.1 += n as u64 + 1;
+            (sink, t0)
+        })
+    });
+    let Some((sink, t0)) = sink else { return };
+    sink.name_track((pids::HOST_POOL, 0), "host pool", "pool calls (ordinal)");
+    sink.name_track((pids::HOST_POOL, 1), "host pool", "tasks (ordinal)");
+    let mut evs = Vec::with_capacity(n + 1);
+    let mut call = TraceEvent::span((pids::HOST_POOL, 0), label, "host", t0 as f64, n as f64);
+    call.arg = Some(("tasks", n as f64));
+    evs.push(call);
+    for i in 0..n {
+        evs.push(TraceEvent::span(
+            (pids::HOST_POOL, 1),
+            "task",
+            "host",
+            (t0 + i as u64) as f64,
+            1.0,
+        ));
+    }
+    sink.extend(evs);
+}
 
 /// Forces the worker count for subsequent parallel calls.
 ///
@@ -92,6 +147,7 @@ where
     N: Fn() -> S + Sync,
     F: Fn(&mut S, I) -> R + Sync,
 {
+    record_pool_call("par_map", items.len());
     let jobs = num_jobs().min(items.len().max(1));
     if jobs <= 1 {
         let mut state = init();
@@ -271,6 +327,48 @@ impl From<Counters> for CounterShard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn task_trace_is_ordinal_and_job_count_invariant() {
+        use crate::trace::EventKind;
+        let run = |jobs: usize| {
+            set_jobs(jobs);
+            let sink = Arc::new(TraceSink::new());
+            set_task_trace(Some(sink.clone()));
+            let _ = par_map((0..10usize).collect(), |i| i * i);
+            let _ = par_map((0..3usize).collect(), |i| i + 1);
+            set_task_trace(None);
+            set_jobs(0);
+            sink.finish()
+        };
+        let serial = run(1);
+        let pooled = run(8);
+        assert_eq!(
+            serial, pooled,
+            "ordinal pool spans must not depend on job count"
+        );
+        // Two calls: (10 tasks + 1 call span) + (3 tasks + 1 call span).
+        let spans = serial.events.iter().filter(|e| e.kind == EventKind::Span);
+        assert_eq!(spans.count(), 15);
+        // Second call starts after the first call's claimed tick range.
+        let calls: Vec<_> = serial
+            .events
+            .iter()
+            .filter(|e| e.track == (pids::HOST_POOL, 0))
+            .collect();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].ts_us, 0.0);
+        assert_eq!(calls[1].ts_us, 11.0);
+    }
+
+    #[test]
+    fn detached_task_trace_records_nothing() {
+        let sink = Arc::new(TraceSink::new());
+        set_task_trace(Some(sink.clone()));
+        set_task_trace(None);
+        let _ = par_map((0..4usize).collect(), |i| i);
+        assert!(sink.is_empty());
+    }
 
     #[test]
     fn par_map_preserves_order_and_values() {

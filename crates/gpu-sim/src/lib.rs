@@ -17,6 +17,8 @@
 //! * [`exec`] — host-side parallel execution engine (worker pool +
 //!   sharded counters) for running simulations across host cores with
 //!   bit-identical results.
+//! * [`trace`] — deterministic span recording keyed by simulated time
+//!   (the observability seam consumed by `spinfer-obs`).
 //!
 //! Kernels built on this substrate (in `spinfer-core` and
 //! `spinfer-baselines`) compute bit-exact numerical results on the host
@@ -43,6 +45,7 @@ pub mod shared_memory;
 pub mod spec;
 pub mod tensor_core;
 pub mod timing;
+pub mod trace;
 
 pub use counters::Counters;
 pub use fp16::Half;

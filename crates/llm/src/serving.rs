@@ -15,6 +15,8 @@ use crate::engine::{decode_overhead_sec, linear_pass_sec};
 use crate::frameworks::Framework;
 use crate::memory::footprint;
 use gpu_sim::spec::GpuSpec;
+use gpu_sim::trace::{pids, TraceEvent, TraceSink};
+use spinfer_obs::metrics::percentile_sorted;
 use std::collections::HashMap;
 
 /// Request length workload: uniform, or a deterministic round-robin mix
@@ -101,27 +103,63 @@ struct Request {
     output_len: usize,
 }
 
+/// Upper bound on the admission cap search (sequences per GPU).
+const CAP_CEILING: usize = 4096;
+
 /// Maximum concurrent sequences the per-GPU memory supports at full
 /// context (weights + KV for `n` sequences must fit).
+///
+/// The KV footprint is monotone in the sequence count, so instead of
+/// probing every `n` up to [`CAP_CEILING`] (thousands of `footprint`
+/// evaluations for roomy deployments) we double until the first OOM
+/// bracket and binary-search inside it: `O(log cap)` probes, same
+/// answer as the linear scan (pinned by a test below).
 fn memory_concurrency_cap(spec: &GpuSpec, cfg: &ServingConfig) -> usize {
     let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
     let total_len = max_in + max_out;
-    let mut n = 0usize;
-    while n < 4096 {
-        let fp = footprint(
+    let fits = |n: usize| {
+        !footprint(
             &cfg.model,
             cfg.framework,
             cfg.sparsity,
             cfg.tp,
-            n + 1,
+            n,
             total_len,
-        );
-        if fp.is_oom(spec) {
-            break;
-        }
-        n += 1;
+        )
+        .is_oom(spec)
+    };
+    if !fits(1) {
+        return 0;
     }
-    n
+    // Doubling: grow `hi` until it no longer fits (or clears the ceiling).
+    let mut lo = 1usize; // invariant: fits(lo)
+    let mut hi = 2usize;
+    while hi <= CAP_CEILING && fits(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    if lo >= CAP_CEILING {
+        return CAP_CEILING;
+    }
+    let mut hi = hi.min(CAP_CEILING + 1); // invariant: !fits(hi) or hi > ceiling
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+impl ServingReport {
+    /// p95 over an ascending latency set — nearest-rank, shared with the
+    /// observability histogram code so CLI tables and serving reports
+    /// agree on percentile semantics.
+    pub fn p95_from_sorted(latencies: &[f64]) -> f64 {
+        percentile_sorted(latencies, 0.95)
+    }
 }
 
 /// Runs the continuous-batching loop.
@@ -130,6 +168,20 @@ fn memory_concurrency_cap(spec: &GpuSpec, cfg: &ServingConfig) -> usize {
 ///
 /// Panics if the model cannot serve even one request on this deployment.
 pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
+    serve_with(spec, cfg, None)
+}
+
+/// [`serve`] with optional span recording: each prefill admission and
+/// each decode iteration becomes a span on the serving track,
+/// timestamped on the *serving simulation clock* (seconds → trace µs).
+/// With `sink` absent this is exactly `serve`.
+///
+/// # Panics
+///
+/// Panics if the model cannot serve even one request on this deployment.
+pub fn serve_with(spec: &GpuSpec, cfg: &ServingConfig, sink: Option<&TraceSink>) -> ServingReport {
+    const ENGINE: (u32, u32) = (pids::SERVING, 0);
+    let mut spans: Vec<TraceEvent> = Vec::new();
     let mem_cap = memory_concurrency_cap(spec, cfg);
     assert!(
         mem_cap >= 1,
@@ -192,7 +244,17 @@ pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
         // Admit queued requests into the running batch (prefill each).
         while running.len() < cap && !queue.is_empty() {
             let r = queue.remove(0);
-            now += prefill_cost(r.input_len);
+            let cost = prefill_cost(r.input_len);
+            if sink.is_some() {
+                spans.push(TraceEvent::span(
+                    ENGINE,
+                    "prefill",
+                    "phase",
+                    now * 1e6,
+                    cost * 1e6,
+                ));
+            }
+            now += cost;
             running.push(r);
         }
         max_concurrency = max_concurrency.max(running.len());
@@ -211,6 +273,12 @@ pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
         let sum_ctx: usize = running.iter().map(|r| r.input_len + r.generated + 1).sum();
         let step =
             lin(b) + decode_overhead_sec(spec, &cfg.model, cfg.framework, cfg.tp, b, sum_ctx);
+        if sink.is_some() {
+            spans.push(
+                TraceEvent::span(ENGINE, "decode_iter", "phase", now * 1e6, step * 1e6)
+                    .with_arg("batch", b as f64),
+            );
+        }
         now += step;
         iterations += 1;
         batch_sum += b as f64;
@@ -230,6 +298,11 @@ pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
         });
     }
 
+    if let Some(sink) = sink {
+        sink.name_track(ENGINE, "serving sim (sim µs)", "engine");
+        sink.extend(spans);
+    }
+
     latencies.sort_by(f64::total_cmp);
     let completed = latencies.len();
     let mean = if completed == 0 {
@@ -237,11 +310,7 @@ pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
     } else {
         latencies.iter().sum::<f64>() / completed as f64
     };
-    let p95 = if completed == 0 {
-        0.0
-    } else {
-        latencies[((completed as f64 * 0.95) as usize).min(completed - 1)]
-    };
+    let p95 = ServingReport::p95_from_sorted(&latencies);
     ServingReport {
         completed,
         in_flight: queue.len() + running.len(),
@@ -353,5 +422,108 @@ mod tests {
         let mut c = cfg(Framework::FasterTransformer, 1.0);
         c.tp = 1; // Dense OPT-13B does not fit one 24 GB GPU.
         serve(&spec, &c);
+    }
+
+    /// The linear probe the binary search replaced, kept as the oracle.
+    fn linear_cap_oracle(spec: &GpuSpec, cfg: &ServingConfig) -> usize {
+        let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
+        let total_len = max_in + max_out;
+        let mut n = 0usize;
+        while n < CAP_CEILING {
+            let fp = footprint(
+                &cfg.model,
+                cfg.framework,
+                cfg.sparsity,
+                cfg.tp,
+                n + 1,
+                total_len,
+            );
+            if fp.is_oom(spec) {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn concurrency_cap_matches_linear_oracle() {
+        let spec = GpuSpec::rtx4090();
+        for fw in [
+            Framework::SpInfer,
+            Framework::FasterTransformer,
+            Framework::FlashLlm,
+        ] {
+            for tp in [1usize, 2, 4] {
+                let mut c = cfg(fw, 1.0);
+                c.tp = tp;
+                assert_eq!(
+                    memory_concurrency_cap(&spec, &c),
+                    linear_cap_oracle(&spec, &c),
+                    "{fw:?} tp={tp}"
+                );
+            }
+        }
+        // Mixed lengths size KV for the worst-case profile.
+        let mut c = cfg(Framework::SpInfer, 1.0);
+        c.mix = LengthMix::RoundRobin(vec![(32, 32), (256, 512)]);
+        assert_eq!(
+            memory_concurrency_cap(&spec, &c),
+            linear_cap_oracle(&spec, &c)
+        );
+    }
+
+    #[test]
+    fn p95_index_rounding_edge_cases() {
+        // Nearest-rank (`ceil(0.95 n)` clamped to [1, n], 1-based):
+        // N=1 → the only sample; N=2 → the larger; N=19 → ceil(18.05) =
+        // rank 19 (the max); N=20 → rank 19 of 20 (second-largest).
+        let lat = |n: usize| (1..=n).map(|i| i as f64).collect::<Vec<_>>();
+        assert_eq!(ServingReport::p95_from_sorted(&lat(1)), 1.0);
+        assert_eq!(ServingReport::p95_from_sorted(&lat(2)), 2.0);
+        assert_eq!(ServingReport::p95_from_sorted(&lat(19)), 19.0);
+        assert_eq!(ServingReport::p95_from_sorted(&lat(20)), 19.0);
+        assert_eq!(ServingReport::p95_from_sorted(&[]), 0.0);
+    }
+
+    #[test]
+    fn traced_serve_matches_untraced_and_covers_the_horizon() {
+        use gpu_sim::trace::{EventKind, TraceSink};
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 2.0);
+        let plain = serve(&spec, &c);
+        let sink = TraceSink::new();
+        let traced = serve_with(&spec, &c, Some(&sink));
+        // Tracing only records — the report is bit-identical.
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(
+            plain.throughput_rps.to_bits(),
+            traced.throughput_rps.to_bits()
+        );
+        assert_eq!(
+            plain.p95_latency_sec.to_bits(),
+            traced.p95_latency_sec.to_bits()
+        );
+        let t = sink.finish();
+        let spans: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .collect();
+        // One span per prefill admission + one per decode iteration; at
+        // 2 rps over 60 s there are at least `completed` of each kind.
+        assert!(t.phase_names("phase").contains(&"prefill"));
+        assert!(t.phase_names("phase").contains(&"decode_iter"));
+        assert!(spans.len() >= 2 * plain.completed, "spans {}", spans.len());
+        assert!(spans.iter().all(|e| e.dur_us >= 0.0 && e.ts_us >= 0.0));
+        // Spans live on the serving sim clock: none extends past the
+        // final sim timestamp implied by the horizon plus one step.
+        let end = spans.iter().map(|e| e.ts_us + e.dur_us).fold(0.0, f64::max);
+        assert!(end < (c.duration_sec + 10.0) * 1e6, "end {end}");
+        // Decode spans carry the batch size as an argument.
+        assert!(spans
+            .iter()
+            .filter(|e| e.name == "decode_iter")
+            .all(|e| matches!(e.arg, Some(("batch", b)) if b >= 1.0)));
     }
 }

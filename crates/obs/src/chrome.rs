@@ -1,0 +1,280 @@
+//! Chrome-trace / Perfetto JSON export and validation.
+//!
+//! Exports a [`Trace`] in the Trace Event Format that `chrome://tracing`
+//! and [ui.perfetto.dev](https://ui.perfetto.dev) load directly:
+//! `{"traceEvents": [...]}` with `ph:"X"` complete events (timestamps in
+//! microseconds), `ph:"M"` metadata events naming process/thread tracks,
+//! `ph:"i"` instants, and `ph:"s"`/`ph:"f"` flow arrows (cp.async
+//! issue→commit→wait linkage).
+//!
+//! The validator re-parses an exported document and checks the structural
+//! invariants CI relies on: every `ph:"X"` event has `dur >= 0`, and every
+//! flow start pairs with exactly one flow end of the same id.
+
+use crate::json::{parse, Value};
+use crate::metrics::percentile_sorted;
+use gpu_sim::trace::{EventKind, Trace};
+
+/// Serializes a trace as Chrome-trace JSON (one event per line, so the
+/// output diffs cleanly and parses incrementally in external tools).
+pub fn export(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (track, process, thread) in &trace.tracks {
+        push_event(
+            &mut out,
+            &mut first,
+            &Value::obj()
+                .set("ph", Value::Str("M".into()))
+                .set("name", Value::Str("process_name".into()))
+                .set("pid", Value::Num(f64::from(track.0)))
+                .set("tid", Value::Num(f64::from(track.1)))
+                .set(
+                    "args",
+                    Value::obj().set("name", Value::Str(process.clone())),
+                ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &Value::obj()
+                .set("ph", Value::Str("M".into()))
+                .set("name", Value::Str("thread_name".into()))
+                .set("pid", Value::Num(f64::from(track.0)))
+                .set("tid", Value::Num(f64::from(track.1)))
+                .set("args", Value::obj().set("name", Value::Str(thread.clone()))),
+        );
+    }
+    for ev in &trace.events {
+        let ph = match ev.kind {
+            EventKind::Span => "X",
+            EventKind::Instant => "i",
+            EventKind::FlowStart => "s",
+            EventKind::FlowEnd => "f",
+        };
+        let mut v = Value::obj()
+            .set("ph", Value::Str(ph.into()))
+            .set("name", Value::Str(ev.name.into()))
+            .set("cat", Value::Str(ev.cat.into()))
+            .set("pid", Value::Num(f64::from(ev.track.0)))
+            .set("tid", Value::Num(f64::from(ev.track.1)))
+            .set("ts", Value::Num(ev.ts_us));
+        match ev.kind {
+            EventKind::Span => v = v.set("dur", Value::Num(ev.dur_us)),
+            EventKind::Instant => v = v.set("s", Value::Str("t".into())),
+            EventKind::FlowStart => v = v.set("id", Value::Num(ev.flow_id as f64)),
+            // Flow ends bind to the slice they land *on top of*; `bp:"e"`
+            // makes Perfetto attach to the enclosing slice.
+            EventKind::FlowEnd => {
+                v = v
+                    .set("id", Value::Num(ev.flow_id as f64))
+                    .set("bp", Value::Str("e".into()));
+            }
+        }
+        if let Some((k, arg)) = ev.arg {
+            v = v.set("args", Value::obj().set(k, Value::Num(arg)));
+        }
+        push_event(&mut out, &mut first, &v);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, v: &Value) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(&v.to_json());
+}
+
+/// Structural statistics from a validated Chrome-trace document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Number of `ph:"X"` complete spans.
+    pub spans: usize,
+    /// Number of flow start/end pairs.
+    pub flow_pairs: usize,
+    /// Number of `ph:"i"` instants.
+    pub instants: usize,
+    /// Sum of `dur` over spans whose `cat` is `"phase"` (the per-phase
+    /// attribution; excludes overlapping cp.async windows).
+    pub phase_total_us: f64,
+}
+
+/// Parses and validates a Chrome-trace JSON document. Checks:
+/// * the document parses and has a `traceEvents` array;
+/// * every `ph:"X"` event has a finite `dur >= 0` and finite `ts`;
+/// * flow events (`ph:"s"`/`ph:"f"`) pair up one-to-one by `id`.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let mut stats = TraceStats::default();
+    let mut flow_starts = std::collections::BTreeMap::new();
+    let mut flow_ends = std::collections::BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let ts = ev.get("ts").and_then(|v| v.as_f64());
+        match ph {
+            "X" => {
+                let ts = ts.ok_or_else(|| format!("event {i}: X without ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i}: X without dur"))?;
+                if !ts.is_finite() || !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: bad span ts={ts} dur={dur}"));
+                }
+                stats.spans += 1;
+                if ev.get("cat").and_then(|v| v.as_str()) == Some("phase") {
+                    stats.phase_total_us += dur;
+                }
+            }
+            "s" | "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i}: flow without id"))?
+                    as u64;
+                let map = if ph == "s" {
+                    &mut flow_starts
+                } else {
+                    &mut flow_ends
+                };
+                *map.entry(id).or_insert(0u64) += 1;
+            }
+            "i" => stats.instants += 1,
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    for (&id, &n) in &flow_starts {
+        if n != 1 {
+            return Err(format!("flow id {id}: {n} starts"));
+        }
+        if flow_ends.get(&id) != Some(&1) {
+            return Err(format!("flow id {id}: start without matching end"));
+        }
+    }
+    for &id in flow_ends.keys() {
+        if !flow_starts.contains_key(&id) {
+            return Err(format!("flow id {id}: end without matching start"));
+        }
+    }
+    stats.flow_pairs = flow_starts.len();
+    Ok(stats)
+}
+
+/// One row of a per-phase breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRow {
+    /// Phase (span) name.
+    pub name: &'static str,
+    /// Number of spans.
+    pub count: usize,
+    /// Total duration in µs.
+    pub total_us: f64,
+    /// Exact nearest-rank percentiles of span durations, in µs.
+    pub p50_us: f64,
+    /// 95th percentile span duration.
+    pub p95_us: f64,
+    /// 99th percentile span duration.
+    pub p99_us: f64,
+}
+
+/// Aggregates a trace's `cat:"phase"` spans into per-phase rows (sorted
+/// by descending total time). Percentiles are exact nearest-rank over the
+/// span-duration population, via the shared [`percentile_sorted`] helper.
+pub fn phase_breakdown(trace: &Trace) -> Vec<PhaseRow> {
+    let mut rows = Vec::new();
+    for name in trace.phase_names("phase") {
+        let mut durs: Vec<f64> = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.cat == "phase" && e.name == name)
+            .map(|e| e.dur_us)
+            .collect();
+        durs.sort_by(f64::total_cmp);
+        rows.push(PhaseRow {
+            name,
+            count: durs.len(),
+            total_us: durs.iter().sum(),
+            p50_us: percentile_sorted(&durs, 0.50),
+            p95_us: percentile_sorted(&durs, 0.95),
+            p99_us: percentile_sorted(&durs, 0.99),
+        });
+    }
+    rows.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then(a.name.cmp(b.name)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::trace::{TraceEvent, TraceSink};
+
+    fn sample_trace() -> Trace {
+        let sink = TraceSink::new();
+        sink.name_track((1, 0), "kernel", "block-row 0");
+        sink.record(TraceEvent::span((1, 0), "stream_w", "phase", 0.0, 2.0));
+        sink.record(TraceEvent::span((1, 0), "mma", "phase", 2.0, 6.0));
+        sink.record(TraceEvent::span(
+            (1, 1),
+            "cp.async sparse",
+            "cp.async",
+            0.0,
+            1.0,
+        ));
+        sink.record(TraceEvent::flow((1, 1), "cp", "cp.async", 1.0, true, 42));
+        sink.record(TraceEvent::flow((1, 0), "cp", "cp.async", 2.0, false, 42));
+        sink.record(TraceEvent::instant((1, 0), "barrier", "phase", 8.0));
+        sink.finish()
+    }
+
+    #[test]
+    fn export_validates_roundtrip() {
+        let text = export(&sample_trace());
+        let stats = validate(&text).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.flow_pairs, 1);
+        assert_eq!(stats.instants, 1);
+        // cat:"phase" only — the cp.async window is excluded.
+        assert!((stats.phase_total_us - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_negative_dur() {
+        let bad = r#"{"traceEvents":[{"ph":"X","ts":0,"dur":-1,"pid":1,"tid":0,"name":"x","cat":"phase"}]}"#;
+        assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unpaired_flow() {
+        let bad =
+            r#"{"traceEvents":[{"ph":"s","ts":0,"pid":1,"tid":0,"name":"f","cat":"c","id":7}]}"#;
+        let err = validate(bad).unwrap_err();
+        assert!(err.contains("flow id 7"), "{err}");
+        let bad_end =
+            r#"{"traceEvents":[{"ph":"f","ts":0,"pid":1,"tid":0,"name":"f","cat":"c","id":9}]}"#;
+        assert!(validate(bad_end).unwrap_err().contains("flow id 9"));
+    }
+
+    #[test]
+    fn breakdown_sorts_by_total() {
+        let rows = phase_breakdown(&sample_trace());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "mma");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[0].p95_us, 6.0);
+        assert_eq!(rows[1].name, "stream_w");
+        let total: f64 = rows.iter().map(|r| r.total_us).sum();
+        assert!((total - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! # spinfer-obs — observability for the SpInfer reproduction
+//!
+//! The aggregation side of the tracing seam in [`gpu_sim::trace`]:
+//! kernels, the pipeline model, the worker pool, sweeps, and the serving
+//! loop record deterministic sim-time spans into a
+//! [`gpu_sim::trace::TraceSink`]; this crate turns the resulting
+//! [`gpu_sim::trace::Trace`] into things humans and CI consume:
+//!
+//! * [`chrome`] — Chrome-trace/Perfetto JSON export, structural
+//!   validation (`ph:"X"` spans with `dur >= 0`, paired flow events),
+//!   and per-phase breakdowns with p50/p95/p99.
+//! * [`metrics`] — a metrics registry (counters, gauges, log-bucketed
+//!   histograms) with deterministic JSON snapshot/diff, plus the
+//!   workspace-wide nearest-rank percentile helpers.
+//! * [`json`] — the minimal JSON value/parser both of the above build on
+//!   (the workspace is offline: no serde).
+//!
+//! Everything here is off the golden path: attaching a sink never
+//! changes simulated outputs, counters, or pinned digests, and all
+//! timestamps derive from simulated time, so traces are byte-identical
+//! at any host `--jobs` count.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+
+pub use chrome::{export, phase_breakdown, validate, PhaseRow, TraceStats};
+pub use metrics::{percentile_index, percentile_sorted, Histogram, Registry};

@@ -8,6 +8,7 @@
 
 use gpu_sim::exec;
 use gpu_sim::matrix::{checksum_f32, random_dense, random_sparse, ValueDist};
+use gpu_sim::trace::TraceSink;
 use gpu_sim::GpuSpec;
 use spinfer_baselines::kernels::{CublasGemm, CusparseSpmm, FlashLlmSpmm, SputnikSpmm};
 use spinfer_bench::sweep::{run_functional, EncodeCache, SweepPoint};
@@ -149,15 +150,48 @@ fn parallel_run_is_bit_identical_to_serial() {
         ]
     };
 
+    // Tracing must be invisible in the golden results: same output bits,
+    // same counters, same simulated time, at any job count.
+    let run_traced = || {
+        let sink = TraceSink::new();
+        let run = SpinferSpmm::new().run_traced(&spec, &enc, &x, &sink);
+        (run, sink.finish())
+    };
+
     exec::set_jobs(1);
     let serial = run_all();
+    let (traced_serial, trace_serial) = run_traced();
     // Golden-counter gate rides the serial phase: the pinned constants
     // were captured at --jobs 1 (any job count must match them, but one
     // deterministic setting keeps the failure report unambiguous).
     assert_golden_constants(&spec);
     exec::set_jobs(8);
     let parallel = run_all();
+    let (traced_parallel, trace_parallel) = run_traced();
     exec::set_jobs(0);
+
+    for (label, traced) in [("jobs 1", &traced_serial), ("jobs 8", &traced_parallel)] {
+        assert_eq!(
+            serial[0].1.output, traced.output,
+            "traced run ({label}): output differs from untraced"
+        );
+        assert_eq!(
+            serial[0].1.chain.merged_counters(),
+            traced.chain.merged_counters(),
+            "traced run ({label}): counters differ from untraced"
+        );
+        assert_eq!(
+            serial[0].1.time_us().to_bits(),
+            traced.time_us().to_bits(),
+            "traced run ({label}): simulated time differs from untraced"
+        );
+    }
+    // And the recorded span stream itself is a pure function of the
+    // simulated work, not of host scheduling.
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "trace stream differs between jobs 1 and 8"
+    );
 
     for ((name, s), (_, p)) in serial.iter().zip(&parallel) {
         // Bit-identical numerics: disjoint output bands mean no

@@ -1,0 +1,103 @@
+//! Trace determinism (see `gpu_sim::trace` and `spinfer_obs`).
+//!
+//! Two invariants, checked end to end through the functional SpInfer
+//! kernel and the host worker pool:
+//!
+//! 1. **Job-count invariance** — the recorded span stream (names, ids,
+//!    sim-timestamps, post-sort ordering) is a pure function of the
+//!    simulated work, so `--jobs 1` and `--jobs 8` produce *equal*
+//!    traces, not merely equivalent ones.
+//! 2. **Off-path neutrality** — attaching a sink never perturbs the
+//!    simulation: output bits, counters, and simulated-time bits match
+//!    the sink-free run exactly, and a sink nobody writes to stays
+//!    empty.
+//!
+//! Plus the exporter contract: the emitted Chrome-trace JSON validates,
+//! and `cat:"phase"` spans account for the kernel's simulated time to
+//! within 1%.
+
+use gpu_sim::exec;
+use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
+use gpu_sim::trace::TraceSink;
+use gpu_sim::GpuSpec;
+use spinfer_core::{SpinferSpmm, SpmmConfig, TcaBme};
+use std::sync::Arc;
+
+/// One `#[test]` on purpose: `exec::set_jobs` is process-global (see the
+/// note in `tests/determinism.rs`).
+#[test]
+fn trace_streams_are_job_count_invariant_and_side_effect_free() {
+    let spec = GpuSpec::rtx4090();
+    // Several block rows and split-K, so the trace covers the fan-out
+    // path and the reduction launch.
+    let w = random_sparse(384, 512, 0.6, ValueDist::Uniform, 7);
+    let x = random_dense(512, 16, ValueDist::Uniform, 8);
+    let enc = TcaBme::encode(&w);
+    let kernel = SpinferSpmm {
+        config: SpmmConfig {
+            split_k: 2, // exercise the reduction span
+            ..SpmmConfig::default()
+        },
+    };
+
+    let traced_at = |jobs: usize| {
+        exec::set_jobs(jobs);
+        let sink = Arc::new(TraceSink::new());
+        exec::set_task_trace(Some(sink.clone()));
+        let run = kernel.run_traced(&spec, &enc, &x, &sink);
+        exec::set_task_trace(None);
+        exec::set_jobs(0);
+        (run, sink.finish())
+    };
+
+    let (run1, t1) = traced_at(1);
+    let (run8, t8) = traced_at(8);
+    assert!(!t1.events.is_empty(), "trace recorded nothing");
+    // Identical span streams: every event (name, track, timestamp, kind,
+    // flow id) and every track label, in the same canonical order.
+    assert_eq!(t1, t8, "trace stream differs between --jobs 1 and 8");
+    assert_eq!(run1.output, run8.output, "traced output differs by jobs");
+    assert_eq!(
+        run1.chain.merged_counters(),
+        run8.chain.merged_counters(),
+        "traced counters differ by jobs"
+    );
+
+    // Off-path neutrality: the sink-free run is bit-identical.
+    let plain = kernel.run(&spec, &enc, &x);
+    assert_eq!(plain.output, run1.output);
+    assert_eq!(plain.chain.merged_counters(), run1.chain.merged_counters());
+    assert_eq!(plain.time_us().to_bits(), run1.time_us().to_bits());
+
+    // A sink that is attached to nothing stays empty — recording is
+    // opt-in per call site, there is no ambient collection.
+    let idle = TraceSink::new();
+    let _ = kernel.run(&spec, &enc, &x);
+    assert!(idle.is_empty(), "unattached sink collected events");
+    assert!(idle.finish().events.is_empty());
+
+    // Exporter contract on the recorded stream.
+    let json = spinfer_obs::export(&t1);
+    let stats = spinfer_obs::validate(&json).expect("emitted trace must validate");
+    assert!(stats.spans > 0 && stats.flow_pairs > 0);
+    let sim_us = run1.time_us();
+    let rel = (stats.phase_total_us - sim_us).abs() / sim_us;
+    assert!(
+        rel < 0.01,
+        "phase spans sum to {} us, kernel simulated {sim_us} us",
+        stats.phase_total_us
+    );
+    // Round-trip: the validator consumes what the exporter wrote, so the
+    // parsed phase total agrees with the in-memory Trace (only FP
+    // summation order differs).
+    let in_memory: f64 = t1
+        .phase_names("phase")
+        .iter()
+        .map(|n| t1.phase_total_us(n))
+        .sum();
+    assert!(
+        (stats.phase_total_us - in_memory).abs() < 1e-6 * in_memory.abs().max(1.0),
+        "validator total {} vs trace total {in_memory}",
+        stats.phase_total_us
+    );
+}
