@@ -11,9 +11,72 @@
 
 use gpu_sim::counters::Counters;
 use gpu_sim::kernel::{LaunchChain, LaunchResult};
+use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, LaunchShape, PipelineMode};
+use spinfer_core::error::IntegrityError;
+use spinfer_core::spmm::{emit_chain_trace, LaunchCtx, SpmmRun};
+use spinfer_core::SpinferError;
+
+/// Rejects an activation whose row count does not match the weights' K.
+pub fn check_k(expected_k: usize, x: &DenseMatrix) -> Result<(), SpinferError> {
+    if x.rows() != expected_k {
+        return Err(SpinferError::DimensionMismatch {
+            expected_k,
+            got: x.rows(),
+        });
+    }
+    Ok(())
+}
+
+/// Structural validation shared by the offset-indexed baseline formats
+/// (CSR row pointers, Tiled-CSL tile offsets, BCSR block-row pointers):
+/// `offsets` must hold `expected_len` entries, be monotonically
+/// non-decreasing, and end at the payload length `end`.
+pub fn validate_offsets(
+    offsets: &[u32],
+    expected_len: usize,
+    end: usize,
+) -> Result<(), SpinferError> {
+    if offsets.len() != expected_len {
+        return Err(IntegrityError::OffsetCount {
+            expected: expected_len,
+            got: offsets.len(),
+        }
+        .into());
+    }
+    for (i, pair) in offsets.windows(2).enumerate() {
+        if pair[1] < pair[0] {
+            return Err(IntegrityError::OffsetOrder {
+                gt: i,
+                start: pair[0],
+                end: pair[1],
+            }
+            .into());
+        }
+    }
+    let got = offsets.last().copied().unwrap_or(0) as usize;
+    if got != end {
+        return Err(IntegrityError::OffsetEnd { expected: end, got }.into());
+    }
+    Ok(())
+}
+
+/// Finishes a baseline launch: attaches the functional output and, when
+/// the context carries a trace sink, emits the per-launch chain trace.
+pub fn finish_launch(
+    ctx: &LaunchCtx<'_>,
+    kernel: &'static str,
+    mut run: SpmmRun,
+    output: Vec<f32>,
+) -> SpmmRun {
+    run.output = Some(output);
+    if let Some(sink) = ctx.sink {
+        emit_chain_trace(sink, kernel, &run.chain);
+    }
+    run
+}
 
 /// Records a perfectly coalesced stream of `bytes` read via `LDGSTS.128`
 /// (the cuBLAS/SpInfer data path: global → shared, no register staging).

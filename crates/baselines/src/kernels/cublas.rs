@@ -8,15 +8,16 @@
 //! sparsity, which is exactly the cost SpMM formats compete against.
 
 use crate::kernels::common::{
-    auto_split_k, pad8, reduction_launch, single_launch, store_output, stream_ldgsts,
-    tensor_core_work,
+    auto_split_k, check_k, finish_launch, pad8, reduction_launch, single_launch, store_output,
+    stream_ldgsts, tensor_core_work,
 };
 use gpu_sim::counters::Counters;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, PipelineMode};
-use spinfer_core::spmm::SpmmRun;
+use spinfer_core::spmm::{LaunchCtx, SpmmKernel, SpmmRun};
+use spinfer_core::SpinferError;
 
 /// M-dimension tile per thread block.
 const TILE_M: usize = 128;
@@ -95,20 +96,35 @@ impl CublasGemm {
             chain,
         }
     }
+}
 
-    /// Functional execution: reference product + analytic counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.rows() != w.cols()`.
-    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), w.cols(), "X must be K×N");
+impl SpmmKernel for CublasGemm {
+    /// Dense GEMM "encodes" to the dense matrix itself.
+    type Encoded = DenseMatrix;
+
+    fn name(&self) -> &'static str {
+        "cuBLAS_TC"
+    }
+
+    fn format_key(&self) -> &'static str {
+        "dense"
+    }
+
+    fn encode(&self, w: &DenseMatrix) -> DenseMatrix {
+        w.clone()
+    }
+
+    fn launch(
+        &self,
+        ctx: &LaunchCtx<'_>,
+        enc: &DenseMatrix,
+        x: &DenseMatrix,
+    ) -> Result<SpmmRun, SpinferError> {
+        check_k(enc.cols(), x)?;
+        let r = self.estimate(ctx.spec, enc.rows(), enc.cols(), x.cols());
         // Fanned across host cores; bit-identical to the serial
         // reference (see `gpu_sim::exec`).
-        let out = w.par_matmul_ref(x);
-        let mut r = self.estimate(spec, w.rows(), w.cols(), x.cols());
-        r.output = Some(out);
-        r
+        Ok(finish_launch(ctx, self.name(), r, enc.par_matmul_ref(x)))
     }
 }
 

@@ -15,8 +15,8 @@
 
 use crate::formats::tiled_csl::{TiledCsl, TILE_COLS, TILE_ROWS};
 use crate::kernels::common::{
-    auto_split_k, pad8, reduction_launch, sector_span, single_launch, store_output,
-    stream_ldg_via_rf, stream_ldgsts, tensor_core_work,
+    auto_split_k, check_k, finish_launch, pad8, reduction_launch, sector_span, single_launch,
+    store_output, stream_ldg_via_rf, stream_ldgsts, tensor_core_work, validate_offsets,
 };
 use gpu_sim::counters::Counters;
 use gpu_sim::exec::CounterShard;
@@ -25,7 +25,9 @@ use gpu_sim::occupancy::BlockResources;
 use gpu_sim::shared_memory::warp_smem_store;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, PipelineMode};
-use spinfer_core::spmm::SpmmRun;
+use spinfer_core::error::IntegrityError;
+use spinfer_core::spmm::{LaunchCtx, SpmmKernel, SpmmRun};
+use spinfer_core::SpinferError;
 
 /// Expected shared-memory scatter conflict degree for row-major-ordered
 /// sparse positions at LLM sparsities (calibrated against the functional
@@ -183,23 +185,55 @@ impl FlashLlmSpmm {
             chain,
         }
     }
+}
 
-    /// Functional execution: encodes to Tiled-CSL, measures real scatter
-    /// conflicts, computes the reference product.
-    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        self.run_encoded(spec, &TiledCsl::encode(w), x)
+impl SpmmKernel for FlashLlmSpmm {
+    type Encoded = TiledCsl;
+
+    fn name(&self) -> &'static str {
+        "Flash-LLM"
     }
 
-    /// [`FlashLlmSpmm::run`] from a pre-built encoding, so encode-once
-    /// sweeps can reuse one Tiled-CSL across batch sizes.
-    pub fn run_encoded(&self, spec: &GpuSpec, enc: &TiledCsl, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), enc.k, "X must be K×N");
+    fn format_key(&self) -> &'static str {
+        "tiled-csl"
+    }
+
+    fn encode(&self, w: &DenseMatrix) -> TiledCsl {
+        TiledCsl::encode(w)
+    }
+
+    fn validate(&self, enc: &TiledCsl) -> Result<(), SpinferError> {
+        validate_offsets(&enc.tile_offsets, enc.num_tiles() + 1, enc.non_zeros.len())?;
+        if enc.nnz != enc.non_zeros.len() {
+            return Err(IntegrityError::NnzMismatch {
+                expected: enc.non_zeros.len(),
+                got: enc.nnz,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    fn launch(
+        &self,
+        ctx: &LaunchCtx<'_>,
+        enc: &TiledCsl,
+        x: &DenseMatrix,
+    ) -> Result<SpmmRun, SpinferError> {
+        check_k(enc.k, x)?;
+        if ctx.checked() {
+            self.validate(enc)?;
+        }
+        // Scatter conflicts measured from the real non-zero positions.
         let stats = FlashLlmStats::from_encoded(enc);
-        let mut r = self.estimate(spec, &stats, x.cols());
+        let r = self.estimate(ctx.spec, &stats, x.cols());
         // The decoded tile product validates the format roundtrip too.
-        r.output = Some(enc.decode().par_matmul_ref(x));
-        r
+        Ok(finish_launch(
+            ctx,
+            self.name(),
+            r,
+            enc.decode().par_matmul_ref(x),
+        ))
     }
 }
 

@@ -8,13 +8,17 @@
 //! sparsity (>99.7%) block skipping wins (paper Fig. 11's crossover).
 
 use crate::formats::bcsr::Bcsr;
-use crate::kernels::common::{pad8, single_launch, store_output, stream_ldgsts, tensor_core_work};
+use crate::kernels::common::{
+    check_k, finish_launch, pad8, single_launch, store_output, stream_ldgsts, tensor_core_work,
+    validate_offsets,
+};
 use gpu_sim::counters::Counters;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, PipelineMode};
-use spinfer_core::spmm::SpmmRun;
+use spinfer_core::spmm::{LaunchCtx, SpmmKernel, SpmmRun};
+use spinfer_core::SpinferError;
 
 /// The SMaT baseline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -122,23 +126,52 @@ impl SmatSpmm {
             chain,
         }
     }
+}
 
-    /// Functional execution via BCSR.
-    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        self.run_encoded(spec, &Bcsr::encode(w), x)
+impl SpmmKernel for SmatSpmm {
+    type Encoded = Bcsr;
+
+    fn name(&self) -> &'static str {
+        "SMaT"
     }
 
-    /// [`SmatSpmm::run`] from a pre-built encoding, so encode-once
-    /// sweeps can reuse one BCSR across batch sizes.
-    pub fn run_encoded(&self, spec: &GpuSpec, enc: &Bcsr, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), enc.k, "X must be K×N");
+    fn format_key(&self) -> &'static str {
+        "bcsr"
+    }
+
+    fn encode(&self, w: &DenseMatrix) -> Bcsr {
+        Bcsr::encode(w)
+    }
+
+    fn validate(&self, enc: &Bcsr) -> Result<(), SpinferError> {
+        validate_offsets(
+            &enc.row_ptr,
+            enc.m.div_ceil(enc.block) + 1,
+            enc.col_idx.len(),
+        )
+    }
+
+    fn launch(
+        &self,
+        ctx: &LaunchCtx<'_>,
+        enc: &Bcsr,
+        x: &DenseMatrix,
+    ) -> Result<SpmmRun, SpinferError> {
+        check_k(enc.k, x)?;
+        if ctx.checked() {
+            self.validate(enc)?;
+        }
+        // Block occupancy measured from the real pattern.
         let stats = SmatStats::from_encoded(enc);
-        let mut r = self.estimate(spec, &stats, x.cols());
+        let r = self.estimate(ctx.spec, &stats, x.cols());
         // Fanned across host cores; bit-identical to the serial
         // reference (see `gpu_sim::exec`).
-        r.output = Some(enc.decode().par_matmul_ref(x));
-        r
+        Ok(finish_launch(
+            ctx,
+            self.name(),
+            r,
+            enc.decode().par_matmul_ref(x),
+        ))
     }
 }
 

@@ -9,15 +9,16 @@
 
 use crate::formats::sparta_fmt::SpartaFormat;
 use crate::kernels::common::{
-    auto_split_k, cuda_fma_work, gather, pad8, reduction_launch, single_launch, store_output,
-    stream_ldgsts, tensor_core_work,
+    auto_split_k, check_k, cuda_fma_work, finish_launch, gather, pad8, reduction_launch,
+    single_launch, store_output, stream_ldgsts, tensor_core_work, validate_offsets,
 };
 use gpu_sim::counters::Counters;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, PipelineMode};
-use spinfer_core::spmm::SpmmRun;
+use spinfer_core::spmm::{LaunchCtx, SpmmKernel, SpmmRun};
+use spinfer_core::SpinferError;
 
 /// The SparTA baseline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -154,23 +155,53 @@ impl SpartaSpmm {
             chain,
         }
     }
+}
 
-    /// Functional execution via the real decomposition.
-    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        self.run_encoded(spec, &SpartaFormat::encode(w), x)
+impl SpmmKernel for SpartaSpmm {
+    type Encoded = SpartaFormat;
+
+    fn name(&self) -> &'static str {
+        "SparTA"
     }
 
-    /// [`SpartaSpmm::run`] from a pre-built decomposition, so
-    /// encode-once sweeps can reuse one encoding across batch sizes.
-    pub fn run_encoded(&self, spec: &GpuSpec, enc: &SpartaFormat, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), enc.k, "X must be K×N");
+    fn format_key(&self) -> &'static str {
+        "sparta"
+    }
+
+    fn encode(&self, w: &DenseMatrix) -> SpartaFormat {
+        SpartaFormat::encode(w)
+    }
+
+    fn validate(&self, enc: &SpartaFormat) -> Result<(), SpinferError> {
+        // The 2:4 part is positional (fixed layout); structure lives in
+        // the CSR residual.
+        validate_offsets(
+            &enc.residual.row_ptr,
+            enc.residual.m + 1,
+            enc.residual.values.len(),
+        )
+    }
+
+    fn launch(
+        &self,
+        ctx: &LaunchCtx<'_>,
+        enc: &SpartaFormat,
+        x: &DenseMatrix,
+    ) -> Result<SpmmRun, SpinferError> {
+        check_k(enc.k, x)?;
+        if ctx.checked() {
+            self.validate(enc)?;
+        }
         let stats = SpartaStats::from_encoded(enc);
-        let mut r = self.estimate(spec, &stats, x.cols());
+        let r = self.estimate(ctx.spec, &stats, x.cols());
         // Fanned across host cores; bit-identical to the serial
         // reference (see `gpu_sim::exec`).
-        r.output = Some(enc.decode().par_matmul_ref(x));
-        r
+        Ok(finish_launch(
+            ctx,
+            self.name(),
+            r,
+            enc.decode().par_matmul_ref(x),
+        ))
     }
 }
 

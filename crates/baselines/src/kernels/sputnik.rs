@@ -10,14 +10,17 @@
 
 use crate::formats::csr::Csr;
 use crate::kernels::common::{
-    cuda_fma_work, gather, pad8, single_launch, store_output, stream_ldg_via_rf,
+    check_k, cuda_fma_work, finish_launch, gather, pad8, single_launch, store_output,
+    stream_ldg_via_rf, validate_offsets,
 };
 use gpu_sim::counters::Counters;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::{L2Reuse, PipelineMode};
-use spinfer_core::spmm::SpmmRun;
+use spinfer_core::error::IntegrityError;
+use spinfer_core::spmm::{LaunchCtx, SpmmKernel, SpmmRun};
+use spinfer_core::SpinferError;
 
 /// Values/indices per vector load (8 × (2 B + 4 B) ≈ one 128-bit load
 /// pair); the gather granularity of the kernel.
@@ -115,22 +118,49 @@ impl SputnikSpmm {
             chain,
         }
     }
+}
 
-    /// Functional execution via CSR.
-    pub fn run(&self, spec: &GpuSpec, w: &DenseMatrix, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), w.cols(), "X must be K×N");
-        self.run_encoded(spec, &Csr::encode(w), x)
+impl SpmmKernel for SputnikSpmm {
+    type Encoded = Csr;
+
+    fn name(&self) -> &'static str {
+        "Sputnik"
     }
 
-    /// [`SputnikSpmm::run`] from a pre-built encoding, so encode-once
-    /// sweeps can reuse one CSR across batch sizes.
-    pub fn run_encoded(&self, spec: &GpuSpec, enc: &Csr, x: &DenseMatrix) -> SpmmRun {
-        assert_eq!(x.rows(), enc.k, "X must be K×N");
-        let mut r = self.estimate(spec, enc.m, enc.k, x.cols(), enc.nnz());
+    fn format_key(&self) -> &'static str {
+        "csr"
+    }
+
+    fn encode(&self, w: &DenseMatrix) -> Csr {
+        Csr::encode(w)
+    }
+
+    fn validate(&self, enc: &Csr) -> Result<(), SpinferError> {
+        validate_offsets(&enc.row_ptr, enc.m + 1, enc.values.len())?;
+        if enc.col_idx.len() != enc.values.len() {
+            return Err(IntegrityError::NnzMismatch {
+                expected: enc.values.len(),
+                got: enc.col_idx.len(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    fn launch(
+        &self,
+        ctx: &LaunchCtx<'_>,
+        enc: &Csr,
+        x: &DenseMatrix,
+    ) -> Result<SpmmRun, SpinferError> {
+        check_k(enc.k, x)?;
+        if ctx.checked() {
+            self.validate(enc)?;
+        }
+        let r = self.estimate(ctx.spec, enc.m, enc.k, x.cols(), enc.nnz());
         // Fanned across host cores; bit-identical to the serial
         // reference (see `gpu_sim::exec`).
-        r.output = Some(enc.par_spmm_ref(x));
-        r
+        Ok(finish_launch(ctx, self.name(), r, enc.par_spmm_ref(x)))
     }
 }
 

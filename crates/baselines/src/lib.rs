@@ -12,12 +12,17 @@
 //! | cuSPARSE | [`formats::Csr`] | [`kernels::CusparseSpmm`] |
 //! | SMaT | [`formats::Bcsr`] | [`kernels::SmatSpmm`] |
 //!
-//! All kernels expose the same two paths as `spinfer-core`'s kernel: a
-//! functional `run` (bit-exact output) and an analytic `estimate` (same
-//! counters from format statistics) for paper-scale sweeps.
+//! Every kernel implements the [`spinfer_core::spmm::SpmmKernel`]
+//! contract — `encode` into its format, `launch` against a
+//! [`spinfer_core::spmm::LaunchCtx`] (tracing and validation compose
+//! through the context) — plus a kernel-specific analytic `estimate`
+//! (same counters from format statistics) for paper-scale sweeps. The
+//! [`registry()`] lists them all as type-erased handles; resolve one with
+//! [`kernel_by_name`].
 
 pub mod formats;
 pub mod kernels;
+pub mod registry;
 pub mod selector;
 
 pub use formats::{Bcsr, Csr, SpartaFormat, TiledCsl};
@@ -25,4 +30,5 @@ pub use kernels::{
     CublasGemm, CusparseSpmm, FlashLlmSpmm, FlashLlmStats, SmatSpmm, SmatStats, SpartaSpmm,
     SpartaStats, SputnikSpmm,
 };
+pub use registry::{kernel_by_name, registry};
 pub use selector::{select, Route, Selection};

@@ -11,9 +11,11 @@ use crate::formats::bcsr::Bcsr;
 use crate::formats::csr::Csr;
 use crate::kernels::smat::{SmatSpmm, SmatStats};
 use crate::kernels::sputnik::SputnikSpmm;
+use crate::registry::kernel_by_name;
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::spec::GpuSpec;
-use spinfer_core::{FormatStats, SpinferSpmm, TcaBme};
+use spinfer_core::spmm::DynSpmmKernel;
+use spinfer_core::{FormatStats, SpinferError, SpinferSpmm, TcaBme};
 
 /// The routing decision for one weight matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +37,16 @@ impl Route {
             Route::BcsrSmat => "BCSR/SMaT",
         }
     }
+
+    /// The registered name of the kernel this route executes with
+    /// (resolvable through [`crate::kernel_by_name`]).
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            Route::TcaBmeSpInfer => "SpInfer",
+            Route::CsrSputnik => "Sputnik",
+            Route::BcsrSmat => "SMaT",
+        }
+    }
 }
 
 /// A routing decision with its predictions.
@@ -48,6 +60,24 @@ pub struct Selection {
     pub storage_bytes: usize,
     /// Every candidate `(route, predicted_us, storage_bytes)`.
     pub candidates: Vec<(Route, f64, usize)>,
+}
+
+impl Selection {
+    /// Resolves the chosen route to its registered kernel, ready to
+    /// encode and launch through the [`SpmmKernel`] contract.
+    ///
+    /// [`SpmmKernel`]: spinfer_core::spmm::SpmmKernel
+    pub fn kernel(&self) -> DynSpmmKernel {
+        resolve(self.route.kernel_name()).expect("every route names a registered kernel")
+    }
+}
+
+/// Resolves a kernel by registered name through the registry, returning
+/// a typed [`SpinferError::UnknownKernel`] for unrecognized names
+/// instead of panicking — CLI and sweep string plumbing funnels through
+/// here.
+pub fn resolve(name: &str) -> Result<DynSpmmKernel, SpinferError> {
+    kernel_by_name(name)
 }
 
 /// Routes a matrix by *measured* pattern statistics: encodes candidates,
@@ -111,7 +141,7 @@ pub fn select(spec: &GpuSpec, matrix: &DenseMatrix, n: usize) -> Selection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::matrix::{random_sparse, random_sparse_clustered, ValueDist};
+    use gpu_sim::matrix::{max_abs_diff, random_sparse, random_sparse_clustered, ValueDist};
 
     #[test]
     fn llm_sparsity_routes_to_tca_bme() {
@@ -139,6 +169,29 @@ mod tests {
         let m = random_sparse_clustered(2048, 2048, 16, 0.01, 0.7, ValueDist::Uniform, 73);
         let sel = select(&spec, &m, 16);
         assert_eq!(sel.route, Route::BcsrSmat, "chose {:?}", sel.route);
+    }
+
+    #[test]
+    fn routes_resolve_through_the_registry() {
+        let spec = GpuSpec::rtx4090();
+        let m = random_sparse(512, 512, 0.5, ValueDist::Uniform, 75);
+        let sel = select(&spec, &m, 16);
+        let kernel = sel.kernel();
+        assert_eq!(kernel.name(), sel.route.kernel_name());
+        // The resolved kernel actually launches on the routed matrix.
+        // SpInfer accumulates in tile order, so compare with tolerance.
+        let x = gpu_sim::matrix::random_dense(512, 8, ValueDist::Uniform, 76);
+        let run = kernel.run(&spec, &m, &x);
+        let err = max_abs_diff(run.output.as_ref().unwrap(), &m.matmul_ref(&x));
+        assert!(err < 0.5, "routed kernel output error {err}");
+    }
+
+    #[test]
+    fn unrecognized_kernel_name_is_a_typed_error_not_a_panic() {
+        match resolve("TurboSpmm") {
+            Err(SpinferError::UnknownKernel { name }) => assert_eq!(name, "TurboSpmm"),
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //!                                                   writes a Chrome trace + metrics
 //!                                                   snapshot of the grid
 //! spinfer trace <M> <K> <N> <sparsity> [--gpu G] [--out FILE]
-//!                                                   run the functional SpInfer kernel
-//!                                                   with span recording on: writes a
+//!               [--kernel NAME]
+//!                                                   run a functional kernel (default
+//!                                                   SpInfer; any registry name, e.g.
+//!                                                   Flash-LLM or cuSPARSE) with span
+//!                                                   recording on: writes a
 //!                                                   Chrome-trace JSON (load it at
 //!                                                   ui.perfetto.dev) and prints a
 //!                                                   per-phase p50/p95/p99 breakdown
@@ -47,6 +50,7 @@ use gpu_sim::trace::{pids, TraceEvent, TraceSink};
 use gpu_sim::GpuSpec;
 use spinfer_bench::sweep::{self, EncodeCache, SweepOutcome, SweepPoint};
 use spinfer_bench::{render_table, KernelKind};
+use spinfer_core::spmm::LaunchCtx;
 use spinfer_core::{serialize, tune, SpMMHandle, SpinferSpmm, TcaBme};
 use spinfer_llm::model::{Generator, ModelRef, TransformerWeights};
 use spinfer_llm::{simulate, Framework, InferenceConfig, ModelConfig};
@@ -623,18 +627,32 @@ fn cmd_trace(args: &[String]) -> CliResult {
     let s: f64 = parse(args, 3, "sparsity")?;
     let spec = gpu(args)?;
     let out = flag_value(args, "--out").unwrap_or("trace.json");
+    // Any registered kernel traces: the capability comes from LaunchCtx,
+    // not from a SpInfer-only method.
+    let kernel =
+        spinfer_baselines::kernel_by_name(flag_value(args, "--kernel").unwrap_or("SpInfer"))
+            .map_err(|e| {
+                let roster: Vec<&str> = spinfer_baselines::registry()
+                    .iter()
+                    .map(|k| k.name())
+                    .collect();
+                format!("{e}; registered kernels: {}", roster.join(", "))
+            })?;
     eprintln!(
-        "trace: functional SpInfer {m}x{k}x{n} s={:.0}% on {}",
+        "trace: functional {} {m}x{k}x{n} s={:.0}% on {}",
+        kernel.name(),
         s * 100.0,
         spec.name
     );
     let w = random_sparse(m, k, s, ValueDist::Uniform, 1234);
     let x = random_dense(k, n, ValueDist::Uniform, 1234 ^ 0xff);
-    let enc = TcaBme::encode(&w);
+    let enc = kernel.encode(&w);
 
     let sink = std::sync::Arc::new(TraceSink::new());
     gpu_sim::exec::set_task_trace(Some(sink.clone()));
-    let run = SpinferSpmm::new().run_traced(&spec, &enc, &x, &sink);
+    let run = kernel
+        .launch(&LaunchCtx::new(&spec).with_sink(&sink), &enc, &x)
+        .map_err(|e| format!("{} launch failed: {e}", kernel.name()))?;
     gpu_sim::exec::set_task_trace(None);
     let trace = sink.finish();
 

@@ -108,7 +108,8 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
     let enc = cache.point(cfg.m, cfg.k, cfg.sparsity, cfg.seed);
     let gen_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let _ = enc.tca_bme();
+    let spinfer = spinfer_baselines::kernel_by_name("SpInfer").expect("registered");
+    let _ = enc.encoded_for(&spinfer);
     let encode_s = t0.elapsed().as_secs_f64();
 
     let default_jobs = exec::num_jobs();

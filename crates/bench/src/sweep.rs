@@ -11,20 +11,20 @@
 //! available hardware threads.
 //!
 //! Functional sweeps additionally share an [`EncodeCache`]: a (shape,
-//! sparsity) point generates its weight matrix and encodes TCA-BME /
-//! CSR / Tiled-CSL / SparTA / BCSR at most once each, reused across
-//! all batch sizes and kernels that touch the point.
+//! sparsity) point generates its weight matrix and encodes each
+//! registered weight format at most once — keyed by
+//! [`SpmmKernel::format_key`], so kernels sharing a format (Sputnik and
+//! cuSPARSE both read CSR) share one encoding — reused across all batch
+//! sizes and kernels that touch the point.
+//!
+//! [`SpmmKernel::format_key`]: spinfer_core::spmm::SpmmKernel::format_key
 
 use crate::KernelKind;
 use gpu_sim::exec;
 use gpu_sim::matrix::{random_dense, random_sparse, DenseMatrix, ValueDist};
 use gpu_sim::spec::GpuSpec;
-use spinfer_baselines::kernels::{
-    CublasGemm, CusparseSpmm, FlashLlmSpmm, SmatSpmm, SpartaSpmm, SputnikSpmm,
-};
-use spinfer_baselines::{Bcsr, Csr, SpartaFormat, TiledCsl};
-use spinfer_core::spmm::SpmmRun;
-use spinfer_core::{SpinferSpmm, TcaBme};
+use spinfer_baselines::{kernel_by_name, registry};
+use spinfer_core::spmm::{DynEncoded, DynSpmmKernel, LaunchCtx, SpmmRun};
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -81,27 +81,25 @@ pub fn run_grid(spec: &GpuSpec, points: Vec<SweepPoint>) -> Vec<f64> {
     })
 }
 
-/// A weight matrix with every kernel encoding built lazily, at most
-/// once, behind `OnceLock` (concurrent first callers block rather than
-/// re-encode).
+/// A weight matrix with one lazily-built encoding slot per distinct
+/// format key in the kernel registry, each behind a `OnceLock`
+/// (concurrent first callers block rather than re-encode).
 pub struct EncodedWeights {
     weight: DenseMatrix,
-    tca_bme: OnceLock<TcaBme>,
-    csr: OnceLock<Csr>,
-    tiled_csl: OnceLock<TiledCsl>,
-    sparta: OnceLock<SpartaFormat>,
-    bcsr: OnceLock<Bcsr>,
+    slots: Vec<(&'static str, OnceLock<DynEncoded>)>,
 }
 
 impl EncodedWeights {
     fn new(m: usize, k: usize, sparsity: f64, seed: u64) -> Self {
+        let mut slots: Vec<(&'static str, OnceLock<DynEncoded>)> = Vec::new();
+        for kernel in registry() {
+            if !slots.iter().any(|(key, _)| *key == kernel.format_key()) {
+                slots.push((kernel.format_key(), OnceLock::new()));
+            }
+        }
         EncodedWeights {
             weight: random_sparse(m, k, sparsity, ValueDist::Uniform, seed),
-            tca_bme: OnceLock::new(),
-            csr: OnceLock::new(),
-            tiled_csl: OnceLock::new(),
-            sparta: OnceLock::new(),
-            bcsr: OnceLock::new(),
+            slots,
         }
     }
 
@@ -110,31 +108,22 @@ impl EncodedWeights {
         &self.weight
     }
 
-    /// TCA-BME encoding (SpInfer), built on first use.
-    pub fn tca_bme(&self) -> &TcaBme {
-        self.tca_bme.get_or_init(|| TcaBme::encode(&self.weight))
-    }
-
-    /// CSR encoding (Sputnik, cuSPARSE), built on first use.
-    pub fn csr(&self) -> &Csr {
-        self.csr.get_or_init(|| Csr::encode(&self.weight))
-    }
-
-    /// Tiled-CSL encoding (Flash-LLM), built on first use.
-    pub fn tiled_csl(&self) -> &TiledCsl {
-        self.tiled_csl
-            .get_or_init(|| TiledCsl::encode(&self.weight))
-    }
-
-    /// 2:4 + CSR decomposition (SparTA), built on first use.
-    pub fn sparta(&self) -> &SpartaFormat {
-        self.sparta
-            .get_or_init(|| SpartaFormat::encode(&self.weight))
-    }
-
-    /// BCSR encoding (SMaT), built on first use.
-    pub fn bcsr(&self) -> &Bcsr {
-        self.bcsr.get_or_init(|| Bcsr::encode(&self.weight))
+    /// The encoding `kernel` consumes, built on first use and shared by
+    /// every kernel with the same format key (the returned handle is a
+    /// cheap clone of the cached `Arc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel`'s format key is not in the registry roster.
+    pub fn encoded_for(&self, kernel: &DynSpmmKernel) -> DynEncoded {
+        let key = kernel.format_key();
+        let slot = self
+            .slots
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, slot)| slot)
+            .unwrap_or_else(|| panic!("format '{key}' is not in the kernel registry"));
+        slot.get_or_init(|| kernel.encode(&self.weight)).clone()
     }
 }
 
@@ -177,28 +166,31 @@ impl EncodeCache {
     }
 }
 
-/// Functional execution of one grid point through the encode cache.
+/// Functional execution of one grid point through the encode cache:
+/// the kernel is resolved from the registry by its figure label and
+/// launched against the point's shared encoding — no per-kernel
+/// dispatch here.
 ///
 /// The weight matrix is seeded by `seed` and X by a value derived from
 /// `seed` and the point's batch size, so a grid point's result is a
 /// pure function of `(point, seed)` — independent of sweep order and
 /// job count.
 pub fn run_functional(cache: &EncodeCache, spec: &GpuSpec, p: &SweepPoint, seed: u64) -> SpmmRun {
-    let enc = cache.point(p.m, p.k, p.sparsity, seed);
+    let weights = cache.point(p.m, p.k, p.sparsity, seed);
     let x = random_dense(
         p.k,
         p.n,
         ValueDist::Uniform,
         seed ^ (p.n as u64).rotate_left(32),
     );
-    match p.kernel {
-        KernelKind::CublasTc => CublasGemm::new().run(spec, enc.weight(), &x),
-        KernelKind::SpInfer => SpinferSpmm::new().run(spec, enc.tca_bme(), &x),
-        KernelKind::FlashLlm => FlashLlmSpmm::new().run_encoded(spec, enc.tiled_csl(), &x),
-        KernelKind::SparTa => SpartaSpmm::new().run_encoded(spec, enc.sparta(), &x),
-        KernelKind::Sputnik => SputnikSpmm::new().run_encoded(spec, enc.csr(), &x),
-        KernelKind::CuSparse => CusparseSpmm::new().run_encoded(spec, enc.csr(), &x),
-        KernelKind::Smat => SmatSpmm::new().run_encoded(spec, enc.bcsr(), &x),
+    let kernel = kernel_by_name(p.kernel.label()).expect("every KernelKind label is registered");
+    let enc = weights.encoded_for(&kernel);
+    match kernel.launch(&LaunchCtx::new(spec), &enc, &x) {
+        Ok(run) => run,
+        Err(e) => panic!(
+            "{} launch failed outside a fault context: {e}",
+            kernel.name()
+        ),
     }
 }
 
@@ -429,10 +421,14 @@ mod tests {
         let c = cache.point(64, 64, 0.6, 1);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
-        // Encodings are built once and shared thereafter.
-        let csr1 = a.csr() as *const Csr;
-        let csr2 = b.csr() as *const Csr;
-        assert_eq!(csr1, csr2);
+        // Encodings are built once per *format*, not per kernel:
+        // Sputnik and cuSPARSE both read CSR and share one container.
+        let sputnik = kernel_by_name("Sputnik").unwrap();
+        let cusparse = kernel_by_name("cuSPARSE").unwrap();
+        let e1 = a.encoded_for(&sputnik);
+        let e2 = b.encoded_for(&cusparse);
+        assert!(e1.shares_encoding(&e2), "CSR must encode once per point");
+        assert!(!e1.shares_encoding(&c.encoded_for(&sputnik)));
     }
 
     #[test]

@@ -30,11 +30,19 @@ pub enum SpinferError {
     Integrity(IntegrityError),
     /// A kernel detected corruption at runtime and could not recover.
     Kernel(KernelError),
+    /// A kernel name not present in the registry
+    /// (`spinfer_baselines::kernel_by_name`).
+    UnknownKernel {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
-/// Structural defects in a TCA-BME container, found by
-/// [`crate::TcaBme::validate`]. Each variant names the invariant of the
-/// three-array format (paper Eq. 9) that was violated.
+/// Structural defects in an encoded container. The variants name the
+/// invariants of the TCA-BME three-array format (paper Eq. 9) checked by
+/// [`crate::TcaBme::validate`]; the offset variants double as the
+/// validation vocabulary for the offset-indexed baseline formats (CSR
+/// row pointers, Tiled-CSL tile offsets, BCSR block rows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IntegrityError {
     /// `gtile_offsets` must hold `NGT + 1` entries.
@@ -202,8 +210,11 @@ impl std::fmt::Display for SpinferError {
                 write!(f, "X has {got} rows but the weights need K = {expected_k}")
             }
             SpinferError::InvalidSparsity(s) => write!(f, "sparsity {s} outside [0, 1]"),
-            SpinferError::Integrity(e) => write!(f, "TCA-BME integrity violation: {e}"),
+            SpinferError::Integrity(e) => write!(f, "encoding integrity violation: {e}"),
             SpinferError::Kernel(e) => write!(f, "kernel fault: {e}"),
+            SpinferError::UnknownKernel { name } => {
+                write!(f, "unknown kernel '{name}': not in the kernel registry")
+            }
         }
     }
 }
@@ -335,6 +346,9 @@ mod tests {
                 got: 64,
             },
             SpinferError::InvalidSparsity(1.5),
+            SpinferError::UnknownKernel {
+                name: "FlashAttention".to_string(),
+            },
         ];
         all.extend(integrity.into_iter().map(SpinferError::Integrity));
         all.extend(kernel.into_iter().map(SpinferError::Kernel));
@@ -354,6 +368,7 @@ mod tests {
                 SpinferError::InvalidTiling { .. } => "24x64",
                 SpinferError::DimensionMismatch { .. } => "K = 128",
                 SpinferError::InvalidSparsity(_) => "1.5",
+                SpinferError::UnknownKernel { .. } => "'FlashAttention'",
                 SpinferError::Integrity(i) => match i {
                     IntegrityError::OffsetCount { .. } => "4 entries",
                     IntegrityError::OffsetOrder { .. } => "96 -> 64",
@@ -389,6 +404,6 @@ mod tests {
             .starts_with("kernel fault"));
         assert!(SpinferError::from(i)
             .to_string()
-            .starts_with("TCA-BME integrity violation"));
+            .starts_with("encoding integrity violation"));
     }
 }

@@ -42,7 +42,10 @@ pub mod tca_bme;
 pub mod tune;
 
 pub use error::SpinferError;
-pub use spmm::{Ablation, FormatStats, SpinferSpmm, SpmmConfig, SpmmRun};
+pub use spmm::{
+    Ablation, DynEncoded, DynSpmmKernel, FaultPolicy, FormatStats, LaunchCtx, SpinferSpmm,
+    SpmmConfig, SpmmKernel, SpmmRun,
+};
 pub use tca_bme::{TcaBme, TcaBmeConfig};
 pub use tune::{tune, TuneResult};
 

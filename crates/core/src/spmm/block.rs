@@ -1,0 +1,693 @@
+//! The per-thread-block routine and its fault-aware load helpers.
+//!
+//! One function — `run_block` — serves the golden, traced, and checked
+//! paths. The merge is free on the golden path by construction:
+//!
+//! * the fault-aware `_f` hooks (`record_ldgsts_stream_f`,
+//!   `commit_group_f`, `decode_tctile_f32_checked`) collapse to their
+//!   golden counterparts when no injector is attached, recording the
+//!   identical counter stream;
+//! * the tracer only *reads* counters at phase boundaries;
+//! * the D1 checksum loop is gated on an armed injector, and the D2/D3
+//!   retry machinery on the checked state — neither executes otherwise.
+
+use crate::error::KernelError;
+use crate::smbd::{decode_tctile_f32, decode_tctile_f32_checked, DecodeFault};
+use crate::tca_bme::{checksum_gtile, TcaBme, TT_DIM};
+use gpu_sim::bitops::popc64;
+use gpu_sim::counters::Counters;
+use gpu_sim::fault::{flip_bit_u16, flip_bit_u64, CommitFault, FaultInjector};
+use gpu_sim::fp16::Half;
+use gpu_sim::global::{warp_global_store, warp_ldgsts, warp_ldgsts_f, VAddr};
+use gpu_sim::matrix::DenseMatrix;
+use gpu_sim::shared_memory::warp_ldsm_x4;
+use gpu_sim::tensor_core::{mma_m16n8k16_bslice, FragC, MMA_K};
+use gpu_sim::trace::attribution_weight;
+
+use super::traced::{BlockTracer, TracePhase};
+use super::{FaultPolicy, Geometry, SpinferSpmm, REG_DECODE_EXTRA_INT, REG_DECODE_SHFL};
+
+/// Grid coordinates of one block invocation: block row `gty`, N tile
+/// starting at `n0`, GroupTile columns `gx0..gx1`.
+pub(crate) struct BlockGrid {
+    pub(crate) gty: usize,
+    pub(crate) n0: usize,
+    pub(crate) gx0: usize,
+    pub(crate) gx1: usize,
+}
+
+/// Virtual-address bases and shared-memory layout shared by every block
+/// of a launch.
+pub(crate) struct BlockBases {
+    pub(crate) values: VAddr,
+    pub(crate) bitmaps: VAddr,
+    pub(crate) x: VAddr,
+    pub(crate) ws: VAddr,
+    pub(crate) smem_values: u64,
+}
+
+/// Integrity state threaded into checked launches: pristine
+/// per-GroupTile checksums plus the recovery policy.
+pub(crate) struct CheckedState<'a> {
+    pub(crate) checksums: &'a [u32],
+    pub(crate) policy: FaultPolicy,
+}
+
+impl SpinferSpmm {
+    /// One thread block's work: all GroupTiles in `at.gx0..at.gx1` for
+    /// block row `at.gty` and N tile starting at `at.n0`.
+    ///
+    /// With `checked` absent this is the golden kernel (panic-on-contract
+    /// semantics, no integrity work); with it, every hazard becomes a
+    /// typed outcome — D1 checksum verification of the landed image with
+    /// bounded re-streams, and checked SMBD decode surfacing offset
+    /// overruns (D2) and FP16 poison (D3) with bounded re-decodes. With
+    /// `fault` absent (or unarmed) the counter stream and numerics are
+    /// bit-identical to the golden path: the `_f` hooks collapse to the
+    /// golden functions and no shared-memory image is materialised.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_block(
+        &self,
+        w: &TcaBme,
+        x: &DenseMatrix,
+        counters: &mut Counters,
+        x_counters: &mut Counters,
+        workspace: &mut [f32],
+        geo: &Geometry,
+        at: &BlockGrid,
+        bases: &BlockBases,
+        checked: Option<&CheckedState<'_>>,
+        fault: Option<&FaultInjector>,
+        mut tracer: Option<&mut BlockTracer>,
+    ) -> Result<(), KernelError> {
+        let BlockGrid { gty, n0, gx0, gx1 } = *at;
+        let cfg = w.config;
+        let tt_rows = cfg.tt_rows();
+        let tt_cols = cfg.tt_cols();
+        let n8 = geo.tile_n / 8;
+        let n = x.cols();
+        debug_assert!(
+            fault.is_none() || checked.is_some(),
+            "an injector is only ever threaded through a checked launch"
+        );
+        // Tracing only *reads* the counter stream (attribution-weight
+        // checkpoints at phase boundaries); with `tracer` absent, no
+        // extra work runs and the code path is the pre-existing one.
+        let trace_on = tracer.is_some();
+        if let Some(t) = tracer.as_deref_mut() {
+            t.sync(counters, x_counters);
+        }
+
+        // Per-warp accumulators: warp = TCTile row strip.
+        let mut accs: Vec<Vec<FragC>> = (0..geo.warps)
+            .map(|_| (0..n8).map(|_| FragC::zero()).collect())
+            .collect();
+
+        // Decode-once X tile: the `gt_cols × tile_n` activation window
+        // every warp of this block multiplies, converted to `f32` once
+        // per GroupTile column. All warps and all N-blocks stride into
+        // this buffer directly (`mma_m16n8k16_bslice`), replacing the
+        // per-mma `FragB` build that re-decoded each X element
+        // `warps × 2` times. Out-of-range rows/columns are zero,
+        // exactly as the fragment path's predicated accessor produced.
+        let mut xf = vec![0.0f32; cfg.gt_cols * geo.tile_n];
+
+        // Local shared-memory image of the GroupTile under injection;
+        // reused across iterations to stay allocation-free per tile.
+        let mut bms_img: Vec<u64> = Vec::new();
+        let mut vals_img: Vec<Half> = Vec::new();
+
+        // Algorithm 1's cp.async discipline: two independent commit groups
+        // per iteration (bitmap+sparse, then dense), retired in order with
+        // wait_group(1) before SMBD and wait_group(0) before the Tensor
+        // Core consumes the X fragments. Data moves eagerly in the
+        // functional simulator; the tracker verifies the ordering.
+        let mut cp_async = gpu_sim::async_copy::AsyncCopyState::new();
+        for gtx in gx0..gx1 {
+            let gt = w.gt_index(gty, gtx);
+            let pristine_vals = w.gtile_values(gt);
+            let pristine_bms = w.gtile_bitmaps(gt);
+            let bm_addr = bases.bitmaps + (gt * cfg.bts_per_gt() * 8) as u64;
+            let val_addr = bases.values + (w.gtile_offsets[gt] as u64) * 2;
+            // Injection only matters for this tile when the plan is
+            // armed and the tile filter admits it; otherwise the golden
+            // path runs against the pristine slices directly.
+            let inject = fault.filter(|i| i.plan().armed() && i.gtile_enabled(gt));
+
+            // --- 1. GTile loading (bitmaps + values) via LDGSTS.128,
+            //        fault-aware ---
+            load_gtile_image(
+                counters,
+                inject,
+                pristine_bms,
+                pristine_vals,
+                bm_addr,
+                val_addr,
+                &mut bms_img,
+                &mut vals_img,
+            );
+            cp_async.issue();
+            // Bitmap + sparse values group.
+            apply_commit_fault(
+                cp_async.commit_group_f(counters, inject, bm_addr),
+                &mut bms_img,
+                &mut vals_img,
+                inject.is_some(),
+            );
+            if let Some(t) = tracer.as_deref_mut() {
+                t.phase(TracePhase::StreamW, counters, x_counters);
+            }
+
+            // --- 3. XTile loading (no integrity metadata; golden path) ---
+            let row_bytes = (geo.tile_n * 2) as u64;
+            for kr in (0..cfg.gt_cols).step_by(4) {
+                // Four X rows per warp instruction (8 lanes × 16 B when
+                // tile_n = 32; proportionally predicated otherwise).
+                let mut addrs = [None; 32];
+                let mut li = 0usize;
+                for dr in 0..4 {
+                    let krow = gtx * cfg.gt_cols + kr + dr;
+                    let base = bases.x + (krow * geo.n_pad + n0) as u64 * 2;
+                    let lanes = (row_bytes as usize).div_ceil(16);
+                    for l in 0..lanes {
+                        if li < 32 {
+                            addrs[li] = Some(base + (l * 16) as u64);
+                            li += 1;
+                        }
+                    }
+                }
+                warp_ldgsts(x_counters, &addrs, 16);
+                // LDGSTS writes shared memory directly; conflict-free rows.
+                counters.smem_store_transactions += (4 * row_bytes).div_ceil(128);
+            }
+            cp_async.issue();
+            cp_async.commit_group(); // Dense XTile group.
+                                     // SMBD may start once the sparse group lands (dense still in
+                                     // flight) — Algorithm 1 line 24.
+            let retired = cp_async.wait_group(1);
+            debug_assert_eq!(retired, 1, "sparse group retires first");
+            if let Some(t) = tracer.as_deref_mut() {
+                t.phase(TracePhase::StreamX, counters, x_counters);
+            }
+
+            // Fill the decode-once X tile for this GroupTile column.
+            for kk in 0..cfg.gt_cols {
+                let kr = gtx * cfg.gt_cols + kk;
+                let row = &mut xf[kk * geo.tile_n..(kk + 1) * geo.tile_n];
+                if kr < x.rows() {
+                    for (nn, slot) in row.iter_mut().enumerate() {
+                        let nc = n0 + nn;
+                        *slot = if nc < n { x.get(kr, nc).to_f32() } else { 0.0 };
+                    }
+                } else {
+                    row.fill(0.0);
+                }
+            }
+
+            // --- D1: checksum the landed image; retry from DRAM ---
+            let mut verified = true;
+            if let (Some(chk), Some(inj0)) = (checked, inject) {
+                let expected = chk.checksums[gt];
+                let mut attempt: u32 = 0;
+                verified = loop {
+                    attempt += 1;
+                    if checksum_gtile(&bms_img, &vals_img) == expected {
+                        if attempt > 1 {
+                            counters.faults_recovered += 1;
+                        }
+                        break true;
+                    }
+                    counters.faults_detected += 1;
+                    if attempt >= chk.policy.max_attempts {
+                        break false;
+                    }
+                    // Synchronous re-stream of the GroupTile with a
+                    // reseeded draw stream (a fresh DRAM transfer hits
+                    // fresh fault sites, not the same ones again).
+                    let inj_r = inj0.reseeded(u64::from(attempt));
+                    load_gtile_image(
+                        counters,
+                        Some(&inj_r),
+                        pristine_bms,
+                        pristine_vals,
+                        bm_addr,
+                        val_addr,
+                        &mut bms_img,
+                        &mut vals_img,
+                    );
+                    cp_async.issue();
+                    apply_commit_fault(
+                        cp_async.commit_group_f(counters, Some(&inj_r), bm_addr),
+                        &mut bms_img,
+                        &mut vals_img,
+                        true,
+                    );
+                    cp_async.wait_group(0);
+                };
+            }
+            if !verified {
+                let chk = checked.expect("D1 only fails inside a checked launch");
+                if !chk.policy.fallback {
+                    return Err(KernelError::RetryBudgetExhausted {
+                        gt,
+                        attempts: chk.policy.max_attempts,
+                    });
+                }
+                // Reference product from the pristine encoding: slower,
+                // but guaranteed correct — nothing from the corrupted
+                // image reaches the accumulators.
+                counters.fault_fallbacks += 1;
+                fallback_gtile_product(cfg, pristine_bms, pristine_vals, &xf, geo, &mut accs);
+                cp_async.wait_group(0);
+                counters.barriers += 1;
+                if let Some(t) = tracer.as_deref_mut() {
+                    // Keep the per-iteration span shape intact: the
+                    // host-side fallback has no decode/mma events, so the
+                    // residual (retry streams, barrier) folds into mma.
+                    let now = attribution_weight(counters) + attribution_weight(x_counters);
+                    let residual = now - t.mark;
+                    t.spans.push((TracePhase::Decode, 0));
+                    t.spans.push((TracePhase::Mma, residual));
+                    t.mark = now;
+                }
+                continue;
+            }
+            let (bms, vals): (&[u64], &[Half]) = if inject.is_some() {
+                (&bms_img, &vals_img)
+            } else {
+                (pristine_bms, pristine_vals)
+            };
+
+            // --- 2. WTile decoding, 4./5. fragment loads + Tensor Cores
+            //        (checked arms: D2, D3) ---
+            // Decode and mma interleave per TCTile; with tracing on,
+            // their weights accumulate separately so each gets one span
+            // per GroupTile iteration.
+            let mut dec_w = 0u64;
+            let mut mma_w = 0u64;
+            let mut wmark = 0u64;
+            for warp in 0..geo.warps {
+                let tty = warp % tt_rows;
+                for ttx in 0..tt_cols {
+                    let tc_idx = ttx * tt_rows + tty;
+                    // Base offset: popcounts of preceding TCTiles.
+                    let base: usize = bms[..tc_idx * 4].iter().map(|&b| popc64(b) as usize).sum();
+                    let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().expect(
+                        "TCTile bitmap slice must hold exactly 4 BitmapTiles: gtile_bitmaps \
+                         returns bts_per_gt() words, a multiple of BTS_PER_TT = 4",
+                    );
+                    if trace_on {
+                        wmark = attribution_weight(counters);
+                    }
+                    let a_rows = match checked {
+                        None => {
+                            decode_tctile_f32(counters, &tc_bms, vals, base, bases.smem_values).0
+                        }
+                        Some(chk) => self.decode_tctile_checked(
+                            counters,
+                            DecodeSite {
+                                gt,
+                                tc_idx,
+                                bm_addr,
+                            },
+                            &tc_bms,
+                            vals,
+                            base,
+                            pristine_bms,
+                            pristine_vals,
+                            bases.smem_values,
+                            inject,
+                            chk,
+                        )?,
+                    };
+                    if !self.config.ablation.smbd {
+                        // Register decode: the same values reach the same
+                        // fragments, but through per-thread fetches and
+                        // warp shuffles — extra arithmetic and shuffle
+                        // traffic per BitmapTile that SMBD avoids.
+                        counters.cuda_int_insts += REG_DECODE_EXTRA_INT * 4;
+                        counters.shfl_insts += REG_DECODE_SHFL * 4;
+                        counters.insts_issued += (REG_DECODE_EXTRA_INT + REG_DECODE_SHFL) * 4;
+                    }
+                    if trace_on {
+                        let now = attribution_weight(counters);
+                        dec_w += now - wmark;
+                        wmark = now;
+                    }
+                    self.mma_row(counters, &xf, geo, ttx, &a_rows, &mut accs[warp]);
+                    if trace_on {
+                        mma_w += attribution_weight(counters) - wmark;
+                    }
+                }
+            }
+            // The dense group must land before its fragments feed the
+            // Tensor Cores of the *next* mma wave — Algorithm 1 line 26.
+            cp_async.wait_group(0);
+            // Pipeline bookkeeping (barrier between iterations).
+            counters.barriers += 1;
+            if let Some(t) = tracer.as_deref_mut() {
+                // The iteration-end barrier weight folds into the mma
+                // span (it is the pipeline bookkeeping that gates the
+                // next wave).
+                let now = attribution_weight(counters) + attribution_weight(x_counters);
+                let residual = now - t.mark - dec_w - mma_w;
+                t.spans.push((TracePhase::Decode, dec_w));
+                t.spans.push((TracePhase::Mma, mma_w + residual));
+                t.mark = now;
+            }
+        }
+        cp_async.assert_drained();
+
+        // --- Epilogue: store accumulators to the reduction workspace ---
+        for (warp, acc_row) in accs.iter().enumerate() {
+            let tty = warp % tt_rows;
+            for (j, frag) in acc_row.iter().enumerate() {
+                let tile = frag.to_tile();
+                for r in 0..TT_DIM {
+                    let gr = gty * cfg.gt_rows + tty * TT_DIM + r;
+                    for c in 0..8 {
+                        let gc = n0 + j * 8 + c;
+                        if gc < geo.n_pad {
+                            workspace[gr * geo.n_pad + gc] += tile[r][c];
+                        }
+                    }
+                }
+                // Two warp stores of 8 B (c0,c1 then c2,c3 pairs).
+                for half in 0..2 {
+                    let mut addrs = [None; 32];
+                    for (lane, slot) in addrs.iter_mut().enumerate() {
+                        let group = lane / 4;
+                        let tid = lane % 4;
+                        let gr = gty * cfg.gt_rows + tty * TT_DIM + group + 8 * half;
+                        let gc = n0 + j * 8 + 2 * tid;
+                        *slot = Some(bases.ws + (gr * geo.n_pad + gc) as u64 * 4);
+                    }
+                    warp_global_store(counters, &addrs, 8);
+                }
+            }
+        }
+        if let Some(t) = tracer {
+            t.phase(TracePhase::Epilogue, counters, x_counters);
+        }
+        Ok(())
+    }
+
+    /// Checked SMBD decode of one TCTile with bounded re-decodes (D2,
+    /// D3) and the pristine re-decode fallback. With `inject` absent the
+    /// checked decode collapses to the golden counter stream and
+    /// succeeds on the first attempt.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_tctile_checked(
+        &self,
+        counters: &mut Counters,
+        site: DecodeSite,
+        tc_bms: &[u64; 4],
+        vals: &[Half],
+        base: usize,
+        pristine_bms: &[u64],
+        pristine_vals: &[Half],
+        smem_values: u64,
+        inject: Option<&FaultInjector>,
+        chk: &CheckedState<'_>,
+    ) -> Result<[[f32; MMA_K]; MMA_K], KernelError> {
+        // Distinct per TCTile: BitmapTiles are 8 B apart and a TCTile
+        // owns four of them.
+        let site_key = site.bm_addr + (site.tc_idx * 32) as u64;
+        let mut decoded = None;
+        let mut last_fault: Option<DecodeFault> = None;
+        let mut att: u32 = 0;
+        while decoded.is_none() && att < chk.policy.max_attempts {
+            let inj_a = inject.map(|i| {
+                if att == 0 {
+                    *i
+                } else {
+                    i.reseeded(0x0de0_0000 | u64::from(att))
+                }
+            });
+            match decode_tctile_f32_checked(
+                counters,
+                tc_bms,
+                vals,
+                base,
+                smem_values,
+                inj_a.as_ref(),
+                site_key,
+            ) {
+                Ok((rows, _)) => {
+                    if att > 0 {
+                        counters.faults_recovered += 1;
+                    }
+                    decoded = Some(rows);
+                }
+                Err(f) => {
+                    counters.faults_detected += 1;
+                    last_fault = Some(f);
+                }
+            }
+            att += 1;
+        }
+        match decoded {
+            Some(rows) => Ok(rows),
+            None => {
+                if !chk.policy.fallback {
+                    return Err(match last_fault {
+                        Some(DecodeFault::Overrun { needed, available }) => {
+                            KernelError::DecodeOverrun {
+                                gt: site.gt,
+                                needed,
+                                available,
+                            }
+                        }
+                        Some(DecodeFault::NonFinite) => {
+                            KernelError::NonFiniteDecode { gt: site.gt }
+                        }
+                        None => KernelError::RetryBudgetExhausted {
+                            gt: site.gt,
+                            attempts: chk.policy.max_attempts,
+                        },
+                    });
+                }
+                // Pristine re-decode: the validated encoding cannot
+                // overrun and weights are finite by contract.
+                counters.fault_fallbacks += 1;
+                let pbase: usize = pristine_bms[..site.tc_idx * 4]
+                    .iter()
+                    .map(|&b| popc64(b) as usize)
+                    .sum();
+                let pbms: [u64; 4] = pristine_bms[site.tc_idx * 4..site.tc_idx * 4 + 4]
+                    .try_into()
+                    .expect("pristine bitmaps carry 4 BitmapTiles per TCTile");
+                let (rows, _) =
+                    decode_tctile_f32(counters, &pbms, pristine_vals, pbase, smem_values);
+                Ok(rows)
+            }
+        }
+    }
+
+    /// Tensor Core computation for one decoded TCTile against every n8
+    /// column of the X tile. `xf` is the block's decode-once `f32` X
+    /// tile (leading dimension `tile_n`); `a_rows` the TCTile's
+    /// decode-once A view. Every mma strides straight into both flat
+    /// arrays.
+    fn mma_row(
+        &self,
+        counters: &mut Counters,
+        xf: &[f32],
+        geo: &Geometry,
+        ttx: usize,
+        a_rows: &[[f32; MMA_K]; MMA_K],
+        accs: &mut [FragC],
+    ) {
+        let n8 = geo.tile_n / 8;
+        // One ldmatrix.x4 covers two B fragments (16×16 of X).
+        let ldsm_count = n8.div_ceil(2);
+        for _ in 0..ldsm_count {
+            // Conflict-free row-major X tile rows (16 B rows).
+            let rows = gpu_sim::shared_memory::strided_addrs(0, 16);
+            warp_ldsm_x4(counters, &rows);
+        }
+        let k_off = ttx * TT_DIM * geo.tile_n;
+        for (j, acc) in accs.iter_mut().enumerate().take(n8) {
+            let b = &xf[k_off + j * 8..];
+            mma_m16n8k16_bslice(counters, a_rows, b, geo.tile_n, acc);
+        }
+    }
+}
+
+/// Identifies one TCTile decode site for fault keying and error reports.
+struct DecodeSite {
+    gt: usize,
+    tc_idx: usize,
+    bm_addr: VAddr,
+}
+
+/// Streams `bytes` from `base` as LDGSTS.128 warp instructions, recording
+/// coalesced traffic.
+fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
+    record_ldgsts_stream_f(counters, base, bytes, None, &mut |_, _| {});
+}
+
+/// [`record_ldgsts_stream`] with a fault hook: when the injector strikes
+/// a warp access, `on_flip(stream_byte, bit_in_byte)` reports which byte
+/// of the streamed payload took the hit. With `fault` absent the counter
+/// stream is bit-identical to the golden recorder.
+fn record_ldgsts_stream_f(
+    counters: &mut Counters,
+    base: VAddr,
+    bytes: u64,
+    fault: Option<&FaultInjector>,
+    on_flip: &mut dyn FnMut(u64, u32),
+) {
+    let mut off = 0u64;
+    while off < bytes {
+        let mut addrs = [None; 32];
+        for (i, slot) in addrs.iter_mut().enumerate() {
+            let a = off + i as u64 * 16;
+            if a < bytes {
+                *slot = Some(base + a);
+            }
+        }
+        if let Some(hit) = warp_ldgsts_f(counters, &addrs, 16, fault) {
+            // Active lanes are contiguous from lane 0, 16 B apart.
+            on_flip(
+                off + hit.lane_sel as u64 * 16 + u64::from(hit.bit / 8),
+                hit.bit % 8,
+            );
+        }
+        // LDGSTS writes shared memory directly (conflict-free stream).
+        counters.smem_store_transactions += (bytes - off).min(512).div_ceil(128);
+        off += 512;
+    }
+}
+
+/// Loads one GroupTile's bitmaps and values as LDGSTS streams into the
+/// caller's shared-memory image, applying any injected load bit flips.
+/// With `inject` absent no image is materialised (the buffers are
+/// cleared) and only the golden counter stream is recorded.
+#[allow(clippy::too_many_arguments)]
+fn load_gtile_image(
+    counters: &mut Counters,
+    inject: Option<&FaultInjector>,
+    pristine_bms: &[u64],
+    pristine_vals: &[Half],
+    bm_addr: VAddr,
+    val_addr: VAddr,
+    bms_img: &mut Vec<u64>,
+    vals_img: &mut Vec<Half>,
+) {
+    let bm_bytes = (pristine_bms.len() * 8) as u64;
+    let val_bytes = (pristine_vals.len() * 2) as u64;
+    bms_img.clear();
+    vals_img.clear();
+    if inject.is_none() {
+        record_ldgsts_stream(counters, bm_addr, bm_bytes);
+        record_ldgsts_stream(counters, val_addr, val_bytes);
+        return;
+    }
+    bms_img.extend_from_slice(pristine_bms);
+    vals_img.extend_from_slice(pristine_vals);
+    record_ldgsts_stream_f(counters, bm_addr, bm_bytes, inject, &mut |byte, bit| {
+        // A flip can land in the tail padding of the last 16 B lane;
+        // only bytes inside the payload reach the image.
+        let b = byte as usize;
+        if b < bms_img.len() * 8 {
+            let word = b / 8;
+            bms_img[word] = flip_bit_u64(bms_img[word], ((b % 8) as u32) * 8 + bit);
+        }
+    });
+    record_ldgsts_stream_f(counters, val_addr, val_bytes, inject, &mut |byte, bit| {
+        let b = byte as usize;
+        if b < vals_img.len() * 2 {
+            let i = b / 2;
+            let flipped = flip_bit_u16(vals_img[i].to_bits(), ((b % 2) as u32) * 8 + bit);
+            vals_img[i] = Half::from_bits(flipped);
+        }
+    });
+}
+
+/// Applies a `cp.async` commit outcome to the GroupTile image. A
+/// corrupt commit flips one byte of the landed payload; a dropped
+/// commit leaves the (zero-initialised) destination stale.
+fn apply_commit_fault(
+    outcome: CommitFault,
+    bms_img: &mut [u64],
+    vals_img: &mut [Half],
+    armed: bool,
+) {
+    if !armed {
+        return;
+    }
+    let bm_bytes = bms_img.len() * 8;
+    let total = bm_bytes + vals_img.len() * 2;
+    match outcome {
+        CommitFault::None => {}
+        CommitFault::Corrupt { byte_sel, bit } => {
+            if total > 0 {
+                let b = (byte_sel % total as u64) as usize;
+                if b < bm_bytes {
+                    let word = b / 8;
+                    bms_img[word] = flip_bit_u64(bms_img[word], ((b % 8) as u32) * 8 + bit);
+                } else {
+                    let i = (b - bm_bytes) / 2;
+                    let within = (((b - bm_bytes) % 2) as u32) * 8 + bit;
+                    vals_img[i] = Half::from_bits(flip_bit_u16(vals_img[i].to_bits(), within));
+                }
+            }
+        }
+        CommitFault::Dropped => {
+            bms_img.iter_mut().for_each(|w| *w = 0);
+            vals_img.iter_mut().for_each(|v| *v = Half::ZERO);
+        }
+    }
+}
+
+/// Reference scalar product of one GroupTile from its pristine
+/// encoding, accumulated into the block's `FragC` accumulators — the
+/// guaranteed-correct slow path taken when the retry budget is
+/// exhausted. Walks the bitmaps in packed-value order, so it touches
+/// exactly the encoded non-zeros.
+fn fallback_gtile_product(
+    cfg: crate::tca_bme::TcaBmeConfig,
+    bms: &[u64],
+    vals: &[Half],
+    xf: &[f32],
+    geo: &Geometry,
+    accs: &mut [Vec<FragC>],
+) {
+    let tile_n = geo.tile_n;
+    let mut contrib = vec![0.0f32; cfg.gt_rows * tile_n];
+    let mut vi = 0usize;
+    for (bi, &bm) in bms.iter().enumerate() {
+        let tc_idx = bi / 4;
+        // Quadrant order within a TCTile: TL, BL, TR, BR (column-major
+        // 8×8 blocks), matching `TcaBme::decode_cell`.
+        let (qr, qc) = [(0, 0), (8, 0), (0, 8), (8, 8)][bi % 4];
+        let ttx = tc_idx / cfg.tt_rows();
+        let tty = tc_idx % cfg.tt_rows();
+        for bit in 0..64 {
+            if (bm >> bit) & 1 == 1 {
+                let v = vals[vi].to_f32();
+                vi += 1;
+                let lr = tty * TT_DIM + qr + bit / 8;
+                let lc = ttx * TT_DIM + qc + bit % 8;
+                let xrow = &xf[lc * tile_n..(lc + 1) * tile_n];
+                let dst = &mut contrib[lr * tile_n..(lr + 1) * tile_n];
+                for (d, xv) in dst.iter_mut().zip(xrow) {
+                    *d += v * xv;
+                }
+            }
+        }
+    }
+    for (warp, acc_row) in accs.iter_mut().enumerate() {
+        let tty = warp % cfg.tt_rows();
+        for (j, frag) in acc_row.iter_mut().enumerate() {
+            let mut tile = frag.to_tile();
+            for (r, row) in tile.iter_mut().enumerate() {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot += contrib[(tty * TT_DIM + r) * tile_n + j * 8 + c];
+                }
+            }
+            *frag = FragC::from_tile(|r, c| tile[r][c]);
+        }
+    }
+}

@@ -1,0 +1,988 @@
+//! The SpInfer-SpMM kernel (paper §4.3, Algorithm 1).
+//!
+//! Computes `O[M×N] = W[M×K] × X[K×N]` with `W` in TCA-BME format. The
+//! simulated kernel mirrors the paper's structure:
+//!
+//! 1. **GTile loading** — the block streams one GroupTile's bitmaps and
+//!    packed values into shared memory with `LDGSTS.128` (values are
+//!    8-byte aligned by the encoder's padding).
+//! 2. **WTile decoding (SMBD)** — each warp decodes its TCTiles straight
+//!    from shared memory into `mma` A fragments.
+//! 3. **XTile loading** — the dense tile streams into shared memory.
+//! 4. **XTile register transfer** — `ldmatrix.x4` distributes B fragments.
+//! 5. **Tensor Core computation** — `mma.m16n8k16` accumulates in FP32.
+//!
+//! Split-K parallelism distributes the K dimension over independent
+//! blocks writing a reduction workspace, followed by a small reduction
+//! kernel — the CUTLASS-style scheme the paper adopts.
+//!
+//! Both a *functional* path ([`SpinferSpmm::run`], bit-exact output +
+//! counters from real addresses) and an *analytic* path
+//! ([`SpinferSpmm::estimate`], same counters derived from format
+//! statistics) are provided; tests pin them against each other so
+//! paper-scale benchmarks can use the cheap path.
+//!
+//! # Module layout
+//!
+//! Every entry point funnels into **one** launch body parameterised by a
+//! [`LaunchCtx`] (capability bundle: device spec, optional fault
+//! injector + recovery policy, optional trace sink):
+//!
+//! * [`launch`](self) — [`LaunchCtx`], the [`SpmmKernel`] trait shared
+//!   with every baseline, the object-safe [`DynSpmmKernel`] wrapper, and
+//!   the unified `SpinferSpmm` launch body.
+//! * `block` — the single per-thread-block routine (golden, traced, and
+//!   checked arms in one function; the checked arms are no-cost when the
+//!   context carries no injector).
+//! * `checked` — [`FaultPolicy`] and the `run_checked`/`run_checked_with`
+//!   wrappers.
+//! * `traced` — phase attribution and Chrome-trace emission.
+
+mod block;
+mod checked;
+mod launch;
+mod traced;
+
+pub use checked::FaultPolicy;
+pub use launch::{DynEncoded, DynSpmmKernel, LaunchCtx, SpmmKernel};
+pub use traced::emit_chain_trace;
+
+use crate::smbd::bt_decode_cost;
+use crate::tca_bme::{TcaBme, TT_DIM};
+use gpu_sim::bitops::popc64;
+use gpu_sim::counters::Counters;
+use gpu_sim::fp16::Half;
+use gpu_sim::kernel::{LaunchChain, LaunchResult};
+use gpu_sim::occupancy::BlockResources;
+use gpu_sim::spec::GpuSpec;
+use gpu_sim::timing::{L2Reuse, LaunchShape, PipelineMode};
+
+/// Ablation switches (paper Table 1). Both `true` is the full kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ablation {
+    /// Shared Memory Bitmap Decoding. When disabled, the kernel decodes
+    /// in the *register file*: each thread fetches value words and
+    /// redistributes them to fragment owners with warp shuffles — several
+    /// times the instruction count, more registers (lower occupancy), and
+    /// a serial chain the pipeline cannot fully hide.
+    pub smbd: bool,
+    /// Asynchronous pipeline (double buffering + two cp.async groups).
+    /// When disabled, only warp interleaving hides load latency: the
+    /// overlap leak grows and less data stays in flight.
+    pub async_pipe: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Ablation {
+            smbd: true,
+            async_pipe: true,
+        }
+    }
+}
+
+/// Extra integer instructions per BitmapTile for the -SMBD register
+/// decode (address math and predication SMBD's masked popcount avoids).
+pub(crate) const REG_DECODE_EXTRA_INT: u64 = 20;
+/// Warp shuffles per BitmapTile for the -SMBD register decode.
+pub(crate) const REG_DECODE_SHFL: u64 = 10;
+
+/// Kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpmmConfig {
+    /// Split-K factor; `0` selects automatically from the launch shape.
+    pub split_k: usize,
+    /// Maximum N tile per block (multiple of 8).
+    pub max_tile_n: usize,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+impl Default for SpmmConfig {
+    fn default() -> Self {
+        SpmmConfig {
+            split_k: 0,
+            max_tile_n: 32,
+            ablation: Ablation::default(),
+        }
+    }
+}
+
+/// Result of a simulated SpMM: output (functional path only) plus the
+/// launch chain (main kernel, and reduction when split-K > 1).
+#[derive(Clone, Debug)]
+pub struct SpmmRun {
+    /// Row-major `M×N` FP32 output; `None` for the analytic path.
+    pub output: Option<Vec<f32>>,
+    /// Kernel launches with counters and timing.
+    pub chain: LaunchChain,
+}
+
+impl SpmmRun {
+    /// Total simulated time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.chain.time_us()
+    }
+}
+
+/// Format statistics needed by the analytic estimator.
+#[derive(Clone, Debug)]
+pub struct FormatStats {
+    /// Logical rows.
+    pub m: usize,
+    /// Logical columns.
+    pub k: usize,
+    /// Padded rows.
+    pub m_pad: usize,
+    /// Padded columns.
+    pub k_pad: usize,
+    /// GroupTile config.
+    pub config: crate::tca_bme::TcaBmeConfig,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Length of the values array including padding.
+    pub values_len: usize,
+    /// Fraction of BitmapTiles containing at least one non-zero.
+    pub nonempty_bt_fraction: f64,
+    /// Largest per-GroupTile value count (shared-memory sizing).
+    pub max_values_per_gtile: usize,
+}
+
+impl FormatStats {
+    /// Extracts statistics from an encoded matrix.
+    pub fn from_encoded(w: &TcaBme) -> Self {
+        let nonempty = w.bitmaps.iter().filter(|&&b| b != 0).count();
+        FormatStats {
+            m: w.m,
+            k: w.k,
+            m_pad: w.m_pad,
+            k_pad: w.k_pad,
+            config: w.config,
+            nnz: w.nnz,
+            values_len: w.values.len(),
+            nonempty_bt_fraction: nonempty as f64 / w.bitmaps.len().max(1) as f64,
+            max_values_per_gtile: w.max_values_per_gtile(),
+        }
+    }
+
+    /// Expected statistics for an `m×k` matrix with i.i.d. element
+    /// sparsity `s` — lets paper-scale sweeps skip materialising weights.
+    pub fn synthetic(m: usize, k: usize, sparsity: f64) -> Self {
+        let config = crate::tca_bme::TcaBmeConfig::default();
+        let m_pad = m.div_ceil(config.gt_rows) * config.gt_rows;
+        let k_pad = k.div_ceil(config.gt_cols) * config.gt_cols;
+        let nnz = ((m * k) as f64 * (1.0 - sparsity)).round() as usize;
+        let ngt = (m_pad / config.gt_rows) * (k_pad / config.gt_cols);
+        let vals_per_gt = nnz as f64 / ngt as f64;
+        // Per-GroupTile padding to 4 elements: 1.5 expected extra.
+        let values_len = nnz + ngt * 2;
+        // Binomial tail: P(BT non-empty) = 1 - s^64.
+        let nonempty = 1.0 - sparsity.powi(64);
+        // Expected max over GroupTiles ~ mean + 3 std of Binomial(4096, 1-s).
+        let gt_elems = (config.gt_rows * config.gt_cols) as f64;
+        let std = (gt_elems * sparsity * (1.0 - sparsity)).sqrt();
+        let max_vals = (vals_per_gt + 3.0 * std + 4.0).min(gt_elems) as usize;
+        FormatStats {
+            m,
+            k,
+            m_pad,
+            k_pad,
+            config,
+            nnz,
+            values_len,
+            nonempty_bt_fraction: nonempty,
+            max_values_per_gtile: max_vals,
+        }
+    }
+
+    /// Dense bytes of the logical matrix.
+    pub fn dense_bytes(&self) -> usize {
+        2 * self.m * self.k
+    }
+
+    /// TCA-BME storage bytes (with expected padding).
+    pub fn storage_bytes(&self) -> usize {
+        let ngt = (self.m_pad / self.config.gt_rows) * (self.k_pad / self.config.gt_cols);
+        let nbt = (self.m_pad / 8) * (self.k_pad / 8);
+        4 * (ngt + 1) + 8 * nbt + 2 * self.values_len
+    }
+}
+
+/// The SpInfer-SpMM kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpinferSpmm {
+    /// Kernel configuration.
+    pub config: SpmmConfig,
+}
+
+/// Geometry shared by the functional and analytic paths.
+pub(crate) struct Geometry {
+    pub(crate) tile_n: usize,
+    pub(crate) n_pad: usize,
+    pub(crate) grid_x: usize,
+    pub(crate) split_k: usize,
+    pub(crate) gtx_per_split: usize,
+    pub(crate) grid_blocks: u64,
+    pub(crate) warps: usize,
+    pub(crate) block: BlockResources,
+    pub(crate) iters_per_block: f64,
+}
+
+impl SpinferSpmm {
+    /// Creates a kernel with the default configuration.
+    pub fn new() -> Self {
+        SpinferSpmm::default()
+    }
+
+    /// Creates a kernel with explicit ablation switches.
+    pub fn with_ablation(ablation: Ablation) -> Self {
+        SpinferSpmm {
+            config: SpmmConfig {
+                ablation,
+                ..SpmmConfig::default()
+            },
+        }
+    }
+
+    fn geometry(&self, spec: &GpuSpec, stats: &FormatStats, n: usize) -> Geometry {
+        let n_pad = n.max(8).div_ceil(8) * 8;
+        // Decode-phase batches use up to `max_tile_n`; prefill-scale N
+        // widens the block tile to 128 so each decoded WTile amortises
+        // over more output columns (otherwise SMBD work scales with
+        // N/tile_n and the decode chain dominates the Tensor Cores).
+        let tile_n = if n_pad <= self.config.max_tile_n {
+            n_pad
+        } else {
+            n_pad.min(self.config.max_tile_n.max(128))
+        };
+        let grid_x = n_pad.div_ceil(tile_n);
+        let gtiles_y = stats.m_pad / stats.config.gt_rows;
+        let gtiles_x = stats.k_pad / stats.config.gt_cols;
+        let split_k = if self.config.split_k == 0 {
+            auto_split_k(spec, gtiles_y * grid_x, gtiles_x)
+        } else {
+            self.config.split_k.clamp(1, gtiles_x)
+        };
+        let gtx_per_split = gtiles_x.div_ceil(split_k);
+        let warps = stats.config.gt_rows / TT_DIM;
+
+        // Shared memory: double-buffered bitmaps + values + X tile.
+        let bufs = 2usize;
+        let bitmap_bytes = stats.config.bts_per_gt() * 8;
+        let value_bytes = stats.max_values_per_gtile * 2;
+        let x_bytes = stats.config.gt_cols * tile_n * 2;
+        let smem = bufs * (bitmap_bytes + value_bytes + x_bytes);
+
+        // Register estimate per thread: accumulators (4 FP32 per FragC per
+        // n8), live A fragment + prefetched next (4 + 4), B fragments
+        // (2 per n8 pair), addresses and loop state. The register-decode
+        // fallback (-SMBD) stages value words and shuffle temporaries in
+        // the register file, costing substantially more.
+        let n8 = tile_n / 8;
+        let regs =
+            28 + 4 * n8 as u32 + 8 + 2 * n8 as u32 + if self.config.ablation.smbd { 0 } else { 40 };
+
+        Geometry {
+            tile_n,
+            n_pad,
+            grid_x,
+            split_k,
+            gtx_per_split,
+            grid_blocks: (gtiles_y * grid_x * split_k) as u64,
+            warps,
+            block: BlockResources {
+                threads: (warps * 32) as u32,
+                regs_per_thread: regs,
+                smem_bytes: smem as u32,
+            },
+            iters_per_block: gtx_per_split as f64,
+        }
+    }
+
+    fn launch_shape(&self, geo: &Geometry) -> LaunchShape {
+        let (per_iter_fixed, inflight, leak) = if self.config.ablation.async_pipe {
+            (24.0, None, None)
+        } else {
+            // Single-buffered: warp interleaving still overlaps most of
+            // the load latency, but the decode/compute chain leaks more
+            // and fewer bytes stay in flight.
+            (48.0, Some(1024.0), Some(0.18))
+        };
+        LaunchShape {
+            grid_blocks: geo.grid_blocks,
+            block: geo.block,
+            iters_per_block: geo.iters_per_block,
+            mode: PipelineMode::AsyncDoubleBuffered,
+            per_iter_fixed_cycles: per_iter_fixed,
+            ramp_cycles: 600.0,
+            inflight_bytes_per_warp: inflight,
+            overlap_leak: leak,
+        }
+    }
+
+    /// Analytic estimation from format statistics — identical counter
+    /// structure to [`Self::run`] without touching data. Validated against
+    /// the functional path in tests.
+    pub fn estimate(&self, spec: &GpuSpec, stats: &FormatStats, n: usize) -> SpmmRun {
+        let geo = self.geometry(spec, stats, n);
+        let cfg = stats.config;
+        let ngt = (stats.m_pad / cfg.gt_rows) * (stats.k_pad / cfg.gt_cols);
+        let gtiles_y = stats.m_pad / cfg.gt_rows;
+        let n8 = geo.tile_n / 8;
+        let mut c = Counters::new();
+
+        // --- GTile loads (per GroupTile, over all N tiles and splits) ---
+        let bm_bytes_gt = (cfg.bts_per_gt() * 8) as u64;
+        let val_bytes_gt = (stats.values_len as u64 * 2) / ngt as u64;
+        let gt_visits = (ngt * geo.grid_x) as u64;
+        // DRAM traffic is capped by wave-level L2 reuse over output tiles;
+        // the decode work below still runs once per visit.
+        let w_reread =
+            gpu_sim::timing::panel_reread_factor(spec, stats.k_pad, geo.n_pad, geo.tile_n);
+        let w_bytes = ngt as u64 * w_reread * (bm_bytes_gt + val_bytes_gt);
+        c.dram_read_bytes += w_bytes;
+        c.useful_read_bytes += w_bytes;
+        c.ldgsts_insts +=
+            gt_visits * (bm_bytes_gt.div_ceil(512) + val_bytes_gt.div_ceil(512).max(1));
+
+        // --- X loads (panel re-read capped by wave-level L2 reuse) ---
+        let m_reread =
+            gpu_sim::timing::panel_reread_factor(spec, stats.k_pad, stats.m_pad, cfg.gt_rows);
+        let row_sectors = sector_span(geo.tile_n * 2);
+        // DRAM traffic is L2-capped; per-block load *work* is not.
+        let x_rows_dram = (stats.k_pad * geo.grid_x) as u64 * m_reread;
+        let x_rows_visits = (stats.k_pad * gtiles_y * geo.grid_x) as u64;
+        let x_bytes = x_rows_dram * row_sectors * 32;
+        c.dram_read_bytes += x_bytes;
+        c.useful_read_bytes += x_rows_dram * (geo.tile_n as u64) * 2;
+        c.ldgsts_insts += x_rows_visits.div_ceil(4);
+        c.smem_store_transactions += x_rows_visits * (geo.tile_n as u64 * 2).div_ceil(128).max(1);
+
+        // --- Decode ---
+        let nbt_visits = (ngt * cfg.bts_per_gt() * geo.grid_x) as u64;
+        let full = bt_decode_cost(true);
+        let empty = bt_decode_cost(false);
+        let p = stats.nonempty_bt_fraction;
+        c.cuda_int_insts += (nbt_visits as f64
+            * (p * full.int_insts as f64 + (1.0 - p) * empty.int_insts as f64))
+            as u64;
+        c.smem_load_transactions += (nbt_visits as f64
+            * (p * full.smem_transactions as f64 + (1.0 - p) * empty.smem_transactions as f64))
+            as u64;
+        c.insts_issued += c.cuda_int_insts + c.smem_load_transactions;
+        if !self.config.ablation.smbd {
+            // Register decode (see the block routine): extra arithmetic
+            // and shuffles per BitmapTile.
+            c.cuda_int_insts += nbt_visits * REG_DECODE_EXTRA_INT;
+            c.shfl_insts += nbt_visits * REG_DECODE_SHFL;
+            c.insts_issued += nbt_visits * (REG_DECODE_EXTRA_INT + REG_DECODE_SHFL);
+        }
+
+        // --- X fragment loads + mma ---
+        let tctile_visits = nbt_visits / 4;
+        let ldsm_b = tctile_visits * (n8.div_ceil(2) as u64);
+        c.ldsm_insts += ldsm_b;
+        c.smem_load_transactions += ldsm_b * 4;
+        c.mma_insts += tctile_visits * n8 as u64;
+        c.insts_issued += ldsm_b + tctile_visits * n8 as u64;
+
+        // --- Epilogue stores ---
+        let frag_stores = (gtiles_y * cfg.tt_rows() * geo.grid_x * geo.split_k * n8) as u64 * 2;
+        c.dram_write_bytes += frag_stores * 8 * 32; // 8 sectors × 32 B each.
+        c.useful_write_bytes += frag_stores * 256;
+        c.insts_issued += frag_stores;
+        c.barriers += gt_visits;
+
+        let l2 = [L2Reuse {
+            buffer_bytes: (2 * stats.k_pad * geo.n_pad) as u64,
+            requested_bytes: x_bytes,
+        }];
+        let mut chain = LaunchChain::new();
+        chain.push(LaunchResult::from_execution(
+            kernel_name(self.config.ablation),
+            spec,
+            self.launch_shape(&geo),
+            c,
+            &l2,
+        ));
+        if geo.split_k > 1 {
+            chain.push(crate::reduction::estimate_reduction(
+                spec,
+                stats.m_pad * geo.n_pad,
+                geo.split_k,
+            ));
+        }
+        SpmmRun {
+            output: None,
+            chain,
+        }
+    }
+}
+
+impl TcaBme {
+    /// Random access to a single logical cell (slow; used by the -SMBD
+    /// functional fallback only).
+    pub fn decode_cell(&self, r: usize, c: usize) -> Half {
+        let cfg = self.config;
+        let gty = r / cfg.gt_rows;
+        let gtx = c / cfg.gt_cols;
+        let gt = self.gt_index(gty, gtx);
+        let lr = r % cfg.gt_rows;
+        let lc = c % cfg.gt_cols;
+        let tty = lr / TT_DIM;
+        let ttx = lc / TT_DIM;
+        let tc_idx = ttx * cfg.tt_rows() + tty;
+        let qr = lr % TT_DIM;
+        let qc = lc % TT_DIM;
+        let quad = match (qr >= 8, qc >= 8) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        };
+        let bit = (qr % 8) * 8 + (qc % 8);
+        let bms = self.gtile_bitmaps(gt);
+        let bi = tc_idx * 4 + quad;
+        if (bms[bi] >> bit) & 1 == 0 {
+            return Half::ZERO;
+        }
+        let base: usize = bms[..bi].iter().map(|&b| popc64(b) as usize).sum();
+        let within = popc64(bms[bi] & ((1u64 << bit) - 1)) as usize;
+        self.gtile_values(gt)[base + within]
+    }
+}
+
+/// Split-K selection: split until the grid comfortably fills the device
+/// (two blocks per SM), bounded by the number of K-dimension GroupTiles.
+fn auto_split_k(spec: &GpuSpec, base_blocks: usize, gtiles_x: usize) -> usize {
+    let target = 2 * spec.sm_count as usize;
+    if base_blocks == 0 {
+        return 1;
+    }
+    let want = target.div_ceil(base_blocks);
+    want.clamp(1, gtiles_x.max(1))
+}
+
+/// Sectors per contiguous row segment of `bytes` (32 B granularity,
+/// assuming aligned starts).
+fn sector_span(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(32).max(1)
+}
+
+/// Kernel display name for a configuration.
+pub(crate) fn kernel_name(ablation: Ablation) -> &'static str {
+    match (ablation.smbd, ablation.async_pipe) {
+        (true, true) => "spinfer_spmm",
+        (false, true) => "spinfer_spmm_no_smbd",
+        (true, false) => "spinfer_spmm_no_asyncpipe",
+        (false, false) => "spinfer_spmm_no_smbd_no_asyncpipe",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::fault::{FaultInjector, FaultPlan};
+    use gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, DenseMatrix, ValueDist};
+    use gpu_sim::trace::TraceSink;
+
+    fn check_correct(m: usize, k: usize, n: usize, sparsity: f64, config: SpmmConfig) {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(m, k, sparsity, ValueDist::Uniform, 100);
+        let x = random_dense(k, n, ValueDist::Uniform, 101);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm { config };
+        let run = kernel.run(&spec, &enc, &x);
+        let out = run.output.as_ref().expect("functional path returns output");
+        let reference = w.matmul_ref(&x);
+        let err = max_abs_diff(out, &reference);
+        assert!(err < 0.5, "max err {err} for {m}x{k}x{n} s={sparsity}");
+        assert!(run.time_us() > 0.0);
+    }
+
+    #[test]
+    fn correct_at_various_sparsities() {
+        for &s in &[0.0, 0.3, 0.5, 0.7, 0.9] {
+            check_correct(128, 128, 16, s, SpmmConfig::default());
+        }
+    }
+
+    #[test]
+    fn correct_small_n() {
+        check_correct(64, 128, 8, 0.5, SpmmConfig::default());
+    }
+
+    #[test]
+    fn correct_wide_n_multiple_tiles() {
+        check_correct(64, 64, 64, 0.5, SpmmConfig::default());
+    }
+
+    #[test]
+    fn correct_unaligned_dims() {
+        check_correct(100, 72, 12, 0.5, SpmmConfig::default());
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_phases_sum_to_launch_time() {
+        use gpu_sim::trace::EventKind;
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 256, 0.6, ValueDist::Uniform, 42);
+        let x = random_dense(256, 16, ValueDist::Uniform, 43);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm {
+            config: SpmmConfig {
+                split_k: 2, // exercise the reduction span
+                ..SpmmConfig::default()
+            },
+        };
+        let plain = kernel.run(&spec, &enc, &x);
+        let sink = TraceSink::new();
+        let traced = kernel.run_traced(&spec, &enc, &x, &sink);
+
+        // Attaching a sink must not perturb output, counters, or time.
+        assert_eq!(plain.output, traced.output);
+        assert_eq!(
+            plain.chain.merged_counters(),
+            traced.chain.merged_counters()
+        );
+        assert_eq!(plain.time_us().to_bits(), traced.time_us().to_bits());
+
+        let t = sink.finish();
+        assert!(!t.events.is_empty());
+        // All spans have non-negative durations; cat:"phase" spans sum to
+        // the chain's simulated time (main launch + reduction).
+        let phase_sum: f64 = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span && e.cat == "phase")
+            .map(|e| {
+                assert!(e.dur_us >= 0.0);
+                e.dur_us
+            })
+            .sum();
+        let total = traced.time_us();
+        assert!(
+            (phase_sum - total).abs() <= 0.01 * total,
+            "phase sum {phase_sum} vs simulated {total}"
+        );
+        // Every kernel phase shows up, plus the reduction span.
+        for name in [
+            "stream_w",
+            "stream_x",
+            "smbd_decode",
+            "mma",
+            "epilogue",
+            "reduction",
+        ] {
+            assert!(t.phase_total_us(name) > 0.0, "missing phase {name}");
+        }
+        // Flow events pair up (one start, one end per id).
+        let mut starts = std::collections::BTreeMap::new();
+        let mut ends = std::collections::BTreeMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::FlowStart => *starts.entry(e.flow_id).or_insert(0u32) += 1,
+                EventKind::FlowEnd => *ends.entry(e.flow_id).or_insert(0u32) += 1,
+                _ => {}
+            }
+        }
+        assert!(!starts.is_empty());
+        assert_eq!(starts, ends);
+        assert!(starts.values().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn correct_with_explicit_split_k() {
+        let cfg = SpmmConfig {
+            split_k: 2,
+            ..SpmmConfig::default()
+        };
+        check_correct(64, 256, 16, 0.5, cfg);
+    }
+
+    #[test]
+    fn correct_without_smbd() {
+        let cfg = SpmmConfig {
+            ablation: Ablation {
+                smbd: false,
+                async_pipe: true,
+            },
+            ..SpmmConfig::default()
+        };
+        check_correct(128, 128, 16, 0.5, cfg);
+    }
+
+    #[test]
+    fn correct_without_async_pipe() {
+        let cfg = SpmmConfig {
+            ablation: Ablation {
+                smbd: true,
+                async_pipe: false,
+            },
+            ..SpmmConfig::default()
+        };
+        check_correct(128, 128, 16, 0.5, cfg);
+    }
+
+    #[test]
+    fn checked_run_with_no_faults_is_bit_identical_to_golden() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 110);
+        let x = random_dense(128, 16, ValueDist::Uniform, 111);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let golden = kernel.run(&spec, &enc, &x);
+        let unarmed = FaultInjector::new(FaultPlan::default());
+        for fault in [None, Some(&unarmed)] {
+            let checked = kernel
+                .run_checked(&spec, &enc, &x, fault)
+                .expect("clean container, clean run");
+            assert_eq!(checked.output, golden.output, "bit-identical output");
+            assert_eq!(
+                checked.chain.launches[0].counters, golden.chain.launches[0].counters,
+                "bit-identical counters"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_run_detects_recovers_and_stays_correct_under_injection() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 112);
+        let x = random_dense(128, 16, ValueDist::Uniform, 113);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let inj = FaultInjector::new(FaultPlan::uniform(77, 0.02));
+        let run = kernel
+            .run_checked(&spec, &enc, &x, Some(&inj))
+            .expect("default policy always recovers or falls back");
+        let out = run.output.as_ref().expect("functional output");
+        assert!(
+            out.iter().all(|v| v.is_finite()),
+            "detected corruption must never escape as NaN/Inf"
+        );
+        let c = &run.chain.launches[0].counters;
+        assert!(c.faults_injected > 0, "2% over many sites must fire");
+        assert!(c.faults_detected > 0, "injected faults must be detected");
+        assert!(
+            c.faults_recovered + c.fault_fallbacks > 0,
+            "every detection resolves by retry or fallback"
+        );
+        let reference = w.matmul_ref(&x);
+        let err = max_abs_diff(out, &reference);
+        assert!(err < 0.5, "recovered product must be correct, err {err}");
+    }
+
+    #[test]
+    fn checked_run_seeded_injection_is_deterministic() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 114);
+        let x = random_dense(128, 16, ValueDist::Uniform, 115);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let inj = FaultInjector::new(FaultPlan::uniform(31, 0.03));
+        let a = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        let b = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        assert_eq!(a.output, b.output, "same seed, same output");
+        assert_eq!(
+            a.chain.launches[0].counters, b.chain.launches[0].counters,
+            "same seed, same fault sites and counters"
+        );
+        assert!(a.chain.launches[0].counters.faults_injected > 0);
+    }
+
+    #[test]
+    fn checked_run_exhausted_budget_without_fallback_is_a_typed_error() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 116);
+        let x = random_dense(128, 16, ValueDist::Uniform, 117);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        // Rate 1.0 on one GroupTile: every reload re-corrupts.
+        let plan = FaultPlan {
+            only_gtile: Some(0),
+            ..FaultPlan::uniform(5, 1.0)
+        };
+        let inj = FaultInjector::new(plan);
+        let policy = FaultPolicy {
+            max_attempts: 2,
+            fallback: false,
+        };
+        let err = kernel
+            .run_checked_with(&spec, &enc, &x, Some(&inj), policy)
+            .expect_err("unrecoverable corruption must surface");
+        assert!(
+            matches!(err, crate::error::SpinferError::Kernel(_)),
+            "typed kernel error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checked_run_falls_back_to_reference_product_when_retries_exhaust() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 118);
+        let x = random_dense(128, 16, ValueDist::Uniform, 119);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let plan = FaultPlan {
+            only_gtile: Some(0),
+            ..FaultPlan::uniform(5, 1.0)
+        };
+        let inj = FaultInjector::new(plan);
+        let policy = FaultPolicy {
+            max_attempts: 2,
+            fallback: true,
+        };
+        let run = kernel
+            .run_checked_with(&spec, &enc, &x, Some(&inj), policy)
+            .expect("fallback path completes the run");
+        let c = &run.chain.launches[0].counters;
+        assert!(c.fault_fallbacks > 0, "budget exhaustion must fall back");
+        let out = run.output.as_ref().unwrap();
+        assert!(out.iter().all(|v| v.is_finite()));
+        let reference = w.matmul_ref(&x);
+        let err = max_abs_diff(out, &reference);
+        assert!(err < 0.5, "fallback product must be correct, err {err}");
+    }
+
+    #[test]
+    fn checked_run_poison_only_recovers_through_decode_retry() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 120);
+        let x = random_dense(128, 16, ValueDist::Uniform, 121);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let plan = FaultPlan {
+            fp16_poison_rate: 0.10,
+            seed: 21,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let run = kernel.run_checked(&spec, &enc, &x, Some(&inj)).unwrap();
+        let c = &run.chain.launches[0].counters;
+        assert!(c.faults_detected > 0, "poison must be caught by D3");
+        assert!(c.faults_recovered + c.fault_fallbacks > 0);
+        let out = run.output.as_ref().unwrap();
+        assert!(out.iter().all(|v| v.is_finite()), "no poison escapes");
+        let reference = w.matmul_ref(&x);
+        assert!(max_abs_diff(out, &reference) < 0.5);
+    }
+
+    #[test]
+    fn checked_run_rejects_dimension_mismatch_and_corrupt_container() {
+        use crate::error::SpinferError;
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(64, 64, 0.5, ValueDist::Uniform, 122);
+        let x = random_dense(64, 8, ValueDist::Uniform, 123);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let bad_x = random_dense(32, 8, ValueDist::Uniform, 124);
+        assert!(matches!(
+            kernel.run_checked(&spec, &enc, &bad_x, None),
+            Err(SpinferError::DimensionMismatch { .. })
+        ));
+        let mut corrupt = enc.clone();
+        corrupt.nnz += 1;
+        assert!(matches!(
+            kernel.run_checked(&spec, &corrupt, &x, None),
+            Err(SpinferError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn launch_ctx_composes_tracing_with_the_checked_path() {
+        use gpu_sim::trace::EventKind;
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.5, ValueDist::Uniform, 130);
+        let x = random_dense(128, 16, ValueDist::Uniform, 131);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let policy = FaultPolicy::default();
+        let inj = FaultInjector::new(FaultPlan::uniform(77, 0.02));
+        let sink = TraceSink::new();
+        let ctx = LaunchCtx::new(&spec)
+            .with_fault(&inj)
+            .with_policy(&policy)
+            .with_sink(&sink);
+        let run = kernel
+            .launch(&ctx, &enc, &x)
+            .expect("default policy recovers or falls back");
+        // The checked machinery fired AND the trace captured phases —
+        // a composition no pre-LaunchCtx entry point offered.
+        assert!(run.chain.launches[0].counters.faults_detected > 0);
+        let t = sink.finish();
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Span && e.cat == "phase"));
+        let reference = w.matmul_ref(&x);
+        assert!(max_abs_diff(run.output.as_ref().unwrap(), &reference) < 0.5);
+    }
+
+    #[test]
+    fn trait_run_matches_inherent_run_bit_identically() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 140);
+        let x = random_dense(128, 16, ValueDist::Uniform, 141);
+        let kernel = SpinferSpmm::new();
+        let enc = TcaBme::encode(&w);
+        let inherent = kernel.run(&spec, &enc, &x);
+        // Fully-qualified call: the trait's default `run` encodes then
+        // launches through a bare LaunchCtx.
+        let via_trait = SpmmKernel::run(&kernel, &spec, &w, &x);
+        assert_eq!(inherent.output, via_trait.output);
+        assert_eq!(
+            inherent.chain.merged_counters(),
+            via_trait.chain.merged_counters()
+        );
+        assert_eq!(inherent.time_us().to_bits(), via_trait.time_us().to_bits());
+    }
+
+    #[test]
+    fn dyn_kernel_erases_and_launches_the_same_product() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(64, 64, 0.5, ValueDist::Uniform, 150);
+        let x = random_dense(64, 8, ValueDist::Uniform, 151);
+        let kernel = SpinferSpmm::new();
+        let direct = kernel.run(&spec, &TcaBme::encode(&w), &x);
+        let dynk = DynSpmmKernel::new(kernel);
+        assert_eq!(dynk.name(), "SpInfer");
+        assert_eq!(dynk.format_key(), "tca-bme");
+        let enc = dynk.encode(&w);
+        assert_eq!(enc.format_key(), "tca-bme");
+        let run = dynk
+            .launch(&LaunchCtx::new(&spec), &enc, &x)
+            .expect("golden path");
+        assert_eq!(run.output, direct.output);
+        assert_eq!(run.chain.merged_counters(), direct.chain.merged_counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects format")]
+    fn dyn_kernel_rejects_foreign_encodings() {
+        let x = random_dense(64, 8, ValueDist::Uniform, 153);
+        let spec = GpuSpec::rtx4090();
+        let dynk = DynSpmmKernel::new(SpinferSpmm::new());
+        // A DynEncoded carrying the wrong payload type must be refused
+        // loudly, not silently mis-decoded.
+        let foreign = DynEncoded::new("dense", DenseMatrix::zeros(64, 64));
+        let _ = dynk.launch(&LaunchCtx::new(&spec), &foreign, &x);
+    }
+
+    #[test]
+    fn decode_cell_matches_decode() {
+        let w = random_sparse(128, 192, 0.6, ValueDist::Uniform, 102);
+        let enc = TcaBme::encode(&w);
+        for r in (0..128).step_by(7) {
+            for c in (0..192).step_by(11) {
+                assert_eq!(enc.decode_cell(r, c), w.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_matches_functional_counters() {
+        let spec = GpuSpec::rtx4090();
+        let w = random_sparse(512, 512, 0.5, ValueDist::Uniform, 103);
+        let x = random_dense(512, 16, ValueDist::Uniform, 104);
+        let enc = TcaBme::encode(&w);
+        let kernel = SpinferSpmm::new();
+        let run = kernel.run(&spec, &enc, &x);
+        let est = kernel.estimate(&spec, &FormatStats::from_encoded(&enc), 16);
+        let cf = run.chain.launches[0].counters.clone();
+        let ce = est.chain.launches[0].counters.clone();
+        let close = |a: u64, b: u64, tol: f64, what: &str| {
+            let rel = (a as f64 - b as f64).abs() / (b as f64).max(1.0);
+            assert!(rel < tol, "{what}: functional {a} vs estimate {b}");
+        };
+        // Compare post-L2 DRAM bytes: the functional path records raw X
+        // traffic and discounts at timing; the estimate caps it up front.
+        close(
+            run.chain.launches[0].timing.dram_bytes,
+            est.chain.launches[0].timing.dram_bytes,
+            0.05,
+            "dram_bytes",
+        );
+        close(cf.mma_insts, ce.mma_insts, 0.01, "mma");
+        close(cf.cuda_int_insts, ce.cuda_int_insts, 0.05, "int");
+        close(
+            cf.smem_load_transactions,
+            ce.smem_load_transactions,
+            0.15,
+            "smem_loads",
+        );
+        // Times within 10%.
+        let tf = run.time_us();
+        let te = est.time_us();
+        assert!((tf - te).abs() / tf < 0.10, "time {tf} vs {te}");
+    }
+
+    #[test]
+    fn synthetic_stats_match_encoded() {
+        let w = random_sparse(1024, 1024, 0.6, ValueDist::Uniform, 105);
+        let enc = TcaBme::encode(&w);
+        let real = FormatStats::from_encoded(&enc);
+        let synth = FormatStats::synthetic(1024, 1024, 0.6);
+        let rel = |a: usize, b: usize| (a as f64 - b as f64).abs() / b as f64;
+        assert!(rel(synth.nnz, real.nnz) < 0.02);
+        assert!(rel(synth.values_len, real.values_len) < 0.02);
+        assert!((synth.nonempty_bt_fraction - real.nonempty_bt_fraction).abs() < 0.01);
+    }
+
+    #[test]
+    fn ablation_slows_the_kernel() {
+        let spec = GpuSpec::rtx4090();
+        let stats = FormatStats::synthetic(4096, 4096, 0.5);
+        let full = SpinferSpmm::new().estimate(&spec, &stats, 16);
+        let no_smbd = SpinferSpmm::with_ablation(Ablation {
+            smbd: false,
+            async_pipe: true,
+        })
+        .estimate(&spec, &stats, 16);
+        let no_async = SpinferSpmm::with_ablation(Ablation {
+            smbd: true,
+            async_pipe: false,
+        })
+        .estimate(&spec, &stats, 16);
+        assert!(
+            no_smbd.time_us() > full.time_us(),
+            "-SMBD {} vs full {}",
+            no_smbd.time_us(),
+            full.time_us()
+        );
+        assert!(
+            no_async.time_us() > full.time_us(),
+            "-AsyncPipe {} vs full {}",
+            no_async.time_us(),
+            full.time_us()
+        );
+        // SMBD matters more than the pipeline (Table 1's ordering).
+        assert!(no_smbd.time_us() > no_async.time_us());
+    }
+
+    #[test]
+    fn split_k_auto_fills_device() {
+        let spec = GpuSpec::rtx4090();
+        // M=1024 -> 16 block rows only; split-K must kick in.
+        let stats = FormatStats::synthetic(1024, 8192, 0.5);
+        let kernel = SpinferSpmm::new();
+        let geo = kernel.geometry(&spec, &stats, 16);
+        assert!(geo.split_k > 1, "split_k {}", geo.split_k);
+        assert!(geo.grid_blocks >= u64::from(spec.sm_count));
+    }
+
+    #[test]
+    fn memory_bound_speedup_tracks_compression_ratio() {
+        // In the decode regime, time should scale ~ with stored bytes.
+        let spec = GpuSpec::rtx4090();
+        let t50 = SpinferSpmm::new()
+            .estimate(&spec, &FormatStats::synthetic(8192, 8192, 0.5), 16)
+            .time_us();
+        let t70 = SpinferSpmm::new()
+            .estimate(&spec, &FormatStats::synthetic(8192, 8192, 0.7), 16)
+            .time_us();
+        assert!(t70 < t50);
+        let ratio = t50 / t70;
+        assert!(ratio > 1.2 && ratio < 1.8, "ratio {ratio}");
+    }
+}

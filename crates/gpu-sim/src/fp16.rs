@@ -118,7 +118,7 @@ impl Half {
     ///
     /// This is a table lookup: the conversion is a pure function of the
     /// 16-bit pattern, so all 65536 results are precomputed at compile
-    /// time ([`F16_TO_F32`]) and the hot path is one indexed load. The
+    /// time (`F16_TO_F32`) and the hot path is one indexed load. The
     /// functional simulator calls this twice per simulated
     /// multiply-accumulate, which made the bit-level decode the single
     /// hottest operation in figure-scale sweeps.
@@ -128,7 +128,7 @@ impl Half {
     }
 
     /// Bit-level `f16 → f32` conversion — the reference implementation
-    /// the [`F16_TO_F32`] table is generated from. Kept public so tests
+    /// the `F16_TO_F32` table is generated from. Kept public so tests
     /// can exhaustively verify the table against first principles.
     pub const fn to_f32_bitwise(self) -> f32 {
         f32::from_bits(f16_to_f32_bits(self.0))
@@ -160,7 +160,7 @@ impl Half {
 }
 
 /// Bit-level widening of an f16 pattern to the equivalent f32 pattern.
-/// `const` so the [`F16_TO_F32`] table can be built at compile time.
+/// `const` so the `F16_TO_F32` table can be built at compile time.
 const fn f16_to_f32_bits(h: u16) -> u32 {
     let sign = (h as u32 & 0x8000) << 16;
     let exp = ((h >> 10) & 0x1F) as i32;
@@ -278,7 +278,7 @@ pub fn unpack_f16x2(reg: u32) -> (Half, Half) {
 }
 
 /// Unpacks a `.f16x2` register image straight to `(lo, hi)` as `f32` —
-/// two [`F16_TO_F32`] lookups, the form the decode-once mma fragment
+/// two `F16_TO_F32` lookups, the form the decode-once mma fragment
 /// views consume.
 #[inline]
 pub fn unpack_f16x2_f32(reg: u32) -> (f32, f32) {

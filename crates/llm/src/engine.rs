@@ -14,6 +14,8 @@ use crate::frameworks::Framework;
 use crate::memory::{footprint, MemoryReport};
 use crate::parallel::layer_comm_sec;
 use gpu_sim::spec::GpuSpec;
+use gpu_sim::trace::{pids, TraceEvent};
+use spinfer_core::spmm::LaunchCtx;
 
 /// Fraction of peak DRAM bandwidth decode attention kernels achieve.
 const MHA_BW_EFF: f64 = 0.7;
@@ -129,6 +131,16 @@ pub fn decode_overhead_sec(
 /// assert!(report.tokens_per_sec > 100.0);
 /// ```
 pub fn simulate(spec: &GpuSpec, cfg: &InferenceConfig) -> InferenceReport {
+    simulate_ctx(&LaunchCtx::new(spec), cfg)
+}
+
+/// [`simulate`] against a capability bundle: the scenario's phases are
+/// recorded as `prefill` / `decode` spans (simulation clock, seconds →
+/// trace µs) when the context carries a trace sink. A bare context
+/// reproduces [`simulate`] bit-identically — the report never depends
+/// on what is attached.
+pub fn simulate_ctx(ctx: &LaunchCtx<'_>, cfg: &InferenceConfig) -> InferenceReport {
+    let spec = ctx.spec;
     assert!(cfg.tp >= 1 && cfg.batch >= 1 && cfg.output_len >= 1);
     let model = &cfg.model;
     let total_len = cfg.input_len + cfg.output_len;
@@ -201,6 +213,27 @@ pub fn simulate(spec: &GpuSpec, cfg: &InferenceConfig) -> InferenceReport {
     let prefill_sec = lin_prefill + mha_prefill + comm_prefill + other_prefill;
 
     let total_sec = prefill_sec + decode_sec;
+    if let Some(sink) = ctx.sink {
+        let track = (pids::SERVING, 1);
+        sink.name_track(track, "inference sim (sim µs)", "engine");
+        sink.record(TraceEvent::span(
+            track,
+            "prefill",
+            "phase",
+            0.0,
+            prefill_sec * 1e6,
+        ));
+        sink.record(
+            TraceEvent::span(
+                track,
+                "decode",
+                "phase",
+                prefill_sec * 1e6,
+                decode_sec * 1e6,
+            )
+            .with_arg("steps", cfg.output_len as f64),
+        );
+    }
     let breakdown = Breakdown {
         linear: lin_prefill + cfg.output_len as f64 * lin_step,
         mha: mha_prefill + mha_decode_total,
@@ -332,6 +365,30 @@ mod tests {
             "dense 66B needs >2 A6000s: {} GiB",
             ft.memory.total_gib()
         );
+    }
+
+    #[test]
+    fn simulate_ctx_traces_without_perturbing_the_report() {
+        use gpu_sim::trace::TraceSink;
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 16, 1, 128);
+        let plain = simulate(&spec, &c);
+        let sink = TraceSink::new();
+        let traced = simulate_ctx(&LaunchCtx::new(&spec).with_sink(&sink), &c);
+        assert_eq!(plain.total_sec.to_bits(), traced.total_sec.to_bits());
+        assert_eq!(
+            plain.tokens_per_sec.to_bits(),
+            traced.tokens_per_sec.to_bits()
+        );
+        let t = sink.finish();
+        assert!(t.phase_names("phase").contains(&"prefill"));
+        assert!(t.phase_names("phase").contains(&"decode"));
+        // The two phase spans tile the scenario: decode starts where
+        // prefill ends and the pair sums to the total wall time.
+        let spans: Vec<_> = t.events.iter().filter(|e| e.dur_us > 0.0).collect();
+        assert_eq!(spans.len(), 2);
+        let total: f64 = spans.iter().map(|e| e.dur_us).sum();
+        assert!((total - plain.total_sec * 1e6).abs() < 1e-6 * plain.total_sec * 1e6);
     }
 
     #[test]

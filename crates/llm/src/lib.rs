@@ -23,6 +23,6 @@ pub mod serving;
 
 pub use breakdown::Breakdown;
 pub use config::{LayerMatrix, ModelConfig};
-pub use engine::{simulate, InferenceConfig, InferenceReport};
+pub use engine::{simulate, simulate_ctx, InferenceConfig, InferenceReport};
 pub use frameworks::Framework;
 pub use memory::{footprint, MemoryReport};

@@ -3,7 +3,7 @@
 //! The paper's decode evaluation runs batch sizes 8–32: every sequence
 //! advances one token per step and the linear layers see an
 //! `h × batch` activation tile. [`BatchGenerator`] reproduces that over
-//! the single-sequence [`Generator`]s' machinery: one simulated kernel
+//! the single-sequence [`Generator`](crate::model::forward::Generator)s' machinery: one simulated kernel
 //! launch per layer per step for the whole batch (amortising weight
 //! reads exactly as the real kernels do), with per-sequence KV caches
 //! and greedy sampling.
@@ -14,6 +14,7 @@ use crate::model::ops::{argmax, gelu, layernorm, silu, softmax_inplace, to_half_
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::kernels::CublasGemm;
+use spinfer_core::spmm::SpmmKernel;
 
 /// Batched autoregressive generator.
 pub struct BatchGenerator<'a> {

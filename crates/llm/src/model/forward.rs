@@ -17,6 +17,7 @@ use crate::model::weights::{SparseTransformerWeights, TransformerWeights};
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::kernels::CublasGemm;
+use spinfer_core::spmm::SpmmKernel;
 use spinfer_core::SpMMHandle;
 
 /// Accumulated simulated-device telemetry for a generation run.

@@ -16,6 +16,7 @@ use crate::frameworks::Framework;
 use crate::memory::footprint;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::trace::{pids, TraceEvent, TraceSink};
+use spinfer_core::spmm::LaunchCtx;
 use spinfer_obs::metrics::percentile_sorted;
 use std::collections::HashMap;
 
@@ -168,7 +169,7 @@ impl ServingReport {
 ///
 /// Panics if the model cannot serve even one request on this deployment.
 pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
-    serve_with(spec, cfg, None)
+    serve_ctx(&LaunchCtx::new(spec), cfg)
 }
 
 /// [`serve`] with optional span recording: each prefill admission and
@@ -180,7 +181,25 @@ pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
 ///
 /// Panics if the model cannot serve even one request on this deployment.
 pub fn serve_with(spec: &GpuSpec, cfg: &ServingConfig, sink: Option<&TraceSink>) -> ServingReport {
+    let mut ctx = LaunchCtx::new(spec);
+    if let Some(sink) = sink {
+        ctx = ctx.with_sink(sink);
+    }
+    serve_ctx(&ctx, cfg)
+}
+
+/// The one serving loop behind [`serve`] and [`serve_with`]: the
+/// capability bundle arrives as a [`LaunchCtx`], so serve-time tracing
+/// (and any future seam the context grows) composes without another
+/// `serve_*` variant. A bare context reproduces `serve` bit-identically.
+///
+/// # Panics
+///
+/// Panics if the model cannot serve even one request on this deployment.
+pub fn serve_ctx(ctx: &LaunchCtx<'_>, cfg: &ServingConfig) -> ServingReport {
     const ENGINE: (u32, u32) = (pids::SERVING, 0);
+    let spec = ctx.spec;
+    let sink = ctx.sink;
     let mut spans: Vec<TraceEvent> = Vec::new();
     let mem_cap = memory_concurrency_cap(spec, cfg);
     assert!(
@@ -471,6 +490,26 @@ mod tests {
             memory_concurrency_cap(&spec, &c),
             linear_cap_oracle(&spec, &c)
         );
+    }
+
+    #[test]
+    fn serve_ctx_is_the_one_body_behind_both_wrappers() {
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 2.0);
+        let plain = serve(&spec, &c);
+        let via_ctx = serve_ctx(&LaunchCtx::new(&spec), &c);
+        assert_eq!(plain.completed, via_ctx.completed);
+        assert_eq!(
+            plain.tokens_per_sec.to_bits(),
+            via_ctx.tokens_per_sec.to_bits()
+        );
+        // A sink attached through the context records the same spans as
+        // the `serve_with` wrapper.
+        let s1 = gpu_sim::trace::TraceSink::new();
+        let s2 = gpu_sim::trace::TraceSink::new();
+        serve_with(&spec, &c, Some(&s1));
+        serve_ctx(&LaunchCtx::new(&spec).with_sink(&s2), &c);
+        assert_eq!(s1.finish().events.len(), s2.finish().events.len());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example prune_and_serve`
 
 use spinfer_suite::baselines::kernels::{CublasGemm, FlashLlmSpmm, FlashLlmStats};
+use spinfer_suite::core::spmm::SpmmKernel;
 use spinfer_suite::core::SpMMHandle;
 use spinfer_suite::gpu_sim::matrix::{random_dense, ValueDist};
 use spinfer_suite::gpu_sim::GpuSpec;

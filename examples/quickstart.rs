@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use spinfer_suite::baselines::CublasGemm;
+use spinfer_suite::core::spmm::SpmmKernel;
 use spinfer_suite::core::SpMMHandle;
 use spinfer_suite::gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, ValueDist};
 use spinfer_suite::gpu_sim::GpuSpec;

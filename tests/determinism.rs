@@ -13,6 +13,7 @@ use gpu_sim::GpuSpec;
 use spinfer_baselines::kernels::{CublasGemm, CusparseSpmm, FlashLlmSpmm, SputnikSpmm};
 use spinfer_bench::sweep::{run_functional, EncodeCache, SweepPoint};
 use spinfer_bench::{KernelKind, HERO_K, HERO_M};
+use spinfer_core::spmm::SpmmKernel;
 use spinfer_core::{SpinferSpmm, TcaBme};
 
 // Captured by `cargo run --release --bin golden`.

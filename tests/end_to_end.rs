@@ -1,6 +1,7 @@
 //! Cross-crate integration: prune → encode → simulated SpMM → serve.
 
 use spinfer_suite::baselines::kernels::{CublasGemm, FlashLlmSpmm, SputnikSpmm};
+use spinfer_suite::core::spmm::SpmmKernel;
 use spinfer_suite::core::SpMMHandle;
 use spinfer_suite::gpu_sim::matrix::{max_abs_diff, random_dense, ValueDist};
 use spinfer_suite::gpu_sim::GpuSpec;

@@ -1,0 +1,87 @@
+//! `SpmmKernel` trait conformance, pinned for every registry entry.
+//!
+//! The contract (see `spinfer_core::spmm::SpmmKernel`):
+//!
+//! 1. `run(spec, w, x)` ≡ `encode` + `launch` on a bare [`LaunchCtx`],
+//!    bit-identically — output bits, per-launch counter digests, and
+//!    simulated-time bits.
+//! 2. Results are bit-identical at any host job count (1 vs 8 here).
+//! 3. Attaching a trace sink is output-neutral and actually records
+//!    events.
+//! 4. A kernel's own encoding passes its `validate`.
+//!
+//! Everything runs inside one `#[test]` body: `exec::set_jobs` is
+//! process-global, so the job sweep must not interleave with another
+//! test thread in this binary.
+
+use gpu_sim::exec;
+use gpu_sim::matrix::{checksum_f32, random_dense, random_sparse, ValueDist};
+use gpu_sim::trace::TraceSink;
+use gpu_sim::GpuSpec;
+use spinfer_baselines::registry;
+use spinfer_core::spmm::{LaunchCtx, SpmmRun};
+
+/// The complete observable signature of one run: output checksum plus,
+/// per launch, (kernel name, counter digest, simulated-time bits).
+fn signature(run: &SpmmRun) -> (u64, Vec<(String, u64, u64)>) {
+    let out = checksum_f32(run.output.as_ref().expect("functional output"));
+    let launches = run
+        .chain
+        .launches
+        .iter()
+        .map(|l| (l.name.clone(), l.counters.digest(), l.time_us().to_bits()))
+        .collect();
+    (out, launches)
+}
+
+#[test]
+fn every_registered_kernel_honors_the_contract() {
+    let spec = GpuSpec::rtx4090();
+    let (m, k, n) = (128usize, 128usize, 16usize);
+    let w = random_sparse(m, k, 0.6, ValueDist::Uniform, 2024);
+    let x = random_dense(k, n, ValueDist::Uniform, 2025);
+
+    let kernels = registry();
+    assert!(kernels.len() >= 7, "registry lost kernels");
+    for kernel in kernels {
+        let name = kernel.name();
+
+        // Reference signature at the default job count.
+        exec::set_jobs(0);
+        let reference = signature(&kernel.run(&spec, &w, &x));
+
+        // A kernel's own encoding validates, and `run` decomposes into
+        // `encode` + `launch` on a bare context with the same bits.
+        let enc = kernel.encode(&w);
+        kernel
+            .validate(&enc)
+            .unwrap_or_else(|e| panic!("{name}: own encoding must validate: {e}"));
+        let launched = kernel
+            .launch(&LaunchCtx::new(&spec), &enc, &x)
+            .unwrap_or_else(|e| panic!("{name}: bare-context launch failed: {e}"));
+        assert_eq!(
+            signature(&launched),
+            reference,
+            "{name}: run vs encode+launch"
+        );
+
+        // Job-count invariance, and trace-sink neutrality at each job
+        // count: the traced signature must equal the untraced reference.
+        for jobs in [1usize, 8] {
+            exec::set_jobs(jobs);
+            let run = kernel.run(&spec, &w, &x);
+            assert_eq!(signature(&run), reference, "{name}: jobs={jobs}");
+
+            let sink = TraceSink::new();
+            let traced = kernel
+                .launch(&LaunchCtx::new(&spec).with_sink(&sink), &enc, &x)
+                .unwrap_or_else(|e| panic!("{name}: traced launch failed: {e}"));
+            assert_eq!(signature(&traced), reference, "{name}: traced, jobs={jobs}");
+            assert!(
+                !sink.finish().events.is_empty(),
+                "{name}: trace sink recorded nothing at jobs={jobs}"
+            );
+        }
+        exec::set_jobs(0);
+    }
+}

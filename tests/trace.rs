@@ -20,6 +20,7 @@ use gpu_sim::exec;
 use gpu_sim::matrix::{random_dense, random_sparse, ValueDist};
 use gpu_sim::trace::TraceSink;
 use gpu_sim::GpuSpec;
+use spinfer_core::spmm::LaunchCtx;
 use spinfer_core::{SpinferSpmm, SpmmConfig, TcaBme};
 use std::sync::Arc;
 
@@ -100,4 +101,34 @@ fn trace_streams_are_job_count_invariant_and_side_effect_free() {
         "validator total {} vs trace total {in_memory}",
         stats.phase_total_us
     );
+}
+
+/// Every registered kernel — not just SpInfer — emits a valid Chrome
+/// trace through a `LaunchCtx` sink, and its `cat:"phase"` spans
+/// account for the launch chain's simulated time (baselines get one
+/// `launch` span per chain entry from `emit_chain_trace`).
+#[test]
+fn every_registered_kernel_emits_a_valid_trace() {
+    let spec = GpuSpec::rtx4090();
+    let w = random_sparse(128, 128, 0.6, ValueDist::Uniform, 17);
+    let x = random_dense(128, 16, ValueDist::Uniform, 18);
+    for kernel in spinfer_baselines::registry() {
+        let name = kernel.name();
+        let enc = kernel.encode(&w);
+        let sink = TraceSink::new();
+        let run = kernel
+            .launch(&LaunchCtx::new(&spec).with_sink(&sink), &enc, &x)
+            .unwrap_or_else(|e| panic!("{name}: traced launch failed: {e}"));
+        let json = spinfer_obs::export(&sink.finish());
+        let stats = spinfer_obs::validate(&json)
+            .unwrap_or_else(|e| panic!("{name}: emitted trace is invalid: {e}"));
+        assert!(stats.spans > 0, "{name}: no spans recorded");
+        let sim_us = run.time_us();
+        let rel = (stats.phase_total_us - sim_us).abs() / sim_us.max(1e-9);
+        assert!(
+            rel < 0.01,
+            "{name}: phase spans sum to {} us, chain simulated {sim_us} us",
+            stats.phase_total_us
+        );
+    }
 }
