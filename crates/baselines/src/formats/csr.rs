@@ -92,20 +92,23 @@ impl Csr {
         assert_eq!(x.rows(), self.k);
         let n = x.cols();
         let x_f32 = x.to_f32_vec();
+        let v_f32 = gpu_sim::fp16::f16_to_f32_vec(&self.values);
         let mut out = vec![0.0f32; self.m * n];
-        self.spmm_ref_rows(&x_f32, n, 0..self.m, &mut out);
+        self.spmm_ref_rows(&v_f32, &x_f32, n, 0..self.m, &mut out);
         out
     }
 
     /// Serial inner loop for output rows `rows`, writing into `out`
     /// (densely packed from the first requested row). `x_f32` is the
-    /// pre-converted activation matrix with `n` columns — hoisting both
-    /// the per-element `f16 → f32` conversion and the X row slicing out
-    /// of the per-nonzero loop. Shared by [`Csr::spmm_ref`] and
+    /// pre-converted activation matrix with `n` columns and `v_f32` the
+    /// pre-converted nonzero values — hoisting every per-element
+    /// `f16 → f32` conversion and the X row slicing out of the
+    /// per-nonzero loop. Shared by [`Csr::spmm_ref`] and
     /// [`Csr::par_spmm_ref`] so accumulation order is identical by
     /// construction at every job count.
     fn spmm_ref_rows(
         &self,
+        v_f32: &[f32],
         x_f32: &[f32],
         n: usize,
         rows: std::ops::Range<usize>,
@@ -114,10 +117,9 @@ impl Csr {
         let r0 = rows.start;
         for r in rows {
             let out_row = &mut out[(r - r0) * n..(r - r0 + 1) * n];
-            for i in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
-                let v = self.values[i].to_f32();
-                let c = self.col_idx[i] as usize;
-                let x_row = &x_f32[c * n..(c + 1) * n];
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for (&v, &c) in v_f32[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                let x_row = &x_f32[c as usize * n..(c as usize + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(x_row) {
                     *o += v * b;
                 }
@@ -128,15 +130,16 @@ impl Csr {
     /// [`Csr::spmm_ref`] fanned across host cores via
     /// [`gpu_sim::exec`]: each worker computes a contiguous band of
     /// output rows with the serial per-row loop (one shared pre-converted
-    /// X read by all workers), so the result is bit-identical to
-    /// `spmm_ref` at any job count.
+    /// X and value buffer read by all workers), so the result is
+    /// bit-identical to `spmm_ref` at any job count.
     pub fn par_spmm_ref(&self, x: &DenseMatrix) -> Vec<f32> {
         assert_eq!(x.rows(), self.k);
         let n = x.cols();
         let x_f32 = x.to_f32_vec();
+        let v_f32 = gpu_sim::fp16::f16_to_f32_vec(&self.values);
         let bands = gpu_sim::exec::par_chunks(self.m, |rows| {
             let mut band = vec![0.0f32; rows.len() * n];
-            self.spmm_ref_rows(&x_f32, n, rows, &mut band);
+            self.spmm_ref_rows(&v_f32, &x_f32, n, rows, &mut band);
             band
         });
         bands.concat()

@@ -1,0 +1,194 @@
+//! Microbenchmarks for the SpMM wall-clock hot path: the vectorized
+//! `mma` MAC panels, the set-bit-sweep SMBD decode, and the batched
+//! FP16 → f32 LUT conversion — each next to its retained scalar oracle,
+//! so a regression in either the fast path or the price of keeping the
+//! oracle shows up here before it shows up in `spinfer snapshot`.
+//!
+//! The `simd` feature selects the explicit-SIMD MAC panel; run both
+//! ways to compare:
+//!
+//! ```text
+//! cargo bench -p spinfer-bench --bench hotpath
+//! cargo bench -p spinfer-bench --bench hotpath --features gpu-sim/simd
+//! ```
+//!
+//! Setting `SPINFER_BENCH_SMOKE=1` drops to two samples per benchmark —
+//! the CI smoke mode that only proves the harness runs.
+
+use criterion::{criterion_main, Criterion};
+use gpu_sim::fp16::{f16_to_f32_slice, Half};
+use gpu_sim::matrix::{random_sparse, ValueDist};
+use gpu_sim::tensor_core::{
+    mma_m16n8k16_bslice, mma_m16n8k16_bslice_ntiles, mma_m16n8k16_bslice_scalar, mma_m16n8k16_f32,
+    mma_m16n8k16_f32_scalar, simd_active, FragC, MAX_NTILES, MMA_K, MMA_M, MMA_N,
+};
+use gpu_sim::Counters;
+use spinfer_core::smbd::{decode_bitmap_tile_scalar, decode_tctile_f32};
+use spinfer_core::TcaBme;
+use std::hint::black_box;
+
+/// Deterministic pseudo-random f32 in [-1, 1) from SplitMix64.
+fn mix(state: &mut u64) -> f32 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+}
+
+fn a_tile(seed: u64) -> [[f32; MMA_K]; MMA_M] {
+    let mut s = seed;
+    let mut a = [[0.0f32; MMA_K]; MMA_M];
+    for row in a.iter_mut() {
+        for v in row.iter_mut() {
+            *v = mix(&mut s);
+        }
+    }
+    a
+}
+
+fn b_buf(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = seed;
+    (0..len).map(|_| mix(&mut s)).collect()
+}
+
+fn bench_mma(c: &mut Criterion) {
+    let a = a_tile(1);
+    let b = b_buf(2, MMA_K * MMA_N);
+    let mut b2 = [[0.0f32; MMA_N]; MMA_K];
+    for (k, row) in b2.iter_mut().enumerate() {
+        row.copy_from_slice(&b[k * MMA_N..(k + 1) * MMA_N]);
+    }
+    let mut g = c.benchmark_group(if simd_active() {
+        "mma(simd)"
+    } else {
+        "mma(flat)"
+    });
+    g.bench_function("m16n8k16_f32", |bench| {
+        let mut counters = Counters::new();
+        let mut acc = FragC::zero();
+        bench.iter(|| mma_m16n8k16_f32(&mut counters, black_box(&a), black_box(&b2), &mut acc));
+    });
+    g.bench_function("m16n8k16_f32_scalar", |bench| {
+        let mut counters = Counters::new();
+        let mut acc = FragC::zero();
+        bench.iter(|| {
+            mma_m16n8k16_f32_scalar(&mut counters, black_box(&a), black_box(&b2), &mut acc)
+        });
+    });
+
+    // The bslice pair at the SpMM launch's widest tile: ld spans the
+    // full 128-column X window the batched call sweeps in one pass.
+    let ld = MAX_NTILES * MMA_N;
+    let bw = b_buf(3, MMA_K * ld);
+    g.bench_function("m16n8k16_bslice", |bench| {
+        let mut counters = Counters::new();
+        let mut acc = FragC::zero();
+        bench.iter(|| {
+            mma_m16n8k16_bslice(&mut counters, black_box(&a), black_box(&bw), ld, &mut acc)
+        });
+    });
+    g.bench_function("m16n8k16_bslice_scalar", |bench| {
+        let mut counters = Counters::new();
+        let mut acc = FragC::zero();
+        bench.iter(|| {
+            mma_m16n8k16_bslice_scalar(&mut counters, black_box(&a), black_box(&bw), ld, &mut acc)
+        });
+    });
+    g.bench_function("bslice_ntiles16_batched", |bench| {
+        let mut counters = Counters::new();
+        let mut accs = vec![FragC::zero(); MAX_NTILES];
+        bench.iter(|| {
+            mma_m16n8k16_bslice_ntiles(&mut counters, black_box(&a), black_box(&bw), ld, &mut accs)
+        });
+    });
+    g.bench_function("bslice_ntiles16_per_tile", |bench| {
+        let mut counters = Counters::new();
+        let mut accs = vec![FragC::zero(); MAX_NTILES];
+        bench.iter(|| {
+            for (j, acc) in accs.iter_mut().enumerate() {
+                mma_m16n8k16_bslice(
+                    &mut counters,
+                    black_box(&a),
+                    black_box(&bw[j * MMA_N..]),
+                    ld,
+                    acc,
+                );
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_smbd(c: &mut Criterion) {
+    let w = random_sparse(16, 16, 0.6, ValueDist::Uniform, 4);
+    let enc = TcaBme::encode(&w);
+    let bitmaps: [u64; 4] = enc.bitmaps[0..4].try_into().unwrap();
+    let mut g = c.benchmark_group("smbd");
+    g.bench_function("decode_tctile_f32_sweep", |bench| {
+        let mut counters = Counters::new();
+        bench.iter(|| {
+            black_box(decode_tctile_f32(
+                &mut counters,
+                &bitmaps,
+                &enc.values,
+                0,
+                0,
+            ))
+        });
+    });
+    g.bench_function("decode_tctile_scalar_oracle", |bench| {
+        let mut counters = Counters::new();
+        bench.iter(|| {
+            let mut offset = 0usize;
+            for &bm in &bitmaps {
+                let regs =
+                    decode_bitmap_tile_scalar(&mut counters, bm, &enc.values, offset, 0, None, 0)
+                        .expect("in bounds");
+                black_box(regs);
+                offset += bm.count_ones() as usize;
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_fp16(c: &mut Criterion) {
+    // One GroupTile column of X at the hero shape: 64 rows × 16 cols.
+    let src: Vec<Half> = (0..1024)
+        .map(|i| Half::from_f32(i as f32 * 0.125))
+        .collect();
+    let mut dst = vec![0.0f32; src.len()];
+    let mut g = c.benchmark_group("fp16");
+    g.bench_function("f16_to_f32_slice_1k", |bench| {
+        bench.iter(|| f16_to_f32_slice(black_box(&src), black_box(&mut dst)));
+    });
+    g.bench_function("f16_to_f32_per_element_1k", |bench| {
+        bench.iter(|| {
+            for (d, h) in dst.iter_mut().zip(black_box(&src)) {
+                *d = h.to_f32();
+            }
+        });
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    let mut c = Criterion::default();
+    // CI smoke mode: prove the harness runs without paying for samples.
+    if std::env::var_os("SPINFER_BENCH_SMOKE").is_some() {
+        c.sample_size(2);
+    } else {
+        c.sample_size(200);
+    }
+    c
+}
+
+pub fn benches() {
+    let mut criterion = configured();
+    bench_mma(&mut criterion);
+    bench_smbd(&mut criterion);
+    bench_fp16(&mut criterion);
+}
+criterion_main!(benches);

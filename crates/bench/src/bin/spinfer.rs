@@ -8,8 +8,13 @@
 //! spinfer tune <M> <K> <N> <sparsity> [--gpu G]     autotune the SpInfer kernel
 //! spinfer serve <MODEL> <FW> <TP> <BATCH> <OUT>     end-to-end serving simulation
 //! spinfer generate [TOKENS]                         run the tiny functional model
-//! spinfer snapshot [M K N sparsity] [--gpu G] [--out FILE]
-//!                                                   perf snapshot → BENCH_kernels.json
+//! spinfer snapshot [M K N sparsity] [--gpu G] [--out FILE] [--budget FILE]
+//!                                                   perf snapshot → BENCH_kernels.json;
+//!                                                   overwriting --out FILE appends the
+//!                                                   old measurement to its history;
+//!                                                   --budget fails if the new jobs-1
+//!                                                   wall-clock exceeds the baseline
+//!                                                   file's by more than 25%
 //! spinfer faults <M> <K> <N> <sparsity> [--rate R] [--seed S] [--gpu G]
 //!                                                   fault-injection smoke: run the
 //!                                                   checked kernel under a seeded
@@ -603,10 +608,33 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
         "snapshot: {}x{}x{} s={} on {} (functional run at --jobs 1 and default jobs)",
         cfg.m, cfg.k, cfg.n, cfg.sparsity, spec.name
     );
-    let snap = spinfer_bench::snapshot::measure(&spec, &cfg);
-    let json = snap.to_json();
+    let mut snap = spinfer_bench::snapshot::measure(&spec, &cfg);
+    if let Some(budget_path) = flag_value(args, "--budget") {
+        let baseline = std::fs::read_to_string(budget_path)
+            .map_err(|e| format!("read budget baseline {budget_path}: {e}"))?;
+        let base = spinfer_bench::snapshot::jobs1_of(&baseline)
+            .ok_or_else(|| format!("{budget_path}: no wall_clock_s.spinfer_functional_jobs1"))?;
+        let limit = base * 1.25;
+        if snap.spinfer_functional_jobs1_s > limit {
+            return Err(format!(
+                "wall-clock budget exceeded: jobs-1 functional run took {:.3}s, \
+                 over 1.25x the {base:.3}s baseline in {budget_path} ({limit:.3}s)",
+                snap.spinfer_functional_jobs1_s
+            ));
+        }
+        eprintln!(
+            "budget ok: jobs1 {:.3}s <= 1.25x baseline {base:.3}s",
+            snap.spinfer_functional_jobs1_s
+        );
+    }
     match flag_value(args, "--out") {
         Some(path) => {
+            // Overwriting an existing snapshot appends its latest
+            // measurement to the history chain instead of losing it.
+            if let Ok(prev) = std::fs::read_to_string(path) {
+                snap.history = spinfer_bench::snapshot::carry_history(&prev);
+            }
+            let json = snap.to_json();
             std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
             eprintln!(
                 "wrote {path} (jobs1 {:.3}s, default({}) {:.3}s)",
@@ -615,7 +643,7 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
                 snap.spinfer_functional_default_s
             );
         }
-        None => print!("{json}"),
+        None => print!("{}", snap.to_json()),
     }
     Ok(())
 }

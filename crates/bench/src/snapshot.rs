@@ -16,7 +16,9 @@
 //! The snapshot is emitted as JSON (no external serializer — the format
 //! is flat) by `spinfer snapshot` and `scripts/bench_snapshot.sh`, and
 //! the committed `BENCH_kernels.json` forms the perf trajectory across
-//! PRs.
+//! PRs: rewriting the file *appends* the previous measurement (git rev +
+//! wall-clock map) to a `history` array instead of discarding it, so
+//! the trajectory reads straight out of one file.
 
 use crate::sweep::{EncodeCache, SweepPoint};
 use crate::{KernelKind, HERO_K, HERO_M};
@@ -53,6 +55,17 @@ impl Default for SnapshotConfig {
     }
 }
 
+/// One prior measurement carried forward in a snapshot's `history`
+/// array: which commit it was taken at and its wall-clock map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// Short git rev the entry was measured at (`"unknown"` outside a
+    /// git checkout).
+    pub rev: String,
+    /// `(label, seconds)` pairs of the entry's `wall_clock_s` object.
+    pub wall_clock: Vec<(String, f64)>,
+}
+
 /// One measured snapshot.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
@@ -60,6 +73,11 @@ pub struct Snapshot {
     pub config: SnapshotConfig,
     /// GPU spec name the simulated times refer to.
     pub gpu: String,
+    /// Short git rev at measurement time (`"unknown"` outside git).
+    pub rev: String,
+    /// Prior measurements, oldest first; extend with [`carry_history`]
+    /// before overwriting an existing snapshot file.
+    pub history: Vec<HistoryEntry>,
     /// Default host job count at measurement time.
     pub default_jobs: usize,
     /// Seconds to generate the weight matrix and X.
@@ -144,6 +162,8 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
     Snapshot {
         config: *cfg,
         gpu: spec.name.to_string(),
+        rev: git_short_rev(),
+        history: Vec::new(),
         default_jobs,
         gen_s,
         encode_s,
@@ -160,8 +180,9 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"spinfer-bench-snapshot/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"spinfer-bench-snapshot/v2\",");
         let _ = writeln!(s, "  \"gpu\": \"{}\",", self.gpu);
+        let _ = writeln!(s, "  \"rev\": \"{}\",", self.rev);
         let _ = writeln!(
             s,
             "  \"shape\": {{ \"m\": {}, \"k\": {}, \"n\": {}, \"sparsity\": {}, \"seed\": {} }},",
@@ -201,10 +222,103 @@ impl Snapshot {
             };
             let _ = writeln!(s, "    \"{label}\": {us:.3}{comma}");
         }
-        let _ = writeln!(s, "  }}");
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"history\": [");
+        for (i, entry) in self.history.iter().enumerate() {
+            let mut wc = String::new();
+            for (j, (label, secs)) in entry.wall_clock.iter().enumerate() {
+                let comma = if j + 1 == entry.wall_clock.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                let _ = write!(wc, "\"{label}\": {secs:.3}{comma}");
+            }
+            let comma = if i + 1 == self.history.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{ \"rev\": \"{}\", \"wall_clock_s\": {{ {wc} }} }}{comma}",
+                entry.rev
+            );
+        }
+        let _ = writeln!(s, "  ]");
         s.push_str("}\n");
         s
     }
+}
+
+/// Short git rev of the working tree, or `"unknown"` when git (or the
+/// repository) is unavailable — snapshots must still measure outside a
+/// checkout.
+pub fn git_short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Parses a previously written snapshot JSON and returns its history
+/// extended with its own latest measurement — what a new snapshot
+/// overwriting the same file should carry so no data point is lost.
+/// Tolerant of pre-`v2` files (no `rev`/`history`: the old latest is
+/// carried as rev `"unknown"`) and of unparseable input (empty
+/// history).
+pub fn carry_history(prev_json: &str) -> Vec<HistoryEntry> {
+    let Ok(prev) = spinfer_obs::json::parse(prev_json) else {
+        return Vec::new();
+    };
+    let wall_clock_of = |v: &spinfer_obs::json::Value| -> Vec<(String, f64)> {
+        v.get("wall_clock_s")
+            .and_then(|w| {
+                w.as_obj()
+                    .map(<[(String, spinfer_obs::json::Value)]>::to_vec)
+            })
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|(label, val)| val.as_f64().map(|f| (label.clone(), f)))
+            .collect()
+    };
+    let mut history: Vec<HistoryEntry> = prev
+        .get("history")
+        .and_then(|h| h.as_arr().map(<[spinfer_obs::json::Value]>::to_vec))
+        .unwrap_or_default()
+        .iter()
+        .map(|entry| HistoryEntry {
+            rev: entry
+                .get("rev")
+                .and_then(|r| r.as_str())
+                .unwrap_or("unknown")
+                .to_string(),
+            wall_clock: wall_clock_of(entry),
+        })
+        .collect();
+    let latest = HistoryEntry {
+        rev: prev
+            .get("rev")
+            .and_then(|r| r.as_str())
+            .unwrap_or("unknown")
+            .to_string(),
+        wall_clock: wall_clock_of(&prev),
+    };
+    if !latest.wall_clock.is_empty() {
+        history.push(latest);
+    }
+    history
+}
+
+/// Extracts `wall_clock_s.spinfer_functional_jobs1` from a snapshot
+/// JSON — the number perf budgets compare against.
+pub fn jobs1_of(json: &str) -> Option<f64> {
+    spinfer_obs::json::parse(json)
+        .ok()?
+        .get("wall_clock_s")?
+        .get("spinfer_functional_jobs1")?
+        .as_f64()
 }
 
 #[cfg(test)]
@@ -229,5 +343,68 @@ mod tests {
         assert!(json.contains("\"spinfer_functional_jobs1\""));
         assert!(json.contains("\"cuBLAS_TC\""));
         assert!(json.contains("output_checksum"));
+        assert!(json.contains("\"rev\""));
+        assert!(json.contains("\"history\""));
+        assert!(jobs1_of(&json).is_some());
+    }
+
+    #[test]
+    fn history_accumulates_across_rewrites() {
+        // Overwriting a snapshot file must carry the old latest entry
+        // (and everything already in its history) forward.
+        let mut snap = Snapshot {
+            config: SnapshotConfig::default(),
+            gpu: "RTX4090".to_string(),
+            rev: "aaa1111".to_string(),
+            history: Vec::new(),
+            default_jobs: 1,
+            gen_s: 1.0,
+            encode_s: 2.0,
+            spinfer_functional_jobs1_s: 6.5,
+            spinfer_functional_default_s: 6.6,
+            output_checksum: 0x1234,
+            spinfer_simulated_us: 100.0,
+            simulated_us: vec![("SpInfer", 100.0)],
+        };
+        let first = snap.to_json();
+
+        snap.rev = "bbb2222".to_string();
+        snap.spinfer_functional_jobs1_s = 2.0;
+        snap.history = carry_history(&first);
+        assert_eq!(snap.history.len(), 1);
+        assert_eq!(snap.history[0].rev, "aaa1111");
+        let jobs1: Vec<f64> = snap.history[0]
+            .wall_clock
+            .iter()
+            .filter(|(l, _)| l == "spinfer_functional_jobs1")
+            .map(|&(_, s)| s)
+            .collect();
+        assert_eq!(jobs1, vec![6.5]);
+
+        let second = snap.to_json();
+        let carried = carry_history(&second);
+        assert_eq!(carried.len(), 2, "history chain must keep growing");
+        assert_eq!(carried[0].rev, "aaa1111");
+        assert_eq!(carried[1].rev, "bbb2222");
+        assert_eq!(jobs1_of(&second), Some(2.0));
+    }
+
+    #[test]
+    fn carry_history_tolerates_v1_and_garbage() {
+        // Pre-history files have no rev: the latest is carried as
+        // "unknown". Unparseable input yields an empty history.
+        let v1 = r#"{
+            "schema": "spinfer-bench-snapshot/v1",
+            "wall_clock_s": { "spinfer_functional_jobs1": 6.501 }
+        }"#;
+        let carried = carry_history(v1);
+        assert_eq!(carried.len(), 1);
+        assert_eq!(carried[0].rev, "unknown");
+        assert_eq!(
+            carried[0].wall_clock,
+            vec![("spinfer_functional_jobs1".to_string(), 6.501)]
+        );
+        assert!(carry_history("not json").is_empty());
+        assert!(carry_history("{}").is_empty());
     }
 }

@@ -21,9 +21,11 @@
 use gpu_sim::bitops::{masked_popc64, popc64, test_bit};
 use gpu_sim::counters::Counters;
 use gpu_sim::fault::FaultInjector;
-use gpu_sim::fp16::{pack_f16x2, Half};
-use gpu_sim::shared_memory::{warp_smem_load, warp_smem_load_f};
-use gpu_sim::tensor_core::FragA;
+use gpu_sim::fp16::{f16_to_f32_slice, pack_f16x2, Half};
+use gpu_sim::shared_memory::{
+    warp_smem_broadcast_load, warp_smem_gather_load_f, warp_smem_load, warp_smem_load_f, BANK_WORD,
+};
+use gpu_sim::tensor_core::{lane_quadrant_coords, FragA, QUAD_ORIGINS};
 
 /// A decode invariant violated at runtime — the typed form of what the
 /// unchecked decode would do by panicking (overrun) or silently
@@ -88,6 +90,158 @@ pub fn decode_bitmap_tile(
 /// repeat across tiles and cannot serve as keys).
 #[allow(clippy::too_many_arguments)]
 pub fn decode_bitmap_tile_f(
+    counters: &mut Counters,
+    bitmap: u64,
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<[u32; 32], DecodeFault> {
+    let (a0, a1) = decode_bitmap_tile_halves_f(
+        counters,
+        bitmap,
+        values,
+        base,
+        values_smem_base,
+        fault,
+        site_key,
+    )?;
+    let mut regs = [0u32; 32];
+    for lane in 0..32 {
+        regs[lane] = pack_f16x2(a0[lane], a1[lane]);
+    }
+    Ok(regs)
+}
+
+/// The single decode implementation, returning the per-lane `(a0, a1)`
+/// halves before any register packing — so callers that want `f32` rows
+/// skip the pack/unpack round-trip entirely.
+///
+/// The inner loop is a *set-bit sweep*: iterate the bitmap's set bits in
+/// ascending position with a running rank instead of testing all 64 bit
+/// positions per tile. The rank of bit `2l` equals
+/// `masked_popc64(bitmap, 2l)` and the rank of bit `2l + 1` equals the
+/// Phase I count plus the `a0` advance, so every value index, gather
+/// address, and active-lane list is identical to the branchy per-lane
+/// formulation ([`decode_bitmap_tile_scalar`] retains it; the proptest
+/// suite pins them equal). Counter writes — broadcast, per-phase integer
+/// instructions, gated gathers — are byte-for-byte the original
+/// sequence; the broadcast and gathers go through the span-based
+/// shared-memory entry points, which are themselves pinned equal to the
+/// address-array forms, so no per-lane address arrays are built on this
+/// path. Each phase's gather addresses ascend with the sweep, so its
+/// word span is fully determined by the first and last active value
+/// index.
+#[allow(clippy::too_many_arguments)]
+fn decode_bitmap_tile_halves_f(
+    counters: &mut Counters,
+    bitmap: u64,
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<([Half; 32], [Half; 32]), DecodeFault> {
+    let need = base + popc64(bitmap) as usize;
+    if need > values.len() {
+        return Err(DecodeFault::Overrun {
+            needed: need,
+            available: values.len(),
+        });
+    }
+
+    // Bitmap broadcast load: every lane reads the same 8-byte word.
+    warp_smem_broadcast_load(counters, 8);
+
+    // One sweep over the set bits resolves both phases: even bits are
+    // Phase I (`a0`, lane = pos/2), odd bits Phase II (`a1`). Bits come
+    // out in ascending position, so each phase's active-lane list is
+    // built in the same ascending-lane order the per-lane loops produce
+    // and its first/last value index bound the gather's word span.
+    let mut a0 = [Half::ZERO; 32];
+    let mut a1 = [Half::ZERO; 32];
+    let mut phase1_lanes = [0usize; 32];
+    let mut phase1_active = 0usize;
+    let (mut p1_lo, mut p1_hi) = (0usize, 0usize);
+    let mut phase2_lanes = [0usize; 32];
+    let mut phase2_active = 0usize;
+    let (mut p2_lo, mut p2_hi) = (0usize, 0usize);
+    let mut bm = bitmap;
+    let mut rank = 0usize;
+    while bm != 0 {
+        let pos = bm.trailing_zeros() as usize;
+        let lane = pos >> 1;
+        let idx = base + rank;
+        if pos & 1 == 0 {
+            a0[lane] = values[idx];
+            if phase1_active == 0 {
+                p1_lo = idx;
+            }
+            p1_hi = idx;
+            phase1_lanes[phase1_active] = lane;
+            phase1_active += 1;
+        } else {
+            a1[lane] = values[idx];
+            if phase2_active == 0 {
+                p2_lo = idx;
+            }
+            p2_hi = idx;
+            phase2_lanes[phase2_active] = lane;
+            phase2_active += 1;
+        }
+        rank += 1;
+        bm &= bm - 1;
+    }
+
+    // Word span of a phase's 2-byte gather: first word of the lowest
+    // address to last word of the highest — the same bounds
+    // `analyze_warp_access` derives from the full address array.
+    let word_span = |lo: usize, hi: usize| {
+        let first = (values_smem_base + lo as u64 * 2) / BANK_WORD;
+        let last = (values_smem_base + hi as u64 * 2 + 1) / BANK_WORD;
+        last - first
+    };
+
+    counters.cuda_int_insts += INT_INSTS_PHASE1 + INT_INSTS_BASE;
+    counters.insts_issued += INT_INSTS_PHASE1 + INT_INSTS_BASE;
+    if phase1_active > 0 {
+        if let Some((sel, poison)) = warp_smem_gather_load_f(
+            counters,
+            word_span(p1_lo, p1_hi),
+            phase1_active as u32,
+            fault,
+            site_key ^ 0x5048_3141,
+        ) {
+            a0[phase1_lanes[sel]] = poison;
+        }
+    }
+
+    counters.cuda_int_insts += INT_INSTS_PHASE2;
+    counters.insts_issued += INT_INSTS_PHASE2;
+    if phase2_active > 0 {
+        if let Some((sel, poison)) = warp_smem_gather_load_f(
+            counters,
+            word_span(p2_lo, p2_hi),
+            phase2_active as u32,
+            fault,
+            site_key ^ 0x5048_3242,
+        ) {
+            a1[phase2_lanes[sel]] = poison;
+        }
+    }
+
+    Ok((a0, a1))
+}
+
+/// Retained scalar oracle of [`decode_bitmap_tile_f`]: the
+/// pre-vectorization per-lane formulation — a `MaskedPopCount` and bit
+/// test for all 32 lanes per phase, exactly Algorithm 2 as written —
+/// kept as the independent definition the set-bit sweep is
+/// proptest-pinned against (`tests/simd_equiv.rs`). Identical counter
+/// writes, registers, and fault sites.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_bitmap_tile_scalar(
     counters: &mut Counters,
     bitmap: u64,
     values: &[Half],
@@ -231,8 +385,55 @@ pub fn decode_tctile_f32(
     base: usize,
     values_smem_base: u64,
 ) -> ([[f32; 16]; 16], usize) {
-    let (frag, consumed) = decode_tctile(counters, bitmaps, values, base, values_smem_base);
-    (frag.to_f32_rows(), consumed)
+    decode_tctile_rows_f(counters, bitmaps, values, base, values_smem_base, None, 0).expect(
+        "SMBD TCTile decode overran the GroupTile value buffer — bitmap \
+         population exceeds the encoded value span (corrupted bitmap?)",
+    )
+}
+
+/// Decodes a TCTile's four quadrants straight into `f32` rows, skipping
+/// the `.f16x2` pack/unpack round-trip of the fragment path: each
+/// quadrant's `(a0, a1)` halves are batch-converted through the FP16
+/// LUT ([`gpu_sim::fp16::f16_to_f32_slice`]) and scattered to their row
+/// coordinates. Packing to a register and unpacking via the same LUT is
+/// lossless, and absent lanes hold `Half::ZERO` (→ `+0.0`), so the rows
+/// are bit-identical to `decode_tctile_f(..).to_f32_rows()` — with the
+/// exact same counter and fault-site stream.
+#[allow(clippy::too_many_arguments)]
+fn decode_tctile_rows_f(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    values: &[Half],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<([[f32; 16]; 16], usize), DecodeFault> {
+    let mut rows = [[0.0f32; 16]; 16];
+    let mut offset = base;
+    for (reg, &bm) in bitmaps.iter().enumerate() {
+        let (a0, a1) = decode_bitmap_tile_halves_f(
+            counters,
+            bm,
+            values,
+            offset,
+            values_smem_base,
+            fault,
+            site_key.wrapping_add((reg as u64 + 1) << 48),
+        )?;
+        let mut f0 = [0.0f32; 32];
+        let mut f1 = [0.0f32; 32];
+        f16_to_f32_slice(&a0, &mut f0);
+        f16_to_f32_slice(&a1, &mut f1);
+        let (dr, dc) = QUAD_ORIGINS[reg];
+        for lane in 0..32 {
+            let (qr, qc) = lane_quadrant_coords(lane);
+            rows[qr + dr][qc + dc] = f0[lane];
+            rows[qr + dr][qc + dc + 1] = f1[lane];
+        }
+        offset += popc64(bm) as usize;
+    }
+    Ok((rows, offset - base))
 }
 
 /// Checked [`decode_tctile_f32`]: non-panicking on overruns, optional
@@ -248,7 +449,7 @@ pub fn decode_tctile_f32_checked(
     fault: Option<&FaultInjector>,
     site_key: u64,
 ) -> Result<([[f32; 16]; 16], usize), DecodeFault> {
-    let (frag, consumed) = decode_tctile_f(
+    let (rows, consumed) = decode_tctile_rows_f(
         counters,
         bitmaps,
         values,
@@ -257,7 +458,6 @@ pub fn decode_tctile_f32_checked(
         fault,
         site_key,
     )?;
-    let rows = frag.to_f32_rows();
     if rows.iter().flatten().any(|v| !v.is_finite()) {
         return Err(DecodeFault::NonFinite);
     }
@@ -489,6 +689,26 @@ mod tests {
             decode_tctile_f32(&mut Counters::new(), &bitmaps, &values, 0, 0);
         assert_eq!(rows, golden_rows);
         assert_eq!(consumed, golden_consumed);
+    }
+
+    #[test]
+    fn set_bit_sweep_matches_scalar_oracle() {
+        // The sweep decode must reproduce the retained per-lane oracle
+        // bitwise — registers and counters — across sparsity levels
+        // including empty and dense tiles (proptest widens this in
+        // tests/simd_equiv.rs).
+        for (i, &s) in [1.0, 0.9, 0.6, 0.3, 0.0].iter().enumerate() {
+            let tile = random_sparse(8, 8, s, ValueDist::Uniform, 86 + i as u64);
+            let (bm, vals) = encode_bt(&tile);
+            let mut c_sweep = Counters::new();
+            let sweep =
+                decode_bitmap_tile_f(&mut c_sweep, bm, &vals, 0, 64, None, 5).expect("in bounds");
+            let mut c_oracle = Counters::new();
+            let oracle = decode_bitmap_tile_scalar(&mut c_oracle, bm, &vals, 0, 64, None, 5)
+                .expect("in bounds");
+            assert_eq!(sweep, oracle, "sparsity {s}");
+            assert_eq!(c_sweep, c_oracle, "sparsity {s}: counter stream drifted");
+        }
     }
 
     #[test]

@@ -17,11 +17,11 @@ use crate::tca_bme::{checksum_gtile, TcaBme, TT_DIM};
 use gpu_sim::bitops::popc64;
 use gpu_sim::counters::Counters;
 use gpu_sim::fault::{flip_bit_u16, flip_bit_u64, CommitFault, FaultInjector};
-use gpu_sim::fp16::Half;
+use gpu_sim::fp16::{f16_to_f32_slice, Half};
 use gpu_sim::global::{warp_global_store, warp_ldgsts, warp_ldgsts_f, VAddr};
 use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::shared_memory::warp_ldsm_x4;
-use gpu_sim::tensor_core::{mma_m16n8k16_bslice, FragC, MMA_K};
+use gpu_sim::tensor_core::{mma_m16n8k16_bslice_ntiles, FragC, MAX_NTILES, MMA_K};
 use gpu_sim::trace::attribution_weight;
 
 use super::traced::{BlockTracer, TracePhase};
@@ -53,6 +53,28 @@ pub(crate) struct CheckedState<'a> {
     pub(crate) policy: FaultPolicy,
 }
 
+/// Reusable per-worker buffers for [`SpinferSpmm::run_block`], hoisted
+/// out of the launch's N/split loops so a worker allocates once and
+/// every block invocation runs allocation-free: the per-warp
+/// accumulators (flat, `warps × n8`), the decode-once `f32` X tile, the
+/// GroupTile shared-memory image under injection, and the per-TCTile
+/// value-offset prefix (`tc_base[tc] = Σ popc64` of preceding bitmaps,
+/// computed once per GroupTile instead of once per warp × TCTile).
+#[derive(Default)]
+pub(crate) struct BlockScratch {
+    accs: Vec<FragC>,
+    xf: Vec<f32>,
+    bms_img: Vec<u64>,
+    vals_img: Vec<Half>,
+    tc_base: Vec<usize>,
+}
+
+impl BlockScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl SpinferSpmm {
     /// One thread block's work: all GroupTiles in `at.gx0..at.gx1` for
     /// block row `at.gty` and N tile starting at `at.n0`.
@@ -73,6 +95,7 @@ impl SpinferSpmm {
         counters: &mut Counters,
         x_counters: &mut Counters,
         workspace: &mut [f32],
+        scratch: &mut BlockScratch,
         geo: &Geometry,
         at: &BlockGrid,
         bases: &BlockBases,
@@ -98,24 +121,28 @@ impl SpinferSpmm {
             t.sync(counters, x_counters);
         }
 
-        // Per-warp accumulators: warp = TCTile row strip.
-        let mut accs: Vec<Vec<FragC>> = (0..geo.warps)
-            .map(|_| (0..n8).map(|_| FragC::zero()).collect())
-            .collect();
+        // Per-warp accumulators (warp = TCTile row strip), flat
+        // `warps × n8` in the worker-scoped scratch — reset here, but
+        // only (re)allocated on the first block a worker runs.
+        let BlockScratch {
+            accs,
+            xf,
+            bms_img,
+            vals_img,
+            tc_base,
+        } = scratch;
+        accs.clear();
+        accs.resize(geo.warps * n8, FragC::zero());
 
         // Decode-once X tile: the `gt_cols × tile_n` activation window
         // every warp of this block multiplies, converted to `f32` once
         // per GroupTile column. All warps and all N-blocks stride into
-        // this buffer directly (`mma_m16n8k16_bslice`), replacing the
-        // per-mma `FragB` build that re-decoded each X element
+        // this buffer directly (`mma_m16n8k16_bslice_ntiles`), replacing
+        // the per-mma `FragB` build that re-decoded each X element
         // `warps × 2` times. Out-of-range rows/columns are zero,
         // exactly as the fragment path's predicated accessor produced.
-        let mut xf = vec![0.0f32; cfg.gt_cols * geo.tile_n];
-
-        // Local shared-memory image of the GroupTile under injection;
-        // reused across iterations to stay allocation-free per tile.
-        let mut bms_img: Vec<u64> = Vec::new();
-        let mut vals_img: Vec<Half> = Vec::new();
+        xf.clear();
+        xf.resize(cfg.gt_cols * geo.tile_n, 0.0);
 
         // Algorithm 1's cp.async discipline: two independent commit groups
         // per iteration (bitmap+sparse, then dense), retired in order with
@@ -123,6 +150,7 @@ impl SpinferSpmm {
         // Core consumes the X fragments. Data moves eagerly in the
         // functional simulator; the tracker verifies the ordering.
         let mut cp_async = gpu_sim::async_copy::AsyncCopyState::new();
+        let xh = x.as_slice();
         for gtx in gx0..gx1 {
             let gt = w.gt_index(gty, gtx);
             let pristine_vals = w.gtile_values(gt);
@@ -143,15 +171,15 @@ impl SpinferSpmm {
                 pristine_vals,
                 bm_addr,
                 val_addr,
-                &mut bms_img,
-                &mut vals_img,
+                bms_img,
+                vals_img,
             );
             cp_async.issue();
             // Bitmap + sparse values group.
             apply_commit_fault(
                 cp_async.commit_group_f(counters, inject, bm_addr),
-                &mut bms_img,
-                &mut vals_img,
+                bms_img,
+                vals_img,
                 inject.is_some(),
             );
             if let Some(t) = tracer.as_deref_mut() {
@@ -190,15 +218,16 @@ impl SpinferSpmm {
                 t.phase(TracePhase::StreamX, counters, x_counters);
             }
 
-            // Fill the decode-once X tile for this GroupTile column.
+            // Fill the decode-once X tile for this GroupTile column:
+            // one batch LUT sweep per in-range row, zero-filled tails
+            // for padding rows/columns.
             for kk in 0..cfg.gt_cols {
                 let kr = gtx * cfg.gt_cols + kk;
                 let row = &mut xf[kk * geo.tile_n..(kk + 1) * geo.tile_n];
-                if kr < x.rows() {
-                    for (nn, slot) in row.iter_mut().enumerate() {
-                        let nc = n0 + nn;
-                        *slot = if nc < n { x.get(kr, nc).to_f32() } else { 0.0 };
-                    }
+                let take = geo.tile_n.min(n.saturating_sub(n0));
+                if kr < x.rows() && take > 0 {
+                    f16_to_f32_slice(&xh[kr * n + n0..kr * n + n0 + take], &mut row[..take]);
+                    row[take..].fill(0.0);
                 } else {
                     row.fill(0.0);
                 }
@@ -211,7 +240,7 @@ impl SpinferSpmm {
                 let mut attempt: u32 = 0;
                 verified = loop {
                     attempt += 1;
-                    if checksum_gtile(&bms_img, &vals_img) == expected {
+                    if checksum_gtile(bms_img, vals_img) == expected {
                         if attempt > 1 {
                             counters.faults_recovered += 1;
                         }
@@ -232,14 +261,14 @@ impl SpinferSpmm {
                         pristine_vals,
                         bm_addr,
                         val_addr,
-                        &mut bms_img,
-                        &mut vals_img,
+                        bms_img,
+                        vals_img,
                     );
                     cp_async.issue();
                     apply_commit_fault(
                         cp_async.commit_group_f(counters, Some(&inj_r), bm_addr),
-                        &mut bms_img,
-                        &mut vals_img,
+                        bms_img,
+                        vals_img,
                         true,
                     );
                     cp_async.wait_group(0);
@@ -257,7 +286,7 @@ impl SpinferSpmm {
                 // but guaranteed correct — nothing from the corrupted
                 // image reaches the accumulators.
                 counters.fault_fallbacks += 1;
-                fallback_gtile_product(cfg, pristine_bms, pristine_vals, &xf, geo, &mut accs);
+                fallback_gtile_product(cfg, pristine_bms, pristine_vals, xf, geo, accs, n8);
                 cp_async.wait_group(0);
                 counters.barriers += 1;
                 if let Some(t) = tracer.as_deref_mut() {
@@ -273,10 +302,20 @@ impl SpinferSpmm {
                 continue;
             }
             let (bms, vals): (&[u64], &[Half]) = if inject.is_some() {
-                (&bms_img, &vals_img)
+                (bms_img, vals_img)
             } else {
                 (pristine_bms, pristine_vals)
             };
+
+            // Per-TCTile base offsets into the value buffer: one prefix
+            // scan per GroupTile, replacing the popcount sum every
+            // warp × TCTile iteration used to recompute.
+            tc_base.clear();
+            let mut running = 0usize;
+            for tc_bms in bms.chunks_exact(4) {
+                tc_base.push(running);
+                running += tc_bms.iter().map(|&b| popc64(b) as usize).sum::<usize>();
+            }
 
             // --- 2. WTile decoding, 4./5. fragment loads + Tensor Cores
             //        (checked arms: D2, D3) ---
@@ -290,8 +329,9 @@ impl SpinferSpmm {
                 let tty = warp % tt_rows;
                 for ttx in 0..tt_cols {
                     let tc_idx = ttx * tt_rows + tty;
-                    // Base offset: popcounts of preceding TCTiles.
-                    let base: usize = bms[..tc_idx * 4].iter().map(|&b| popc64(b) as usize).sum();
+                    // Base offset: popcounts of preceding TCTiles,
+                    // prefix-scanned once per GroupTile above.
+                    let base = tc_base[tc_idx];
                     let tc_bms: [u64; 4] = bms[tc_idx * 4..tc_idx * 4 + 4].try_into().expect(
                         "TCTile bitmap slice must hold exactly 4 BitmapTiles: gtile_bitmaps \
                          returns bts_per_gt() words, a multiple of BTS_PER_TT = 4",
@@ -334,7 +374,14 @@ impl SpinferSpmm {
                         dec_w += now - wmark;
                         wmark = now;
                     }
-                    self.mma_row(counters, &xf, geo, ttx, &a_rows, &mut accs[warp]);
+                    self.mma_row(
+                        counters,
+                        xf,
+                        geo,
+                        ttx,
+                        &a_rows,
+                        &mut accs[warp * n8..(warp + 1) * n8],
+                    );
                     if trace_on {
                         mma_w += attribution_weight(counters) - wmark;
                     }
@@ -359,7 +406,7 @@ impl SpinferSpmm {
         cp_async.assert_drained();
 
         // --- Epilogue: store accumulators to the reduction workspace ---
-        for (warp, acc_row) in accs.iter().enumerate() {
+        for (warp, acc_row) in accs.chunks(n8).enumerate() {
             let tty = warp % tt_rows;
             for (j, frag) in acc_row.iter().enumerate() {
                 let tile = frag.to_tile();
@@ -487,8 +534,10 @@ impl SpinferSpmm {
     /// Tensor Core computation for one decoded TCTile against every n8
     /// column of the X tile. `xf` is the block's decode-once `f32` X
     /// tile (leading dimension `tile_n`); `a_rows` the TCTile's
-    /// decode-once A view. Every mma strides straight into both flat
-    /// arrays.
+    /// decode-once A view. The N loop is amortized: one batched sweep
+    /// ([`mma_m16n8k16_bslice_ntiles`]) carries each A row across all
+    /// adjacent accumulator tiles at once — bit-identical to the
+    /// per-tile `mma_m16n8k16_bslice` loop, same counter totals.
     fn mma_row(
         &self,
         counters: &mut Counters,
@@ -507,9 +556,9 @@ impl SpinferSpmm {
             warp_ldsm_x4(counters, &rows);
         }
         let k_off = ttx * TT_DIM * geo.tile_n;
-        for (j, acc) in accs.iter_mut().enumerate().take(n8) {
-            let b = &xf[k_off + j * 8..];
-            mma_m16n8k16_bslice(counters, a_rows, b, geo.tile_n, acc);
+        for (jc, chunk) in accs.chunks_mut(MAX_NTILES).enumerate() {
+            let b = &xf[k_off + jc * MAX_NTILES * 8..];
+            mma_m16n8k16_bslice_ntiles(counters, a_rows, b, geo.tile_n, chunk);
         }
     }
 }
@@ -652,7 +701,8 @@ fn fallback_gtile_product(
     vals: &[Half],
     xf: &[f32],
     geo: &Geometry,
-    accs: &mut [Vec<FragC>],
+    accs: &mut [FragC],
+    n8: usize,
 ) {
     let tile_n = geo.tile_n;
     let mut contrib = vec![0.0f32; cfg.gt_rows * tile_n];
@@ -678,7 +728,7 @@ fn fallback_gtile_product(
             }
         }
     }
-    for (warp, acc_row) in accs.iter_mut().enumerate() {
+    for (warp, acc_row) in accs.chunks_mut(n8).enumerate() {
         let tty = warp % cfg.tt_rows();
         for (j, frag) in acc_row.iter_mut().enumerate() {
             let mut tile = frag.to_tile();

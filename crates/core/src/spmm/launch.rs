@@ -25,7 +25,7 @@ use gpu_sim::spec::GpuSpec;
 use gpu_sim::timing::L2Reuse;
 use gpu_sim::trace::TraceSink;
 
-use super::block::{BlockBases, BlockGrid, CheckedState};
+use super::block::{BlockBases, BlockGrid, BlockScratch, CheckedState};
 use super::traced::{emit_kernel_trace, BlockTracer, TracePhase};
 use super::{kernel_name, FaultPolicy, FormatStats, SpinferSpmm, SpmmRun};
 
@@ -541,8 +541,12 @@ impl SpinferSpmm {
         // carries the typed error out through the shard results.
         let shards = exec::par_map_with(
             tasks,
-            || vec![0.0f32; geo.split_k * slice_len],
-            |scratch, (gty, bands)| {
+            // Worker-scoped state: the full-size workspace image plus the
+            // block-level scratch (accumulators, X tile, decode buffers),
+            // allocated once per worker and reused across every block
+            // invocation instead of per launch-grid cell.
+            || (vec![0.0f32; geo.split_k * slice_len], BlockScratch::new()),
+            |(scratch, block_scratch), (gty, bands)| {
                 let mut shard = CounterShard::new();
                 let mut x_shard = CounterShard::new();
                 let mut tracer = sink.map(|_| BlockTracer::default());
@@ -557,6 +561,7 @@ impl SpinferSpmm {
                             shard.counters(),
                             x_shard.counters(),
                             &mut scratch[split * slice_len..][..slice_len],
+                            block_scratch,
                             &geo,
                             &BlockGrid { gty, n0, gx0, gx1 },
                             &bases,

@@ -288,6 +288,24 @@ pub fn unpack_f16x2_f32(reg: u32) -> (f32, f32) {
     )
 }
 
+/// Converts a whole `Half` slice to `f32` in one flat LUT sweep —
+/// `dst[i] = src[i].to_f32()` bit-for-bit, without per-element call
+/// dispatch. The batch form the X-tile fill and the reference-product
+/// band loops use. `dst.len()` must equal `src.len()`.
+pub fn f16_to_f32_slice(src: &[Half], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    for (d, h) in dst.iter_mut().zip(src) {
+        *d = F16_TO_F32[usize::from(h.0)];
+    }
+}
+
+/// Allocating form of [`f16_to_f32_slice`].
+pub fn f16_to_f32_vec(src: &[Half]) -> Vec<f32> {
+    let mut out = vec![0.0f32; src.len()];
+    f16_to_f32_slice(src, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,9 +137,10 @@ impl DenseMatrix {
         out
     }
 
-    /// Row-major `f32` conversion of every element, in one pass.
+    /// Row-major `f32` conversion of every element, in one batch LUT
+    /// sweep ([`crate::fp16::f16_to_f32_vec`]).
     pub fn to_f32_vec(&self) -> Vec<f32> {
-        self.data.iter().map(|h| h.to_f32()).collect()
+        crate::fp16::f16_to_f32_vec(&self.data)
     }
 
     /// Serial inner loop of the reference product for output rows
@@ -157,11 +158,18 @@ impl DenseMatrix {
         out: &mut [f32],
     ) {
         let r0 = rows.start;
+        // One reusable lhs-row conversion buffer per band: each row is
+        // batch-converted through the FP16 LUT before the MAC loop. The
+        // zero-skip test sees the identical f32 values (±0.0 included),
+        // so the accumulation stream is unchanged.
+        let mut lhs_f32 = vec![0.0f32; self.cols];
         for r in rows {
-            let lhs_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            crate::fp16::f16_to_f32_slice(
+                &self.data[r * self.cols..(r + 1) * self.cols],
+                &mut lhs_f32,
+            );
             let out_row = &mut out[(r - r0) * n..(r - r0 + 1) * n];
-            for (k, &lhs) in lhs_row.iter().enumerate() {
-                let a = lhs.to_f32();
+            for (k, &a) in lhs_f32.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }

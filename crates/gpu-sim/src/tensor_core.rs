@@ -34,6 +34,28 @@ pub const MMA_N: usize = 8;
 /// Inner (reduction) dimension.
 pub const MMA_K: usize = 16;
 
+/// Quadrant origins `(row, col)` of the A-fragment registers `Ra0..Ra3`
+/// inside their 16×16 tile: top-left, bottom-left, top-right,
+/// bottom-right — the column-major quadrant order TCA-BME stores its
+/// `BitmapTile`s in (paper §4.2.1).
+pub const QUAD_ORIGINS: [(usize, usize); 4] = [(0, 0), (8, 0), (0, 8), (8, 8)];
+
+/// Unpacks one packed `.f16x2` register into two `f32` slots of a
+/// row-major tile view — the low half at `lo_rc`, the high half at
+/// `hi_rc`. Every fragment `to_f32_rows` view funnels through here, so
+/// the register→`f32` LUT conversion has a single owner.
+#[inline]
+fn unpack_reg_at<const C: usize, const R: usize>(
+    t: &mut [[f32; C]; R],
+    reg: u32,
+    lo_rc: (usize, usize),
+    hi_rc: (usize, usize),
+) {
+    let (lo, hi) = unpack_f16x2_f32(reg);
+    t[lo_rc.0][lo_rc.1] = lo;
+    t[hi_rc.0][hi_rc.1] = hi;
+}
+
 /// Per-warp A fragment: `regs[lane][r]` is the `.f16x2` register `Ra{r}`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FragA {
@@ -66,14 +88,10 @@ impl FragA {
     pub fn from_tile<F: Fn(usize, usize) -> Half>(tile: F) -> Self {
         let mut f = FragA::zero();
         for lane in 0..32 {
-            let group = lane / 4;
-            let tid = lane % 4;
-            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
-                .iter()
-                .enumerate()
-            {
-                let lo = tile(group + dr, 2 * tid + dc);
-                let hi = tile(group + dr, 2 * tid + dc + 1);
+            let (qr, qc) = lane_quadrant_coords(lane);
+            for (reg, &(dr, dc)) in QUAD_ORIGINS.iter().enumerate() {
+                let lo = tile(qr + dr, qc + dc);
+                let hi = tile(qr + dr, qc + dc + 1);
                 f.regs[lane][reg] = pack_f16x2(lo, hi);
             }
         }
@@ -84,15 +102,11 @@ impl FragA {
     pub fn to_tile(&self) -> [[Half; MMA_K]; MMA_M] {
         let mut t = [[Half::ZERO; MMA_K]; MMA_M];
         for lane in 0..32 {
-            let group = lane / 4;
-            let tid = lane % 4;
-            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
-                .iter()
-                .enumerate()
-            {
+            let (qr, qc) = lane_quadrant_coords(lane);
+            for (reg, &(dr, dc)) in QUAD_ORIGINS.iter().enumerate() {
                 let (lo, hi) = unpack_f16x2(self.regs[lane][reg]);
-                t[group + dr][2 * tid + dc] = lo;
-                t[group + dr][2 * tid + dc + 1] = hi;
+                t[qr + dr][qc + dc] = lo;
+                t[qr + dr][qc + dc + 1] = hi;
             }
         }
         t
@@ -105,16 +119,10 @@ impl FragA {
     /// multiplies is the simulator's main serial hot-path optimisation.
     pub fn to_f32_rows(&self) -> [[f32; MMA_K]; MMA_M] {
         let mut t = [[0.0f32; MMA_K]; MMA_M];
-        for lane in 0..32 {
-            let group = lane / 4;
-            let tid = lane % 4;
-            for (reg, (dr, dc)) in [(0usize, 0usize), (8, 0), (0, 8), (8, 8)]
-                .iter()
-                .enumerate()
-            {
-                let (lo, hi) = unpack_f16x2_f32(self.regs[lane][reg]);
-                t[group + dr][2 * tid + dc] = lo;
-                t[group + dr][2 * tid + dc + 1] = hi;
+        for (lane, regs) in self.regs.iter().enumerate() {
+            let (qr, qc) = lane_quadrant_coords(lane);
+            for (&reg, &(dr, dc)) in regs.iter().zip(&QUAD_ORIGINS) {
+                unpack_reg_at(&mut t, reg, (qr + dr, qc + dc), (qr + dr, qc + dc + 1));
             }
         }
         t
@@ -159,15 +167,14 @@ impl FragB {
     /// the B-side counterpart of [`FragA::to_f32_rows`].
     pub fn to_f32_rows(&self) -> [[f32; MMA_N]; MMA_K] {
         let mut t = [[0.0f32; MMA_N]; MMA_K];
-        for lane in 0..32 {
-            let group = lane / 4;
-            let tid = lane % 4;
-            let (b0, b1) = unpack_f16x2_f32(self.regs[lane][0]);
-            let (b2, b3) = unpack_f16x2_f32(self.regs[lane][1]);
-            t[2 * tid][group] = b0;
-            t[2 * tid + 1][group] = b1;
-            t[2 * tid + 8][group] = b2;
-            t[2 * tid + 9][group] = b3;
+        for (lane, regs) in self.regs.iter().enumerate() {
+            // B pairs run down a column: register r covers rows
+            // `2*tid + 8r` and `2*tid + 8r + 1` of column `group`.
+            let (group, col2) = lane_quadrant_coords(lane);
+            for (r, &reg) in regs.iter().enumerate() {
+                let k = col2 + 8 * r;
+                unpack_reg_at(&mut t, reg, (k, group), (k + 1, group));
+            }
         }
         t
     }
@@ -221,6 +228,99 @@ fn acc_slot(m: usize, n: usize) -> (usize, usize) {
     ((m % 8) * 4 + n / 2, 2 * (m / 8) + n % 2)
 }
 
+/// Whether the explicit-SIMD MAC panel is live: compiled in via the
+/// `simd` feature *and* supported by the host CPU (AVX2, detected once
+/// per process). With the feature off, or on a non-x86_64 target, this
+/// is `false` and every mma runs the scalar flat panel — which is
+/// bit-identical, so the answer never changes results, only wall-clock.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// One output row of the MAC sweep: `sums[n] += a_row[k] * b[k*ld + n]`
+/// for every `k` ascending — the flat panel every mma entry point
+/// drives. `sums.len()` must be a multiple of [`MMA_N`]; `b` must cover
+/// `(a_row.len() - 1) * ld + sums.len()` elements.
+///
+/// Per output element the partial products accumulate in ascending-`k`
+/// order exactly as the scalar oracles do, and the AVX2 path issues the
+/// same per-lane multiply *then* add — never a fused multiply-add,
+/// which would skip the intermediate rounding — so the oracle, flat,
+/// and SIMD paths are bit-identical (`tests/simd_equiv.rs`).
+#[inline]
+fn mac_panel(sums: &mut [f32], a_row: &[f32], b: &[f32], ld: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: `simd_active` verified AVX2 support at runtime.
+        unsafe { mac_panel_avx2(sums, a_row, b, ld) };
+        return;
+    }
+    mac_panel_flat(sums, a_row, b, ld);
+}
+
+/// Scalar fallback of [`mac_panel`]: contiguous-slice iteration the
+/// auto-vectorizer handles well. Compiled on every target, `simd`
+/// feature or not — it is the portable definition of the MAC sweep.
+fn mac_panel_flat(sums: &mut [f32], a_row: &[f32], b: &[f32], ld: usize) {
+    for (k, &av) in a_row.iter().enumerate() {
+        let brow = &b[k * ld..k * ld + sums.len()];
+        for (s, &bv) in sums.iter_mut().zip(brow) {
+            *s += av * bv;
+        }
+    }
+}
+
+/// AVX2 [`mac_panel`]: broadcast `a_row[k]`, then 8-lane multiply and
+/// add down the contiguous B row. Unfused mul+add keeps every lane's
+/// rounding identical to the scalar path.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn mac_panel_avx2(sums: &mut [f32], a_row: &[f32], b: &[f32], ld: usize) {
+    use core::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+    let n = sums.len();
+    debug_assert_eq!(n % MMA_N, 0);
+    for (k, &av) in a_row.iter().enumerate() {
+        let brow = &b[k * ld..k * ld + n];
+        let va = _mm256_set1_ps(av);
+        let mut off = 0;
+        while off + 8 <= n {
+            // SAFETY: `off + 8 <= n` bounds both slices.
+            unsafe {
+                let vb = _mm256_loadu_ps(brow.as_ptr().add(off));
+                let vs = _mm256_loadu_ps(sums.as_ptr().add(off));
+                let prod = _mm256_mul_ps(va, vb);
+                _mm256_storeu_ps(sums.as_mut_ptr().add(off), _mm256_add_ps(vs, prod));
+            }
+            off += 8;
+        }
+    }
+}
+
+/// Folds one output row of MAC sums into the accumulator fragment — a
+/// single add per element, completing the ascending-`k`-then-one-add
+/// order the fragment path pins. `sums` holds [`MMA_N`] columns.
+#[inline]
+fn add_sums(acc: &mut FragC, m: usize, sums: &[f32]) {
+    for (n, &s) in sums.iter().enumerate() {
+        let (lane, reg) = acc_slot(m, n);
+        acc.regs[lane][reg] += s;
+    }
+}
+
 /// Executes one warp-wide `mma.m16n8k16`: `acc = A × B + acc`, FP16 inputs
 /// with FP32 accumulation, recording one `mma` instruction.
 pub fn mma_m16n8k16(counters: &mut Counters, a: &FragA, b: &FragB, acc: &mut FragC) {
@@ -228,13 +328,34 @@ pub fn mma_m16n8k16(counters: &mut Counters, a: &FragA, b: &FragB, acc: &mut Fra
 }
 
 /// Decode-once `mma.m16n8k16` on pre-decoded operand views
-/// ([`FragA::to_f32_rows`] / [`FragB::to_f32_rows`]): the MAC loop runs
-/// on flat `f32` arrays — no per-element bit-decode, no closure
-/// dispatch — and accumulates into `acc.regs` in place. Per output
-/// element the partial products still sum in ascending-`k` order into a
-/// local `f32` which is then added to the accumulator once, so results
-/// are bit-identical to the fragment-level path.
+/// ([`FragA::to_f32_rows`] / [`FragB::to_f32_rows`]): the MAC sweep runs
+/// on flat `f32` slices through the shared MAC panel — no per-element
+/// bit-decode, no closure dispatch — and accumulates into `acc.regs` in
+/// place. Per output element the partial products still sum in
+/// ascending-`k` order into a local `f32` which is then added to the
+/// accumulator once, so results are bit-identical to the fragment-level
+/// path and to [`mma_m16n8k16_f32_scalar`].
 pub fn mma_m16n8k16_f32(
+    counters: &mut Counters,
+    a: &[[f32; MMA_K]; MMA_M],
+    b: &[[f32; MMA_N]; MMA_K],
+    acc: &mut FragC,
+) {
+    let bf = b.as_flattened();
+    for (m, a_row) in a.iter().enumerate() {
+        let mut sums = [0.0f32; MMA_N];
+        mac_panel(&mut sums, a_row, bf, MMA_N);
+        add_sums(acc, m, &sums);
+    }
+    counters.mma_insts += 1;
+    counters.insts_issued += 1;
+}
+
+/// Retained scalar oracle of [`mma_m16n8k16_f32`]: the pre-vectorization
+/// n-inner loop, kept so the proptest equivalence suite and the hotpath
+/// microbenchmarks can pin the flat/SIMD panels against an independent
+/// definition. Identical counter writes.
+pub fn mma_m16n8k16_f32_scalar(
     counters: &mut Counters,
     a: &[[f32; MMA_K]; MMA_M],
     b: &[[f32; MMA_N]; MMA_K],
@@ -268,6 +389,24 @@ pub fn mma_m16n8k16_bslice(
     acc: &mut FragC,
 ) {
     for (m, a_row) in a.iter().enumerate() {
+        let mut sums = [0.0f32; MMA_N];
+        mac_panel(&mut sums, a_row, b, ld);
+        add_sums(acc, m, &sums);
+    }
+    counters.mma_insts += 1;
+    counters.insts_issued += 1;
+}
+
+/// Retained scalar oracle of [`mma_m16n8k16_bslice`]; see
+/// [`mma_m16n8k16_f32_scalar`] for the oracle policy.
+pub fn mma_m16n8k16_bslice_scalar(
+    counters: &mut Counters,
+    a: &[[f32; MMA_K]; MMA_M],
+    b: &[f32],
+    ld: usize,
+    acc: &mut FragC,
+) {
+    for (m, a_row) in a.iter().enumerate() {
         for n in 0..MMA_N {
             let mut sum = 0.0f32;
             for (k, &av) in a_row.iter().enumerate() {
@@ -279,6 +418,49 @@ pub fn mma_m16n8k16_bslice(
     }
     counters.mma_insts += 1;
     counters.insts_issued += 1;
+}
+
+/// Widest N-tile batch [`mma_m16n8k16_bslice_ntiles`] accepts: 16
+/// accumulator tiles cover a 128-column X window, the widest `tile_n`
+/// the SpMM launch geometry produces.
+pub const MAX_NTILES: usize = 16;
+
+/// Batched [`mma_m16n8k16_bslice`]: one sweep of the A tile across
+/// `accs.len()` *adjacent* 8-column accumulator tiles (`accs[j]` covers
+/// B columns `j*8 .. j*8+8`). Loading each `a_row[k]` once and running
+/// the MAC panel over the whole contiguous `accs.len() * 8`-column B
+/// row replaces `accs.len()` separate strided sweeps — the N-loop
+/// amortization of the SpMM hot path.
+///
+/// Records one `mma` instruction per tile (identical counter totals to
+/// the per-tile calls), and each output element still accumulates its
+/// partial products in ascending-`k` order before a single add into its
+/// accumulator, so results are bit-identical to looping
+/// [`mma_m16n8k16_bslice`] over the tiles.
+pub fn mma_m16n8k16_bslice_ntiles(
+    counters: &mut Counters,
+    a: &[[f32; MMA_K]; MMA_M],
+    b: &[f32],
+    ld: usize,
+    accs: &mut [FragC],
+) {
+    assert!(
+        accs.len() <= MAX_NTILES,
+        "N-tile batch of {} exceeds MAX_NTILES = {MAX_NTILES}",
+        accs.len()
+    );
+    let ntot = accs.len() * MMA_N;
+    let mut sums = [0.0f32; MAX_NTILES * MMA_N];
+    for (m, a_row) in a.iter().enumerate() {
+        let sums = &mut sums[..ntot];
+        sums.fill(0.0);
+        mac_panel(sums, a_row, b, ld);
+        for (j, acc) in accs.iter_mut().enumerate() {
+            add_sums(acc, m, &sums[j * MMA_N..(j + 1) * MMA_N]);
+        }
+    }
+    counters.mma_insts += accs.len() as u64;
+    counters.insts_issued += accs.len() as u64;
 }
 
 /// Maps a lane and register index to the quadrant-local `(row, col)` the
@@ -318,15 +500,13 @@ impl FragAK8 {
     /// [`FragA::to_f32_rows`].
     pub fn to_f32_rows(&self) -> [[f32; 8]; MMA_M] {
         let mut t = [[0.0f32; 8]; MMA_M];
-        for lane in 0..32 {
-            let group = lane / 4;
-            let tid = lane % 4;
-            let (l0, h0) = unpack_f16x2_f32(self.regs[lane][0]);
-            let (l1, h1) = unpack_f16x2_f32(self.regs[lane][1]);
-            t[group][2 * tid] = l0;
-            t[group][2 * tid + 1] = h0;
-            t[group + 8][2 * tid] = l1;
-            t[group + 8][2 * tid + 1] = h1;
+        for (lane, regs) in self.regs.iter().enumerate() {
+            let (qr, qc) = lane_quadrant_coords(lane);
+            // The k8 fragment is the left half of the k16 fragment:
+            // registers cover the TL and BL quadrants only.
+            for (&reg, &(dr, dc)) in regs.iter().zip(&QUAD_ORIGINS[..2]) {
+                unpack_reg_at(&mut t, reg, (qr + dr, qc + dc), (qr + dr, qc + dc + 1));
+            }
         }
         t
     }
@@ -362,15 +542,11 @@ pub fn mma_m16n8k8_f32(
     b: &[[f32; MMA_N]; 8],
     acc: &mut FragC,
 ) {
+    let bf = b.as_flattened();
     for (m, a_row) in a.iter().enumerate() {
-        for n in 0..MMA_N {
-            let mut sum = 0.0f32;
-            for (k, &av) in a_row.iter().enumerate() {
-                sum += av * b[k][n];
-            }
-            let (lane, reg) = acc_slot(m, n);
-            acc.regs[lane][reg] += sum;
-        }
+        let mut sums = [0.0f32; MMA_N];
+        mac_panel(&mut sums, a_row, bf, MMA_N);
+        add_sums(acc, m, &sums);
     }
     counters.mma_insts += 1;
     counters.insts_issued += 1;
@@ -614,6 +790,73 @@ mod tests {
         assert_eq!(acc_ref.regs, acc_fast.regs);
         assert_eq!(c_ref.mma_insts, c_fast.mma_insts);
         assert_eq!(c_ref.insts_issued, c_fast.insts_issued);
+    }
+
+    #[test]
+    fn batched_ntiles_is_bit_identical_to_per_tile_calls() {
+        // The N-tile-amortized entry point must reproduce the per-tile
+        // bslice loop bitwise — accumulators, counters, everything — for
+        // every batch width up to MAX_NTILES.
+        let a = random_dense(16, 16, ValueDist::Uniform, 91);
+        let fa = tile_a_from(&a).to_f32_rows();
+        for ntiles in 1..=MAX_NTILES {
+            let ld = ntiles * MMA_N + 5; // non-trivial leading dimension
+            let b = random_dense(16, ld, ValueDist::Uniform, 92 + ntiles as u64);
+            let bf: Vec<f32> = (0..16)
+                .flat_map(|k| (0..ld).map(move |n| (k, n)))
+                .map(|(k, n)| b.get(k, n).to_f32())
+                .collect();
+            let seed_acc = |j: usize| FragC::from_tile(|r, c| (r * 8 + c + j) as f32 * 0.5);
+
+            let mut c_ref = Counters::new();
+            let mut ref_accs: Vec<FragC> = (0..ntiles).map(seed_acc).collect();
+            for (j, acc) in ref_accs.iter_mut().enumerate() {
+                mma_m16n8k16_bslice(&mut c_ref, &fa, &bf[j * MMA_N..], ld, acc);
+            }
+
+            let mut c_bat = Counters::new();
+            let mut bat_accs: Vec<FragC> = (0..ntiles).map(seed_acc).collect();
+            mma_m16n8k16_bslice_ntiles(&mut c_bat, &fa, &bf, ld, &mut bat_accs);
+
+            for (j, (r, b)) in ref_accs.iter().zip(&bat_accs).enumerate() {
+                assert_eq!(r.regs, b.regs, "ntiles={ntiles} tile {j}");
+            }
+            assert_eq!(c_ref.mma_insts, c_bat.mma_insts, "ntiles={ntiles}");
+            assert_eq!(c_ref.insts_issued, c_bat.insts_issued, "ntiles={ntiles}");
+        }
+    }
+
+    #[test]
+    fn vectorized_panels_match_scalar_oracles() {
+        // The flat/SIMD MAC panels must be bitwise-equal to the retained
+        // pre-vectorization oracles (the proptest suite widens this; this
+        // is the fast in-crate smoke check).
+        let a = random_dense(16, 16, ValueDist::Uniform, 101);
+        let b = random_dense(16, 8, ValueDist::Uniform, 102);
+        let fa = tile_a_from(&a).to_f32_rows();
+        let fb = tile_b_from(&b).to_f32_rows();
+        let seed_acc = || FragC::from_tile(|r, c| (r * 8) as f32 - c as f32);
+
+        let (mut c1, mut c2) = (Counters::new(), Counters::new());
+        let (mut x1, mut x2) = (seed_acc(), seed_acc());
+        mma_m16n8k16_f32(&mut c1, &fa, &fb, &mut x1);
+        mma_m16n8k16_f32_scalar(&mut c2, &fa, &fb, &mut x2);
+        assert_eq!(x1.regs, x2.regs);
+        assert_eq!(c1, c2);
+
+        let ld = 11;
+        let mut buf = vec![0.0f32; 16 * ld];
+        for k in 0..16 {
+            for n in 0..8 {
+                buf[k * ld + n] = fb[k][n];
+            }
+        }
+        let (mut c1, mut c2) = (Counters::new(), Counters::new());
+        let (mut x1, mut x2) = (seed_acc(), seed_acc());
+        mma_m16n8k16_bslice(&mut c1, &fa, &buf, ld, &mut x1);
+        mma_m16n8k16_bslice_scalar(&mut c2, &fa, &buf, ld, &mut x2);
+        assert_eq!(x1.regs, x2.regs);
+        assert_eq!(c1, c2);
     }
 
     #[test]

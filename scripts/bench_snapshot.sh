@@ -6,8 +6,14 @@
 #
 # The JSON is the perf trajectory artifact committed at the repo root; CI
 # runs this script and prints the result so every PR's wall-clock numbers
-# are recorded. Compare `wall_clock_s.spinfer_functional_jobs1` across
-# commits to judge serial hot-path changes.
+# are recorded. Rewriting an existing file appends its previous
+# measurement (git rev + wall-clock map) to the `history` array, so the
+# whole `wall_clock_s.spinfer_functional_jobs1` trajectory reads straight
+# out of BENCH_kernels.json.
+#
+# The CLI is built with the explicit-SIMD MAC panels (`gpu-sim/simd`) —
+# the configuration whose wall-clock the trajectory records; results are
+# bit-identical to the scalar build (pinned in tests/simd_equiv.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +23,7 @@ if [ "${1:-}" = "--out" ]; then
   shift 2
 fi
 
-cargo build --release -p spinfer-bench --bin spinfer
+cargo build --release -p spinfer-bench --bin spinfer --features gpu-sim/simd
 ./target/release/spinfer snapshot --out "$OUT" "$@"
 echo "--- $OUT ---"
 cat "$OUT"

@@ -1,0 +1,213 @@
+//! Property suite pinning the vectorized hot paths to their retained
+//! scalar oracles, bit for bit.
+//!
+//! Three pairs are pinned:
+//!
+//! * the flat/SIMD `mma` MAC panels (`mma_m16n8k16_f32`,
+//!   `mma_m16n8k16_bslice`, and the N-tile-batched
+//!   `mma_m16n8k16_bslice_ntiles`) against the per-element scalar loops;
+//! * the set-bit-sweep SMBD decode against the per-lane
+//!   `MaskedPopCount` formulation of Algorithm 2;
+//! * the batched FP16 → `f32` LUT conversion against per-element
+//!   `Half::to_f32`.
+//!
+//! Equality is exact `f32` bit equality *and* counter-stream equality —
+//! the invariant that lets the `simd` feature (and the flat rewrite
+//! underneath it) claim "wall-clock only". CI runs this suite both with
+//! and without `--features gpu-sim/simd`, so whichever MAC panel is
+//! compiled in is the one pinned.
+
+use gpu_sim::fault::{FaultInjector, FaultPlan};
+use gpu_sim::fp16::{f16_to_f32_slice, Half};
+use gpu_sim::tensor_core::{
+    mma_m16n8k16_bslice, mma_m16n8k16_bslice_ntiles, mma_m16n8k16_bslice_scalar, mma_m16n8k16_f32,
+    mma_m16n8k16_f32_scalar, FragC, MAX_NTILES, MMA_K, MMA_M, MMA_N,
+};
+use gpu_sim::Counters;
+use proptest::prelude::*;
+use spinfer_core::smbd::{decode_bitmap_tile_f, decode_bitmap_tile_scalar};
+
+/// Deterministic f32 stream from SplitMix64 — ordinary magnitudes with
+/// sign variety, the distribution the kernels actually multiply.
+fn mix(state: &mut u64) -> f32 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 22) as f32 - 2.0
+}
+
+fn a_tile(seed: u64) -> [[f32; MMA_K]; MMA_M] {
+    let mut s = seed;
+    let mut a = [[0.0f32; MMA_K]; MMA_M];
+    for row in a.iter_mut() {
+        for v in row.iter_mut() {
+            *v = mix(&mut s);
+        }
+    }
+    a
+}
+
+fn seeded_acc(seed: u64) -> FragC {
+    let mut s = seed;
+    let mut acc = FragC::zero();
+    for lane in acc.regs.iter_mut() {
+        for reg in lane.iter_mut() {
+            *reg = mix(&mut s);
+        }
+    }
+    acc
+}
+
+/// Exact bitwise equality of two accumulator fragments — `==` on f32
+/// would let `-0.0 == +0.0` slip through.
+fn assert_acc_bits(a: &FragC, b: &FragC) {
+    for (la, lb) in a.regs.iter().zip(&b.regs) {
+        for (ra, rb) in la.iter().zip(lb) {
+            assert_eq!(ra.to_bits(), rb.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mma_f32_matches_scalar_oracle(a_seed: u64, b_seed: u64, acc_seed: u64) {
+        let a = a_tile(a_seed);
+        let mut s = b_seed;
+        let mut b = [[0.0f32; MMA_N]; MMA_K];
+        for row in b.iter_mut() {
+            for v in row.iter_mut() {
+                *v = mix(&mut s);
+            }
+        }
+        let mut acc_fast = seeded_acc(acc_seed);
+        let mut acc_oracle = acc_fast.clone();
+        let mut c_fast = Counters::new();
+        let mut c_oracle = Counters::new();
+        mma_m16n8k16_f32(&mut c_fast, &a, &b, &mut acc_fast);
+        mma_m16n8k16_f32_scalar(&mut c_oracle, &a, &b, &mut acc_oracle);
+        assert_acc_bits(&acc_fast, &acc_oracle);
+        prop_assert_eq!(c_fast, c_oracle);
+    }
+
+    #[test]
+    fn mma_bslice_matches_scalar_oracle(
+        a_seed: u64,
+        b_seed: u64,
+        acc_seed: u64,
+        ld_extra in 0usize..32,
+    ) {
+        let a = a_tile(a_seed);
+        let ld = MMA_N + ld_extra;
+        let mut s = b_seed;
+        let b: Vec<f32> = (0..(MMA_K - 1) * ld + MMA_N).map(|_| mix(&mut s)).collect();
+        let mut acc_fast = seeded_acc(acc_seed);
+        let mut acc_oracle = acc_fast.clone();
+        let mut c_fast = Counters::new();
+        let mut c_oracle = Counters::new();
+        mma_m16n8k16_bslice(&mut c_fast, &a, &b, ld, &mut acc_fast);
+        mma_m16n8k16_bslice_scalar(&mut c_oracle, &a, &b, ld, &mut acc_oracle);
+        assert_acc_bits(&acc_fast, &acc_oracle);
+        prop_assert_eq!(c_fast, c_oracle);
+    }
+
+    #[test]
+    fn mma_ntiles_matches_per_tile_scalar_oracle(
+        a_seed: u64,
+        b_seed: u64,
+        acc_seed: u64,
+        ntiles in 1usize..=MAX_NTILES,
+    ) {
+        // The batched call against `ntiles` separate *scalar* calls:
+        // this chains batching and vectorization back to the original
+        // formulation in one step.
+        let a = a_tile(a_seed);
+        let ld = ntiles * MMA_N;
+        let mut s = b_seed;
+        let b: Vec<f32> = (0..MMA_K * ld).map(|_| mix(&mut s)).collect();
+        let mut accs_fast: Vec<FragC> =
+            (0..ntiles).map(|j| seeded_acc(acc_seed ^ j as u64)).collect();
+        let mut accs_oracle = accs_fast.clone();
+        let mut c_fast = Counters::new();
+        let mut c_oracle = Counters::new();
+        mma_m16n8k16_bslice_ntiles(&mut c_fast, &a, &b, ld, &mut accs_fast);
+        for (j, acc) in accs_oracle.iter_mut().enumerate() {
+            mma_m16n8k16_bslice_scalar(&mut c_oracle, &a, &b[j * MMA_N..], ld, acc);
+        }
+        for (fast, oracle) in accs_fast.iter().zip(&accs_oracle) {
+            assert_acc_bits(fast, oracle);
+        }
+        prop_assert_eq!(c_fast, c_oracle);
+    }
+
+    #[test]
+    fn smbd_sweep_matches_scalar_oracle(
+        bitmap: u64,
+        val_seed: u64,
+        base in 0usize..16,
+        smem_base in 0u64..512,
+        site_key: u64,
+    ) {
+        // Random bitmaps plus the two extremes the generator rarely
+        // hits by itself.
+        for bm in [bitmap, 0, u64::MAX] {
+            let need = base + bm.count_ones() as usize;
+            let mut s = val_seed;
+            let values: Vec<Half> =
+                (0..need).map(|_| Half::from_f32(mix(&mut s))).collect();
+            let mut c_sweep = Counters::new();
+            let mut c_oracle = Counters::new();
+            let sweep = decode_bitmap_tile_f(
+                &mut c_sweep, bm, &values, base, smem_base, None, site_key,
+            );
+            let oracle = decode_bitmap_tile_scalar(
+                &mut c_oracle, bm, &values, base, smem_base, None, site_key,
+            );
+            prop_assert_eq!(sweep, oracle);
+            prop_assert_eq!(c_sweep, c_oracle, "counter stream drifted (bm={:#x})", bm);
+
+            // Same parity under an always-firing injector: identical
+            // fault sites, poison values, and fault accounting.
+            let plan = FaultPlan { fp16_poison_rate: 1.0, ..FaultPlan::default() };
+            let inj = FaultInjector::new(plan);
+            let mut cf_sweep = Counters::new();
+            let mut cf_oracle = Counters::new();
+            let sweep = decode_bitmap_tile_f(
+                &mut cf_sweep, bm, &values, base, smem_base, Some(&inj), site_key,
+            );
+            let oracle = decode_bitmap_tile_scalar(
+                &mut cf_oracle, bm, &values, base, smem_base, Some(&inj), site_key,
+            );
+            prop_assert_eq!(sweep, oracle);
+            prop_assert_eq!(cf_sweep, cf_oracle);
+        }
+    }
+
+    #[test]
+    fn smbd_overrun_agrees_with_oracle(bitmap: u64, short_by in 1usize..8) {
+        // Truncated value buffers must fail identically on both paths.
+        let pop = bitmap.count_ones() as usize;
+        let len = pop.saturating_sub(short_by);
+        let values = vec![Half::ONE; len];
+        let mut c_sweep = Counters::new();
+        let mut c_oracle = Counters::new();
+        let sweep = decode_bitmap_tile_f(&mut c_sweep, bitmap, &values, 0, 0, None, 0);
+        let oracle = decode_bitmap_tile_scalar(&mut c_oracle, bitmap, &values, 0, 0, None, 0);
+        prop_assert_eq!(sweep, oracle);
+        prop_assert_eq!(c_sweep, c_oracle);
+    }
+
+    #[test]
+    fn f16_slice_conversion_matches_per_element(seed: u64, len in 0usize..200) {
+        let mut s = seed;
+        let src: Vec<Half> = (0..len).map(|_| Half::from_f32(mix(&mut s))).collect();
+        let mut batched = vec![0.0f32; len];
+        f16_to_f32_slice(&src, &mut batched);
+        for (b, h) in batched.iter().zip(&src) {
+            assert_eq!(b.to_bits(), h.to_f32().to_bits());
+        }
+    }
+}
