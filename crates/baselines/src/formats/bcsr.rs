@@ -14,7 +14,7 @@ use gpu_sim::matrix::DenseMatrix;
 pub const DEFAULT_BLOCK: usize = 16;
 
 /// A sparse matrix in BCSR format.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Bcsr {
     /// Logical rows.
     pub m: usize,
@@ -39,41 +39,86 @@ impl Bcsr {
     }
 
     /// Encodes with an explicit block edge.
+    ///
+    /// Two-pass scheme over block-row bands: pass 1 counts each
+    /// block-row's stored blocks and non-zeros in parallel, a serial
+    /// prefix sum builds `row_ptr`, and pass 2 writes each stored
+    /// block's dense payload straight into its final pre-zeroed slot
+    /// (no per-block scratch allocation). Both passes visit blocks in
+    /// the serial row-major order, so the output is bit-identical at
+    /// every job count.
     pub fn encode_with(matrix: &DenseMatrix, block: usize) -> Self {
         assert!(block > 0);
         let m = matrix.rows();
         let k = matrix.cols();
+        let data = matrix.as_slice();
         let mb = m.div_ceil(block);
         let kb = k.div_ceil(block);
+        let bands = gpu_sim::exec::chunk_ranges(mb, gpu_sim::exec::num_jobs());
+
+        // Pass 1: per block-row (stored blocks, non-zeros).
+        let band_counts: Vec<Vec<(u32, usize)>> =
+            gpu_sim::exec::par_map_untraced(bands.clone(), |brs| {
+                brs.map(|br| {
+                    let mut stored = 0u32;
+                    let mut row_nnz = 0usize;
+                    for bc in 0..kb {
+                        let cnt = block_nnz(data, m, k, block, br, bc);
+                        stored += u32::from(cnt > 0);
+                        row_nnz += cnt;
+                    }
+                    (stored, row_nnz)
+                })
+                .collect()
+            });
         let mut row_ptr = Vec::with_capacity(mb + 1);
-        let mut col_idx = Vec::new();
-        let mut blocks = Vec::new();
+        row_ptr.push(0u32);
+        let mut nblocks = 0usize;
         let mut nnz = 0usize;
-        row_ptr.push(0);
-        for br in 0..mb {
-            for bc in 0..kb {
-                let mut any = false;
-                let mut buf = vec![Half::ZERO; block * block];
-                for lr in 0..block {
-                    for lc in 0..block {
-                        let (r, c) = (br * block + lr, bc * block + lc);
-                        if r < m && c < k {
-                            let v = matrix.get(r, c);
+        for &(stored, row_nnz) in band_counts.iter().flatten() {
+            nblocks += stored as usize;
+            nnz += row_nnz;
+            row_ptr.push(nblocks as u32);
+        }
+
+        // Pass 2: fill disjoint per-band col_idx / blocks slices.
+        let bb = block * block;
+        let mut col_idx = vec![0u32; nblocks];
+        let mut blocks = vec![Half::ZERO; nblocks * bb];
+        let mut jobs = Vec::with_capacity(bands.len());
+        let (mut c_rest, mut b_rest) = (col_idx.as_mut_slice(), blocks.as_mut_slice());
+        for brs in bands {
+            let len = (row_ptr[brs.end] - row_ptr[brs.start]) as usize;
+            let (c_band, c_tail) = c_rest.split_at_mut(len);
+            let (b_band, b_tail) = b_rest.split_at_mut(len * bb);
+            c_rest = c_tail;
+            b_rest = b_tail;
+            jobs.push((brs, c_band, b_band));
+        }
+        gpu_sim::exec::par_map_untraced(jobs, |(brs, c_band, b_band)| {
+            let mut i = 0usize;
+            for br in brs {
+                let rlim = block.min(m - br * block);
+                for bc in 0..kb {
+                    if block_nnz(data, m, k, block, br, bc) == 0 {
+                        continue;
+                    }
+                    let clim = block.min(k - bc * block);
+                    let buf = &mut b_band[i * bb..(i + 1) * bb];
+                    for lr in 0..rlim {
+                        let base = (br * block + lr) * k + bc * block;
+                        for (lc, v) in data[base..base + clim].iter().enumerate() {
                             if !v.is_zero() {
-                                any = true;
-                                nnz += 1;
-                                buf[lr * block + lc] = v;
+                                buf[lr * block + lc] = *v;
                             }
                         }
                     }
-                }
-                if any {
-                    col_idx.push(bc as u32);
-                    blocks.extend(buf);
+                    c_band[i] = bc as u32;
+                    i += 1;
                 }
             }
-            row_ptr.push(col_idx.len() as u32);
-        }
+            debug_assert_eq!(i, c_band.len(), "pass-2 fill disagrees with pass-1 count");
+        });
         Bcsr {
             m,
             k,
@@ -133,6 +178,22 @@ impl Bcsr {
         }
         out
     }
+}
+
+/// Non-zero count of block `(br, bc)`, clamped to the logical extent.
+#[inline]
+fn block_nnz(data: &[Half], m: usize, k: usize, block: usize, br: usize, bc: usize) -> usize {
+    let rlim = block.min(m - br * block);
+    let clim = block.min(k - bc * block);
+    let mut cnt = 0usize;
+    for lr in 0..rlim {
+        let base = (br * block + lr) * k + bc * block;
+        cnt += data[base..base + clim]
+            .iter()
+            .filter(|v| !v.is_zero())
+            .count();
+    }
+    cnt
 }
 
 #[cfg(test)]

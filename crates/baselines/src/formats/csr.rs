@@ -25,23 +25,64 @@ pub struct Csr {
 
 impl Csr {
     /// Encodes a dense matrix.
+    ///
+    /// Two-pass scheme over row bands (see `gpu_sim::exec`): pass 1
+    /// counts non-zeros per row in parallel, a serial prefix sum builds
+    /// `row_ptr`, and pass 2 fills disjoint pre-allocated `col_idx` /
+    /// `values` slices cut at band boundaries. Both passes visit rows
+    /// in ascending order within a band and bands tile the row space in
+    /// order, so the output is bit-identical to the serial row-major
+    /// scan at every job count.
     pub fn encode(matrix: &DenseMatrix) -> Self {
         let m = matrix.rows();
         let k = matrix.cols();
+        let data = matrix.as_slice();
+        let bands = gpu_sim::exec::chunk_ranges(m, gpu_sim::exec::num_jobs());
+
+        // Pass 1: per-row non-zero counts.
+        let band_counts: Vec<Vec<u32>> = gpu_sim::exec::par_map_untraced(bands.clone(), |rows| {
+            rows.map(|r| {
+                data[r * k..(r + 1) * k]
+                    .iter()
+                    .filter(|v| !v.is_zero())
+                    .count() as u32
+            })
+            .collect()
+        });
         let mut row_ptr = Vec::with_capacity(m + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
-        row_ptr.push(0);
-        for r in 0..m {
-            for c in 0..k {
-                let v = matrix.get(r, c);
-                if !v.is_zero() {
-                    col_idx.push(c as u32);
-                    values.push(v);
+        row_ptr.push(0u32);
+        let mut nnz = 0usize;
+        for c in band_counts.iter().flatten() {
+            nnz += *c as usize;
+            row_ptr.push(nnz as u32);
+        }
+
+        // Pass 2: fill disjoint per-band slices.
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![Half::ZERO; nnz];
+        let mut jobs = Vec::with_capacity(bands.len());
+        let (mut c_rest, mut v_rest) = (col_idx.as_mut_slice(), values.as_mut_slice());
+        for rows in bands {
+            let len = (row_ptr[rows.end] - row_ptr[rows.start]) as usize;
+            let (c_band, c_tail) = c_rest.split_at_mut(len);
+            let (v_band, v_tail) = v_rest.split_at_mut(len);
+            c_rest = c_tail;
+            v_rest = v_tail;
+            jobs.push((rows, c_band, v_band));
+        }
+        gpu_sim::exec::par_map_untraced(jobs, |(rows, c_band, v_band)| {
+            let mut i = 0usize;
+            for r in rows {
+                for (c, v) in data[r * k..(r + 1) * k].iter().enumerate() {
+                    if !v.is_zero() {
+                        c_band[i] = c as u32;
+                        v_band[i] = *v;
+                        i += 1;
+                    }
                 }
             }
-            row_ptr.push(col_idx.len() as u32);
-        }
+            debug_assert_eq!(i, c_band.len(), "pass-2 fill disagrees with pass-1 count");
+        });
         Csr {
             m,
             k,

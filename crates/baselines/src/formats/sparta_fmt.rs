@@ -15,7 +15,7 @@ use gpu_sim::fp16::Half;
 use gpu_sim::matrix::DenseMatrix;
 
 /// A sparse matrix decomposed as 2:4 + CSR residual.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpartaFormat {
     /// Rows.
     pub m: usize,
@@ -35,44 +35,99 @@ pub struct SpartaFormat {
 impl SpartaFormat {
     /// Decomposes a dense matrix. The first two non-zeros of each group
     /// (by position) go to the 2:4 part; the rest spill to CSR.
+    ///
+    /// Row bands are processed in parallel: each band fills its disjoint
+    /// `nm_values` / `nm_indices` slice and collects spilled non-zeros as
+    /// in-order `(col, value)` lists plus per-row counts. The residual
+    /// CSR is then assembled directly from those lists — spills appear
+    /// in ascending column order within each row, so the result is
+    /// field-for-field identical to `Csr::encode` of the old dense
+    /// spill matrix (which this replaces) at every job count.
     pub fn encode(matrix: &DenseMatrix) -> Self {
         let m = matrix.rows();
         let k = matrix.cols();
+        let data = matrix.as_slice();
         let k_pad = k.div_ceil(4) * 4;
-        let groups_per_row = k_pad / 4;
-        let mut nm_values = vec![Half::ZERO; m * groups_per_row * 2];
-        let mut nm_indices = vec![0u8; m * groups_per_row * 2];
-        let mut spill = DenseMatrix::zeros(m, k);
-        for r in 0..m {
-            for g in 0..groups_per_row {
-                let mut kept = 0usize;
-                for i in 0..4 {
-                    let c = g * 4 + i;
-                    if c >= k {
-                        break;
-                    }
-                    let v = matrix.get(r, c);
-                    if v.is_zero() {
-                        continue;
-                    }
-                    if kept < 2 {
-                        let slot = (r * groups_per_row + g) * 2 + kept;
-                        nm_values[slot] = v;
-                        nm_indices[slot] = i as u8;
-                        kept += 1;
-                    } else {
-                        spill.set(r, c, v);
-                    }
-                }
-            }
+        let gpr = k_pad / 4;
+        let bands = gpu_sim::exec::chunk_ranges(m, gpu_sim::exec::num_jobs());
+
+        let mut nm_values = vec![Half::ZERO; m * gpr * 2];
+        let mut nm_indices = vec![0u8; m * gpr * 2];
+        let mut jobs = Vec::with_capacity(bands.len());
+        let (mut v_rest, mut i_rest) = (nm_values.as_mut_slice(), nm_indices.as_mut_slice());
+        for rows in bands {
+            let len = rows.len() * gpr * 2;
+            let (v_band, v_tail) = v_rest.split_at_mut(len);
+            let (i_band, i_tail) = i_rest.split_at_mut(len);
+            v_rest = v_tail;
+            i_rest = i_tail;
+            jobs.push((rows, v_band, i_band));
         }
+        type BandSpill = (Vec<u32>, Vec<u32>, Vec<Half>);
+        let band_spills: Vec<BandSpill> =
+            gpu_sim::exec::par_map_untraced(jobs, |(rows, v_band, i_band)| {
+                let mut counts = Vec::with_capacity(rows.len());
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                let r0 = rows.start;
+                for r in rows {
+                    let before = cols.len();
+                    for g in 0..gpr {
+                        let mut kept = 0usize;
+                        for i in 0..4 {
+                            let c = g * 4 + i;
+                            if c >= k {
+                                break;
+                            }
+                            let v = data[r * k + c];
+                            if v.is_zero() {
+                                continue;
+                            }
+                            if kept < 2 {
+                                let slot = ((r - r0) * gpr + g) * 2 + kept;
+                                v_band[slot] = v;
+                                i_band[slot] = i as u8;
+                                kept += 1;
+                            } else {
+                                cols.push(c as u32);
+                                vals.push(v);
+                            }
+                        }
+                    }
+                    counts.push((cols.len() - before) as u32);
+                }
+                (counts, cols, vals)
+            });
+
+        // Assemble the residual CSR directly from the in-order spills.
+        let total: usize = band_spills.iter().map(|(_, c, _)| c.len()).sum();
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        row_ptr.push(0u32);
+        let mut nnz = 0usize;
+        let mut col_idx = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        for (counts, cols, vals) in band_spills {
+            for c in counts {
+                nnz += c as usize;
+                row_ptr.push(nnz as u32);
+            }
+            col_idx.extend_from_slice(&cols);
+            values.extend_from_slice(&vals);
+        }
+        let residual = Csr {
+            m,
+            k,
+            row_ptr,
+            col_idx,
+            values,
+        };
         SpartaFormat {
             m,
             k,
             k_pad,
             nm_values,
             nm_indices,
-            residual: Csr::encode(&spill),
+            residual,
         }
     }
 

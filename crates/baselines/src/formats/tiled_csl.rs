@@ -38,7 +38,7 @@ impl PackedNz {
 }
 
 /// A sparse matrix in Tiled-CSL format.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TiledCsl {
     /// Logical rows.
     pub m: usize,
@@ -58,34 +58,61 @@ pub struct TiledCsl {
 
 impl TiledCsl {
     /// Encodes a dense matrix with 64×64 tiles.
+    ///
+    /// Two-pass scheme over the row-major tile grid: pass 1 counts each
+    /// tile's non-zeros in parallel (row-sliced scans clamped to the
+    /// logical extent — overhanging tile cells were always skipped), a
+    /// serial prefix sum builds `tile_offsets`, and pass 2 fills each
+    /// tile's disjoint `non_zeros` span. Entries are emitted in the
+    /// serial scan order (row-major within the tile), so the encoding
+    /// is bit-identical at every job count.
     pub fn encode(matrix: &DenseMatrix) -> Self {
         let m = matrix.rows();
         let k = matrix.cols();
+        let data = matrix.as_slice();
         let m_pad = m.div_ceil(TILE_ROWS) * TILE_ROWS;
         let k_pad = k.div_ceil(TILE_COLS) * TILE_COLS;
         let ty = m_pad / TILE_ROWS;
         let tx = k_pad / TILE_COLS;
-        let mut tile_offsets = Vec::with_capacity(ty * tx + 1);
-        let mut non_zeros = Vec::new();
-        for t_r in 0..ty {
-            for t_c in 0..tx {
-                tile_offsets.push(non_zeros.len() as u32);
-                for lr in 0..TILE_ROWS {
-                    for lc in 0..TILE_COLS {
-                        let (r, c) = (t_r * TILE_ROWS + lr, t_c * TILE_COLS + lc);
-                        if r < m && c < k {
-                            let v = matrix.get(r, c);
-                            if !v.is_zero() {
-                                let pos = (lr * TILE_COLS + lc) as u16;
-                                non_zeros.push(PackedNz::new(v, pos));
-                            }
-                        }
+        let nt = ty * tx;
+
+        // Pass 1: per-tile counts.
+        let counts: Vec<usize> = gpu_sim::exec::par_map_untraced((0..nt).collect(), |t| {
+            let mut count = 0usize;
+            for_each_tile_row(data, m, k, t / tx, t % tx, |row, _| {
+                count += row.iter().filter(|v| !v.is_zero()).count();
+            });
+            count
+        });
+        let mut tile_offsets = Vec::with_capacity(nt + 1);
+        tile_offsets.push(0u32);
+        let mut nnz = 0usize;
+        for c in &counts {
+            nnz += c;
+            tile_offsets.push(nnz as u32);
+        }
+
+        // Pass 2: fill disjoint per-tile spans.
+        let mut non_zeros = vec![PackedNz(0); nnz];
+        let mut spans = Vec::with_capacity(nt);
+        let mut rest = non_zeros.as_mut_slice();
+        for (t, &count) in counts.iter().enumerate() {
+            let (span, tail) = rest.split_at_mut(count);
+            rest = tail;
+            spans.push((t, span));
+        }
+        gpu_sim::exec::par_map_untraced(spans, |(t, span)| {
+            let mut i = 0usize;
+            for_each_tile_row(data, m, k, t / tx, t % tx, |row, lr| {
+                for (lc, v) in row.iter().enumerate() {
+                    if !v.is_zero() {
+                        span[i] = PackedNz::new(*v, (lr * TILE_COLS + lc) as u16);
+                        i += 1;
                     }
                 }
-            }
-        }
-        tile_offsets.push(non_zeros.len() as u32);
-        let nnz = non_zeros.len();
+            });
+            debug_assert_eq!(i, span.len(), "pass-2 fill disagrees with pass-1 count");
+        });
         TiledCsl {
             m,
             k,
@@ -149,6 +176,29 @@ impl TiledCsl {
             }
         }
         out
+    }
+}
+
+/// Visits each in-bounds row of tile `(t_r, t_c)` as a dense slice
+/// clamped to the logical matrix extent, calling `f(row, lr)` with the
+/// local row index. Overhanging tile cells (row ≥ `m` or col ≥ `k`)
+/// are never visited, matching the serial scan's bounds guard.
+#[inline]
+fn for_each_tile_row(
+    data: &[Half],
+    m: usize,
+    k: usize,
+    t_r: usize,
+    t_c: usize,
+    mut f: impl FnMut(&[Half], usize),
+) {
+    let r0 = t_r * TILE_ROWS;
+    let c0 = t_c * TILE_COLS;
+    let rlim = TILE_ROWS.min(m.saturating_sub(r0));
+    let clim = TILE_COLS.min(k.saturating_sub(c0));
+    for lr in 0..rlim {
+        let base = (r0 + lr) * k + c0;
+        f(&data[base..base + clim], lr);
     }
 }
 

@@ -1,8 +1,10 @@
 //! Microbenchmarks for the SpMM wall-clock hot path: the vectorized
-//! `mma` MAC panels, the set-bit-sweep SMBD decode, and the batched
-//! FP16 → f32 LUT conversion — each next to its retained scalar oracle,
-//! so a regression in either the fast path or the price of keeping the
-//! oracle shows up here before it shows up in `spinfer snapshot`.
+//! `mma` MAC panels, the set-bit-sweep SMBD decode, the batched
+//! FP16 → f32 LUT conversion, and the setup pipeline (weight
+//! generation + encode) — each next to its retained scalar/serial
+//! oracle, so a regression in either the fast path or the price of
+//! keeping the oracle shows up here before it shows up in
+//! `spinfer snapshot`.
 //!
 //! The `simd` feature selects the explicit-SIMD MAC panel; run both
 //! ways to compare:
@@ -17,7 +19,7 @@
 
 use criterion::{criterion_main, Criterion};
 use gpu_sim::fp16::{f16_to_f32_slice, Half};
-use gpu_sim::matrix::{random_sparse, ValueDist};
+use gpu_sim::matrix::{random_sparse, random_sparse_oracle, ValueDist};
 use gpu_sim::tensor_core::{
     mma_m16n8k16_bslice, mma_m16n8k16_bslice_ntiles, mma_m16n8k16_bslice_scalar, mma_m16n8k16_f32,
     mma_m16n8k16_f32_scalar, simd_active, FragC, MAX_NTILES, MMA_K, MMA_M, MMA_N,
@@ -174,6 +176,44 @@ fn bench_fp16(c: &mut Criterion) {
     g.finish();
 }
 
+/// Setup-pipeline benchmarks: weight generation and the TCA-BME /
+/// CSR encoders, each fast path next to its retained serial oracle —
+/// the host wall-clock the hero `generate+encode` budget gates at
+/// full scale (`spinfer snapshot --budget`), measured here at a shape
+/// small enough for per-PR iteration.
+fn bench_setup(c: &mut Criterion) {
+    const M: usize = 1024;
+    const K: usize = 1024;
+    const S: f64 = 0.6;
+    let w = random_sparse(M, K, S, ValueDist::Uniform, 42);
+    let mut g = c.benchmark_group("setup");
+    g.bench_function("generate_1kx1k", |bench| {
+        bench.iter(|| black_box(random_sparse(M, K, S, ValueDist::Uniform, 42)));
+    });
+    g.bench_function("generate_1kx1k_oracle", |bench| {
+        bench.iter(|| black_box(random_sparse_oracle(M, K, S, ValueDist::Uniform, 42)));
+    });
+    g.bench_function("encode_tca_bme_1kx1k", |bench| {
+        bench.iter(|| black_box(TcaBme::encode(black_box(&w))));
+    });
+    g.bench_function("encode_tca_bme_1kx1k_serial_oracle", |bench| {
+        bench.iter(|| {
+            black_box(TcaBme::encode_serial_oracle(
+                black_box(&w),
+                spinfer_core::TcaBmeConfig::default(),
+            ))
+        });
+    });
+    g.bench_function("encode_csr_1kx1k", |bench| {
+        bench.iter(|| black_box(spinfer_baselines::Csr::encode(black_box(&w))));
+    });
+    g.bench_function("gtile_checksums_1kx1k", |bench| {
+        let enc = TcaBme::encode(&w);
+        bench.iter(|| black_box(enc.gtile_checksums()));
+    });
+    g.finish();
+}
+
 fn configured() -> Criterion {
     let mut c = Criterion::default();
     // CI smoke mode: prove the harness runs without paying for samples.
@@ -190,5 +230,6 @@ pub fn benches() {
     bench_mma(&mut criterion);
     bench_smbd(&mut criterion);
     bench_fp16(&mut criterion);
+    bench_setup(&mut criterion);
 }
 criterion_main!(benches);

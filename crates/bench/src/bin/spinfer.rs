@@ -4,7 +4,13 @@
 //! spinfer encode <M> <K> <sparsity> [--out FILE]   encode random weights to TCA-BME
 //! spinfer inspect <FILE>                            show stats of an encoded file
 //! spinfer bench <M> <K> <N> <sparsity> [--gpu G] [--functional]
-//!                                                   kernel roster comparison
+//!               [--metrics FILE]
+//!                                                   kernel roster comparison;
+//!                                                   --metrics (functional only)
+//!                                                   writes a metrics snapshot
+//!                                                   with the setup-phase
+//!                                                   generate/encode wall-clock
+//!                                                   and cache counters
 //! spinfer tune <M> <K> <N> <sparsity> [--gpu G]     autotune the SpInfer kernel
 //! spinfer serve <MODEL> <FW> <TP> <BATCH> <OUT>     end-to-end serving simulation
 //! spinfer generate [TOKENS]                         run the tiny functional model
@@ -14,7 +20,9 @@
 //!                                                   old measurement to its history;
 //!                                                   --budget fails if the new jobs-1
 //!                                                   wall-clock exceeds the baseline
-//!                                                   file's by more than 25%
+//!                                                   file's by more than 25%, or the
+//!                                                   generate/encode wall-clock by
+//!                                                   more than 50%
 //! spinfer faults <M> <K> <N> <sparsity> [--rate R] [--seed S] [--gpu G]
 //!                                                   fault-injection smoke: run the
 //!                                                   checked kernel under a seeded
@@ -190,7 +198,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         // format (the cache is shared by all kernels), bit-exact output
         // and counters from real addresses.
         let cache = EncodeCache::new();
-        roster
+        let times = roster
             .iter()
             .map(|&kernel| {
                 let p = SweepPoint {
@@ -202,7 +210,18 @@ fn cmd_bench(args: &[String]) -> CliResult {
                 };
                 sweep::run_functional(&cache, &spec, &p, 0).time_us()
             })
-            .collect()
+            .collect();
+        if let Some(path) = flag_value(args, "--metrics") {
+            let mut reg = Registry::new();
+            cache.record_metrics(&mut reg);
+            std::fs::write(path, reg.snapshot_json()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "wrote {path} (generate {:.3}s, encode {:.3}s)",
+                cache.matrices().generate_s(),
+                cache.encode_s()
+            );
+        }
+        times
     } else {
         roster
             .iter()
@@ -612,20 +631,42 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
     if let Some(budget_path) = flag_value(args, "--budget") {
         let baseline = std::fs::read_to_string(budget_path)
             .map_err(|e| format!("read budget baseline {budget_path}: {e}"))?;
-        let base = spinfer_bench::snapshot::jobs1_of(&baseline)
-            .ok_or_else(|| format!("{budget_path}: no wall_clock_s.spinfer_functional_jobs1"))?;
-        let limit = base * 1.25;
-        if snap.spinfer_functional_jobs1_s > limit {
-            return Err(format!(
-                "wall-clock budget exceeded: jobs-1 functional run took {:.3}s, \
-                 over 1.25x the {base:.3}s baseline in {budget_path} ({limit:.3}s)",
-                snap.spinfer_functional_jobs1_s
-            ));
+        // The kernel gate is mandatory and gets 1.25x headroom. The
+        // setup gates apply whenever the baseline records them
+        // (pre-setup-pipeline baselines do not) and get 1.5x: their
+        // wall-clock is dominated by hundreds of MB of first-touch
+        // page faults, whose cost swings far more run-to-run on
+        // shared hosts than the compute-bound functional run.
+        let gates = [
+            (
+                "spinfer_functional_jobs1",
+                snap.spinfer_functional_jobs1_s,
+                true,
+                1.25,
+            ),
+            ("generate", snap.gen_s, false, 1.5),
+            ("encode", snap.encode_s, false, 1.5),
+        ];
+        for (label, measured, required, headroom) in gates {
+            let base = match spinfer_bench::snapshot::wall_clock_of(&baseline, label) {
+                Some(base) => base,
+                None if required => {
+                    return Err(format!("{budget_path}: no wall_clock_s.{label}"));
+                }
+                None => {
+                    eprintln!("budget: baseline has no wall_clock_s.{label}; skipping");
+                    continue;
+                }
+            };
+            let limit = base * headroom;
+            if measured > limit {
+                return Err(format!(
+                    "wall-clock budget exceeded: {label} took {measured:.3}s, \
+                     over {headroom}x the {base:.3}s baseline in {budget_path} ({limit:.3}s)"
+                ));
+            }
+            eprintln!("budget ok: {label} {measured:.3}s <= {headroom}x baseline {base:.3}s");
         }
-        eprintln!(
-            "budget ok: jobs1 {:.3}s <= 1.25x baseline {base:.3}s",
-            snap.spinfer_functional_jobs1_s
-        );
     }
     match flag_value(args, "--out") {
         Some(path) => {

@@ -311,14 +311,20 @@ pub fn carry_history(prev_json: &str) -> Vec<HistoryEntry> {
     history
 }
 
-/// Extracts `wall_clock_s.spinfer_functional_jobs1` from a snapshot
-/// JSON — the number perf budgets compare against.
-pub fn jobs1_of(json: &str) -> Option<f64> {
+/// Extracts one `wall_clock_s.<label>` entry from a snapshot JSON —
+/// the numbers perf budgets compare against.
+pub fn wall_clock_of(json: &str, label: &str) -> Option<f64> {
     spinfer_obs::json::parse(json)
         .ok()?
         .get("wall_clock_s")?
-        .get("spinfer_functional_jobs1")?
+        .get(label)?
         .as_f64()
+}
+
+/// Extracts `wall_clock_s.spinfer_functional_jobs1` from a snapshot
+/// JSON.
+pub fn jobs1_of(json: &str) -> Option<f64> {
+    wall_clock_of(json, "spinfer_functional_jobs1")
 }
 
 #[cfg(test)]
@@ -346,6 +352,10 @@ mod tests {
         assert!(json.contains("\"rev\""));
         assert!(json.contains("\"history\""));
         assert!(jobs1_of(&json).is_some());
+        // The setup phases are first-class budget targets.
+        assert!(wall_clock_of(&json, "generate").is_some());
+        assert!(wall_clock_of(&json, "encode").is_some());
+        assert_eq!(wall_clock_of(&json, "no_such_label"), None);
     }
 
     #[test]

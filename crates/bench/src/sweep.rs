@@ -25,10 +25,13 @@ use gpu_sim::matrix::{random_dense, random_sparse, DenseMatrix, ValueDist};
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::{kernel_by_name, registry};
 use spinfer_core::spmm::{DynEncoded, DynSpmmKernel, LaunchCtx, SpmmRun};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Parses a `--jobs N` command-line override.
 pub fn jobs_flag(args: &[String]) -> Option<usize> {
@@ -81,16 +84,113 @@ pub fn run_grid(spec: &GpuSpec, points: Vec<SweepPoint>) -> Vec<f64> {
     })
 }
 
+/// Cache key for a generated matrix: rows, cols, sparsity in basis
+/// points (`None` for the dense generator), value-distribution tag +
+/// parameter bits, seed.
+type MatrixKey = (usize, usize, Option<u32>, u8, u32, u64);
+
+/// Collapses a [`ValueDist`] to a hashable `(tag, param bits)` pair.
+fn dist_key(dist: ValueDist) -> (u8, u32) {
+    match dist {
+        ValueDist::Uniform => (0, 0),
+        ValueDist::Normal { std } => (1, std.to_bits()),
+    }
+}
+
+/// Generate-once cache over matrix generation points.
+///
+/// Generation is deterministic in the key — `random_sparse` /
+/// `random_dense` are pure functions of `(shape, sparsity, dist,
+/// seed)` — so a cached matrix is byte-identical to a fresh one and
+/// the cache only changes wall-clock. Counts hits/misses and the total
+/// generation wall-clock for the setup metrics
+/// ([`EncodeCache::record_metrics`]).
+#[derive(Default)]
+pub struct MatrixCache {
+    entries: Mutex<HashMap<MatrixKey, Arc<DenseMatrix>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    gen_nanos: AtomicU64,
+}
+
+impl MatrixCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared sparse matrix for a generation point, built on first
+    /// request. Sparsity is keyed at basis-point resolution.
+    pub fn sparse(
+        &self,
+        m: usize,
+        k: usize,
+        sparsity: f64,
+        dist: ValueDist,
+        seed: u64,
+    ) -> Arc<DenseMatrix> {
+        let (tag, bits) = dist_key(dist);
+        let key = (m, k, Some((sparsity * 1e4).round() as u32), tag, bits, seed);
+        self.fetch(key, || random_sparse(m, k, sparsity, dist, seed))
+    }
+
+    /// The shared dense matrix for a generation point, built on first
+    /// request.
+    pub fn dense(&self, m: usize, k: usize, dist: ValueDist, seed: u64) -> Arc<DenseMatrix> {
+        let (tag, bits) = dist_key(dist);
+        let key = (m, k, None, tag, bits, seed);
+        self.fetch(key, || random_dense(m, k, dist, seed))
+    }
+
+    fn fetch(&self, key: MatrixKey, generate: impl FnOnce() -> DenseMatrix) -> Arc<DenseMatrix> {
+        match self.entries.lock().unwrap().entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let m = Arc::new(generate());
+                self.gen_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                v.insert(m).clone()
+            }
+        }
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that generated a matrix.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total generation wall-clock in seconds.
+    pub fn generate_s(&self) -> f64 {
+        self.gen_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
 /// A weight matrix with one lazily-built encoding slot per distinct
 /// format key in the kernel registry, each behind a `OnceLock`
 /// (concurrent first callers block rather than re-encode).
 pub struct EncodedWeights {
-    weight: DenseMatrix,
+    weight: Arc<DenseMatrix>,
     slots: Vec<(&'static str, OnceLock<DynEncoded>)>,
+    encodes: Arc<AtomicU64>,
+    encode_nanos: Arc<AtomicU64>,
 }
 
 impl EncodedWeights {
-    fn new(m: usize, k: usize, sparsity: f64, seed: u64) -> Self {
+    fn new(
+        weight: Arc<DenseMatrix>,
+        encodes: Arc<AtomicU64>,
+        encode_nanos: Arc<AtomicU64>,
+    ) -> Self {
         let mut slots: Vec<(&'static str, OnceLock<DynEncoded>)> = Vec::new();
         for kernel in registry() {
             if !slots.iter().any(|(key, _)| *key == kernel.format_key()) {
@@ -98,8 +198,10 @@ impl EncodedWeights {
             }
         }
         EncodedWeights {
-            weight: random_sparse(m, k, sparsity, ValueDist::Uniform, seed),
+            weight,
             slots,
+            encodes,
+            encode_nanos,
         }
     }
 
@@ -123,7 +225,15 @@ impl EncodedWeights {
             .find(|(k, _)| *k == key)
             .map(|(_, slot)| slot)
             .unwrap_or_else(|| panic!("format '{key}' is not in the kernel registry"));
-        slot.get_or_init(|| kernel.encode(&self.weight)).clone()
+        slot.get_or_init(|| {
+            self.encodes.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let enc = kernel.encode(&self.weight);
+            self.encode_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            enc
+        })
+        .clone()
     }
 }
 
@@ -131,9 +241,16 @@ impl EncodedWeights {
 type PointKey = (usize, usize, u32, u64);
 
 /// Encode-once cache over (m, k, sparsity, seed) weight points.
+///
+/// Owns a [`MatrixCache`] so the dense weight behind a point (and the
+/// X operands of [`run_functional`]) generate at most once, and counts
+/// encode builds + wall-clock for [`EncodeCache::record_metrics`].
 #[derive(Default)]
 pub struct EncodeCache {
     points: Mutex<HashMap<PointKey, Arc<EncodedWeights>>>,
+    matrices: MatrixCache,
+    encodes: Arc<AtomicU64>,
+    encode_nanos: Arc<AtomicU64>,
 }
 
 impl EncodeCache {
@@ -142,17 +259,30 @@ impl EncodeCache {
         Self::default()
     }
 
+    /// The generate-once matrix cache backing this encode cache.
+    pub fn matrices(&self) -> &MatrixCache {
+        &self.matrices
+    }
+
     /// The shared weights for a (shape, sparsity) point, generating
     /// them on first request. Sparsity is keyed at basis-point
     /// resolution.
     pub fn point(&self, m: usize, k: usize, sparsity: f64, seed: u64) -> Arc<EncodedWeights> {
         let key = (m, k, (sparsity * 1e4).round() as u32, seed);
-        self.points
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| Arc::new(EncodedWeights::new(m, k, sparsity, seed)))
-            .clone()
+        match self.points.lock().unwrap().entry(key) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(v) => {
+                let weight = self
+                    .matrices
+                    .sparse(m, k, sparsity, ValueDist::Uniform, seed);
+                v.insert(Arc::new(EncodedWeights::new(
+                    weight,
+                    self.encodes.clone(),
+                    self.encode_nanos.clone(),
+                )))
+                .clone()
+            }
+        }
     }
 
     /// Number of distinct weight points generated so far.
@@ -163,6 +293,29 @@ impl EncodeCache {
     /// Whether no point has been generated yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Encodings built so far (cache reuse does not count).
+    pub fn encodes(&self) -> u64 {
+        self.encodes.load(Ordering::Relaxed)
+    }
+
+    /// Total encode wall-clock in seconds.
+    pub fn encode_s(&self) -> f64 {
+        self.encode_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Records the setup-phase counters and wall-clocks into a metrics
+    /// registry: `setup.generate_s` / `setup.encode_s` gauges (host
+    /// wall-clock — setup contributes zero simulated microseconds, see
+    /// `docs/TIMING_MODEL.md`) plus matrix-cache hit/miss and
+    /// encode-build counters.
+    pub fn record_metrics(&self, reg: &mut spinfer_obs::Registry) {
+        reg.gauge_set("setup.generate_s", self.matrices.generate_s());
+        reg.gauge_set("setup.encode_s", self.encode_s());
+        reg.counter_add("setup.matrix_cache_hits", self.matrices.hits());
+        reg.counter_add("setup.matrix_cache_misses", self.matrices.misses());
+        reg.counter_add("setup.encodes", self.encodes());
     }
 }
 
@@ -177,7 +330,7 @@ impl EncodeCache {
 /// job count.
 pub fn run_functional(cache: &EncodeCache, spec: &GpuSpec, p: &SweepPoint, seed: u64) -> SpmmRun {
     let weights = cache.point(p.m, p.k, p.sparsity, seed);
-    let x = random_dense(
+    let x = cache.matrices().dense(
         p.k,
         p.n,
         ValueDist::Uniform,
@@ -429,6 +582,37 @@ mod tests {
         let e2 = b.encoded_for(&cusparse);
         assert!(e1.shares_encoding(&e2), "CSR must encode once per point");
         assert!(!e1.shares_encoding(&c.encoded_for(&sputnik)));
+    }
+
+    #[test]
+    fn matrix_cache_generates_once_and_records_metrics() {
+        let cache = EncodeCache::new();
+        let a = cache.matrices().sparse(64, 64, 0.5, ValueDist::Uniform, 3);
+        let b = cache.matrices().sparse(64, 64, 0.5, ValueDist::Uniform, 3);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one matrix");
+        assert_eq!(*a, random_sparse(64, 64, 0.5, ValueDist::Uniform, 3));
+        assert_eq!((cache.matrices().hits(), cache.matrices().misses()), (1, 1));
+        // Dense and sparse generation points never collide in the key
+        // space, even at identical shape/dist/seed.
+        let d = cache.matrices().dense(64, 64, ValueDist::Uniform, 3);
+        assert_eq!(*d, random_dense(64, 64, ValueDist::Uniform, 3));
+
+        // An encode point reuses the cached weight and counts one build
+        // per format no matter how often it is requested.
+        let point = cache.point(64, 64, 0.5, 3);
+        assert!(std::ptr::eq(point.weight(), &*a));
+        let kernel = kernel_by_name("SpInfer").unwrap();
+        let _ = point.encoded_for(&kernel);
+        let _ = point.encoded_for(&kernel);
+        assert_eq!(cache.encodes(), 1, "second request must reuse");
+
+        let mut reg = spinfer_obs::Registry::new();
+        cache.record_metrics(&mut reg);
+        assert_eq!(reg.counter("setup.matrix_cache_misses"), 2);
+        assert_eq!(reg.counter("setup.matrix_cache_hits"), 2);
+        assert_eq!(reg.counter("setup.encodes"), 1);
+        assert!(reg.gauge("setup.generate_s") > 0.0);
+        assert!(reg.gauge("setup.encode_s") > 0.0);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum SpinferError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// An encoding's padded value array exceeds the `u32` `GTileOffset`
+    /// space, so offsets cannot address it (the serial encoder used to
+    /// truncate silently).
+    OffsetOverflow {
+        /// Padded value elements required (saturating at `usize::MAX`).
+        total: usize,
+    },
 }
 
 /// Structural defects in an encoded container. The variants name the
@@ -215,6 +222,10 @@ impl std::fmt::Display for SpinferError {
             SpinferError::UnknownKernel { name } => {
                 write!(f, "unknown kernel '{name}': not in the kernel registry")
             }
+            SpinferError::OffsetOverflow { total } => write!(
+                f,
+                "encoded values need {total} padded elements, beyond the u32 GTileOffset space"
+            ),
         }
     }
 }
@@ -349,6 +360,9 @@ mod tests {
             SpinferError::UnknownKernel {
                 name: "FlashAttention".to_string(),
             },
+            SpinferError::OffsetOverflow {
+                total: 4_294_967_296,
+            },
         ];
         all.extend(integrity.into_iter().map(SpinferError::Integrity));
         all.extend(kernel.into_iter().map(SpinferError::Kernel));
@@ -369,6 +383,7 @@ mod tests {
                 SpinferError::DimensionMismatch { .. } => "K = 128",
                 SpinferError::InvalidSparsity(_) => "1.5",
                 SpinferError::UnknownKernel { .. } => "'FlashAttention'",
+                SpinferError::OffsetOverflow { .. } => "4294967296 padded elements",
                 SpinferError::Integrity(i) => match i {
                     IntegrityError::OffsetCount { .. } => "4 entries",
                     IntegrityError::OffsetOrder { .. } => "96 -> 64",

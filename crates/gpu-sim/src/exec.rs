@@ -132,6 +132,22 @@ where
     par_map_with(items, || (), |(), item| f(item))
 }
 
+/// [`par_map`] that records no pool-call trace span.
+///
+/// For host-side *setup* work (matrix generation, format encode,
+/// checksum sweeps) that may run near an attached task trace: kernel
+/// traces pin pool-call/task spans as part of their job-count-invariance
+/// contract, and setup fan-outs — whose item counts depend on data
+/// geometry, not launch geometry — must not perturb them.
+pub fn par_map_untraced<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    par_map_inner(items, || (), |(), item| f(item))
+}
+
 /// [`par_map`] with per-worker scratch state.
 ///
 /// Each worker calls `init` once and threads the resulting state
@@ -148,6 +164,19 @@ where
     F: Fn(&mut S, I) -> R + Sync,
 {
     record_pool_call("par_map", items.len());
+    par_map_inner(items, init, f)
+}
+
+/// Shared pool body of [`par_map_with`] (traced) and
+/// [`par_map_untraced`]: dynamic claiming, order-restoring, serial
+/// short-circuit at one job.
+fn par_map_inner<I, S, R, F, N>(items: Vec<I>, init: N, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    N: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> R + Sync,
+{
     let jobs = num_jobs().min(items.len().max(1));
     if jobs <= 1 {
         let mut state = init();
@@ -268,8 +297,11 @@ where
     par_map(chunk_ranges(len, num_jobs()), f)
 }
 
-/// Cuts `0..len` into contiguous ranges, about four per job.
-fn chunk_ranges(len: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
+/// Cuts `0..len` into contiguous ranges, about four per job. Public so
+/// two-pass encoders can materialize one banding and reuse it across
+/// both passes (count, then fill disjoint output slices cut at the same
+/// band boundaries).
+pub fn chunk_ranges(len: usize, jobs: usize) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
@@ -368,6 +400,19 @@ mod tests {
         set_task_trace(None);
         let _ = par_map((0..4usize).collect(), |i| i);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn par_map_untraced_is_silent_even_when_attached() {
+        let sink = Arc::new(TraceSink::new());
+        set_task_trace(Some(sink.clone()));
+        let out = par_map_untraced((0..9usize).collect(), |i| i * 2);
+        set_task_trace(None);
+        assert_eq!(out, (0..9usize).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(
+            sink.is_empty(),
+            "setup fan-out must not emit pool-call spans"
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl Half {
     ///
     /// Values above the FP16 finite range become infinities; subnormal
     /// results are produced exactly as the hardware conversion would.
+    #[inline]
     pub fn from_f32(value: f32) -> Self {
         let bits = value.to_bits();
         let sign = ((bits >> 16) & 0x8000) as u16;
@@ -306,6 +307,97 @@ pub fn f16_to_f32_vec(src: &[Half]) -> Vec<f32> {
     out
 }
 
+/// Branch-free `f32 → f16` bit conversion, exactly equal to
+/// [`Half::from_f32`] for every input pattern (pinned against the
+/// reference in `branchless_matches_from_f32_at_lane_boundaries` and
+/// `f32_to_f16_slice_matches_per_element`). All three result
+/// lanes — normal/overflow, subnormal/underflow, NaN/Inf — are computed
+/// unconditionally and selected by magnitude, so the per-element work is
+/// a short fixed dependency chain with no data-dependent branches; this
+/// is what lets [`f32_to_f16_slice`] convert generator-scale buffers at
+/// memory speed.
+#[inline]
+fn f16_bits_from_f32_bits_rne(bits: u32) -> u16 {
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7FFF_FFFF;
+
+    // Normal lane with RNE via carry arithmetic: adding `0x0FFF + lsb`
+    // below the 13 dropped mantissa bits rounds half-to-even, carrying
+    // into the exponent when the mantissa overflows (which is exactly
+    // the correct promotion, including rounding up to infinity); the
+    // `0x3800_0000` subtraction rebias-es the exponent from 127 to 15.
+    // Saturates at the infinity encoding for finite overflow.
+    let lsb = (abs >> 13) & 1;
+    let rounded = abs.wrapping_add(0x0FFF + lsb);
+    let normal = ((rounded.wrapping_sub(0x3800_0000)) >> 13).min(0x7C00) as u16;
+
+    // Subnormal lane: explicit leading 1, variable shift, RNE on the
+    // shifted-out remainder. The shift clamp keeps the expression
+    // defined for every exponent; any shift ≥ 25 yields zero with no
+    // round-up (the remainder is always below the halfway point), which
+    // is precisely the underflow-to-signed-zero rule.
+    let exp = abs >> 23;
+    let shift = 126u32.wrapping_sub(exp).min(31);
+    let full = (abs & 0x007F_FFFF) | 0x0080_0000;
+    let base = full >> shift;
+    let rem = full & ((1u32 << shift) - 1);
+    let half = 1u32 << (shift.wrapping_sub(1)).min(31);
+    let round_up = u32::from(rem > half || (rem == half && base & 1 == 1));
+    let sub = (base + round_up) as u16;
+
+    // NaN/Inf lane: infinity, or the quiet-NaN payload `from_f32` uses.
+    let naninf = 0x7C00u16 | (u16::from(abs > 0x7F80_0000) << 9);
+
+    let magnitude = if abs >= 0x7F80_0000 {
+        naninf
+    } else if abs >= 0x3880_0000 {
+        normal
+    } else {
+        sub
+    };
+    sign | magnitude
+}
+
+/// Converts a whole `f32` slice to `Half` in one sweep —
+/// `dst[i] = Half::from_f32(src[i])` bit-for-bit (same round-to-nearest-
+/// even, same NaN quieting), without per-element call dispatch or
+/// data-dependent branching ([`f16_bits_from_f32_bits_rne`]). The batch
+/// form the chunked matrix generators use. `dst.len()` must equal
+/// `src.len()`.
+pub fn f32_to_f16_slice(src: &[f32], dst: &mut [Half]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement was just checked at runtime.
+        unsafe { f32_to_f16_slice_avx2(src, dst) };
+        return;
+    }
+    f32_to_f16_slice_scalar(src, dst);
+}
+
+#[inline]
+fn f32_to_f16_slice_scalar(src: &[f32], dst: &mut [Half]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = Half(f16_bits_from_f32_bits_rne(x.to_bits()));
+    }
+}
+
+/// The same scalar loop compiled with AVX2 enabled so the compiler can
+/// auto-vectorize the branch-free conversion eight lanes wide (variable
+/// shifts and unsigned mins have no SSE2 encoding, which blocks
+/// vectorization in the baseline build). Semantics are untouched — this
+/// is the identical integer arithmetic per element, so the dispatch is
+/// invisible to every bit-identity pin.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn f32_to_f16_slice_avx2(src: &[f32], dst: &mut [Half]) {
+    f32_to_f16_slice_scalar(src, dst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +508,36 @@ mod tests {
             } else {
                 prop_assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits);
             }
+        }
+
+        #[test]
+        fn f32_to_f16_slice_matches_per_element(raw in prop::collection::vec(any::<u32>(), 0..64)) {
+            // Arbitrary bit patterns, NaNs and infinities included.
+            let src: Vec<f32> = raw.iter().map(|&b| f32::from_bits(b)).collect();
+            let mut dst = vec![Half::ZERO; src.len()];
+            f32_to_f16_slice(&src, &mut dst);
+            for (&x, &h) in src.iter().zip(&dst) {
+                prop_assert_eq!(h.to_bits(), Half::from_f32(x).to_bits());
+            }
+        }
+
+        #[test]
+        fn branchless_matches_from_f32_at_lane_boundaries(
+            exp in 0u32..=255,
+            mant in prop::sample::select(vec![
+                0u32, 1, 2, 0x0FFF, 0x1000, 0x1001, 0x1FFF, 0x2000, 0x2FFF, 0x3000,
+                0x3001, 0x7F_E000, 0x7F_EFFF, 0x7F_F000, 0x7F_F001, 0x7F_FFFF,
+            ]),
+            neg in prop::sample::select(vec![0u32, 1]),
+        ) {
+            // Every exponent × the mantissa patterns that straddle the
+            // RNE rounding, carry, overflow, and quiet-NaN decisions.
+            let bits = (neg << 31) | (exp << 23) | mant;
+            prop_assert_eq!(
+                f16_bits_from_f32_bits_rne(bits),
+                Half::from_f32(f32::from_bits(bits)).to_bits(),
+                "bits {bits:#010x}"
+            );
         }
     }
 

@@ -7,8 +7,8 @@
 
 use crate::fp16::Half;
 use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::rngs::{BufferedRng, StdRng, BUFFER_WORDS};
+use rand::{f32_from_word, Rng, RngCore, SeedableRng};
 
 /// A dense row-major FP16 matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -217,8 +217,66 @@ pub enum ValueDist {
     Normal { std: f32 },
 }
 
+/// Staging-chunk size (elements) shared by the batched generator paths:
+/// one full [`BufferedRng`] refill's worth of words.
+const GEN_CHUNK: usize = BUFFER_WORDS;
+
+/// One `Uniform::new_inclusive(-1.0, 1.0)` draw applied to a raw word —
+/// exactly `lo + u·(hi − lo)` with the `Standard` f32 mapping, the
+/// expression `sample(rng, ValueDist::Uniform)` evaluates per element.
+#[inline]
+fn uniform_pm1(w: u64) -> f32 {
+    -1.0f32 + f32_from_word(w) * 2.0f32
+}
+
 /// Generates a dense matrix with i.i.d. values (no sparsity).
+///
+/// Batched form of [`random_dense_oracle`], byte-identical by
+/// construction (and pinned by tests): every element consumes a fixed
+/// number of words — one for `Uniform`, twelve for `Normal` — so whole
+/// chunks of raw words are mapped through the same per-word formulas
+/// the serial draw path applies, then batch-converted to FP16.
 pub fn random_dense(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> DenseMatrix {
+    let n = rows * cols;
+    let mut rng = BufferedRng::new(StdRng::seed_from_u64(seed));
+    let mut data = vec![Half::ZERO; n];
+    let mut tmp = [0.0f32; GEN_CHUNK];
+    let mut i = 0;
+    while i < n {
+        let (words_per_elem, words) = match dist {
+            ValueDist::Uniform => (1, rng.buffered(1)),
+            ValueDist::Normal { .. } => (12, rng.buffered(12)),
+        };
+        let cnt = (words.len() / words_per_elem).min(n - i).min(GEN_CHUNK);
+        match dist {
+            ValueDist::Uniform => {
+                for (slot, &w) in tmp[..cnt].iter_mut().zip(words) {
+                    *slot = uniform_pm1(w);
+                }
+            }
+            ValueDist::Normal { std } => {
+                for (e, slot) in tmp[..cnt].iter_mut().enumerate() {
+                    // Irwin-Hall: sum of 12 uniforms minus 6, summed in
+                    // the same ascending-draw order as the serial path.
+                    let mut s = 0.0f32;
+                    for &w in &words[e * 12..e * 12 + 12] {
+                        s += f32_from_word(w);
+                    }
+                    *slot = (s - 6.0) * std;
+                }
+            }
+        }
+        rng.advance(cnt * words_per_elem);
+        crate::fp16::f32_to_f16_slice(&tmp[..cnt], &mut data[i..i + cnt]);
+        i += cnt;
+    }
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// The original element-at-a-time generator [`random_dense`] batches:
+/// one [`sample`] draw per element. Retained as the stream oracle the
+/// batched path is pinned against.
+pub fn random_dense_oracle(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> DenseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
@@ -231,7 +289,39 @@ pub fn random_dense(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> Den
 /// `sparsity`, matching the uniform-random model the paper uses for kernel
 /// benchmarks (non-zeros follow `dist`). Exact zeros are re-rolled so that
 /// "non-zero" positions genuinely carry non-zero values.
+///
+/// Batched form of [`random_sparse_oracle`], byte-identical by
+/// construction (and pinned by tests). `Uniform` non-zeros take the
+/// chunked optimistic path (see [`fill_sparse_uniform`]); `Normal`
+/// keeps the per-element draw loop — it is off the sweep hot path and
+/// its re-roll probability is distribution-dependent.
 pub fn random_sparse(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    dist: ValueDist,
+    seed: u64,
+) -> DenseMatrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let n = rows * cols;
+    let mut rng = BufferedRng::new(StdRng::seed_from_u64(seed));
+    let mut data = vec![Half::ZERO; n];
+    match dist {
+        ValueDist::Uniform => fill_sparse_uniform(&mut rng, sparsity, &mut data, false),
+        ValueDist::Normal { .. } => {
+            for slot in data.iter_mut() {
+                *slot = sparse_element(&mut rng, sparsity, dist);
+            }
+        }
+    }
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// The original element-at-a-time generator [`random_sparse`] batches:
+/// one f64 gate draw per element, then the re-rolling non-zero sample
+/// for kept positions. Retained as the stream oracle the batched path
+/// is pinned against.
+pub fn random_sparse_oracle(
     rows: usize,
     cols: usize,
     sparsity: f64,
@@ -242,13 +332,198 @@ pub fn random_sparse(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        if rng.gen::<f64>() < sparsity {
-            data.push(Half::ZERO);
-        } else {
-            data.push(nonzero_sample(&mut rng, dist));
-        }
+        data.push(sparse_element(&mut rng, sparsity, dist));
     }
     DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// One element of the serial sparse draw sequence: a gate draw, then
+/// (if kept) the re-rolling non-zero sample.
+#[inline]
+fn sparse_element<R: RngCore>(rng: &mut R, sparsity: f64, dist: ValueDist) -> Half {
+    if rng.gen::<f64>() < sparsity {
+        Half::ZERO
+    } else {
+        nonzero_sample(rng, dist)
+    }
+}
+
+/// Chunked optimistic filler for `Uniform` sparse matrices,
+/// byte-identical to the serial per-element loop.
+///
+/// Each chunk peeks a run of buffered raw words and maps them through
+/// the exact per-word draw formulas, assuming no kept draw lands on
+/// exact `0.0` (the only case where the serial path would re-roll and
+/// consume extra words). Uniform `[-1, 1]` samples are multiples of
+/// 2⁻²³, which FP16 conversion only underflows to zero for `0.0`
+/// itself, so `x == 0.0` detects the hazard exactly; it strikes with
+/// probability 2⁻²⁴ per kept element. On a hit the chunk's words are
+/// *not* consumed — the whole run is replayed through
+/// [`sparse_element`], which re-serves the identical words from the
+/// buffer and performs the true re-roll sequence.
+///
+/// `force_replay` pretends every chunk hit the hazard, driving the
+/// replay path deterministically for tests (the rare path must also be
+/// byte-faithful, including its word accounting across chunks).
+fn fill_sparse_uniform(
+    rng: &mut BufferedRng<StdRng>,
+    sparsity: f64,
+    data: &mut [Half],
+    force_replay: bool,
+) {
+    // Integer form of the gate compare. `f64_from_word(w) = u · 2⁻⁵³`
+    // with `u = w >> 11 < 2⁵³`, and both `u · 2⁻⁵³` (a 53-bit integer
+    // scaled by a power of two) and `T = sparsity · 2⁵³` (a mantissa
+    // rescaling, no overflow for sparsity ≤ 1) are exact, so the f64
+    // compare `u · 2⁻⁵³ < sparsity` is the real-number compare `u < T`.
+    // For integer `u` that is `u < ceil(T)` (when `T` is an integer,
+    // `ceil(T) = T`), a pure integer compare per word.
+    let thresh = (sparsity * 9007199254740992.0).ceil() as u64; // 2⁵³
+    debug_assert!((0.0..=1.0).contains(&sparsity));
+    let n = data.len();
+    let mut tmp = [0.0f32; GEN_CHUNK];
+    let mut i = 0;
+    while i < n {
+        // Worst case two words per element (gate + value).
+        let words = rng.buffered(2);
+        let avail = words.len();
+        let lim = (n - i).min(GEN_CHUNK);
+        let (wp, cnt, replay) = scan_sparse_run(words, thresh, &mut tmp, lim, avail, force_replay);
+        let out = &mut data[i..i + cnt];
+        if replay {
+            // Rare path: leave the peeked words unconsumed and replay
+            // the run through the exact serial logic.
+            for slot in out.iter_mut() {
+                *slot = sparse_element(rng, sparsity, ValueDist::Uniform);
+            }
+        } else {
+            rng.advance(wp);
+            crate::fp16::f32_to_f16_slice(&tmp[..cnt], out);
+        }
+        i += cnt;
+    }
+}
+
+/// One optimistic run of the sparse scan: maps buffered words to `f32`
+/// samples in `tmp` until `lim` elements are produced or fewer than two
+/// words remain. Returns `(words consumed, elements produced, hazard)`.
+/// Dispatch wrapper: see [`scan_sparse_run_generic`] for the logic.
+#[inline]
+fn scan_sparse_run(
+    words: &[u64],
+    thresh: u64,
+    tmp: &mut [f32; GEN_CHUNK],
+    lim: usize,
+    avail: usize,
+    force_replay: bool,
+) -> (usize, usize, bool) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement was just checked at runtime.
+        return unsafe { scan_sparse_run_avx2(words, thresh, tmp, lim, avail, force_replay) };
+    }
+    scan_sparse_run_generic(words, thresh, tmp, lim, avail, force_replay)
+}
+
+/// The same scan compiled with AVX2/BMI enabled (see
+/// [`crate::fp16::f32_to_f16_slice`] for why the baseline SSE2 build
+/// can't vectorize these patterns). Identical arithmetic — invisible to
+/// the stream-fidelity pins.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (which implies the BMI1
+/// and LZCNT levels enabled here).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,bmi1,bmi2,lzcnt,popcnt")]
+unsafe fn scan_sparse_run_avx2(
+    words: &[u64],
+    thresh: u64,
+    tmp: &mut [f32; GEN_CHUNK],
+    lim: usize,
+    avail: usize,
+    force_replay: bool,
+) -> (usize, usize, bool) {
+    scan_sparse_run_generic(words, thresh, tmp, lim, avail, force_replay)
+}
+
+#[inline]
+fn scan_sparse_run_generic(
+    words: &[u64],
+    thresh: u64,
+    tmp: &mut [f32; GEN_CHUNK],
+    lim: usize,
+    avail: usize,
+    force_replay: bool,
+) -> (usize, usize, bool) {
+    let mut wp = 0usize;
+    let mut cnt = 0usize;
+    let mut replay = force_replay;
+
+    // Block path: classify 64 words at once. Each block starts at a gate
+    // word (the scalar loop below also always stops at element
+    // boundaries), `k` collects per-word kept-gate decisions, and
+    // [`value_word_mask`] splits the block into gate words and value
+    // words without walking the serial word-position chain. Elements are
+    // emitted in gate-word order — zeros via one bulk fill, kept values
+    // by rank — which is exactly the serial emission order. A block
+    // needs one lookahead word (`wp + 65`) in case bit 63 is a kept
+    // gate, and room for its worst case of 64 elements.
+    while wp + 65 <= avail && cnt + 64 <= lim {
+        let mut k = 0u64;
+        for (j, &w) in words[wp..wp + 64].iter().enumerate() {
+            k |= u64::from((w >> 11) >= thresh) << j;
+        }
+        let gates = !value_word_mask(k);
+        let elems = gates.count_ones() as usize;
+        tmp[cnt..cnt + elems].fill(0.0);
+        let mut kept_gates = gates & k;
+        let consumed_lookahead = (kept_gates >> 63) as usize;
+        while kept_gates != 0 {
+            let j = kept_gates.trailing_zeros() as usize;
+            kept_gates &= kept_gates - 1;
+            let rank = (gates & ((1u64 << j) - 1)).count_ones() as usize;
+            let x = uniform_pm1(words[wp + j + 1]);
+            tmp[cnt + rank] = x;
+            replay |= x == 0.0;
+        }
+        cnt += elems;
+        wp += 64 + consumed_lookahead;
+    }
+
+    // Scalar tail: remaining elements / buffered words, one at a time.
+    while cnt < lim && wp + 2 <= avail {
+        let gate = (words[wp] >> 11) < thresh;
+        let x = uniform_pm1(words[wp + 1]);
+        wp += 2 - gate as usize;
+        let kept = !gate;
+        tmp[cnt] = if kept { x } else { 0.0 };
+        replay |= kept && x == 0.0;
+        cnt += 1;
+    }
+    (wp, cnt, replay)
+}
+
+/// Given that word 0 of a 64-word run is a gate word and bit `j` of `k`
+/// says "word `j`'s draw keeps the element *if* word `j` is a gate",
+/// returns the mask of words that are value words — the solution of
+/// `v[j] = k[j-1] & !v[j-1]`, `v[0] = 0`: a word is a value word exactly
+/// when an odd-length run of kept-gate bits immediately precedes it.
+///
+/// Branch-free run-parity form (the carry-propagation technique
+/// simdjson uses for escaped-character masks): runs of `k` starting on
+/// even positions keep their odd members, runs starting on odd
+/// positions keep their even members, and one 64-bit add propagates
+/// each run's start parity to its members. Pinned against the serial
+/// recurrence in `value_word_mask_matches_serial_recurrence`.
+#[inline]
+fn value_word_mask(k: u64) -> u64 {
+    const EVEN: u64 = 0x5555_5555_5555_5555;
+    let follows_kept = k << 1;
+    let odd_starts = k & !EVEN & !follows_kept;
+    let (sum, _) = odd_starts.overflowing_add(k);
+    let invert = sum << 1;
+    (EVEN ^ invert) & follows_kept
 }
 
 /// Generates a sparse matrix with an *exact* number of non-zeros per row
@@ -313,7 +588,7 @@ pub fn random_sparse_clustered(
     out
 }
 
-fn sample(rng: &mut StdRng, dist: ValueDist) -> f32 {
+fn sample<R: RngCore>(rng: &mut R, dist: ValueDist) -> f32 {
     match dist {
         ValueDist::Uniform => Uniform::new_inclusive(-1.0f32, 1.0).sample(rng),
         ValueDist::Normal { std } => {
@@ -324,7 +599,7 @@ fn sample(rng: &mut StdRng, dist: ValueDist) -> f32 {
     }
 }
 
-fn nonzero_sample(rng: &mut StdRng, dist: ValueDist) -> Half {
+fn nonzero_sample<R: RngCore>(rng: &mut R, dist: ValueDist) -> Half {
     loop {
         let h = Half::from_f32(sample(rng, dist));
         if !h.is_zero() {
@@ -472,5 +747,100 @@ mod tests {
     fn normal_dist_generates_fp16_range_values() {
         let m = random_dense(32, 32, ValueDist::Normal { std: 0.02 }, 9);
         assert!(m.as_slice().iter().all(|h| !h.is_nan() && !h.is_infinite()));
+    }
+
+    #[test]
+    fn batched_dense_generator_matches_oracle() {
+        // Shapes straddling the chunk size, both distributions.
+        for (r, c) in [(1, 1), (3, 5), (16, 32), (7, 111), (64, 64), (37, 53)] {
+            for dist in [ValueDist::Uniform, ValueDist::Normal { std: 0.02 }] {
+                for seed in [0u64, 1, 42, u64::MAX] {
+                    let a = random_dense(r, c, dist, seed);
+                    let b = random_dense_oracle(r, c, dist, seed);
+                    assert_eq!(a, b, "dense {r}x{c} {dist:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    /// Serial form of the [`value_word_mask`] recurrence
+    /// `v[j] = k[j-1] & !v[j-1]`, `v[0] = 0`.
+    fn value_word_mask_serial(k: u64) -> u64 {
+        let mut v = 0u64;
+        for j in 1..64 {
+            let prev_gate_kept = (k >> (j - 1)) & 1 == 1 && (v >> (j - 1)) & 1 == 0;
+            v |= u64::from(prev_gate_kept) << j;
+        }
+        v
+    }
+
+    #[test]
+    fn value_word_mask_matches_serial_recurrence() {
+        // Structured patterns: empty, full, alternating phases, run
+        // boundaries at the word edges, single bits.
+        let structured = [
+            0u64,
+            !0,
+            0x5555_5555_5555_5555,
+            0xAAAA_AAAA_AAAA_AAAA,
+            1,
+            1 << 63,
+            0b111,
+            0b110,
+            (1 << 63) | (1 << 62),
+            !0 << 60,
+            !0 >> 60,
+            0x00FF_FF00_0FF0_F0F0,
+        ];
+        for k in structured {
+            assert_eq!(value_word_mask(k), value_word_mask_serial(k), "k={k:#018x}");
+        }
+        // And a deterministic pseudo-random sweep.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..4096 {
+            let k = rng.next_u64();
+            assert_eq!(value_word_mask(k), value_word_mask_serial(k), "k={k:#018x}");
+        }
+    }
+
+    #[test]
+    fn batched_sparse_generator_matches_oracle() {
+        // Shapes above 129 words exercise the 64-word block classifier;
+        // the small ones exercise the scalar tail only.
+        for (r, c) in [(1, 1), (16, 32), (7, 111), (64, 64), (129, 65), (200, 173)] {
+            for sparsity in [0.0, 0.3, 0.6, 0.95, 1.0] {
+                for seed in [0u64, 7, 42] {
+                    let a = random_sparse(r, c, sparsity, ValueDist::Uniform, seed);
+                    let b = random_sparse_oracle(r, c, sparsity, ValueDist::Uniform, seed);
+                    assert_eq!(a, b, "sparse {r}x{c} s={sparsity} seed {seed}");
+                }
+            }
+        }
+        // Normal keeps the serial element loop but now runs buffered.
+        let a = random_sparse(48, 48, 0.5, ValueDist::Normal { std: 0.02 }, 5);
+        let b = random_sparse_oracle(48, 48, 0.5, ValueDist::Normal { std: 0.02 }, 5);
+        assert_eq!(a, b);
+    }
+
+    /// The optimistic filler's rare path — decline to consume the
+    /// peeked words and replay the run serially — must also be
+    /// byte-faithful, including word accounting across chunk
+    /// boundaries. The 2⁻²⁴-per-element hazard never fires organically
+    /// at test sizes, so force it on every chunk.
+    #[test]
+    fn sparse_replay_path_matches_oracle() {
+        for (r, c) in [(16, 32), (7, 111), (129, 65)] {
+            for sparsity in [0.0, 0.3, 0.6, 1.0] {
+                for seed in [0u64, 7, 42] {
+                    let n = r * c;
+                    let mut rng = BufferedRng::new(StdRng::seed_from_u64(seed));
+                    let mut data = vec![Half::ZERO; n];
+                    fill_sparse_uniform(&mut rng, sparsity, &mut data, true);
+                    let replayed = DenseMatrix::from_vec(r, c, data);
+                    let oracle = random_sparse_oracle(r, c, sparsity, ValueDist::Uniform, seed);
+                    assert_eq!(replayed, oracle, "replay {r}x{c} s={sparsity} seed {seed}");
+                }
+            }
+        }
     }
 }

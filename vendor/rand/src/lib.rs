@@ -70,16 +70,36 @@ pub trait Standard: Sized {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
+/// The `Standard` `f64` mapping applied to one raw 64-bit word — the
+/// exact function `gen::<f64>()` applies to the word `next_u64`
+/// returns. Exposed so batched samplers that pre-fetch raw words (see
+/// [`BufferedRng`]) share one source of truth with the per-draw path.
+#[inline]
+pub fn f64_from_word(w: u64) -> f64 {
+    // 53 uniform bits in [0, 1).
+    (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The `Standard` `f32` mapping applied to one raw 64-bit word — the
+/// exact composition of `next_u32` (high half of the word) and the
+/// 24-bit unit-interval mapping `gen::<f32>()` applies.
+#[inline]
+pub fn f32_from_word(w: u64) -> f32 {
+    // 24 uniform bits in [0, 1).
+    (((w >> 32) as u32) >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
 impl Standard for f64 {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        // 53 uniform bits in [0, 1).
-        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        f64_from_word(rng.next_u64())
     }
 }
 
 impl Standard for f32 {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        // 24 uniform bits in [0, 1).
+        // next_u32 is the high half of next_u64, so one f32 draw
+        // consumes exactly one word — the invariant f32_from_word and
+        // every block-buffered consumer rely on.
         (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 }
@@ -148,6 +168,88 @@ impl_sample_range_float!(f32, f64);
 /// Named generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
+
+    /// Words a [`BufferedRng`] pre-generates per refill. 4 KiB of
+    /// buffer — small enough to stay L1-resident, large enough that the
+    /// refill loop amortises per-call overhead away.
+    pub const BUFFER_WORDS: usize = 512;
+
+    /// Block-buffered wrapper around any [`RngCore`]: pre-generates up
+    /// to [`BUFFER_WORDS`] words per refill and serves every draw from
+    /// the buffer. Buffering only moves *when* words are produced,
+    /// never their order, so the stream is byte-identical to drawing
+    /// from the inner generator directly (pinned by the
+    /// `buffered_stream_matches_unbuffered_oracle` test).
+    ///
+    /// Beyond plain [`RngCore`] draws, [`BufferedRng::buffered`] /
+    /// [`BufferedRng::advance`] expose the unconsumed words as a slice
+    /// so batched samplers can peek ahead without committing — a
+    /// consumer may scan a run of words optimistically and, on a rare
+    /// bad case, decline to `advance` and replay the same words through
+    /// the exact per-draw path instead.
+    #[derive(Clone, Debug)]
+    pub struct BufferedRng<R: RngCore> {
+        inner: R,
+        buf: Vec<u64>,
+        pos: usize,
+    }
+
+    impl<R: RngCore> BufferedRng<R> {
+        /// Wraps `inner`. No words are drawn until first use.
+        pub fn new(inner: R) -> Self {
+            BufferedRng {
+                inner,
+                buf: Vec::with_capacity(BUFFER_WORDS),
+                pos: 0,
+            }
+        }
+
+        /// Ensures at least `min` unconsumed words are buffered
+        /// (refilling from the inner generator as needed) and returns
+        /// *all* unconsumed words in stream order. `advance(n)`
+        /// consumes the first `n`; un-advanced words are re-served by
+        /// the next draw, whichever API makes it.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `min > BUFFER_WORDS`.
+        pub fn buffered(&mut self, min: usize) -> &[u64] {
+            assert!(min <= BUFFER_WORDS, "buffered({min}) exceeds capacity");
+            if self.buf.len() - self.pos < min {
+                // Compact the (at most min - 1) leftover words to the
+                // front, then refill to capacity.
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+                let start = self.buf.len();
+                self.buf.resize(BUFFER_WORDS, 0);
+                for w in &mut self.buf[start..] {
+                    *w = self.inner.next_u64();
+                }
+            }
+            &self.buf[self.pos..]
+        }
+
+        /// Consumes `n` buffered words.
+        ///
+        /// # Panics
+        ///
+        /// Panics if fewer than `n` unconsumed words are buffered.
+        pub fn advance(&mut self, n: usize) {
+            assert!(self.buf.len() - self.pos >= n, "advance past buffer");
+            self.pos += n;
+        }
+    }
+
+    impl<R: RngCore> RngCore for BufferedRng<R> {
+        fn next_u64(&mut self) -> u64 {
+            if self.pos == self.buf.len() {
+                self.buffered(1);
+            }
+            let w = self.buf[self.pos];
+            self.pos += 1;
+            w
+        }
+    }
 
     /// The workspace's standard deterministic generator: xoshiro256++
     /// seeded via SplitMix64.
@@ -251,8 +353,73 @@ pub mod distributions {
 #[cfg(test)]
 mod tests {
     use super::distributions::{Distribution, Uniform};
-    use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::rngs::{BufferedRng, StdRng, BUFFER_WORDS};
+    use super::{f32_from_word, f64_from_word, Rng, RngCore, SeedableRng};
+
+    /// The satellite pin: a block-buffered `StdRng` must replay the
+    /// unbuffered stream byte-for-byte under an adversarial mix of
+    /// draw widths, peeks, and partial consumption.
+    #[test]
+    fn buffered_stream_matches_unbuffered_oracle() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut oracle = StdRng::seed_from_u64(seed);
+            let mut buffered = BufferedRng::new(StdRng::seed_from_u64(seed));
+            // Mixed-width draws through the RngCore / Rng fronts.
+            for i in 0..4 * BUFFER_WORDS {
+                match i % 5 {
+                    0 => assert_eq!(buffered.next_u64(), oracle.next_u64()),
+                    1 => assert_eq!(buffered.next_u32(), oracle.next_u32()),
+                    2 => assert_eq!(buffered.gen::<f64>(), oracle.gen::<f64>()),
+                    3 => assert_eq!(buffered.gen::<f32>(), oracle.gen::<f32>()),
+                    _ => {
+                        let d = Uniform::new_inclusive(-1.0f32, 1.0);
+                        assert_eq!(d.sample(&mut buffered), d.sample(&mut oracle));
+                    }
+                }
+            }
+            // Peek-then-partially-consume across several refills: peeked
+            // words must match the oracle stream, and un-advanced words
+            // must be re-served in order.
+            for take in [0usize, 1, 2, 63, BUFFER_WORDS] {
+                let words: Vec<u64> = buffered.buffered(BUFFER_WORDS)[..take.max(2)].to_vec();
+                buffered.advance(take);
+                for (j, &w) in words.iter().take(take).enumerate() {
+                    assert_eq!(w, oracle.next_u64(), "seed {seed} take {take} word {j}");
+                }
+            }
+            // And the tail still agrees.
+            for _ in 0..3 * BUFFER_WORDS {
+                assert_eq!(buffered.next_u64(), oracle.next_u64());
+            }
+        }
+    }
+
+    /// `f64_from_word` / `f32_from_word` are the exact raw-word forms
+    /// of the per-draw `Standard` mappings.
+    #[test]
+    fn word_mappings_match_standard_draws() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.gen::<f64>(), f64_from_word(b.next_u64()));
+        }
+        for _ in 0..256 {
+            assert_eq!(a.gen::<f32>(), f32_from_word(b.next_u64()));
+        }
+    }
+
+    /// A clone of a buffered generator replays the identical remaining
+    /// stream, including words already sitting in the buffer.
+    #[test]
+    fn buffered_clone_replays_remaining_stream() {
+        let mut rng = BufferedRng::new(StdRng::seed_from_u64(9));
+        rng.buffered(BUFFER_WORDS);
+        rng.advance(17);
+        let mut clone = rng.clone();
+        for _ in 0..2 * BUFFER_WORDS {
+            assert_eq!(rng.next_u64(), clone.next_u64());
+        }
+    }
 
     #[test]
     fn deterministic_across_instances() {
