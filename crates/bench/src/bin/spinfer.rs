@@ -45,6 +45,21 @@
 //!                                                   Chrome-trace JSON (load it at
 //!                                                   ui.perfetto.dev) and prints a
 //!                                                   per-phase p50/p95/p99 breakdown
+//! spinfer cluster [--replicas N] [--rps R] [--duration S] [--deadline S]
+//!                 [--batch B] [--router round-robin|least-loaded|failover]
+//!                 [--no-retries] [--no-degradation] [--fallback-kernel NAME]
+//!                 [--faults RATE] [--fault-seed S] [--recovery SEC]
+//!                 [--seed S] [--gpu G] [--json] [--trace-dir DIR]
+//!                                                   fleet resilience simulation:
+//!                                                   N replicas behind a router with
+//!                                                   deadlines, retries, admission
+//!                                                   control, and a degradation
+//!                                                   ladder; --faults arms seeded
+//!                                                   crash/slow/launch-fault
+//!                                                   injection; --trace-dir writes a
+//!                                                   per-replica Chrome trace + a
+//!                                                   metrics snapshot, byte-identical
+//!                                                   at any --jobs
 //! ```
 //!
 //! GPUs: `rtx4090` (default), `a6000`, `a100`. Models: `opt-13b`,
@@ -84,9 +99,10 @@ fn main() -> ExitCode {
         Some("faults") => cmd_faults(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace> ..."
+                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace|cluster> ..."
             );
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
@@ -646,6 +662,7 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
             ),
             ("generate", snap.gen_s, false, 1.5),
             ("encode", snap.encode_s, false, 1.5),
+            ("cluster_smoke", snap.cluster_smoke_s, false, 1.5),
         ];
         for (label, measured, required, headroom) in gates {
             let base = match spinfer_bench::snapshot::wall_clock_of(&baseline, label) {
@@ -658,7 +675,10 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
                     continue;
                 }
             };
-            let limit = base * headroom;
+            // Absolute floor: sub-millisecond baselines (the cluster
+            // smoke rounds to 0.000) would otherwise make any positive
+            // later measurement a "regression".
+            let limit = (base * headroom).max(0.05);
             if measured > limit {
                 return Err(format!(
                     "wall-clock budget exceeded: {label} took {measured:.3}s, \
@@ -772,5 +792,179 @@ fn cmd_trace(args: &[String]) -> CliResult {
             stats.phase_total_us
         ));
     }
+    Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> CliResult {
+    use spinfer_llm::{
+        simulate_cluster_instrumented, ClusterConfig, ClusterFaultPlan, DegradationPolicy,
+        RetryPolicy, RouterPolicy,
+    };
+    let spec = gpu(args)?;
+    let mut cfg = ClusterConfig::default();
+    let parse_flag = |flag: &str, what: &str| -> Result<Option<f64>, String> {
+        match flag_value(args, flag) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid {what}: {v}")),
+            None => Ok(None),
+        }
+    };
+    if let Some(v) = flag_value(args, "--replicas") {
+        cfg.replicas = v.parse().map_err(|_| format!("invalid replicas: {v}"))?;
+    }
+    if let Some(v) = parse_flag("--rps", "rps")? {
+        cfg.arrival_rps = v;
+    }
+    if let Some(v) = parse_flag("--duration", "duration")? {
+        cfg.duration_sec = v;
+    }
+    if let Some(v) = parse_flag("--deadline", "deadline")? {
+        cfg.deadline_sec = v;
+    }
+    if let Some(v) = flag_value(args, "--batch") {
+        cfg.max_batch = v.parse().map_err(|_| format!("invalid batch: {v}"))?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        cfg.seed = v.parse().map_err(|_| format!("invalid seed: {v}"))?;
+    }
+    if let Some(v) = flag_value(args, "--router") {
+        cfg.router = RouterPolicy::parse(v)
+            .ok_or_else(|| format!("unknown router {v} (round-robin/least-loaded/failover)"))?;
+    }
+    if args.iter().any(|a| a == "--no-retries") {
+        cfg.retry = RetryPolicy::disabled();
+    }
+    if args.iter().any(|a| a == "--no-degradation") {
+        cfg.degradation = DegradationPolicy::disabled();
+    }
+    if let Some(name) = flag_value(args, "--fallback-kernel") {
+        cfg.degradation.fallback_kernel = Some(name.to_string());
+    }
+    let faults = match parse_flag("--faults", "fault rate")? {
+        Some(rate) => {
+            let mut plan = ClusterFaultPlan {
+                seed: 1234,
+                crash_rate: rate,
+                slow_rate: rate,
+                launch_fail_rate: rate,
+                ..ClusterFaultPlan::default()
+            };
+            if let Some(v) = flag_value(args, "--fault-seed") {
+                plan.seed = v.parse().map_err(|_| format!("invalid fault seed: {v}"))?;
+            }
+            if let Some(v) = parse_flag("--recovery", "recovery")? {
+                plan.recovery_sec = v;
+            }
+            Some(plan)
+        }
+        None => None,
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let trace_dir = flag_value(args, "--trace-dir");
+
+    let sink = trace_dir.map(|_| TraceSink::new());
+    let mut reg = Registry::new();
+    let report =
+        simulate_cluster_instrumented(&spec, &cfg, faults.as_ref(), Some(&mut reg), sink.as_ref())
+            .map_err(|e| format!("cluster simulation failed: {e}"))?;
+
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+        let trace_json =
+            spinfer_obs::export(&sink.expect("sink exists when trace_dir set").finish());
+        spinfer_obs::validate(&trace_json).map_err(|e| format!("cluster trace is invalid: {e}"))?;
+        let trace_path = format!("{dir}/cluster_trace.json");
+        let metrics_path = format!("{dir}/cluster_metrics.json");
+        std::fs::write(&trace_path, &trace_json).map_err(|e| format!("write {trace_path}: {e}"))?;
+        std::fs::write(&metrics_path, reg.snapshot_json())
+            .map_err(|e| format!("write {metrics_path}: {e}"))?;
+        if !json {
+            println!("wrote {trace_path} and {metrics_path}");
+        }
+    }
+    if json {
+        println!("{}", reg.snapshot_json());
+        return Ok(());
+    }
+
+    println!(
+        "fleet: {} replicas of {} via {} on {} | {:.1} rps for {:.0}s, SLO {:.1}s, router {}{}",
+        cfg.replicas,
+        cfg.model.name,
+        cfg.framework.label(),
+        spec.name,
+        cfg.arrival_rps,
+        cfg.duration_sec,
+        cfg.deadline_sec,
+        cfg.router.label(),
+        faults
+            .map(|p| format!(
+                " | faults crash/slow/launch={} seed={}",
+                p.crash_rate, p.seed
+            ))
+            .unwrap_or_default()
+    );
+    println!(
+        "  requests      : {} arrived | {} completed ({} in SLO) | {} failed | {} shed | {} incomplete",
+        report.arrivals,
+        report.completed,
+        report.completed_in_slo,
+        report.failed,
+        report.shed,
+        report.incomplete
+    );
+    println!(
+        "  goodput       : {:.2} rps in-SLO ({:.2} rps total)",
+        report.goodput_rps, report.throughput_rps
+    );
+    println!(
+        "  latency       : p50 {:.2}s | p95 {:.2}s | p99 {:.2}s",
+        report.p50_latency_s, report.p95_latency_s, report.p99_latency_s
+    );
+    println!(
+        "  resilience    : {} retries | {} timeouts | {} crashes | {} recoveries | {} launch faults | {} slow steps",
+        report.retries,
+        report.timeouts,
+        report.crashes,
+        report.recoveries,
+        report.launch_faults,
+        report.slow_steps
+    );
+    println!(
+        "  ladder        : {} escalations | {} de-escalations | {} rung-3 rejects",
+        report.degrade_escalations, report.degrade_deescalations, report.degraded_rejects
+    );
+    let headers = [
+        "replica",
+        "completed",
+        "crashes",
+        "steps",
+        "p50 (s)",
+        "p95 (s)",
+        "p99 (s)",
+        "queue",
+        "rung",
+    ];
+    let rows: Vec<Vec<String>> = report
+        .per_replica
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            vec![
+                r.to_string(),
+                s.completed.to_string(),
+                s.crashes.to_string(),
+                s.steps.to_string(),
+                format!("{:.2}", s.p50_latency_s),
+                format!("{:.2}", s.p95_latency_s),
+                format!("{:.2}", s.p99_latency_s),
+                s.final_queue.to_string(),
+                s.final_level.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
     Ok(())
 }

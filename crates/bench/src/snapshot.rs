@@ -88,6 +88,10 @@ pub struct Snapshot {
     pub spinfer_functional_jobs1_s: f64,
     /// Functional `SpinferSpmm::run` wall-clock at the default job count.
     pub spinfer_functional_default_s: f64,
+    /// Wall-clock of a small chaos-armed fleet simulation (the
+    /// `spinfer cluster` event loop); budget-gated so the cluster layer
+    /// can't silently regress into an event-storm.
+    pub cluster_smoke_s: f64,
     /// FNV digest of the functional FP32 output (regression tripwire).
     pub output_checksum: u64,
     /// Simulated time of the functional run in µs.
@@ -159,6 +163,30 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
         })
         .collect();
 
+    // Fleet smoke: a short chaos-armed cluster run. The simulated
+    // horizon is fixed, so the wall-clock tracks event-loop and
+    // cost-model overhead, not the scenario.
+    let cluster_cfg = spinfer_llm::ClusterConfig {
+        replicas: 2,
+        arrival_rps: 2.0,
+        duration_sec: 10.0,
+        max_batch: 8,
+        input_len: 128,
+        output_len: 16,
+        ..spinfer_llm::ClusterConfig::default()
+    };
+    let cluster_plan = spinfer_llm::ClusterFaultPlan {
+        seed: 1234,
+        crash_rate: 0.02,
+        slow_rate: 0.02,
+        launch_fail_rate: 0.02,
+        ..spinfer_llm::ClusterFaultPlan::default()
+    };
+    let t0 = Instant::now();
+    spinfer_llm::simulate_cluster(spec, &cluster_cfg, Some(&cluster_plan))
+        .expect("snapshot cluster smoke config is valid");
+    let cluster_smoke_s = t0.elapsed().as_secs_f64();
+
     Snapshot {
         config: *cfg,
         gpu: spec.name.to_string(),
@@ -169,6 +197,7 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
         encode_s,
         spinfer_functional_jobs1_s,
         spinfer_functional_default_s,
+        cluster_smoke_s,
         output_checksum,
         spinfer_simulated_us: serial.time_us(),
         simulated_us,
@@ -199,9 +228,10 @@ impl Snapshot {
         );
         let _ = writeln!(
             s,
-            "    \"spinfer_functional_default\": {:.3}",
+            "    \"spinfer_functional_default\": {:.3},",
             self.spinfer_functional_default_s
         );
+        let _ = writeln!(s, "    \"cluster_smoke\": {:.3}", self.cluster_smoke_s);
         let _ = writeln!(s, "  }},");
         let _ = writeln!(
             s,
@@ -355,6 +385,8 @@ mod tests {
         // The setup phases are first-class budget targets.
         assert!(wall_clock_of(&json, "generate").is_some());
         assert!(wall_clock_of(&json, "encode").is_some());
+        assert!(wall_clock_of(&json, "cluster_smoke").is_some());
+        assert!(snap.cluster_smoke_s >= 0.0);
         assert_eq!(wall_clock_of(&json, "no_such_label"), None);
     }
 
@@ -372,6 +404,7 @@ mod tests {
             encode_s: 2.0,
             spinfer_functional_jobs1_s: 6.5,
             spinfer_functional_default_s: 6.6,
+            cluster_smoke_s: 0.1,
             output_checksum: 0x1234,
             spinfer_simulated_us: 100.0,
             simulated_us: vec![("SpInfer", 100.0)],

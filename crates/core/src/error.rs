@@ -43,6 +43,26 @@ pub enum SpinferError {
         /// Padded value elements required (saturating at `usize::MAX`).
         total: usize,
     },
+    /// A `LengthMix::RoundRobin` workload with no profiles — request
+    /// lengths would be undefined (the serving loop used to panic with a
+    /// divide-by-zero on the profile index).
+    EmptyLengthMix,
+    /// A disaggregated deployment plan with an empty pool: both the
+    /// prefill and decode stages need at least one GPU, or the stage
+    /// rates are meaningless.
+    DegenerateDisagg {
+        /// GPUs assigned to the prefill pool.
+        prefill_gpus: usize,
+        /// GPUs assigned to the decode pool.
+        decode_gpus: usize,
+    },
+    /// A fleet cluster configuration that cannot be simulated (zero
+    /// replicas, non-positive horizon, a retry policy with no attempts,
+    /// ...). The reason names the offending field.
+    InvalidCluster {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 /// Structural defects in an encoded container. The variants name the
@@ -226,6 +246,20 @@ impl std::fmt::Display for SpinferError {
                 f,
                 "encoded values need {total} padded elements, beyond the u32 GTileOffset space"
             ),
+            SpinferError::EmptyLengthMix => write!(
+                f,
+                "LengthMix::RoundRobin needs at least one (input, output) profile"
+            ),
+            SpinferError::DegenerateDisagg {
+                prefill_gpus,
+                decode_gpus,
+            } => write!(
+                f,
+                "disaggregated plan needs GPUs in both pools: prefill {prefill_gpus}, decode {decode_gpus}"
+            ),
+            SpinferError::InvalidCluster { reason } => {
+                write!(f, "invalid cluster config: {reason}")
+            }
         }
     }
 }
@@ -363,6 +397,14 @@ mod tests {
             SpinferError::OffsetOverflow {
                 total: 4_294_967_296,
             },
+            SpinferError::EmptyLengthMix,
+            SpinferError::DegenerateDisagg {
+                prefill_gpus: 0,
+                decode_gpus: 8,
+            },
+            SpinferError::InvalidCluster {
+                reason: "replicas must be >= 1".to_string(),
+            },
         ];
         all.extend(integrity.into_iter().map(SpinferError::Integrity));
         all.extend(kernel.into_iter().map(SpinferError::Kernel));
@@ -384,6 +426,9 @@ mod tests {
                 SpinferError::InvalidSparsity(_) => "1.5",
                 SpinferError::UnknownKernel { .. } => "'FlashAttention'",
                 SpinferError::OffsetOverflow { .. } => "4294967296 padded elements",
+                SpinferError::EmptyLengthMix => "at least one (input, output) profile",
+                SpinferError::DegenerateDisagg { .. } => "prefill 0, decode 8",
+                SpinferError::InvalidCluster { .. } => "replicas must be >= 1",
                 SpinferError::Integrity(i) => match i {
                     IntegrityError::OffsetCount { .. } => "4 entries",
                     IntegrityError::OffsetOrder { .. } => "96 -> 64",

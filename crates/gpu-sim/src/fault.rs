@@ -144,6 +144,32 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Pure site-keyed probability draw: does an event with probability
+/// `rate` fire for `(seed, site_salt, key)`? This is the one decision
+/// function behind [`FaultInjector`] and the fleet-level
+/// `ClusterFaultPlan` in `spinfer-llm`: every fault plan in the
+/// workspace keys the same splitmix64 scheme, so decisions are
+/// reproducible across host thread schedules and job counts.
+pub fn site_fires(seed: u64, rate: f64, salt: u64, key: u64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let h = mix(seed ^ salt.wrapping_mul(key | 1) ^ key.rotate_left(17));
+    ((h >> 11) as f64) < rate * (1u64 << 53) as f64
+}
+
+/// Pure auxiliary draw companion to [`site_fires`]: *which* bit, byte,
+/// replica, or jitter quantum a firing decision lands on.
+pub fn site_aux(seed: u64, salt: u64, key: u64) -> u64 {
+    mix(seed ^ SALT_AUX ^ salt.wrapping_add(key.rotate_left(31)))
+}
+
+/// [`site_aux`] mapped uniformly into `[0, 1)` (53-bit mantissa draw),
+/// for deterministic jitter factors.
+pub fn site_u01(seed: u64, salt: u64, key: u64) -> f64 {
+    (site_aux(seed, salt, key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Stateless fault oracle over a [`FaultPlan`].
 #[derive(Clone, Copy, Debug)]
 pub struct FaultInjector {
@@ -180,18 +206,15 @@ impl FaultInjector {
 
     /// Pure decision: does an event with probability `rate` fire for
     /// `(site_salt, key)`? Uses the top 53 bits of the hash as a
-    /// uniform draw in `[0, 1)`.
+    /// uniform draw in `[0, 1)`. Delegates to the shared [`site_fires`]
+    /// bit-identically.
     fn fires(&self, rate: f64, salt: u64, key: u64) -> bool {
-        if rate <= 0.0 {
-            return false;
-        }
-        let h = mix(self.plan.seed ^ salt.wrapping_mul(key | 1) ^ key.rotate_left(17));
-        ((h >> 11) as f64) < rate * (1u64 << 53) as f64
+        site_fires(self.plan.seed, rate, salt, key)
     }
 
     /// Auxiliary draw for *which* bit/byte/value a firing fault hits.
     fn aux(&self, salt: u64, key: u64) -> u64 {
-        mix(self.plan.seed ^ SALT_AUX ^ salt.wrapping_add(key.rotate_left(31)))
+        site_aux(self.plan.seed, salt, key)
     }
 
     /// Global-load site: `Some(bit)` when the word identified by `key`
@@ -383,6 +406,27 @@ mod tests {
         let mut c2 = Counters::new();
         let b2: Vec<_> = (0..512).map(|k| retry2.bitflip(&mut c2, k, 64)).collect();
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn shared_site_helpers_match_injector_decisions() {
+        // FaultInjector delegates to the public site_* functions; the
+        // fleet-level ClusterFaultPlan builds on the same scheme, so the
+        // delegation must stay bit-identical.
+        let plan = FaultPlan::uniform(21, 0.07);
+        let inj = FaultInjector::new(plan);
+        let mut c = Counters::new();
+        for key in 0..4096u64 {
+            assert_eq!(
+                inj.bitflip(&mut c, key, 64).is_some(),
+                site_fires(plan.seed, plan.global_bitflip_rate, SALT_GLOBAL, key)
+            );
+        }
+        for key in 0..1024u64 {
+            let u = site_u01(21, SALT_GLOBAL, key);
+            assert!((0.0..1.0).contains(&u), "u01 out of range: {u}");
+            assert_eq!(u, site_u01(21, SALT_GLOBAL, key), "u01 must be pure");
+        }
     }
 
     #[test]

@@ -361,7 +361,7 @@ fn f16_bits_from_f32_bits_rne(bits: u32) -> u16 {
 /// Converts a whole `f32` slice to `Half` in one sweep —
 /// `dst[i] = Half::from_f32(src[i])` bit-for-bit (same round-to-nearest-
 /// even, same NaN quieting), without per-element call dispatch or
-/// data-dependent branching ([`f16_bits_from_f32_bits_rne`]). The batch
+/// data-dependent branching (`f16_bits_from_f32_bits_rne`). The batch
 /// form the chunked matrix generators use. `dst.len()` must equal
 /// `src.len()`.
 pub fn f32_to_f16_slice(src: &[f32], dst: &mut [Half]) {

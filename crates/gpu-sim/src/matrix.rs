@@ -274,7 +274,7 @@ pub fn random_dense(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> Den
 }
 
 /// The original element-at-a-time generator [`random_dense`] batches:
-/// one [`sample`] draw per element. Retained as the stream oracle the
+/// one `sample` draw per element. Retained as the stream oracle the
 /// batched path is pinned against.
 pub fn random_dense_oracle(rows: usize, cols: usize, dist: ValueDist, seed: u64) -> DenseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -292,7 +292,7 @@ pub fn random_dense_oracle(rows: usize, cols: usize, dist: ValueDist, seed: u64)
 ///
 /// Batched form of [`random_sparse_oracle`], byte-identical by
 /// construction (and pinned by tests). `Uniform` non-zeros take the
-/// chunked optimistic path (see [`fill_sparse_uniform`]); `Normal`
+/// chunked optimistic path (see `fill_sparse_uniform`); `Normal`
 /// keeps the per-element draw loop — it is off the sweep hot path and
 /// its re-roll probability is distribution-dependent.
 pub fn random_sparse(

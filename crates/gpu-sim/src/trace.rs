@@ -42,6 +42,8 @@ pub mod pids {
     pub const SERVING: u32 = 4;
     /// Sweep grid points (serial point clock).
     pub const SWEEP: u32 = 5;
+    /// Fleet cluster simulation: one track per replica (cluster clock).
+    pub const CLUSTER: u32 = 6;
 }
 
 /// Event flavour, mapping onto Chrome-trace phases.

@@ -1,0 +1,184 @@
+//! Site-keyed fleet fault injection.
+//!
+//! Extends the kernel-level scheme in [`gpu_sim::fault`] — every
+//! decision is a pure hash of `(seed, salt, site key)` with no mutable
+//! RNG state — up to fleet granularity: replica crashes, slow-node
+//! degradation, and transient launch failures. Because decisions are
+//! stateless, the same seed produces the same fault schedule regardless
+//! of host thread count or event interleaving, which is what lets the
+//! chaos determinism gates compare byte-identical traces across
+//! `--jobs 1/2/8`.
+
+use gpu_sim::fault::{site_fires, site_u01};
+
+/// Distinct salts per fleet fault site, disjoint from the kernel-level
+/// salts in `gpu_sim::fault` so a shared seed never correlates a bit
+/// flip with a crash.
+const SALT_CRASH: u64 = 0xa076_1d64_78bd_642f;
+const SALT_SLOW: u64 = 0xe703_7ed1_a0b4_28db;
+const SALT_LAUNCH: u64 = 0x8ebc_6af0_9c88_c6e3;
+const SALT_JITTER: u64 = 0x5896_27f0_8c7e_f4d1;
+
+/// Packs a (replica, sequence) pair into one site key. Replica counts
+/// are tiny and sequence numbers bounded by the simulation horizon, so
+/// a 32/32 split never collides.
+fn site_key(replica: usize, seq: u64) -> u64 {
+    ((replica as u64) << 32) | (seq & 0xffff_ffff)
+}
+
+/// A seeded fleet fault schedule. The default has every rate at zero:
+/// an armed check short-circuits and the cluster runs fault-free,
+/// byte-identical to a build without this module.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterFaultPlan {
+    /// Root seed; the only source of randomness.
+    pub seed: u64,
+    /// Per-step probability that a replica crashes at the step boundary,
+    /// losing its running batch and queue.
+    pub crash_rate: f64,
+    /// Downtime after a crash before the replica rejoins the fleet.
+    pub recovery_sec: f64,
+    /// Per-step probability that a step runs degraded (thermal
+    /// throttling, a noisy neighbour, a failing NVLink lane).
+    pub slow_rate: f64,
+    /// Duration multiplier applied to slow steps (`>= 1`).
+    pub slow_factor: f64,
+    /// Per-launch probability that a kernel launch fails transiently and
+    /// must be retried after a relaunch penalty.
+    pub launch_fail_rate: f64,
+}
+
+impl Default for ClusterFaultPlan {
+    fn default() -> Self {
+        ClusterFaultPlan {
+            seed: 0,
+            crash_rate: 0.0,
+            recovery_sec: 1.0,
+            slow_rate: 0.0,
+            slow_factor: 2.0,
+            launch_fail_rate: 0.0,
+        }
+    }
+}
+
+impl ClusterFaultPlan {
+    /// True when any fault site can fire.
+    pub fn armed(&self) -> bool {
+        self.crash_rate > 0.0 || self.slow_rate > 0.0 || self.launch_fail_rate > 0.0
+    }
+
+    /// Does `replica` crash at the end of its `tick`-th step?
+    pub fn crashes(&self, replica: usize, tick: u64) -> bool {
+        site_fires(
+            self.seed,
+            self.crash_rate,
+            SALT_CRASH,
+            site_key(replica, tick),
+        )
+    }
+
+    /// Does `replica`'s `tick`-th step run slow?
+    pub fn slow(&self, replica: usize, tick: u64) -> bool {
+        site_fires(
+            self.seed,
+            self.slow_rate,
+            SALT_SLOW,
+            site_key(replica, tick),
+        )
+    }
+
+    /// Does `replica`'s `launch`-th kernel launch fail transiently?
+    pub fn launch_fails(&self, replica: usize, launch: u64) -> bool {
+        site_fires(
+            self.seed,
+            self.launch_fail_rate,
+            SALT_LAUNCH,
+            site_key(replica, launch),
+        )
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for backoff jitter, keyed
+    /// on a request's identity and attempt number so every retry of
+    /// every request jitters independently but reproducibly.
+    pub fn jitter_u01(seed: u64, request_id: u64, attempt: u32) -> f64 {
+        site_u01(
+            seed,
+            SALT_JITTER,
+            request_id
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(u64::from(attempt)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let plan = ClusterFaultPlan::default();
+        assert!(!plan.armed());
+        for r in 0..4 {
+            for t in 0..512 {
+                assert!(!plan.crashes(r, t));
+                assert!(!plan.slow(r, t));
+                assert!(!plan.launch_fails(r, t));
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let a = ClusterFaultPlan {
+            seed: 7,
+            crash_rate: 0.1,
+            slow_rate: 0.1,
+            launch_fail_rate: 0.1,
+            ..ClusterFaultPlan::default()
+        };
+        let b = ClusterFaultPlan { seed: 8, ..a };
+        // Purity: the same (seed, site) always answers the same.
+        for t in 0..256 {
+            assert_eq!(a.crashes(1, t), a.crashes(1, t));
+        }
+        // Seed sensitivity: a different seed reshuffles the schedule.
+        let fires_a: Vec<bool> = (0..4096).map(|t| a.crashes(0, t)).collect();
+        let fires_b: Vec<bool> = (0..4096).map(|t| b.crashes(0, t)).collect();
+        assert_ne!(fires_a, fires_b);
+        // Rate sanity: ~10% of sites fire, loosely bounded.
+        let n = fires_a.iter().filter(|&&f| f).count();
+        assert!((200..=700).contains(&n), "crash sites fired: {n}");
+    }
+
+    #[test]
+    fn sites_are_independent_per_replica_and_kind() {
+        let plan = ClusterFaultPlan {
+            seed: 3,
+            crash_rate: 0.5,
+            slow_rate: 0.5,
+            launch_fail_rate: 0.5,
+            ..ClusterFaultPlan::default()
+        };
+        let r0: Vec<bool> = (0..512).map(|t| plan.crashes(0, t)).collect();
+        let r1: Vec<bool> = (0..512).map(|t| plan.crashes(1, t)).collect();
+        let s0: Vec<bool> = (0..512).map(|t| plan.slow(0, t)).collect();
+        assert_ne!(r0, r1, "replicas share a crash schedule");
+        assert_ne!(r0, s0, "crash and slow sites are correlated");
+    }
+
+    #[test]
+    fn jitter_is_unit_interval_and_stable() {
+        for req in 0..64u64 {
+            for attempt in 0..8u32 {
+                let j = ClusterFaultPlan::jitter_u01(11, req, attempt);
+                assert!((0.0..1.0).contains(&j));
+                assert_eq!(j, ClusterFaultPlan::jitter_u01(11, req, attempt));
+            }
+        }
+        assert_ne!(
+            ClusterFaultPlan::jitter_u01(11, 0, 1),
+            ClusterFaultPlan::jitter_u01(11, 0, 2)
+        );
+    }
+}

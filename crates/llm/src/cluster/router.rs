@@ -1,0 +1,160 @@
+//! Request routing across replicas.
+//!
+//! Three policies, in increasing awareness of fleet state:
+//!
+//! * [`RouterPolicy::RoundRobin`] — blind rotation over all replicas,
+//!   including crashed ones. Requests routed to a dead replica fail
+//!   the attempt; this is the no-resilience baseline.
+//! * [`RouterPolicy::LeastLoaded`] — among replicas *currently* up,
+//!   pick the one with the fewest queued + running requests (lowest
+//!   index breaks ties, so routing is deterministic).
+//! * [`RouterPolicy::FailoverAware`] — rotation over replicas the last
+//!   health check observed as up. Models a real load balancer whose
+//!   view lags the fleet by the probe interval: a replica that crashed
+//!   mid-interval still receives traffic until the next probe.
+
+/// Router policy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Blind rotation over every replica, up or not.
+    RoundRobin,
+    /// Fewest queued + running among live replicas.
+    LeastLoaded,
+    /// Rotation over replicas the last health probe saw as up.
+    FailoverAware,
+}
+
+impl RouterPolicy {
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<RouterPolicy> {
+        match s {
+            "round-robin" => Some(RouterPolicy::RoundRobin),
+            "least-loaded" => Some(RouterPolicy::LeastLoaded),
+            "failover" => Some(RouterPolicy::FailoverAware),
+            _ => None,
+        }
+    }
+
+    /// Display label (the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastLoaded => "least-loaded",
+            RouterPolicy::FailoverAware => "failover",
+        }
+    }
+}
+
+/// The router's view of one replica at routing time.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaView {
+    /// Actually up right now (ground truth).
+    pub up: bool,
+    /// Up as of the last health probe (the router's lagged belief).
+    pub probed_up: bool,
+    /// Queued requests.
+    pub queued: usize,
+    /// Requests in the running batch.
+    pub running: usize,
+}
+
+/// Picks a replica for the next request, advancing `cursor` for the
+/// rotating policies. Returns `None` when the policy sees no candidate
+/// (e.g. every replica probed down).
+pub fn route(policy: RouterPolicy, views: &[ReplicaView], cursor: &mut usize) -> Option<usize> {
+    let n = views.len();
+    if n == 0 {
+        return None;
+    }
+    match policy {
+        RouterPolicy::RoundRobin => {
+            let r = *cursor % n;
+            *cursor = (*cursor + 1) % n;
+            Some(r)
+        }
+        RouterPolicy::LeastLoaded => views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.up)
+            .min_by_key(|(i, v)| (v.queued + v.running, *i))
+            .map(|(i, _)| i),
+        RouterPolicy::FailoverAware => {
+            for step in 0..n {
+                let r = (*cursor + step) % n;
+                if views[r].probed_up {
+                    *cursor = (r + 1) % n;
+                    return Some(r);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(up: bool, probed_up: bool, queued: usize, running: usize) -> ReplicaView {
+        ReplicaView {
+            up,
+            probed_up,
+            queued,
+            running,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_blindly() {
+        let views = vec![view(true, true, 0, 0), view(false, false, 0, 0)];
+        let mut cur = 0;
+        assert_eq!(route(RouterPolicy::RoundRobin, &views, &mut cur), Some(0));
+        // Blind: the dead replica still gets picked.
+        assert_eq!(route(RouterPolicy::RoundRobin, &views, &mut cur), Some(1));
+        assert_eq!(route(RouterPolicy::RoundRobin, &views, &mut cur), Some(0));
+    }
+
+    #[test]
+    fn least_loaded_prefers_light_live_replicas() {
+        let views = vec![
+            view(true, true, 5, 4),
+            view(false, true, 0, 0), // down: excluded despite zero load
+            view(true, true, 1, 2),
+        ];
+        let mut cur = 0;
+        assert_eq!(route(RouterPolicy::LeastLoaded, &views, &mut cur), Some(2));
+        // Ties break on the lowest index.
+        let tied = vec![view(true, true, 1, 1), view(true, true, 2, 0)];
+        assert_eq!(route(RouterPolicy::LeastLoaded, &tied, &mut cur), Some(0));
+    }
+
+    #[test]
+    fn failover_skips_probed_down_and_exhausts_to_none() {
+        let views = vec![
+            view(true, false, 0, 0), // up but probe hasn't noticed yet
+            view(true, true, 0, 0),
+        ];
+        let mut cur = 0;
+        assert_eq!(
+            route(RouterPolicy::FailoverAware, &views, &mut cur),
+            Some(1)
+        );
+        let all_down = vec![view(false, false, 0, 0); 3];
+        assert_eq!(
+            route(RouterPolicy::FailoverAware, &all_down, &mut cur),
+            None
+        );
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::FailoverAware,
+        ] {
+            assert_eq!(RouterPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(RouterPolicy::parse("magic"), None);
+    }
+}

@@ -12,6 +12,7 @@ use crate::config::ModelConfig;
 use crate::engine::{simulate, InferenceConfig};
 use crate::frameworks::Framework;
 use gpu_sim::spec::GpuSpec;
+use spinfer_core::SpinferError;
 
 /// A disaggregated deployment plan.
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +25,21 @@ pub struct DisaggPlan {
     pub prefill_framework: Framework,
     /// Framework serving the decode pool.
     pub decode_framework: Framework,
+}
+
+impl DisaggPlan {
+    /// Rejects plans with an empty pool: `(gpus / tp).max(1)` in the
+    /// rate model used to silently pretend a zero-GPU pool still held
+    /// one replica, yielding nonsense stage rates.
+    pub fn validate(&self) -> Result<(), SpinferError> {
+        if self.prefill_gpus == 0 || self.decode_gpus == 0 {
+            return Err(SpinferError::DegenerateDisagg {
+                prefill_gpus: self.prefill_gpus,
+                decode_gpus: self.decode_gpus,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Throughput analysis of one deployment.
@@ -80,8 +96,27 @@ fn pool_rates(
     (prefill_rps, decode_rps)
 }
 
+/// Evaluates a disaggregated plan, rejecting degenerate ones (an empty
+/// prefill or decode pool) with a typed error.
+pub fn try_evaluate(
+    spec: &GpuSpec,
+    model: &ModelConfig,
+    sparsity: f64,
+    req: &RequestShape,
+    plan: &DisaggPlan,
+    tp: usize,
+) -> Result<DisaggReport, SpinferError> {
+    plan.validate()?;
+    Ok(evaluate(spec, model, sparsity, req, plan, tp))
+}
+
 /// Evaluates a disaggregated plan. `tp` is the per-replica parallelism in
 /// both pools (must divide the pool sizes for full utilisation).
+///
+/// # Panics
+///
+/// Panics on a degenerate plan (an empty pool); use [`try_evaluate`] to
+/// get the typed [`SpinferError::DegenerateDisagg`] instead.
 pub fn evaluate(
     spec: &GpuSpec,
     model: &ModelConfig,
@@ -90,6 +125,9 @@ pub fn evaluate(
     plan: &DisaggPlan,
     tp: usize,
 ) -> DisaggReport {
+    if let Err(e) = plan.validate() {
+        panic!("{e}");
+    }
     let (prefill_rps, _) = pool_rates(
         spec,
         model,
@@ -226,6 +264,50 @@ mod tests {
         );
         let ratio = pre_ft / pre_sp;
         assert!(ratio < 1.35, "prefill gap too wide: {ratio}");
+    }
+
+    #[test]
+    fn degenerate_plans_are_typed_errors() {
+        let spec = GpuSpec::rtx4090();
+        let model = ModelConfig::opt_13b();
+        let mk = |prefill_gpus, decode_gpus| DisaggPlan {
+            prefill_gpus,
+            decode_gpus,
+            prefill_framework: Framework::FasterTransformer,
+            decode_framework: Framework::SpInfer,
+        };
+        // Both empty-pool edges fail with the plan echoed back.
+        assert_eq!(
+            try_evaluate(&spec, &model, 0.6, &req(), &mk(0, 4), 2).unwrap_err(),
+            SpinferError::DegenerateDisagg {
+                prefill_gpus: 0,
+                decode_gpus: 4
+            }
+        );
+        assert_eq!(
+            try_evaluate(&spec, &model, 0.6, &req(), &mk(4, 0), 2).unwrap_err(),
+            SpinferError::DegenerateDisagg {
+                prefill_gpus: 4,
+                decode_gpus: 0
+            }
+        );
+        // A populated plan passes validation and evaluates.
+        let r = try_evaluate(&spec, &model, 0.6, &req(), &mk(2, 2), 2).unwrap();
+        assert!(r.goodput_rps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disaggregated plan needs GPUs in both pools")]
+    fn unchecked_evaluate_panics_on_empty_pool() {
+        let spec = GpuSpec::rtx4090();
+        let model = ModelConfig::opt_13b();
+        let plan = DisaggPlan {
+            prefill_gpus: 0,
+            decode_gpus: 0,
+            prefill_framework: Framework::SpInfer,
+            decode_framework: Framework::SpInfer,
+        };
+        evaluate(&spec, &model, 0.6, &req(), &plan, 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod breakdown;
+pub mod cluster;
 pub mod config;
 pub mod disagg;
 pub mod engine;
@@ -22,6 +23,10 @@ pub mod parallel;
 pub mod serving;
 
 pub use breakdown::Breakdown;
+pub use cluster::{
+    simulate_cluster, simulate_cluster_instrumented, AdmissionPolicy, ClusterConfig,
+    ClusterFaultPlan, ClusterReport, DegradationPolicy, ReplicaStats, RetryPolicy, RouterPolicy,
+};
 pub use config::{LayerMatrix, ModelConfig};
 pub use engine::{simulate, simulate_ctx, InferenceConfig, InferenceReport};
 pub use frameworks::Framework;

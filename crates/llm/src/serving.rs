@@ -17,6 +17,7 @@ use crate::memory::footprint;
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::trace::{pids, TraceEvent, TraceSink};
 use spinfer_core::spmm::LaunchCtx;
+use spinfer_core::SpinferError;
 use spinfer_obs::metrics::percentile_sorted;
 use std::collections::HashMap;
 
@@ -33,16 +34,31 @@ pub enum LengthMix {
 }
 
 impl LengthMix {
-    fn lengths(&self, i: usize, fallback: (usize, usize)) -> (usize, usize) {
+    /// A `RoundRobin` mix with no profiles has no defined request
+    /// lengths; catching it here (instead of panicking on `i % 0` deep
+    /// in the serving loop) is the config-time contract every serving
+    /// entry point enforces.
+    pub fn validate(&self) -> Result<(), SpinferError> {
+        match self {
+            LengthMix::RoundRobin(p) if p.is_empty() => Err(SpinferError::EmptyLengthMix),
+            _ => Ok(()),
+        }
+    }
+
+    pub(crate) fn lengths(&self, i: usize, fallback: (usize, usize)) -> (usize, usize) {
         match self {
             LengthMix::Uniform => fallback,
+            // Empty profiles are rejected by `validate`; the defensive
+            // fallback keeps this total even if a caller skips it.
+            LengthMix::RoundRobin(p) if p.is_empty() => fallback,
             LengthMix::RoundRobin(p) => p[i % p.len()],
         }
     }
 
-    fn max_lengths(&self, fallback: (usize, usize)) -> (usize, usize) {
+    pub(crate) fn max_lengths(&self, fallback: (usize, usize)) -> (usize, usize) {
         match self {
             LengthMix::Uniform => fallback,
+            LengthMix::RoundRobin(p) if p.is_empty() => fallback,
             LengthMix::RoundRobin(p) => p
                 .iter()
                 .fold((0, 0), |acc, &(i, o)| (acc.0.max(i), acc.1.max(o))),
@@ -75,6 +91,15 @@ pub struct ServingConfig {
     pub mix: LengthMix,
 }
 
+impl ServingConfig {
+    /// Config-time validation: rejects workloads the serving loop cannot
+    /// run (an empty `RoundRobin` profile list used to panic with a
+    /// divide-by-zero on the profile index).
+    pub fn validate(&self) -> Result<(), SpinferError> {
+        self.mix.validate()
+    }
+}
+
 /// Serving outcome.
 #[derive(Clone, Debug)]
 pub struct ServingReport {
@@ -105,7 +130,7 @@ struct Request {
 }
 
 /// Upper bound on the admission cap search (sequences per GPU).
-const CAP_CEILING: usize = 4096;
+pub(crate) const CAP_CEILING: usize = 4096;
 
 /// Maximum concurrent sequences the per-GPU memory supports at full
 /// context (weights + KV for `n` sequences must fit).
@@ -117,18 +142,29 @@ const CAP_CEILING: usize = 4096;
 /// answer as the linear scan (pinned by a test below).
 fn memory_concurrency_cap(spec: &GpuSpec, cfg: &ServingConfig) -> usize {
     let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
-    let total_len = max_in + max_out;
-    let fits = |n: usize| {
-        !footprint(
-            &cfg.model,
-            cfg.framework,
-            cfg.sparsity,
-            cfg.tp,
-            n,
-            total_len,
-        )
-        .is_oom(spec)
-    };
+    concurrency_cap(
+        spec,
+        &cfg.model,
+        cfg.framework,
+        cfg.sparsity,
+        cfg.tp,
+        max_in + max_out,
+    )
+}
+
+/// The doubling + binary-search admission cap behind
+/// [`memory_concurrency_cap`], parameterised on the deployment tuple so
+/// the fleet cluster layer can size per-replica KV headroom with the
+/// same oracle-pinned search.
+pub(crate) fn concurrency_cap(
+    spec: &GpuSpec,
+    model: &ModelConfig,
+    framework: Framework,
+    sparsity: f64,
+    tp: usize,
+    total_len: usize,
+) -> usize {
+    let fits = |n: usize| !footprint(model, framework, sparsity, tp, n, total_len).is_oom(spec);
     if !fits(1) {
         return 0;
     }
@@ -170,6 +206,19 @@ impl ServingReport {
 /// Panics if the model cannot serve even one request on this deployment.
 pub fn serve(spec: &GpuSpec, cfg: &ServingConfig) -> ServingReport {
     serve_ctx(&LaunchCtx::new(spec), cfg)
+}
+
+/// [`serve`] behind config-time validation: an invalid workload (e.g. a
+/// `RoundRobin` mix with no profiles) comes back as a typed
+/// [`SpinferError`] instead of a panic deep inside the serving loop.
+///
+/// # Panics
+///
+/// Still panics if the (valid) model cannot serve even one request on
+/// this deployment, matching [`serve`].
+pub fn serve_checked(spec: &GpuSpec, cfg: &ServingConfig) -> Result<ServingReport, SpinferError> {
+    cfg.validate()?;
+    Ok(serve_ctx(&LaunchCtx::new(spec), cfg))
 }
 
 /// [`serve`] with optional span recording: each prefill admission and
@@ -432,6 +481,29 @@ mod tests {
             r.p95_latency_sec,
             r.mean_latency_sec
         );
+    }
+
+    #[test]
+    fn empty_round_robin_mix_is_a_typed_error_not_a_panic() {
+        let spec = GpuSpec::rtx4090();
+        let mut c = cfg(Framework::SpInfer, 2.0);
+        c.mix = LengthMix::RoundRobin(vec![]);
+        // Config-time validation rejects it...
+        assert_eq!(c.validate(), Err(SpinferError::EmptyLengthMix));
+        assert_eq!(
+            serve_checked(&spec, &c).unwrap_err(),
+            SpinferError::EmptyLengthMix
+        );
+        // ...and even the unchecked loop no longer divides by zero: the
+        // defensive fallback serves the config's uniform lengths.
+        let degenerate = serve(&spec, &c);
+        c.mix = LengthMix::Uniform;
+        let uniform = serve(&spec, &c);
+        assert_eq!(degenerate.completed, uniform.completed);
+        // A populated mix and a Uniform mix both validate.
+        assert!(LengthMix::Uniform.validate().is_ok());
+        assert!(LengthMix::RoundRobin(vec![(8, 8)]).validate().is_ok());
+        assert!(serve_checked(&spec, &c).is_ok());
     }
 
     #[test]

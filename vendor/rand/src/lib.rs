@@ -73,7 +73,8 @@ pub trait Standard: Sized {
 /// The `Standard` `f64` mapping applied to one raw 64-bit word — the
 /// exact function `gen::<f64>()` applies to the word `next_u64`
 /// returns. Exposed so batched samplers that pre-fetch raw words (see
-/// [`BufferedRng`]) share one source of truth with the per-draw path.
+/// [`BufferedRng`](rngs::BufferedRng)) share one source of truth with
+/// the per-draw path.
 #[inline]
 pub fn f64_from_word(w: u64) -> f64 {
     // 53 uniform bits in [0, 1).
