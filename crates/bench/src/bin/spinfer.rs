@@ -45,10 +45,31 @@
 //!                                                   Chrome-trace JSON (load it at
 //!                                                   ui.perfetto.dev) and prints a
 //!                                                   per-phase p50/p95/p99 breakdown
+//! spinfer spec [--model M] [--kernel NAME] [--sparsity S] [--tp N]
+//!              [--batch B] [--rps R] [--duration S] [--input N] [--output N]
+//!              [--shapes LIST] [--rates LIST] [--draft-frac F] [--share F]
+//!              [--seed S] [--gpu G] [--json] [--trace-dir DIR]
+//!                                                   speculative-decoding sweep:
+//!                                                   serve the same workload
+//!                                                   incrementally and with
+//!                                                   token-tree verification for
+//!                                                   every (tree shape ×
+//!                                                   acceptance rate) pair, e.g.
+//!                                                   --shapes w1d4,w2d3b8
+//!                                                   --rates 0.0,0.5,0.8; the
+//!                                                   verify step folds all
+//!                                                   candidates into one wide-N
+//!                                                   launch priced by --kernel
+//!                                                   (any registry name);
+//!                                                   --trace-dir writes
+//!                                                   draft/verify/accept spans +
+//!                                                   a metrics snapshot,
+//!                                                   byte-identical at any --jobs
 //! spinfer cluster [--replicas N] [--rps R] [--duration S] [--deadline S]
 //!                 [--batch B] [--router round-robin|least-loaded|failover]
 //!                 [--no-retries] [--no-degradation] [--fallback-kernel NAME]
 //!                 [--faults RATE] [--fault-seed S] [--recovery SEC]
+//!                 [--spec RATE] [--tree SHAPE]
 //!                 [--seed S] [--gpu G] [--json] [--trace-dir DIR]
 //!                                                   fleet resilience simulation:
 //!                                                   N replicas behind a router with
@@ -56,7 +77,11 @@
 //!                                                   control, and a degradation
 //!                                                   ladder; --faults arms seeded
 //!                                                   crash/slow/launch-fault
-//!                                                   injection; --trace-dir writes a
+//!                                                   injection; --spec arms
+//!                                                   speculative decoding at the
+//!                                                   given acceptance rate (tree
+//!                                                   from --tree, default w2d3b8);
+//!                                                   --trace-dir writes a
 //!                                                   per-replica Chrome trace + a
 //!                                                   metrics snapshot, byte-identical
 //!                                                   at any --jobs
@@ -99,10 +124,11 @@ fn main() -> ExitCode {
         Some("faults") => cmd_faults(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("spec") => cmd_spec(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace|cluster> ..."
+                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace|spec|cluster> ..."
             );
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
@@ -663,6 +689,7 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
             ("generate", snap.gen_s, false, 1.5),
             ("encode", snap.encode_s, false, 1.5),
             ("cluster_smoke", snap.cluster_smoke_s, false, 1.5),
+            ("spec_smoke", snap.spec_smoke_s, false, 1.5),
         ];
         for (label, measured, required, headroom) in gates {
             let base = match spinfer_bench::snapshot::wall_clock_of(&baseline, label) {
@@ -795,6 +822,199 @@ fn cmd_trace(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_spec(args: &[String]) -> CliResult {
+    use spinfer_llm::spec::{DraftModel, SpecConfig, TreeShape};
+    use spinfer_llm::{
+        framework_for_kernel, serve_spec_ctx, serve_with, LengthMix, ServingConfig,
+        SpecServingReport, SpecStats,
+    };
+    let spec = gpu(args)?;
+    let model = match flag_value(args, "--model").unwrap_or("opt-13b") {
+        "opt-13b" => ModelConfig::opt_13b(),
+        "opt-30b" => ModelConfig::opt_30b(),
+        "opt-66b" => ModelConfig::opt_66b(),
+        other => return Err(format!("unknown model {other} (opt-13b/opt-30b/opt-66b)")),
+    };
+    let kernel_name = flag_value(args, "--kernel").unwrap_or("SpInfer");
+    let framework = framework_for_kernel(kernel_name).map_err(|e| {
+        let roster: Vec<&str> = spinfer_baselines::registry()
+            .iter()
+            .map(|k| k.name())
+            .collect();
+        format!("{e}; registered kernels: {}", roster.join(", "))
+    })?;
+    let parse_flag = |flag: &str, what: &str| -> Result<Option<f64>, String> {
+        match flag_value(args, flag) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid {what}: {v}")),
+            None => Ok(None),
+        }
+    };
+    let sparsity = parse_flag("--sparsity", "sparsity")?.unwrap_or(0.6);
+    let tp: usize = match flag_value(args, "--tp") {
+        Some(v) => v.parse().map_err(|_| format!("invalid tp: {v}"))?,
+        None => 1,
+    };
+    let batch: usize = match flag_value(args, "--batch") {
+        Some(v) => v.parse().map_err(|_| format!("invalid batch: {v}"))?,
+        None => 16,
+    };
+    let input_len: usize = match flag_value(args, "--input") {
+        Some(v) => v.parse().map_err(|_| format!("invalid input: {v}"))?,
+        None => 64,
+    };
+    let output_len: usize = match flag_value(args, "--output") {
+        Some(v) => v.parse().map_err(|_| format!("invalid output: {v}"))?,
+        None => 128,
+    };
+    let rps = parse_flag("--rps", "rps")?.unwrap_or(4.0);
+    let duration = parse_flag("--duration", "duration")?.unwrap_or(40.0);
+    let draft_frac = parse_flag("--draft-frac", "draft fraction")?.unwrap_or(0.08);
+    let share = parse_flag("--share", "speculative share")?.unwrap_or(1.0);
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| format!("invalid seed: {v}"))?,
+        None => 0,
+    };
+    let shapes: Vec<TreeShape> = flag_value(args, "--shapes")
+        .unwrap_or("w1d4,w2d3b8")
+        .split(',')
+        .map(|s| TreeShape::parse(s.trim()).ok_or_else(|| format!("invalid tree shape: {s}")))
+        .collect::<Result<_, _>>()?;
+    let rates: Vec<f64> = flag_value(args, "--rates")
+        .unwrap_or("0.0,0.5,0.8")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("invalid acceptance rate: {s}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let serving_cfg = ServingConfig {
+        model,
+        framework,
+        sparsity,
+        tp,
+        max_batch: batch,
+        arrival_rps: rps,
+        input_len,
+        output_len,
+        duration_sec: duration,
+        mix: LengthMix::Uniform,
+    };
+    serving_cfg.validate().map_err(|e| e.to_string())?;
+    let json = args.iter().any(|a| a == "--json");
+    let trace_dir = flag_value(args, "--trace-dir");
+    let sink = trace_dir.map(|_| TraceSink::new());
+    let mut reg = Registry::new();
+
+    // Incremental baseline: same workload, plain one-token decode.
+    let base = serve_with(&spec, &serving_cfg, sink.as_ref());
+    SpecServingReport {
+        serving: base.clone(),
+        stats: SpecStats::default(),
+    }
+    .write_metrics(&mut reg, "spec.incremental");
+
+    let mut runs: Vec<(String, f64, SpecServingReport)> = Vec::new();
+    for &shape in &shapes {
+        for &rate in &rates {
+            let sc = SpecConfig {
+                shape,
+                draft: DraftModel {
+                    cost_frac: draft_frac,
+                    ..DraftModel::default()
+                },
+                acceptance_rate: rate,
+                spec_share: share,
+                seed,
+            };
+            sc.validate().map_err(|e| e.to_string())?;
+            let mut ctx = LaunchCtx::new(&spec);
+            if let Some(s) = sink.as_ref() {
+                ctx = ctx.with_sink(s);
+            }
+            let r = serve_spec_ctx(&ctx, &serving_cfg, &sc);
+            let prefix = format!("spec.{}.r{:02}", shape.label(), (rate * 100.0).round());
+            r.write_metrics(&mut reg, &prefix);
+            reg.gauge_set(
+                &format!("{prefix}.speedup_vs_incremental"),
+                r.serving.tokens_per_sec / base.tokens_per_sec.max(1e-12),
+            );
+            runs.push((shape.label(), rate, r));
+        }
+    }
+
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+        let trace_json =
+            spinfer_obs::export(&sink.expect("sink exists when trace_dir set").finish());
+        spinfer_obs::validate(&trace_json).map_err(|e| format!("spec trace is invalid: {e}"))?;
+        let trace_path = format!("{dir}/spec_trace.json");
+        let metrics_path = format!("{dir}/spec_metrics.json");
+        std::fs::write(&trace_path, &trace_json).map_err(|e| format!("write {trace_path}: {e}"))?;
+        std::fs::write(&metrics_path, reg.snapshot_json())
+            .map_err(|e| format!("write {metrics_path}: {e}"))?;
+        if !json {
+            println!("wrote {trace_path} and {metrics_path}");
+        }
+    }
+    if json {
+        println!("{}", reg.snapshot_json());
+        return Ok(());
+    }
+
+    println!(
+        "speculative decoding: {} via {} ({} kernel) on {}x{} | {:.1} rps for {:.0}s, batch {}, in/out {}/{}, share {:.2}",
+        serving_cfg.model.name,
+        framework.label(),
+        kernel_name,
+        tp,
+        spec.name,
+        rps,
+        duration,
+        batch,
+        input_len,
+        output_len,
+        share
+    );
+    let headers = [
+        "config",
+        "accept",
+        "tok/s",
+        "tok/iter",
+        "tok/launch",
+        "p95 (s)",
+        "speedup",
+    ];
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "incremental".to_string(),
+        "-".to_string(),
+        format!("{:.0}", base.tokens_per_sec),
+        format!("{:.2}", base.tokens_per_iteration),
+        format!("{:.2}", base.mean_batch),
+        format!("{:.2}", base.p95_latency_sec),
+        "1.00x".to_string(),
+    ]];
+    for (label, rate, r) in &runs {
+        rows.push(vec![
+            label.clone(),
+            format!("{rate:.2}"),
+            format!("{:.0}", r.serving.tokens_per_sec),
+            format!("{:.2}", r.serving.tokens_per_iteration),
+            format!("{:.2}", r.tokens_per_launch()),
+            format!("{:.2}", r.serving.p95_latency_sec),
+            format!(
+                "{:.2}x",
+                r.serving.tokens_per_sec / base.tokens_per_sec.max(1e-12)
+            ),
+        ]);
+    }
+    println!("{}", render_table(&headers, &rows));
+    Ok(())
+}
+
 fn cmd_cluster(args: &[String]) -> CliResult {
     use spinfer_llm::{
         simulate_cluster_instrumented, ClusterConfig, ClusterFaultPlan, DegradationPolicy,
@@ -841,6 +1061,19 @@ fn cmd_cluster(args: &[String]) -> CliResult {
     }
     if let Some(name) = flag_value(args, "--fallback-kernel") {
         cfg.degradation.fallback_kernel = Some(name.to_string());
+    }
+    if let Some(rate) = parse_flag("--spec", "spec acceptance rate")? {
+        use spinfer_llm::spec::{SpecConfig, TreeShape};
+        let shape = match flag_value(args, "--tree") {
+            Some(s) => TreeShape::parse(s).ok_or_else(|| format!("invalid tree shape: {s}"))?,
+            None => SpecConfig::default().shape,
+        };
+        cfg.spec = Some(SpecConfig {
+            shape,
+            acceptance_rate: rate,
+            seed: cfg.seed,
+            ..SpecConfig::default()
+        });
     }
     let faults = match parse_flag("--faults", "fault rate")? {
         Some(rate) => {
@@ -936,6 +1169,19 @@ fn cmd_cluster(args: &[String]) -> CliResult {
         "  ladder        : {} escalations | {} de-escalations | {} rung-3 rejects",
         report.degrade_escalations, report.degrade_deescalations, report.degraded_rejects
     );
+    if let Some(sc) = &cfg.spec {
+        println!(
+            "  speculation   : tree {} rate {:.2} | {} spec requests | {} verify steps | {} accepted / {} proposed (+{} bonus) | {} rolled back",
+            sc.shape.label(),
+            sc.acceptance_rate,
+            report.spec_requests,
+            report.spec_steps,
+            report.spec_accepted,
+            report.spec_proposed,
+            report.spec_bonus,
+            report.spec_rolled_back
+        );
+    }
     let headers = [
         "replica",
         "completed",

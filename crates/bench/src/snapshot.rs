@@ -92,6 +92,10 @@ pub struct Snapshot {
     /// `spinfer cluster` event loop); budget-gated so the cluster layer
     /// can't silently regress into an event-storm.
     pub cluster_smoke_s: f64,
+    /// Wall-clock of a short speculative-decoding serving run (the
+    /// `spinfer spec` tree-verify loop); budget-gated so the draft/verify
+    /// planner can't silently regress into per-step overhead.
+    pub spec_smoke_s: f64,
     /// FNV digest of the functional FP32 output (regression tripwire).
     pub output_checksum: u64,
     /// Simulated time of the functional run in µs.
@@ -187,6 +191,29 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
         .expect("snapshot cluster smoke config is valid");
     let cluster_smoke_s = t0.elapsed().as_secs_f64();
 
+    // Speculation smoke: a short high-acceptance tree-verify serving run.
+    // Like the fleet smoke, the simulated horizon is fixed — the
+    // wall-clock tracks the per-iteration draft/plan/verify bookkeeping.
+    let serving_cfg = spinfer_llm::ServingConfig {
+        model: spinfer_llm::ModelConfig::opt_13b(),
+        framework: spinfer_llm::Framework::SpInfer,
+        sparsity: 0.6,
+        tp: 1,
+        max_batch: 8,
+        arrival_rps: 4.0,
+        input_len: 64,
+        output_len: 32,
+        duration_sec: 10.0,
+        mix: spinfer_llm::LengthMix::Uniform,
+    };
+    let spec_cfg = spinfer_llm::SpecConfig {
+        acceptance_rate: 0.8,
+        ..spinfer_llm::SpecConfig::default()
+    };
+    let t0 = Instant::now();
+    spinfer_llm::serve_spec(spec, &serving_cfg, &spec_cfg);
+    let spec_smoke_s = t0.elapsed().as_secs_f64();
+
     Snapshot {
         config: *cfg,
         gpu: spec.name.to_string(),
@@ -198,6 +225,7 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
         spinfer_functional_jobs1_s,
         spinfer_functional_default_s,
         cluster_smoke_s,
+        spec_smoke_s,
         output_checksum,
         spinfer_simulated_us: serial.time_us(),
         simulated_us,
@@ -231,7 +259,8 @@ impl Snapshot {
             "    \"spinfer_functional_default\": {:.3},",
             self.spinfer_functional_default_s
         );
-        let _ = writeln!(s, "    \"cluster_smoke\": {:.3}", self.cluster_smoke_s);
+        let _ = writeln!(s, "    \"cluster_smoke\": {:.3},", self.cluster_smoke_s);
+        let _ = writeln!(s, "    \"spec_smoke\": {:.3}", self.spec_smoke_s);
         let _ = writeln!(s, "  }},");
         let _ = writeln!(
             s,
@@ -387,6 +416,8 @@ mod tests {
         assert!(wall_clock_of(&json, "encode").is_some());
         assert!(wall_clock_of(&json, "cluster_smoke").is_some());
         assert!(snap.cluster_smoke_s >= 0.0);
+        assert!(wall_clock_of(&json, "spec_smoke").is_some());
+        assert!(snap.spec_smoke_s >= 0.0);
         assert_eq!(wall_clock_of(&json, "no_such_label"), None);
     }
 
@@ -405,6 +436,7 @@ mod tests {
             spinfer_functional_jobs1_s: 6.5,
             spinfer_functional_default_s: 6.6,
             cluster_smoke_s: 0.1,
+            spec_smoke_s: 0.05,
             output_checksum: 0x1234,
             spinfer_simulated_us: 100.0,
             simulated_us: vec![("SpInfer", 100.0)],

@@ -63,6 +63,14 @@ pub enum SpinferError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A speculative-decoding configuration that cannot be simulated
+    /// (an out-of-range acceptance rate or speculative share, an
+    /// oversized tree budget, ...). The reason names the offending
+    /// field.
+    InvalidSpec {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 /// Structural defects in an encoded container. The variants name the
@@ -260,6 +268,9 @@ impl std::fmt::Display for SpinferError {
             SpinferError::InvalidCluster { reason } => {
                 write!(f, "invalid cluster config: {reason}")
             }
+            SpinferError::InvalidSpec { reason } => {
+                write!(f, "invalid speculative-decoding config: {reason}")
+            }
         }
     }
 }
@@ -405,6 +416,9 @@ mod tests {
             SpinferError::InvalidCluster {
                 reason: "replicas must be >= 1".to_string(),
             },
+            SpinferError::InvalidSpec {
+                reason: "acceptance_rate must be in [0, 1]".to_string(),
+            },
         ];
         all.extend(integrity.into_iter().map(SpinferError::Integrity));
         all.extend(kernel.into_iter().map(SpinferError::Kernel));
@@ -429,6 +443,7 @@ mod tests {
                 SpinferError::EmptyLengthMix => "at least one (input, output) profile",
                 SpinferError::DegenerateDisagg { .. } => "prefill 0, decode 8",
                 SpinferError::InvalidCluster { .. } => "replicas must be >= 1",
+                SpinferError::InvalidSpec { .. } => "acceptance_rate must be in [0, 1]",
                 SpinferError::Integrity(i) => match i {
                     IntegrityError::OffsetCount { .. } => "4 entries",
                     IntegrityError::OffsetOrder { .. } => "96 -> 64",

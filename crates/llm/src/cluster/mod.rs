@@ -43,8 +43,9 @@ use spinfer_obs::metrics::{percentile_sorted, Registry};
 
 use crate::config::ModelConfig;
 use crate::engine::{decode_overhead_sec, linear_pass_sec};
-use crate::frameworks::Framework;
+use crate::frameworks::{framework_for_kernel, Framework};
 use crate::serving::{concurrency_cap, LengthMix};
+use crate::spec::{SpecConfig, TreeVerifier};
 
 /// Arrival-process salt, disjoint from the fault-site salts.
 const SALT_ARRIVAL: u64 = 0x1bbc_d8c2_f5e5_4a91;
@@ -118,19 +119,13 @@ impl DegradationPolicy {
 
     /// Resolves the fallback kernel name through the registry and maps
     /// it onto the analytic cost profile the fleet model prices steps
-    /// with. Unknown names surface the registry's typed error.
+    /// with (the shared [`framework_for_kernel`] translation). Unknown
+    /// names surface the registry's typed error.
     pub fn resolve_fallback(&self) -> Result<Option<Framework>, SpinferError> {
         let Some(name) = &self.fallback_kernel else {
             return Ok(None);
         };
-        let kernel = spinfer_baselines::kernel_by_name(name)?;
-        Ok(Some(match kernel.name() {
-            "SpInfer" => Framework::SpInfer,
-            "cuBLAS_TC" => Framework::FasterTransformer,
-            // The remaining baselines (Flash-LLM, SparTA, Sputnik,
-            // cuSPARSE, SMaT) price closest to the Flash-LLM profile.
-            _ => Framework::FlashLlm,
-        }))
+        framework_for_kernel(name).map(Some)
     }
 }
 
@@ -172,6 +167,10 @@ pub struct ClusterConfig {
     pub router: RouterPolicy,
     /// Health-probe interval feeding the failover router's lagged view.
     pub health_check_sec: f64,
+    /// Speculative decoding on every replica. `None` — and, bit for
+    /// bit, `Some(SpecConfig::degenerate())` — is the incremental
+    /// decode fleet.
+    pub spec: Option<SpecConfig>,
     /// Root seed for arrivals and retry jitter (fault sites draw from
     /// the [`ClusterFaultPlan`]'s own seed).
     pub seed: u64,
@@ -197,6 +196,7 @@ impl Default for ClusterConfig {
             degradation: DegradationPolicy::default(),
             router: RouterPolicy::FailoverAware,
             health_check_sec: 0.5,
+            spec: None,
             seed: 0,
         }
     }
@@ -250,6 +250,9 @@ impl ClusterConfig {
         }
         self.mix.validate()?;
         self.degradation.resolve_fallback()?;
+        if let Some(spec) = &self.spec {
+            spec.validate()?;
+        }
         Ok(())
     }
 }
@@ -310,6 +313,18 @@ pub struct ClusterReport {
     pub degraded_rejects: u64,
     /// Attempts routed to a replica that was down (blind routing).
     pub routed_to_down: u64,
+    /// Requests admitted speculatively (0 when speculation is off).
+    pub spec_requests: u64,
+    /// Decode steps that verified at least one candidate tree.
+    pub spec_steps: u64,
+    /// Candidate tokens proposed and verified across the fleet.
+    pub spec_proposed: u64,
+    /// Drafted tokens accepted by the target model.
+    pub spec_accepted: u64,
+    /// Bonus tokens committed alongside accepted prefixes.
+    pub spec_bonus: u64,
+    /// Candidate KV entries rolled back after rejection.
+    pub spec_rolled_back: u64,
     /// Goodput: SLO-abiding completions per simulated second.
     pub goodput_rps: f64,
     /// Throughput: all completions per simulated second.
@@ -390,6 +405,7 @@ struct Req {
     deadline: f64,
     attempt: u32,
     generated: usize,
+    speculative: bool,
     state: ReqState,
 }
 
@@ -436,6 +452,12 @@ struct Counts {
     degrade_deescalations: u64,
     degraded_rejects: u64,
     routed_to_down: u64,
+    spec_requests: u64,
+    spec_steps: u64,
+    spec_proposed: u64,
+    spec_accepted: u64,
+    spec_bonus: u64,
+    spec_rolled_back: u64,
 }
 
 struct Sim<'a> {
@@ -443,9 +465,14 @@ struct Sim<'a> {
     cfg: &'a ClusterConfig,
     plan: ClusterFaultPlan,
     fallback_fw: Option<Framework>,
+    // Present only when the config's speculation is armed (non-empty
+    // tree, positive share), so `spec: None` and the degenerate config
+    // run the identical code path.
+    verifier: Option<TreeVerifier>,
     caps: HashMap<Framework, usize>,
     linear_cache: HashMap<(Framework, usize), f64>,
     prefill_cache: HashMap<(Framework, usize), f64>,
+    draft_cache: HashMap<(Framework, usize), f64>,
     replicas: Vec<Replica>,
     reqs: Vec<Req>,
     heap: BinaryHeap<Scheduled>,
@@ -464,6 +491,14 @@ impl<'a> Sim<'a> {
         fallback_fw: Option<Framework>,
         sink: Option<&'a TraceSink>,
     ) -> Self {
+        let verifier = cfg
+            .spec
+            .as_ref()
+            .map(TreeVerifier::new)
+            .filter(TreeVerifier::armed);
+        // Speculative replicas hold each candidate tree's KV entries
+        // between draft and rollback; the cap sizes for them.
+        let tree_nodes = verifier.as_ref().map_or(0, |v| v.tree().nodes());
         let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
         let mut caps = HashMap::new();
         let mut fws = vec![cfg.framework];
@@ -472,7 +507,14 @@ impl<'a> Sim<'a> {
         }
         for fw in fws {
             caps.entry(fw).or_insert_with(|| {
-                concurrency_cap(spec, &cfg.model, fw, cfg.sparsity, cfg.tp, max_in + max_out)
+                concurrency_cap(
+                    spec,
+                    &cfg.model,
+                    fw,
+                    cfg.sparsity,
+                    cfg.tp,
+                    max_in + max_out + tree_nodes,
+                )
             });
         }
         let replicas = vec![
@@ -494,9 +536,11 @@ impl<'a> Sim<'a> {
             cfg,
             plan,
             fallback_fw,
+            verifier,
             caps,
             linear_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
+            draft_cache: HashMap::new(),
             replicas,
             reqs: Vec::new(),
             heap: BinaryHeap::new(),
@@ -561,10 +605,45 @@ impl<'a> Sim<'a> {
         t
     }
 
-    fn decode_iter_sec(&mut self, fw: Framework, batch: usize, sum_ctx: usize) -> f64 {
+    /// One decode iteration: the linear passes run at `verify_n` wide
+    /// (the batch plus any folded candidate tokens), attention/overhead
+    /// at the batch's attributed context. Incremental decode is the
+    /// `verify_n == batch` case.
+    fn decode_iter_sec(
+        &mut self,
+        fw: Framework,
+        batch: usize,
+        verify_n: usize,
+        sum_ctx: usize,
+    ) -> f64 {
         let cfg = self.cfg;
-        self.linear_sec(fw, batch)
+        self.linear_sec(fw, verify_n)
             + decode_overhead_sec(self.spec, &cfg.model, fw, cfg.tp, batch, sum_ctx)
+    }
+
+    /// Draft-model seconds for `spec_batch` speculative requests at this
+    /// replica's effective framework; exactly `0.0` when nothing drafts.
+    fn draft_sec(&mut self, fw: Framework, spec_batch: usize) -> f64 {
+        let Some(v) = &self.verifier else {
+            return 0.0;
+        };
+        if spec_batch == 0 {
+            return 0.0;
+        }
+        let cfg = self.cfg;
+        let gpu = self.spec;
+        let draft = cfg.spec.as_ref().expect("verifier implies spec").draft;
+        *self.draft_cache.entry((fw, spec_batch)).or_insert_with(|| {
+            draft.propose_sec(
+                gpu,
+                &cfg.model,
+                fw,
+                cfg.sparsity,
+                cfg.tp,
+                spec_batch,
+                v.tree(),
+            )
+        })
     }
 
     /// Effective (framework, batch) at a replica's current ladder rung,
@@ -753,17 +832,31 @@ impl<'a> Sim<'a> {
         }
 
         let batch = self.replicas[r].running.len();
-        let sum_ctx: usize = self.replicas[r]
-            .running
-            .iter()
-            .map(|&id| {
-                let q = &self.reqs[id as usize];
-                q.input_len + q.generated
-            })
-            .sum();
-        let prefill: f64 = admitted_lens.iter().map(|&n| self.prefill_sec(fw, n)).sum();
-        let mut decode = self.decode_iter_sec(fw, batch, sum_ctx);
-        let mut prefill = prefill;
+        // Fold each request's verify width and attributed KV context:
+        // speculative requests contribute their whole candidate tree,
+        // plain requests one token and their base context. Without an
+        // armed verifier this is exactly the incremental plan.
+        let mut verify_n = 0usize;
+        let mut sum_ctx = 0usize;
+        let mut spec_batch = 0usize;
+        for &id in &self.replicas[r].running {
+            let q = &self.reqs[id as usize];
+            let base = q.input_len + q.generated;
+            match &self.verifier {
+                Some(v) if q.speculative => {
+                    spec_batch += 1;
+                    verify_n += v.tree().verify_tokens_per_request();
+                    sum_ctx += v.tree().attributed_ctx(base);
+                }
+                _ => {
+                    verify_n += 1;
+                    sum_ctx += base;
+                }
+            }
+        }
+        let mut prefill: f64 = admitted_lens.iter().map(|&n| self.prefill_sec(fw, n)).sum();
+        let mut decode =
+            self.decode_iter_sec(fw, batch, verify_n, sum_ctx) + self.draft_sec(fw, spec_batch);
         if self.plan.slow(r, tick) {
             let f = self.plan.slow_factor.max(1.0);
             prefill *= f;
@@ -806,11 +899,27 @@ impl<'a> Sim<'a> {
                 start + prefill,
                 decode,
             );
-            // One generated token per running request; completions leave.
+            // Commit tokens; completions leave. Speculative requests
+            // commit their accepted prefix plus the bonus token and
+            // roll rejected candidates back; plain requests commit one.
             let running = std::mem::take(&mut self.replicas[r].running);
+            let mut spec_in_step = 0u64;
             for id in running {
+                let commit = match &self.verifier {
+                    Some(v) if self.reqs[id as usize].speculative => {
+                        let q = &self.reqs[id as usize];
+                        let o = v.outcome(id, q.generated as u64, q.output_len - q.generated);
+                        spec_in_step += 1;
+                        self.c.spec_proposed += v.tree().nodes() as u64;
+                        self.c.spec_accepted += o.accepted as u64;
+                        self.c.spec_bonus += 1;
+                        self.c.spec_rolled_back += o.rolled_back as u64;
+                        o.committed
+                    }
+                    _ => 1,
+                };
                 let req = &mut self.reqs[id as usize];
-                req.generated += 1;
+                req.generated += commit;
                 if req.generated >= req.output_len {
                     req.state = ReqState::Done;
                     let latency = t - req.arrival;
@@ -825,6 +934,9 @@ impl<'a> Sim<'a> {
                 } else {
                     self.replicas[r].running.push(id);
                 }
+            }
+            if spec_in_step > 0 {
+                self.c.spec_steps += 1;
             }
         }
 
@@ -899,6 +1011,10 @@ impl<'a> Sim<'a> {
             .cfg
             .mix
             .lengths(i as usize, (self.cfg.input_len, self.cfg.output_len));
+        let speculative = self.verifier.as_ref().is_some_and(|v| v.speculates(i));
+        if speculative {
+            self.c.spec_requests += 1;
+        }
         self.reqs.push(Req {
             arrival: t,
             input_len,
@@ -906,6 +1022,7 @@ impl<'a> Sim<'a> {
             deadline: t + self.cfg.deadline_sec,
             attempt: 1,
             generated: 0,
+            speculative,
             state: ReqState::Backoff, // placeholder until routed
         });
         self.c.arrivals += 1;
@@ -988,6 +1105,12 @@ impl<'a> Sim<'a> {
             degrade_deescalations: c.degrade_deescalations,
             degraded_rejects: c.degraded_rejects,
             routed_to_down: c.routed_to_down,
+            spec_requests: c.spec_requests,
+            spec_steps: c.spec_steps,
+            spec_proposed: c.spec_proposed,
+            spec_accepted: c.spec_accepted,
+            spec_bonus: c.spec_bonus,
+            spec_rolled_back: c.spec_rolled_back,
             goodput_rps: c.completed_in_slo as f64 / self.cfg.duration_sec,
             throughput_rps: c.completed as f64 / self.cfg.duration_sec,
             p50_latency_s: percentile_sorted(&sorted, 0.50),
@@ -1017,6 +1140,22 @@ impl<'a> Sim<'a> {
         );
         reg.counter_add("cluster.degraded_rejects", report.degraded_rejects);
         reg.counter_add("cluster.routed_to_down", report.routed_to_down);
+        // Speculation metrics only exist on speculating fleets — an
+        // unarmed run's registry stays byte-identical to pre-spec runs.
+        if self.verifier.is_some() {
+            reg.counter_add("cluster.spec.requests", report.spec_requests);
+            reg.counter_add("cluster.spec.steps", report.spec_steps);
+            reg.counter_add("cluster.spec.proposed", report.spec_proposed);
+            reg.counter_add("cluster.spec.accepted", report.spec_accepted);
+            reg.counter_add("cluster.spec.bonus", report.spec_bonus);
+            reg.counter_add("cluster.spec.rolled_back", report.spec_rolled_back);
+            let acc = if report.spec_proposed == 0 {
+                0.0
+            } else {
+                report.spec_accepted as f64 / report.spec_proposed as f64
+            };
+            reg.gauge_set("cluster.spec.acceptance_observed", acc);
+        }
         reg.gauge_set("cluster.goodput_rps", report.goodput_rps);
         reg.gauge_set("cluster.throughput_rps", report.throughput_rps);
         reg.gauge_set("cluster.replicas", self.cfg.replicas as f64);
@@ -1149,6 +1288,50 @@ mod tests {
         let none = simulate_cluster(&spec, &cfg, None).unwrap();
         let zero = simulate_cluster(&spec, &cfg, Some(&ClusterFaultPlan::default())).unwrap();
         assert_eq!(format!("{none:?}"), format!("{zero:?}"));
+    }
+
+    #[test]
+    fn degenerate_spec_fleet_matches_no_spec_fleet() {
+        let spec = GpuSpec::rtx4090();
+        let base = smoke_cfg();
+        let none = simulate_cluster(&spec, &base, None).unwrap();
+        let degenerate = ClusterConfig {
+            spec: Some(SpecConfig::degenerate()),
+            ..base
+        };
+        let deg = simulate_cluster(&spec, &degenerate, None).unwrap();
+        assert_eq!(format!("{none:?}"), format!("{deg:?}"));
+    }
+
+    #[test]
+    fn speculative_fleet_accepts_and_keeps_serving() {
+        let spec = GpuSpec::rtx4090();
+        let base = smoke_cfg();
+        let none = simulate_cluster(&spec, &base, None).unwrap();
+        let speccy = ClusterConfig {
+            spec: Some(SpecConfig::default()),
+            ..base
+        };
+        let r = simulate_cluster(&spec, &speccy, None).unwrap();
+        assert!(r.spec_requests > 0, "share 1.0 must speculate: {r:?}");
+        assert!(r.spec_steps > 0);
+        assert!(r.spec_accepted > 0, "rate 0.8 must accept: {r:?}");
+        assert!(r.spec_bonus >= r.spec_steps);
+        // Multi-token commits can only help completions.
+        assert!(r.completed >= none.completed);
+        // Invalid spec configs surface the typed error through the
+        // cluster validation chain.
+        let bad = ClusterConfig {
+            spec: Some(SpecConfig {
+                acceptance_rate: 2.0,
+                ..SpecConfig::default()
+            }),
+            ..smoke_cfg()
+        };
+        assert!(matches!(
+            simulate_cluster(&spec, &bad, None).unwrap_err(),
+            SpinferError::InvalidSpec { .. }
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::formats::tiled_csl::TiledCsl;
 use spinfer_baselines::kernels::{CublasGemm, FlashLlmSpmm, FlashLlmStats};
-use spinfer_core::{FormatStats, SpinferSpmm};
+use spinfer_core::{FormatStats, SpinferError, SpinferSpmm};
 
 /// An inference framework under comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -94,6 +94,23 @@ impl Framework {
     }
 }
 
+/// Resolves a registered kernel name through
+/// [`spinfer_baselines::kernel_by_name`] and maps it onto the analytic
+/// framework profile that prices its steps — the shared translation
+/// behind the cluster degradation ladder and the `spinfer spec` kernel
+/// sweep. Unknown names surface the registry's typed
+/// [`SpinferError::UnknownKernel`].
+pub fn framework_for_kernel(name: &str) -> Result<Framework, SpinferError> {
+    let kernel = spinfer_baselines::kernel_by_name(name)?;
+    Ok(match kernel.name() {
+        "SpInfer" => Framework::SpInfer,
+        "cuBLAS_TC" => Framework::FasterTransformer,
+        // The remaining baselines (Flash-LLM, SparTA, Sputnik, cuSPARSE,
+        // SMaT) price closest to the Flash-LLM profile.
+        _ => Framework::FlashLlm,
+    })
+}
+
 /// Extension trait hook: synthetic TCA-BME storage used by the memory
 /// model without materialising weights.
 trait SyntheticStorage {
@@ -127,6 +144,23 @@ mod tests {
         let dense = Framework::FasterTransformer.weight_bytes(4096, 4096, 0.5);
         let flash = Framework::FlashLlm.weight_bytes(4096, 4096, 0.5);
         assert!((flash as f64 / dense as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn kernel_names_resolve_to_cost_profiles() {
+        assert_eq!(framework_for_kernel("SpInfer").unwrap(), Framework::SpInfer);
+        assert_eq!(
+            framework_for_kernel("cuBLAS_TC").unwrap(),
+            Framework::FasterTransformer
+        );
+        assert_eq!(
+            framework_for_kernel("Flash-LLM").unwrap(),
+            Framework::FlashLlm
+        );
+        assert!(matches!(
+            framework_for_kernel("warp-speed-gemm").unwrap_err(),
+            SpinferError::UnknownKernel { .. }
+        ));
     }
 
     #[test]

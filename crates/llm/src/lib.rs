@@ -21,6 +21,7 @@ pub mod memory;
 pub mod model;
 pub mod parallel;
 pub mod serving;
+pub mod spec;
 
 pub use breakdown::Breakdown;
 pub use cluster::{
@@ -29,5 +30,10 @@ pub use cluster::{
 };
 pub use config::{LayerMatrix, ModelConfig};
 pub use engine::{simulate, simulate_ctx, InferenceConfig, InferenceReport};
-pub use frameworks::Framework;
+pub use frameworks::{framework_for_kernel, Framework};
 pub use memory::{footprint, MemoryReport};
+pub use serving::{
+    serve, serve_checked, serve_spec, serve_spec_checked, serve_spec_ctx, serve_with, LengthMix,
+    ServingConfig, ServingReport,
+};
+pub use spec::{DraftModel, SpecConfig, SpecServingReport, SpecStats, TreeShape, TreeVerifier};

@@ -14,6 +14,7 @@ use crate::config::ModelConfig;
 use crate::engine::{decode_overhead_sec, linear_pass_sec};
 use crate::frameworks::Framework;
 use crate::memory::footprint;
+use crate::spec::{plan_step, SpecConfig, SpecServingReport, SpecStats, TreeVerifier};
 use gpu_sim::spec::GpuSpec;
 use gpu_sim::trace::{pids, TraceEvent, TraceSink};
 use spinfer_core::spmm::LaunchCtx;
@@ -119,14 +120,24 @@ pub struct ServingReport {
     pub mean_batch: f64,
     /// Maximum concurrent requests the memory model admitted.
     pub max_concurrency: usize,
+    /// Decode iterations executed over the horizon.
+    pub iterations: usize,
+    /// Mean tokens *committed* per decode iteration. Incremental decode
+    /// commits exactly the batch width, so this equals `mean_batch`;
+    /// speculative decode commits accepted prefixes plus bonus tokens,
+    /// and the ratio against the incremental run is the honest
+    /// per-iteration speedup measure.
+    pub tokens_per_iteration: f64,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Request {
+    id: u64,
     arrival: f64,
     generated: usize,
     input_len: usize,
     output_len: usize,
+    speculative: bool,
 }
 
 /// Upper bound on the admission cap search (sequences per GPU).
@@ -301,10 +312,12 @@ pub fn serve_ctx(ctx: &LaunchCtx<'_>, cfg: &ServingConfig) -> ServingReport {
         while next_arrival <= now {
             let (input_len, output_len) = cfg.mix.lengths(arrived, (cfg.input_len, cfg.output_len));
             queue.push(Request {
+                id: arrived as u64,
                 arrival: next_arrival,
                 generated: 0,
                 input_len,
                 output_len,
+                speculative: false,
             });
             arrived += 1;
             next_arrival = inter_arrival * arrived as f64;
@@ -392,6 +405,299 @@ pub fn serve_ctx(ctx: &LaunchCtx<'_>, cfg: &ServingConfig) -> ServingReport {
             batch_sum / iterations as f64
         },
         max_concurrency,
+        iterations,
+        tokens_per_iteration: if iterations == 0 {
+            0.0
+        } else {
+            tokens_out as f64 / iterations as f64
+        },
+    }
+}
+
+/// Runs the continuous-batching loop with speculative decoding: requests
+/// selected by `spec_cfg.spec_share` draft a candidate tree each decode
+/// iteration and verify every candidate inside the batch's single wide-N
+/// launch.
+///
+/// # Panics
+///
+/// Panics if the model cannot serve even one request on this deployment
+/// with the candidate tree's extra KV entries.
+pub fn serve_spec(spec: &GpuSpec, cfg: &ServingConfig, spec_cfg: &SpecConfig) -> SpecServingReport {
+    serve_spec_ctx(&LaunchCtx::new(spec), cfg, spec_cfg)
+}
+
+/// [`serve_spec`] behind config-time validation of both the workload and
+/// the speculation config.
+///
+/// # Panics
+///
+/// Still panics if the (valid) deployment cannot fit a single request,
+/// matching [`serve_spec`].
+pub fn serve_spec_checked(
+    spec: &GpuSpec,
+    cfg: &ServingConfig,
+    spec_cfg: &SpecConfig,
+) -> Result<SpecServingReport, SpinferError> {
+    cfg.validate()?;
+    spec_cfg.validate()?;
+    Ok(serve_spec_ctx(&LaunchCtx::new(spec), cfg, spec_cfg))
+}
+
+/// The speculative serving loop. It deliberately mirrors [`serve_ctx`]
+/// operation for operation — same admission order, same caches, same
+/// span layout — so that under [`SpecConfig::degenerate`] the report,
+/// the counters, and the recorded trace are bit-identical to the
+/// incremental path: the degenerate plan prices `lin(b)` over the same
+/// `sum_ctx`, and the free draft adds exactly `0.0` seconds.
+///
+/// # Panics
+///
+/// Panics if the model cannot serve even one request on this deployment
+/// with the candidate tree's extra KV entries.
+pub fn serve_spec_ctx(
+    ctx: &LaunchCtx<'_>,
+    cfg: &ServingConfig,
+    spec_cfg: &SpecConfig,
+) -> SpecServingReport {
+    const ENGINE: (u32, u32) = (pids::SERVING, 0);
+    let spec = ctx.spec;
+    let sink = ctx.sink;
+    let mut spans: Vec<TraceEvent> = Vec::new();
+    let verifier = TreeVerifier::new(spec_cfg);
+    let tree_nodes = verifier.tree().nodes();
+    let draft_tokens_req = spec_cfg.draft.draft_tokens_per_request(verifier.tree());
+    // Admission must also fit each candidate tree's KV entries: every
+    // speculative request holds `nodes` extra cache slots between draft
+    // and rollback. The degenerate tree adds zero, reproducing the
+    // incremental cap exactly.
+    let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
+    let mem_cap = concurrency_cap(
+        spec,
+        &cfg.model,
+        cfg.framework,
+        cfg.sparsity,
+        cfg.tp,
+        max_in + max_out + tree_nodes,
+    );
+    assert!(
+        mem_cap >= 1,
+        "{} via {:?} on {}x{} cannot fit a single request with a {}-node tree",
+        cfg.model.name,
+        cfg.framework,
+        cfg.tp,
+        spec.name,
+        tree_nodes
+    );
+    let cap = mem_cap.min(cfg.max_batch).max(1);
+
+    let mut lin_cache: HashMap<usize, f64> = HashMap::new();
+    let mut lin = |n: usize| {
+        *lin_cache.entry(n).or_insert_with(|| {
+            linear_pass_sec(spec, &cfg.model, cfg.framework, cfg.sparsity, cfg.tp, n)
+        })
+    };
+    let mut prefill_cache: HashMap<usize, f64> = HashMap::new();
+    let mut prefill_cost = |tokens: usize| {
+        let tokens = tokens.max(1);
+        *prefill_cache.entry(tokens).or_insert_with(|| {
+            linear_pass_sec(
+                spec,
+                &cfg.model,
+                cfg.framework,
+                cfg.sparsity,
+                cfg.tp,
+                tokens,
+            ) + decode_overhead_sec(spec, &cfg.model, cfg.framework, cfg.tp, 1, tokens)
+        })
+    };
+    // Per-speculative-batch draft cost, memoised like the target passes.
+    let mut draft_cache: HashMap<usize, f64> = HashMap::new();
+    let mut draft_sec_of = |sb: usize| {
+        *draft_cache.entry(sb).or_insert_with(|| {
+            spec_cfg.draft.propose_sec(
+                spec,
+                &cfg.model,
+                cfg.framework,
+                cfg.sparsity,
+                cfg.tp,
+                sb,
+                verifier.tree(),
+            )
+        })
+    };
+
+    let inter_arrival = 1.0 / cfg.arrival_rps.max(1e-9);
+    let mut next_arrival = 0.0f64;
+    let mut arrived = 0usize;
+    let mut queue: Vec<Request> = Vec::new();
+    let mut running: Vec<Request> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut tokens_out = 0usize;
+    let mut now = 0.0f64;
+    let mut batch_sum = 0.0f64;
+    let mut iterations = 0usize;
+    let mut max_concurrency = 0usize;
+    let mut stats = SpecStats::default();
+
+    while now < cfg.duration_sec {
+        while next_arrival <= now {
+            let (input_len, output_len) = cfg.mix.lengths(arrived, (cfg.input_len, cfg.output_len));
+            let id = arrived as u64;
+            queue.push(Request {
+                id,
+                arrival: next_arrival,
+                generated: 0,
+                input_len,
+                output_len,
+                speculative: verifier.speculates(id),
+            });
+            arrived += 1;
+            next_arrival = inter_arrival * arrived as f64;
+        }
+        while running.len() < cap && !queue.is_empty() {
+            let r = queue.remove(0);
+            let cost = prefill_cost(r.input_len);
+            if sink.is_some() {
+                spans.push(TraceEvent::span(
+                    ENGINE,
+                    "prefill",
+                    "phase",
+                    now * 1e6,
+                    cost * 1e6,
+                ));
+            }
+            now += cost;
+            if r.speculative {
+                stats.spec_requests += 1;
+            } else {
+                stats.plain_requests += 1;
+            }
+            running.push(r);
+        }
+        max_concurrency = max_concurrency.max(running.len());
+
+        if running.is_empty() {
+            if next_arrival >= cfg.duration_sec {
+                break;
+            }
+            now = next_arrival;
+            continue;
+        }
+
+        // One tree-verify iteration for the whole running batch: the
+        // plan folds every request's candidates (or single token) into
+        // one wide-N launch over the topology-attributed KV context.
+        let b = running.len();
+        let plan = plan_step(
+            running
+                .iter()
+                .map(|r| (r.speculative, r.input_len + r.generated + 1)),
+            verifier.tree(),
+        );
+        let draft = draft_sec_of(plan.spec_batch);
+        let verify = lin(plan.verify_tokens)
+            + decode_overhead_sec(spec, &cfg.model, cfg.framework, cfg.tp, b, plan.sum_ctx);
+        let step = draft + verify;
+        if sink.is_some() {
+            if plan.spec_batch == 0 {
+                spans.push(
+                    TraceEvent::span(ENGINE, "decode_iter", "phase", now * 1e6, step * 1e6)
+                        .with_arg("batch", b as f64),
+                );
+            } else {
+                spans.push(
+                    TraceEvent::span(ENGINE, "draft", "phase", now * 1e6, draft * 1e6)
+                        .with_arg("spec_batch", plan.spec_batch as f64),
+                );
+                spans.push(
+                    TraceEvent::span(ENGINE, "verify", "phase", (now + draft) * 1e6, verify * 1e6)
+                        .with_arg("tokens", plan.verify_tokens as f64),
+                );
+            }
+        }
+        now += step;
+        iterations += 1;
+        batch_sum += b as f64;
+        stats.verify_tokens += plan.verify_tokens as u64;
+        stats.verify_sec += verify;
+        if plan.spec_batch > 0 {
+            stats.spec_iterations += 1;
+            stats.draft_sec += draft;
+            stats.draft_tokens += (plan.spec_batch * draft_tokens_req) as u64;
+            stats.proposed += (plan.spec_batch * tree_nodes) as u64;
+        }
+
+        // Commit: speculative requests take their accepted prefix plus
+        // the bonus token and roll the rejected candidates back out of
+        // the KV cache; plain requests commit one token as before.
+        let mut committed_now = 0usize;
+        for r in running.iter_mut() {
+            let commit = if r.speculative && tree_nodes > 0 {
+                let remaining = r.output_len - r.generated;
+                let o = verifier.outcome(r.id, r.generated as u64, remaining);
+                stats.accepted += o.accepted as u64;
+                stats.bonus += 1;
+                stats.rolled_back += o.rolled_back as u64;
+                o.committed
+            } else {
+                1
+            };
+            r.generated += commit;
+            committed_now += commit;
+        }
+        tokens_out += committed_now;
+        if sink.is_some() && plan.spec_batch > 0 {
+            spans.push(
+                TraceEvent::instant(ENGINE, "accept", "phase", now * 1e6)
+                    .with_arg("committed", committed_now as f64),
+            );
+        }
+        running.retain(|r| {
+            if r.generated >= r.output_len {
+                latencies.push(now - r.arrival);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    if let Some(sink) = sink {
+        sink.name_track(ENGINE, "serving sim (sim µs)", "engine");
+        sink.extend(spans);
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let completed = latencies.len();
+    let mean = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / completed as f64
+    };
+    let p95 = ServingReport::p95_from_sorted(&latencies);
+    SpecServingReport {
+        serving: ServingReport {
+            completed,
+            in_flight: queue.len() + running.len(),
+            throughput_rps: completed as f64 / now.max(1e-9),
+            tokens_per_sec: tokens_out as f64 / now.max(1e-9),
+            mean_latency_sec: mean,
+            p95_latency_sec: p95,
+            mean_batch: if iterations == 0 {
+                0.0
+            } else {
+                batch_sum / iterations as f64
+            },
+            max_concurrency,
+            iterations,
+            tokens_per_iteration: if iterations == 0 {
+                0.0
+            } else {
+                tokens_out as f64 / iterations as f64
+            },
+        },
+        stats,
     }
 }
 
@@ -582,6 +888,128 @@ mod tests {
         serve_with(&spec, &c, Some(&s1));
         serve_ctx(&LaunchCtx::new(&spec).with_sink(&s2), &c);
         assert_eq!(s1.finish().events.len(), s2.finish().events.len());
+    }
+
+    #[test]
+    fn degenerate_spec_collapses_onto_incremental_bitwise() {
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 2.0);
+        let plain = serve(&spec, &c);
+        let r = serve_spec(&spec, &c, &SpecConfig::degenerate());
+        assert_eq!(plain.completed, r.serving.completed);
+        assert_eq!(plain.in_flight, r.serving.in_flight);
+        assert_eq!(plain.iterations, r.serving.iterations);
+        assert_eq!(plain.max_concurrency, r.serving.max_concurrency);
+        assert_eq!(
+            plain.tokens_per_sec.to_bits(),
+            r.serving.tokens_per_sec.to_bits()
+        );
+        assert_eq!(
+            plain.mean_latency_sec.to_bits(),
+            r.serving.mean_latency_sec.to_bits()
+        );
+        assert_eq!(
+            plain.p95_latency_sec.to_bits(),
+            r.serving.p95_latency_sec.to_bits()
+        );
+        assert_eq!(
+            plain.tokens_per_iteration.to_bits(),
+            r.serving.tokens_per_iteration.to_bits()
+        );
+        // Nothing speculated: the ledger records only the plain path.
+        assert_eq!(r.stats.spec_requests, 0);
+        assert_eq!(r.stats.spec_iterations, 0);
+        assert_eq!(r.stats.proposed, 0);
+        assert_eq!(r.stats.draft_sec, 0.0);
+        assert_eq!(r.tokens_per_launch().to_bits(), plain.mean_batch.to_bits());
+    }
+
+    #[test]
+    fn degenerate_spec_records_the_incremental_trace() {
+        use gpu_sim::trace::TraceSink;
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 2.0);
+        let s_plain = TraceSink::new();
+        serve_with(&spec, &c, Some(&s_plain));
+        let s_spec = TraceSink::new();
+        serve_spec_ctx(
+            &LaunchCtx::new(&spec).with_sink(&s_spec),
+            &c,
+            &SpecConfig::degenerate(),
+        );
+        let (a, b) = (s_plain.finish(), s_spec.finish());
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(b.events.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ts_us.to_bits(), y.ts_us.to_bits());
+            assert_eq!(x.dur_us.to_bits(), y.dur_us.to_bits());
+            assert_eq!(x.arg, y.arg);
+        }
+    }
+
+    #[test]
+    fn high_acceptance_beats_incremental_and_zero_acceptance_loses() {
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 50.0); // saturated: batching regime
+        let plain = serve(&spec, &c);
+        let fast = serve_spec(
+            &spec,
+            &c,
+            &SpecConfig {
+                acceptance_rate: 0.8,
+                ..SpecConfig::default()
+            },
+        );
+        assert!(
+            fast.serving.tokens_per_sec > 1.2 * plain.tokens_per_sec,
+            "spec {} vs incremental {}",
+            fast.serving.tokens_per_sec,
+            plain.tokens_per_sec
+        );
+        assert!(fast.serving.tokens_per_iteration > 2.0 * plain.tokens_per_iteration);
+        // Acceptance is measured against all 8 proposed candidates but
+        // only one depth-3 path can be accepted, so 3/8 is the ceiling;
+        // rate 0.8 lands near 2/8.
+        assert!(fast.stats.observed_acceptance() > 0.15);
+        assert!(fast.stats.observed_acceptance() <= 0.375);
+        // Rejecting every candidate still pays for drafting and the
+        // 9×-wide verify launches: strictly worse than incremental.
+        let slow = serve_spec(
+            &spec,
+            &c,
+            &SpecConfig {
+                acceptance_rate: 0.0,
+                ..SpecConfig::default()
+            },
+        );
+        assert!(
+            slow.serving.tokens_per_sec < plain.tokens_per_sec,
+            "spec@0 {} vs incremental {}",
+            slow.serving.tokens_per_sec,
+            plain.tokens_per_sec
+        );
+        assert_eq!(slow.stats.accepted, 0);
+        assert!(slow.stats.rolled_back > 0);
+    }
+
+    #[test]
+    fn mixed_share_splits_the_batch_and_commits_within_bounds() {
+        let spec = GpuSpec::rtx4090();
+        let c = cfg(Framework::SpInfer, 10.0);
+        let r = serve_spec(
+            &spec,
+            &c,
+            &SpecConfig {
+                spec_share: 0.5,
+                ..SpecConfig::default()
+            },
+        );
+        assert!(r.stats.spec_requests > 0);
+        assert!(r.stats.plain_requests > 0);
+        // Commits never overrun a request's output length: completed
+        // tokens are bounded by completed-and-running demand.
+        let max_tokens = (r.serving.completed + r.serving.in_flight) * c.output_len;
+        assert!(r.stats.accepted + r.stats.bonus <= max_tokens as u64);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Draft-model cost model.
+//!
+//! The draft model is a much smaller network run autoregressively to
+//! propose the candidate tree. Rather than instantiate a second model
+//! zoo, its per-pass cost is priced as a fraction of the *target*
+//! model's linear pass at the same batch width — the standard sizing
+//! for speculation drafts (a 125M–1B draft against a 13B–70B target
+//! lands around 5–10%) — plus a fixed per-pass launch overhead.
+//!
+//! Proposing a tree of depth `D` takes `D` draft passes: pass `d` runs
+//! the level-`d` frontier through the draft model for every speculative
+//! request in the batch. The cost is therefore a pure function of the
+//! (framework, speculative-batch, tree) tuple, memoised by the serving
+//! loop exactly like the target linear-pass cache.
+
+use gpu_sim::spec::GpuSpec;
+
+use crate::config::ModelConfig;
+use crate::engine::linear_pass_sec;
+use crate::frameworks::Framework;
+
+use super::tree::TokenTree;
+
+/// Cost profile of the draft model relative to the target model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DraftModel {
+    /// Draft linear-pass cost as a fraction of the target's at the same
+    /// batch width.
+    pub cost_frac: f64,
+    /// Fixed overhead per draft expansion pass (launches, sampling,
+    /// tree bookkeeping).
+    pub pass_overhead_sec: f64,
+}
+
+impl Default for DraftModel {
+    fn default() -> Self {
+        DraftModel {
+            cost_frac: 0.08,
+            pass_overhead_sec: 2.0e-4,
+        }
+    }
+}
+
+impl DraftModel {
+    /// A free draft model — used by the degenerate spec config so the
+    /// collapsed path adds exactly `0.0` seconds per step (bitwise
+    /// neutral for positive f64 step times).
+    pub fn free() -> Self {
+        DraftModel {
+            cost_frac: 0.0,
+            pass_overhead_sec: 0.0,
+        }
+    }
+
+    /// Candidate-proposal tokens the draft model processes per request
+    /// per verify step: one frontier pass per tree level.
+    pub fn draft_tokens_per_request(&self, tree: &TokenTree) -> usize {
+        (1..=tree.path_depth()).map(|d| tree.frontier_at(d)).sum()
+    }
+
+    /// Simulated seconds to propose `tree` for `spec_batch` speculative
+    /// requests: one fractional linear pass per level over
+    /// `spec_batch × frontier` tokens. Exactly `0.0` when there is
+    /// nothing to draft.
+    #[allow(clippy::too_many_arguments)]
+    pub fn propose_sec(
+        &self,
+        spec: &GpuSpec,
+        model: &ModelConfig,
+        framework: Framework,
+        sparsity: f64,
+        tp: usize,
+        spec_batch: usize,
+        tree: &TokenTree,
+    ) -> f64 {
+        if spec_batch == 0 || tree.is_empty() {
+            return 0.0;
+        }
+        let mut t = 0.0;
+        for d in 1..=tree.path_depth() {
+            let n = spec_batch * tree.frontier_at(d);
+            t += self.cost_frac * linear_pass_sec(spec, model, framework, sparsity, tp, n)
+                + self.pass_overhead_sec;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tree::TreeShape;
+
+    #[test]
+    fn empty_inputs_cost_exactly_zero() {
+        let spec = GpuSpec::rtx4090();
+        let model = ModelConfig::opt_13b();
+        let d = DraftModel::default();
+        let tree = TreeShape::new(2, 3, 8).build();
+        let empty = TreeShape::degenerate().build();
+        assert_eq!(
+            d.propose_sec(&spec, &model, Framework::SpInfer, 0.6, 1, 0, &tree),
+            0.0
+        );
+        assert_eq!(
+            d.propose_sec(&spec, &model, Framework::SpInfer, 0.6, 1, 8, &empty),
+            0.0
+        );
+        assert_eq!(DraftModel::free().cost_frac, 0.0);
+    }
+
+    #[test]
+    fn drafting_is_a_small_fraction_of_the_target_pass() {
+        let spec = GpuSpec::rtx4090();
+        let model = ModelConfig::opt_13b();
+        let d = DraftModel::default();
+        let tree = TreeShape::new(2, 3, 8).build();
+        let draft = d.propose_sec(&spec, &model, Framework::SpInfer, 0.6, 1, 8, &tree);
+        let target = linear_pass_sec(&spec, &model, Framework::SpInfer, 0.6, 1, 8);
+        assert!(draft > 0.0);
+        // Three fractional passes + overhead: well under one target pass.
+        assert!(draft < target, "draft {draft} vs target {target}");
+        // Deeper trees cost more passes (the budget must grow too —
+        // w2d5b8 truncates back to the w2d3b8 topology).
+        let deep = TreeShape::new(2, 5, 62).build();
+        let draft_deep = d.propose_sec(&spec, &model, Framework::SpInfer, 0.6, 1, 8, &deep);
+        assert!(draft_deep > draft);
+    }
+
+    #[test]
+    fn draft_token_accounting_follows_frontiers() {
+        let d = DraftModel::default();
+        // w2d3b8 → levels [2,4,2], frontiers [1,2,4] → 7 tokens.
+        assert_eq!(
+            d.draft_tokens_per_request(&TreeShape::new(2, 3, 8).build()),
+            7
+        );
+        // A chain drafts one token per level.
+        assert_eq!(d.draft_tokens_per_request(&TreeShape::chain(4).build()), 4);
+        assert_eq!(
+            d.draft_tokens_per_request(&TreeShape::degenerate().build()),
+            0
+        );
+    }
+}

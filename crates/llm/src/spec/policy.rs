@@ -1,0 +1,164 @@
+//! Site-hashed acceptance policy for speculative decoding.
+//!
+//! Whether the target model accepts a drafted token is a *content*
+//! question the simulation cannot answer, so it is modelled the way the
+//! fleet layer models faults ([`crate::cluster::ClusterFaultPlan`]):
+//! every decision is a pure hash of `(seed, salt, site key)` with no
+//! mutable RNG state. The same seed therefore produces the same
+//! accept/reject schedule at any host job count and under any event
+//! interleaving — which is what lets the CI gate diff spec metrics and
+//! traces byte-for-byte across `--jobs 1/2/8`.
+
+use gpu_sim::fault::site_u01;
+
+use super::tree::TokenTree;
+
+/// Salt for per-level acceptance draws, disjoint from every
+/// `gpu_sim::fault` and `cluster::fault` salt so a shared seed never
+/// correlates an accepted token with a crash or a bit flip.
+const SALT_ACCEPT: u64 = 0x3c79_ac49_2ba7_b653;
+
+/// Salt for the per-request speculative-assignment draw (mixed
+/// spec/non-spec batches).
+const SALT_SPECULATE: u64 = 0x51fd_36c2_0d4a_8b17;
+
+/// Weyl increment mixing request identity into site keys (same constant
+/// the retry-jitter site uses).
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One acceptance draw site per (request, verify step, tree level).
+fn accept_site(request: u64, step: u64, level: usize) -> u64 {
+    request
+        .wrapping_mul(GOLDEN)
+        .wrapping_add(step)
+        .rotate_left(21)
+        .wrapping_add(level as u64)
+}
+
+/// Per-token draft quality: the probability that any single drafted
+/// candidate matches what the target model would have sampled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AcceptanceModel {
+    /// Per-candidate acceptance probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl AcceptanceModel {
+    /// A model accepting each candidate with probability `rate`.
+    pub fn new(rate: f64) -> Self {
+        AcceptanceModel { rate }
+    }
+
+    /// Probability that *some* candidate at a level with `candidates`
+    /// siblings matches the target: `1 - (1 - rate)^candidates`.
+    /// Monotone in both `rate` and `candidates`.
+    pub fn level_accept_prob(&self, candidates: usize) -> f64 {
+        if candidates == 0 {
+            return 0.0;
+        }
+        1.0 - (1.0 - self.rate).powi(candidates as i32)
+    }
+
+    /// Length of the accepted prefix for one verify step: levels are
+    /// tried root-down, and the first level whose draw misses ends the
+    /// prefix (tree acceptance is consecutive by construction — a
+    /// candidate deeper than a rejected ancestor is unreachable).
+    ///
+    /// Pure in `(seed, request, step)`; for a fixed site the result is
+    /// monotone non-decreasing in [`Self::rate`], because each level's
+    /// uniform draw is fixed while its threshold only grows (pinned by
+    /// proptests in `tests/spec.rs`).
+    pub fn accepted_len(&self, seed: u64, request: u64, step: u64, tree: &TokenTree) -> usize {
+        for d in 1..=tree.path_depth() {
+            let p = self.level_accept_prob(tree.candidates_at(d));
+            if site_u01(seed, SALT_ACCEPT, accept_site(request, step, d)) >= p {
+                return d - 1;
+            }
+        }
+        tree.path_depth()
+    }
+
+    /// Does `request` run speculatively under a `share`-speculative
+    /// mixed batch? Pure per (seed, request); `share >= 1` always
+    /// speculates (the draw lives in `[0, 1)`), `share <= 0` never.
+    pub fn speculates(seed: u64, share: f64, request: u64) -> bool {
+        site_u01(seed, SALT_SPECULATE, request.wrapping_mul(GOLDEN)) < share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tree::TreeShape;
+
+    #[test]
+    fn rate_extremes_pin_the_prefix() {
+        let tree = TreeShape::new(2, 3, 8).build();
+        for req in 0..64u64 {
+            for step in 0..16u64 {
+                assert_eq!(
+                    AcceptanceModel::new(0.0).accepted_len(7, req, step, &tree),
+                    0
+                );
+                assert_eq!(
+                    AcceptanceModel::new(1.0).accepted_len(7, req, step, &tree),
+                    tree.path_depth()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_probability_is_monotone_and_bounded() {
+        let m = AcceptanceModel::new(0.6);
+        assert_eq!(m.level_accept_prob(0), 0.0);
+        let mut prev = 0.0;
+        for c in 1..=8 {
+            let p = m.level_accept_prob(c);
+            assert!(p > prev && p < 1.0, "c={c} p={p}");
+            prev = p;
+        }
+        // Two candidates at 0.6 each: 1 - 0.4^2 = 0.84.
+        assert!((m.level_accept_prob(2) - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draws_are_pure_and_site_independent() {
+        let tree = TreeShape::new(2, 4, 32).build();
+        let m = AcceptanceModel::new(0.5);
+        // Purity.
+        for req in 0..32u64 {
+            assert_eq!(
+                m.accepted_len(11, req, 3, &tree),
+                m.accepted_len(11, req, 3, &tree)
+            );
+        }
+        // Different requests and steps reshuffle the schedule.
+        let by_req: Vec<usize> = (0..256).map(|r| m.accepted_len(11, r, 0, &tree)).collect();
+        let by_step: Vec<usize> = (0..256).map(|s| m.accepted_len(11, 0, s, &tree)).collect();
+        assert!(by_req.iter().any(|&l| l != by_req[0]));
+        assert_ne!(by_req, by_step);
+        // Mean accepted length lands near the analytic expectation
+        // (levels [2,4,2] at rate 0.5 → p = .75/.9375/.75,
+        // E[L] = .75 + .75·.9375 + .75·.9375·.75 ≈ 1.98).
+        let mean = by_req.iter().sum::<usize>() as f64 / by_req.len() as f64;
+        assert!((1.7..=2.3).contains(&mean), "mean accepted {mean}");
+    }
+
+    #[test]
+    fn speculation_share_extremes_and_determinism() {
+        for req in 0..128u64 {
+            assert!(AcceptanceModel::speculates(5, 1.0, req));
+            assert!(!AcceptanceModel::speculates(5, 0.0, req));
+            assert_eq!(
+                AcceptanceModel::speculates(5, 0.5, req),
+                AcceptanceModel::speculates(5, 0.5, req)
+            );
+        }
+        let half: Vec<bool> = (0..4096)
+            .map(|r| AcceptanceModel::speculates(5, 0.5, r))
+            .collect();
+        let n = half.iter().filter(|&&b| b).count();
+        assert!((1600..=2500).contains(&n), "speculative share fired {n}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic token-tree topology for speculative decoding.
+//!
+//! A [`TreeShape`] names a family of candidate trees (branching width,
+//! maximum depth, node budget); [`TokenTree`] materialises the concrete
+//! topology by breadth-first expansion under the budget. The tree is a
+//! *shape*, not token content: the simulation prices drafting, wide-N
+//! verification, and KV traffic off the topology alone, exactly as the
+//! serving cost model prices decode steps off batch and context sizes.
+//!
+//! KV attribution is topology-aware (SpecInfer-style tree attention):
+//! the shared prefix is read once per verify pass, and each candidate
+//! node additionally touches only its own ancestor chain — not the
+//! whole tree — so a deep chain and a wide bush with the same node
+//! count cost differently, as they should.
+
+use spinfer_core::SpinferError;
+
+/// Upper bound on a shape's node budget: a verify pass folds
+/// `batch × (1 + nodes)` tokens into one launch, and budgets beyond
+/// this stop resembling any deployable speculation config.
+pub const MAX_TREE_BUDGET: usize = 1024;
+
+/// A candidate-tree family: branching width per node, maximum depth,
+/// and a total node budget that truncates breadth-first expansion.
+///
+/// Any zero field denotes the *degenerate* shape — an empty tree, under
+/// which speculative decode collapses bit-for-bit onto the incremental
+/// path (pinned by a test in `tests/spec.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Children proposed per accepted node.
+    pub width: usize,
+    /// Maximum tree depth (tokens of lookahead).
+    pub depth: usize,
+    /// Total candidate-node budget across all levels.
+    pub budget: usize,
+}
+
+impl TreeShape {
+    /// A width/depth shape with `budget` capping the node count.
+    pub fn new(width: usize, depth: usize, budget: usize) -> Self {
+        TreeShape {
+            width,
+            depth,
+            budget,
+        }
+    }
+
+    /// A single speculative chain of `depth` tokens (classic
+    /// draft-then-verify without branching).
+    pub fn chain(depth: usize) -> Self {
+        TreeShape::new(1, depth, depth)
+    }
+
+    /// The empty shape: no candidates, no drafting, no rollback.
+    pub fn degenerate() -> Self {
+        TreeShape::new(0, 0, 0)
+    }
+
+    /// Compact label used in CLI tables and metric keys: `w2d3b8`.
+    pub fn label(&self) -> String {
+        format!("w{}d{}b{}", self.width, self.depth, self.budget)
+    }
+
+    /// Parses a [`Self::label`]-style string: `w2d3b8`, or `w2d3` with
+    /// the budget defaulting to the full `width^1 + … + width^depth`
+    /// expansion (saturating, clamped to [`MAX_TREE_BUDGET`]).
+    pub fn parse(s: &str) -> Option<TreeShape> {
+        let rest = s.strip_prefix('w')?;
+        let d_at = rest.find('d')?;
+        let width: usize = rest[..d_at].parse().ok()?;
+        let rest = &rest[d_at + 1..];
+        let (depth, budget) = match rest.find('b') {
+            Some(b_at) => (rest[..b_at].parse().ok()?, rest[b_at + 1..].parse().ok()?),
+            None => {
+                let depth: usize = rest.parse().ok()?;
+                let mut budget = 0usize;
+                let mut level = 1usize;
+                for _ in 0..depth {
+                    level = level.saturating_mul(width);
+                    budget = budget.saturating_add(level);
+                }
+                (depth, budget.min(MAX_TREE_BUDGET))
+            }
+        };
+        Some(TreeShape::new(width, depth, budget))
+    }
+
+    /// Config-time validation: the budget must stay within
+    /// [`MAX_TREE_BUDGET`] so a verify launch cannot be asked to fold an
+    /// implausible candidate count.
+    pub fn validate(&self) -> Result<(), SpinferError> {
+        if self.budget > MAX_TREE_BUDGET {
+            return Err(SpinferError::InvalidSpec {
+                reason: format!(
+                    "tree budget {} exceeds the maximum of {MAX_TREE_BUDGET}",
+                    self.budget
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Materialises the concrete topology under the node budget.
+    pub fn build(&self) -> TokenTree {
+        let mut levels = Vec::new();
+        let mut frontier = 1usize;
+        let mut remaining = self.budget;
+        for _ in 0..self.depth {
+            let count = frontier.saturating_mul(self.width).min(remaining);
+            if count == 0 {
+                break;
+            }
+            levels.push(count);
+            remaining -= count;
+            frontier = count;
+        }
+        let nodes = levels.iter().sum();
+        let depth_sum = levels.iter().enumerate().map(|(i, &c)| (i + 1) * c).sum();
+        TokenTree {
+            shape: *self,
+            levels,
+            nodes,
+            depth_sum,
+        }
+    }
+}
+
+/// A materialised candidate tree: per-level node counts from
+/// breadth-first expansion of a [`TreeShape`] under its budget.
+///
+/// Level `d` (1-based) holds the candidate tokens `d` positions past
+/// the last committed token. The leftmost root-to-leaf chain always
+/// exists, so the maximum acceptable prefix length equals
+/// [`Self::path_depth`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenTree {
+    shape: TreeShape,
+    levels: Vec<usize>,
+    nodes: usize,
+    depth_sum: usize,
+}
+
+impl TokenTree {
+    /// The shape this tree was built from.
+    pub fn shape(&self) -> TreeShape {
+        self.shape
+    }
+
+    /// Total candidate nodes across all levels.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// True for the degenerate (empty) tree.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// Number of non-empty levels — the deepest acceptable prefix.
+    pub fn path_depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Candidate nodes at 1-based level `d` (0 past the last level).
+    pub fn level_count(&self, d: usize) -> usize {
+        if d == 0 {
+            return 0;
+        }
+        self.levels.get(d - 1).copied().unwrap_or(0)
+    }
+
+    /// Candidates competing to extend the accepted prefix at level `d`:
+    /// the children of the one accepted node at level `d-1`, i.e. at
+    /// most `width` of them, fewer if the budget truncated the level.
+    pub fn candidates_at(&self, d: usize) -> usize {
+        self.level_count(d).min(self.shape.width)
+    }
+
+    /// Draft-model frontier entering level `d`: the nodes whose
+    /// children populate that level (1 at the root).
+    pub fn frontier_at(&self, d: usize) -> usize {
+        if d <= 1 {
+            1
+        } else {
+            self.level_count(d - 1)
+        }
+    }
+
+    /// Σ over nodes of their ancestor-chain length (self included):
+    /// `Σ_d d · level_count(d)` — the tree-local KV slots a
+    /// topology-aware verify pass touches.
+    pub fn depth_sum(&self) -> usize {
+        self.depth_sum
+    }
+
+    /// Tokens one speculative request folds into the wide-N verify
+    /// launch: the last committed token (what incremental decode would
+    /// feed) plus every candidate node. Exactly 1 for the empty tree.
+    pub fn verify_tokens_per_request(&self) -> usize {
+        1 + self.nodes
+    }
+
+    /// KV context attributed to one speculative request's verify pass,
+    /// given the `base` context an incremental step would read
+    /// (prompt + generated + current token): the shared prefix is read
+    /// once, and each candidate adds only its ancestor chain. Equals
+    /// `base` exactly for the empty tree.
+    pub fn attributed_ctx(&self, base: usize) -> usize {
+        base + self.depth_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_expansion_respects_width_depth_and_budget() {
+        // w2d3 unbudgeted would be [2, 4, 8]; budget 8 truncates to
+        // [2, 4, 2].
+        let t = TreeShape::new(2, 3, 8).build();
+        assert_eq!(
+            (1..=3).map(|d| t.level_count(d)).collect::<Vec<_>>(),
+            vec![2, 4, 2]
+        );
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.path_depth(), 3);
+        // depth_sum = 1*2 + 2*4 + 3*2 = 16.
+        assert_eq!(t.depth_sum(), 16);
+        assert_eq!(t.verify_tokens_per_request(), 9);
+        assert_eq!(t.attributed_ctx(100), 116);
+        // Candidates per level are width-capped; frontiers lag a level.
+        assert_eq!(t.candidates_at(1), 2);
+        assert_eq!(t.candidates_at(3), 2);
+        assert_eq!(t.frontier_at(1), 1);
+        assert_eq!(t.frontier_at(3), 4);
+    }
+
+    #[test]
+    fn chains_and_degenerate_shapes() {
+        let chain = TreeShape::chain(4).build();
+        assert_eq!(chain.nodes(), 4);
+        assert_eq!(chain.path_depth(), 4);
+        assert_eq!(chain.depth_sum(), 1 + 2 + 3 + 4);
+        assert!((1..=4).all(|d| chain.candidates_at(d) == 1));
+
+        for shape in [
+            TreeShape::degenerate(),
+            TreeShape::new(0, 3, 8),
+            TreeShape::new(2, 0, 8),
+            TreeShape::new(2, 3, 0),
+        ] {
+            let t = shape.build();
+            assert!(t.is_empty(), "{shape:?}");
+            assert_eq!(t.path_depth(), 0);
+            assert_eq!(t.verify_tokens_per_request(), 1);
+            assert_eq!(t.attributed_ctx(321), 321);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_and_depth_defaults_budget() {
+        let s = TreeShape::new(2, 3, 8);
+        assert_eq!(s.label(), "w2d3b8");
+        assert_eq!(TreeShape::parse("w2d3b8"), Some(s));
+        // Without a budget the full expansion is implied: 2+4+8 = 14.
+        assert_eq!(TreeShape::parse("w2d3"), Some(TreeShape::new(2, 3, 14)));
+        assert_eq!(TreeShape::parse("w1d4"), Some(TreeShape::chain(4)));
+        // Implied budgets clamp instead of overflowing.
+        assert_eq!(
+            TreeShape::parse("w4d10").map(|s| s.budget),
+            Some(MAX_TREE_BUDGET)
+        );
+        for bad in ["", "w2", "2d3", "wxdy", "w2d3bz"] {
+            assert_eq!(TreeShape::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn budget_validation_is_typed() {
+        assert!(TreeShape::new(2, 3, MAX_TREE_BUDGET).validate().is_ok());
+        let err = TreeShape::new(2, 64, MAX_TREE_BUDGET + 1)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SpinferError::InvalidSpec { .. }));
+    }
+}
