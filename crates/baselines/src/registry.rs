@@ -8,17 +8,19 @@
 //! a kernel means adding one registry line.
 
 use spinfer_core::spmm::DynSpmmKernel;
-use spinfer_core::{SpinferError, SpinferSpmm};
+use spinfer_core::{SpinferError, SpinferSpmm, SpinferSpmmInt8};
 
 use crate::kernels::{CublasGemm, CusparseSpmm, FlashLlmSpmm, SmatSpmm, SpartaSpmm, SputnikSpmm};
 
 /// Every registered kernel, in the paper's Figure 10 roster order.
 /// Names match the figure labels (`cuBLAS_TC`, `SpInfer`, `Flash-LLM`,
-/// `SparTA`, `Sputnik`, `cuSPARSE`, `SMaT`).
+/// `SparTA`, `Sputnik`, `cuSPARSE`, `SMaT`), plus the quantized
+/// `SpInfer-INT8` variant from the precision ablation.
 pub fn registry() -> Vec<DynSpmmKernel> {
     vec![
         DynSpmmKernel::new(CublasGemm::new()),
         DynSpmmKernel::new(SpinferSpmm::new()),
+        DynSpmmKernel::new(SpinferSpmmInt8::new()),
         DynSpmmKernel::new(FlashLlmSpmm::new()),
         DynSpmmKernel::new(SpartaSpmm::new()),
         DynSpmmKernel::new(SputnikSpmm::new()),
@@ -51,7 +53,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len(), "duplicate kernel names");
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 8);
         for n in names {
             assert_eq!(kernel_by_name(n).expect("registered").name(), n);
         }

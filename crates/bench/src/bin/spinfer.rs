@@ -65,6 +65,23 @@
 //!                                                   draft/verify/accept spans +
 //!                                                   a metrics snapshot,
 //!                                                   byte-identical at any --jobs
+//! spinfer quant [--shapes MxK,MxK] [--sparsities LIST] [--n N] [--seed S]
+//!               [--smoke] [--checkpoint FILE] [--resume] [--gpu G] [--json]
+//!                                                   precision×format ablation:
+//!                                                   run SpInfer at FP16 and INT8
+//!                                                   payload precision
+//!                                                   functionally over every
+//!                                                   (shape × sparsity) point via
+//!                                                   the hardened resumable sweep
+//!                                                   and report simulated
+//!                                                   speedup, serialized
+//!                                                   container compression, and
+//!                                                   quantization error; the
+//!                                                   --json report contains only
+//!                                                   simulated/deterministic
+//!                                                   numbers, byte-identical at
+//!                                                   any --jobs and across
+//!                                                   --resume
 //! spinfer cluster [--replicas N] [--rps R] [--duration S] [--deadline S]
 //!                 [--batch B] [--router round-robin|least-loaded|failover]
 //!                 [--no-retries] [--no-degradation] [--fallback-kernel NAME]
@@ -125,10 +142,11 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("spec") => cmd_spec(&args[1..]),
+        Some("quant") => cmd_quant(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
         _ => {
             eprintln!(
-                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace|spec|cluster> ..."
+                "usage: spinfer <encode|inspect|bench|tune|serve|generate|snapshot|faults|sweep|trace|spec|quant|cluster> ..."
             );
             eprintln!("see the module docs (or README) for argument lists");
             return ExitCode::from(2);
@@ -690,6 +708,7 @@ fn cmd_snapshot(args: &[String]) -> CliResult {
             ("encode", snap.encode_s, false, 1.5),
             ("cluster_smoke", snap.cluster_smoke_s, false, 1.5),
             ("spec_smoke", snap.spec_smoke_s, false, 1.5),
+            ("quant_smoke", snap.quant_smoke_s, false, 1.5),
         ];
         for (label, measured, required, headroom) in gates {
             let base = match spinfer_bench::snapshot::wall_clock_of(&baseline, label) {
@@ -1012,6 +1031,85 @@ fn cmd_spec(args: &[String]) -> CliResult {
         ]);
     }
     println!("{}", render_table(&headers, &rows));
+    Ok(())
+}
+
+fn cmd_quant(args: &[String]) -> CliResult {
+    let spec = gpu(args)?;
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        spinfer_bench::quant::QuantConfig::smoke()
+    } else {
+        spinfer_bench::quant::QuantConfig::default()
+    };
+    if let Some(list) = flag_value(args, "--shapes") {
+        cfg.shapes = list
+            .split(',')
+            .map(|pair| {
+                let (m, k) = pair
+                    .split_once('x')
+                    .ok_or_else(|| format!("invalid shape {pair}, expected MxK"))?;
+                Ok((
+                    m.parse().map_err(|_| format!("invalid M in {pair}"))?,
+                    k.parse().map_err(|_| format!("invalid K in {pair}"))?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+    }
+    if let Some(list) = flag_value(args, "--sparsities") {
+        cfg.sparsities = list
+            .split(',')
+            .map(|s| s.parse().map_err(|_| format!("invalid sparsity {s}")))
+            .collect::<Result<Vec<_>, String>>()?;
+    }
+    if let Some(n) = flag_value(args, "--n") {
+        cfg.n = n.parse().map_err(|_| format!("invalid --n: {n}"))?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = s.parse().map_err(|_| format!("invalid seed: {s}"))?;
+    }
+    let checkpoint = flag_value(args, "--checkpoint").map(std::path::PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let json = args.iter().any(|a| a == "--json");
+    if !json {
+        eprintln!(
+            "quant ablation: {} shapes x {} sparsities x 2 precisions on {}{}{}",
+            cfg.shapes.len(),
+            cfg.sparsities.len(),
+            spec.name,
+            checkpoint
+                .as_deref()
+                .map(|p| format!(" [checkpoint {}]", p.display()))
+                .unwrap_or_default(),
+            if resume { " [resume]" } else { "" }
+        );
+    }
+    let rows = spinfer_bench::quant::run(&spec, &cfg, checkpoint.as_deref(), resume)
+        .map_err(|e| format!("checkpoint I/O: {e}"))?;
+    if json {
+        print!("{}", spinfer_bench::quant::to_json(spec.name, &rows));
+        return Ok(());
+    }
+    let headers = [
+        "shape", "sparsity", "fp16 us", "int8 us", "speedup", "fp16 cmp", "int8 cmp", "max err",
+        "fro err",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x{}x{}", r.m, r.k, r.n),
+                format!("{:.2}", r.sparsity),
+                format!("{:.1}", r.fp16_us),
+                format!("{:.1}", r.int8_us),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}x", r.fp16_compression),
+                format!("{:.2}x", r.int8_compression),
+                format!("{:.5}", r.max_abs_err),
+                format!("{:.5}", r.rel_fro_err),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &table));
     Ok(())
 }
 

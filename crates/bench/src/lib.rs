@@ -6,6 +6,7 @@
 //! CSV reporting, and the parallel sweep runner with its encode-once
 //! cache ([`sweep`]).
 
+pub mod quant;
 pub mod snapshot;
 pub mod sweep;
 
@@ -14,7 +15,7 @@ use spinfer_baselines::kernels::{
     CublasGemm, CusparseSpmm, FlashLlmSpmm, FlashLlmStats, SmatSpmm, SmatStats, SpartaSpmm,
     SpartaStats, SputnikSpmm,
 };
-use spinfer_core::{Ablation, FormatStats, SpinferSpmm};
+use spinfer_core::{Ablation, FormatStats, SpinferSpmm, SpinferSpmmInt8};
 use spinfer_llm::ModelConfig;
 use std::fmt::Write as _;
 use std::fs;
@@ -27,6 +28,8 @@ pub enum KernelKind {
     CublasTc,
     /// SpInfer-SpMM.
     SpInfer,
+    /// SpInfer-SpMM at INT8 payload precision.
+    SpInferInt8,
     /// Flash-LLM.
     FlashLlm,
     /// SparTA.
@@ -45,6 +48,7 @@ impl KernelKind {
         match self {
             KernelKind::CublasTc => "cuBLAS_TC",
             KernelKind::SpInfer => "SpInfer",
+            KernelKind::SpInferInt8 => "SpInfer-INT8",
             KernelKind::FlashLlm => "Flash-LLM",
             KernelKind::SparTa => "SparTA",
             KernelKind::Sputnik => "Sputnik",
@@ -72,6 +76,9 @@ impl KernelKind {
         match self {
             KernelKind::CublasTc => CublasGemm::new().estimate(spec, m, k, n).time_us(),
             KernelKind::SpInfer => SpinferSpmm::new()
+                .estimate(spec, &FormatStats::synthetic(m, k, s), n)
+                .time_us(),
+            KernelKind::SpInferInt8 => SpinferSpmmInt8::new()
                 .estimate(spec, &FormatStats::synthetic(m, k, s), n)
                 .time_us(),
             KernelKind::FlashLlm => FlashLlmSpmm::new()
@@ -207,6 +214,7 @@ mod tests {
         for kind in [
             KernelKind::CublasTc,
             KernelKind::SpInfer,
+            KernelKind::SpInferInt8,
             KernelKind::FlashLlm,
             KernelKind::SparTa,
             KernelKind::Sputnik,

@@ -96,6 +96,10 @@ pub struct Snapshot {
     /// `spinfer spec` tree-verify loop); budget-gated so the draft/verify
     /// planner can't silently regress into per-step overhead.
     pub spec_smoke_s: f64,
+    /// Wall-clock of the toy precision×format ablation (the
+    /// `spinfer quant` grid at smoke sizes); budget-gated so the INT8
+    /// datapath and quantize/serialize machinery can't silently regress.
+    pub quant_smoke_s: f64,
     /// FNV digest of the functional FP32 output (regression tripwire).
     pub output_checksum: u64,
     /// Simulated time of the functional run in µs.
@@ -105,10 +109,11 @@ pub struct Snapshot {
 }
 
 /// The roster whose simulated times a snapshot pins.
-fn roster() -> [KernelKind; 7] {
+fn roster() -> [KernelKind; 8] {
     [
         KernelKind::CublasTc,
         KernelKind::SpInfer,
+        KernelKind::SpInferInt8,
         KernelKind::FlashLlm,
         KernelKind::SparTa,
         KernelKind::Sputnik,
@@ -214,6 +219,14 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
     spinfer_llm::serve_spec(spec, &serving_cfg, &spec_cfg);
     let spec_smoke_s = t0.elapsed().as_secs_f64();
 
+    // Quantization smoke: the toy precision×format ablation grid. Both
+    // precisions run functionally at every point, so the wall-clock
+    // tracks the INT8 datapath plus the quantize/serialize machinery.
+    let t0 = Instant::now();
+    crate::quant::run(spec, &crate::quant::QuantConfig::smoke(), None, false)
+        .expect("smoke ablation has no checkpoint I/O");
+    let quant_smoke_s = t0.elapsed().as_secs_f64();
+
     Snapshot {
         config: *cfg,
         gpu: spec.name.to_string(),
@@ -226,6 +239,7 @@ pub fn measure(spec: &GpuSpec, cfg: &SnapshotConfig) -> Snapshot {
         spinfer_functional_default_s,
         cluster_smoke_s,
         spec_smoke_s,
+        quant_smoke_s,
         output_checksum,
         spinfer_simulated_us: serial.time_us(),
         simulated_us,
@@ -260,7 +274,8 @@ impl Snapshot {
             self.spinfer_functional_default_s
         );
         let _ = writeln!(s, "    \"cluster_smoke\": {:.3},", self.cluster_smoke_s);
-        let _ = writeln!(s, "    \"spec_smoke\": {:.3}", self.spec_smoke_s);
+        let _ = writeln!(s, "    \"spec_smoke\": {:.3},", self.spec_smoke_s);
+        let _ = writeln!(s, "    \"quant_smoke\": {:.3}", self.quant_smoke_s);
         let _ = writeln!(s, "  }},");
         let _ = writeln!(
             s,
@@ -403,7 +418,7 @@ mod tests {
         let snap = measure(&spec, &cfg);
         assert!(snap.spinfer_functional_jobs1_s >= 0.0);
         assert!(snap.spinfer_simulated_us > 0.0);
-        assert_eq!(snap.simulated_us.len(), 7);
+        assert_eq!(snap.simulated_us.len(), 8);
         let json = snap.to_json();
         assert!(json.contains("\"spinfer_functional_jobs1\""));
         assert!(json.contains("\"cuBLAS_TC\""));
@@ -418,6 +433,8 @@ mod tests {
         assert!(snap.cluster_smoke_s >= 0.0);
         assert!(wall_clock_of(&json, "spec_smoke").is_some());
         assert!(snap.spec_smoke_s >= 0.0);
+        assert!(wall_clock_of(&json, "quant_smoke").is_some());
+        assert!(snap.quant_smoke_s >= 0.0);
         assert_eq!(wall_clock_of(&json, "no_such_label"), None);
     }
 
@@ -437,6 +454,7 @@ mod tests {
             spinfer_functional_default_s: 6.6,
             cluster_smoke_s: 0.1,
             spec_smoke_s: 0.05,
+            quant_smoke_s: 0.02,
             output_checksum: 0x1234,
             spinfer_simulated_us: 100.0,
             simulated_us: vec![("SpInfer", 100.0)],

@@ -253,6 +253,13 @@ pub struct EncodeCache {
     encode_nanos: Arc<AtomicU64>,
 }
 
+// A sweep evaluator that panics mid-encode leaves the cache's mutexes
+// poisoned and its `OnceLock` slots either unset or fully built — the
+// states later points already handle — so sharing a cache across
+// `catch_unwind`-isolated points (as the quant ablation does) cannot
+// observe a broken invariant.
+impl std::panic::RefUnwindSafe for EncodeCache {}
+
 impl EncodeCache {
     /// An empty cache.
     pub fn new() -> Self {

@@ -135,6 +135,22 @@ pub enum IntegrityError {
         /// Stored `nnz`.
         got: usize,
     },
+    /// An INT8 container must carry exactly one scale per GroupTile.
+    ScaleCount {
+        /// Required scale count (`NGT`).
+        expected: usize,
+        /// Scales actually present.
+        got: usize,
+    },
+    /// An INT8 GroupTile scale must be finite and positive, or
+    /// dequantization is meaningless.
+    BadScale {
+        /// GroupTile with the defective scale.
+        gt: usize,
+        /// IEEE-754 bits of the stored scale (bits, not the value —
+        /// NaN payloads survive the round trip).
+        bits: u32,
+    },
 }
 
 /// Corruption detected *during* an SpMM launch by the checked kernel
@@ -204,6 +220,19 @@ impl std::fmt::Display for IntegrityError {
             ),
             IntegrityError::NnzMismatch { expected, got } => {
                 write!(f, "stored nnz {got} != bitmap population {expected}")
+            }
+            IntegrityError::ScaleCount { expected, got } => {
+                write!(
+                    f,
+                    "INT8 container has {got} scales, need one per GroupTile ({expected})"
+                )
+            }
+            IntegrityError::BadScale { gt, bits } => {
+                write!(
+                    f,
+                    "GroupTile {gt}: scale {:e} (bits {bits:#010x}) is not finite and positive",
+                    f32::from_bits(*bits)
+                )
             }
         }
     }
@@ -377,6 +406,14 @@ mod tests {
                 expected: 100,
                 got: 99,
             },
+            IntegrityError::ScaleCount {
+                expected: 16,
+                got: 15,
+            },
+            IntegrityError::BadScale {
+                gt: 4,
+                bits: f32::NEG_INFINITY.to_bits(),
+            },
         ];
         let kernel = [
             KernelError::ChecksumMismatch {
@@ -452,6 +489,8 @@ mod tests {
                     IntegrityError::BitmapCount { .. } => "63 entries",
                     IntegrityError::PopulationMismatch { .. } => "population 40",
                     IntegrityError::NnzMismatch { .. } => "nnz 99",
+                    IntegrityError::ScaleCount { .. } => "15 scales",
+                    IntegrityError::BadScale { .. } => "GroupTile 4: scale",
                 },
                 SpinferError::Kernel(k) => match k {
                     KernelError::ChecksumMismatch { .. } => "0x12345678",

@@ -34,6 +34,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod error;
+pub mod payload;
 pub mod reduction;
 pub mod serialize;
 pub mod smbd;
@@ -42,11 +43,12 @@ pub mod tca_bme;
 pub mod tune;
 
 pub use error::SpinferError;
+pub use payload::Payload;
 pub use spmm::{
     Ablation, DynEncoded, DynSpmmKernel, FaultPolicy, FormatStats, LaunchCtx, SpinferSpmm,
-    SpmmConfig, SpmmKernel, SpmmRun,
+    SpinferSpmmInt8, SpmmConfig, SpmmKernel, SpmmRun,
 };
-pub use tca_bme::{TcaBme, TcaBmeConfig};
+pub use tca_bme::{TcaBme, TcaBmeConfig, TcaBmeInt8, TcaBmeOf};
 pub use tune::{tune, TuneResult};
 
 use gpu_sim::matrix::DenseMatrix;

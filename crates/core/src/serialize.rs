@@ -5,33 +5,49 @@
 //! models" step). The layout is a little-endian, versioned container:
 //!
 //! ```text
-//! magic   [8]  b"TCABME\0\2"
+//! magic   [8]  b"TCABME\0\2"  (FP16)  /  b"TCABME\0\3"  (INT8)
 //! m, k, m_pad, k_pad, gt_rows, gt_cols, nnz        u64 × 7
-//! len(checksums)     u64, then u32 entries          (v2 only; = NGT)
+//! len(checksums)     u64, then u32 entries          (v2/v3; = NGT)
 //! len(gtile_offsets) u64, then u32 entries
-//! len(values)        u64, then u16 (FP16 bits) entries
+//! len(values)        u64, then payload entries      (v1/v2: u16 FP16
+//!                                                    bits; v3: i8)
 //! len(bitmaps)       u64, then u64 entries
+//! len(scales)        u64, then f32-bit u32 entries  (v3 only; = NGT)
 //! ```
 //!
 //! Version 2 adds one FNV-1a checksum per GroupTile (over that tile's
 //! bitmaps + values, see [`crate::tca_bme::checksum_gtile`]) directly
 //! after the header; version-1 containers are still readable, just
-//! without checksum verification. Deserialisation validates the header,
-//! cross-checks array lengths against the geometry, verifies the
-//! per-tile checksums, and runs full structural validation
-//! ([`TcaBme::validate`]), so corrupted or truncated inputs fail with a
-//! typed error rather than producing a malformed matrix — and *never*
-//! panic or over-allocate, however adversarial the bytes (all declared
-//! lengths are bounded against the remaining input before allocation).
+//! without checksum verification. Version 3 carries the quantized
+//! payload — 1-byte `i8` codes, checksums computed over those code
+//! bytes, and a trailing per-GroupTile `f32` scale section — and is
+//! decoded by [`from_bytes_int8`] into a [`TcaBmeInt8`]. The two
+//! readers share one generic section parser; handing a container to
+//! the reader of the other payload fails with the typed
+//! [`DecodeError::PayloadMismatch`] rather than a magic error, since
+//! the bytes *are* a valid TCA-BME container — just not of the
+//! expected precision.
+//!
+//! Deserialisation validates the header, cross-checks array lengths
+//! against the geometry, verifies the per-tile checksums, and runs full
+//! structural validation ([`TcaBme::validate`] /
+//! [`TcaBmeInt8::validate`]), so corrupted or truncated inputs fail
+//! with a typed error rather than producing a malformed matrix — and
+//! *never* panic or over-allocate, however adversarial the bytes (all
+//! declared lengths are bounded against the remaining input before
+//! allocation).
 
 use crate::error::IntegrityError;
-use crate::tca_bme::{checksum_gtile, TcaBme, TcaBmeConfig};
+use crate::payload::Payload;
+use crate::tca_bme::{checksum_gtile, TcaBme, TcaBmeConfig, TcaBmeInt8, TcaBmeOf};
 use gpu_sim::fp16::Half;
 
 /// Container magic: format name + version 2 (per-GroupTile checksums).
 const MAGIC_V2: &[u8; 8] = b"TCABME\x00\x02";
 /// Version-1 magic (no checksum section), still accepted on read.
 const MAGIC_V1: &[u8; 8] = b"TCABME\x00\x01";
+/// Version-3 magic: INT8 codes + per-GroupTile scales.
+const MAGIC_V3: &[u8; 8] = b"TCABME\x00\x03";
 
 /// Deserialisation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +63,17 @@ pub enum DecodeError {
         /// First GroupTile that failed verification.
         gt: usize,
     },
+    /// A well-formed TCA-BME container of the *other* value precision
+    /// was handed to this reader — e.g. a v3 INT8 container to
+    /// [`from_bytes`], or a v1/v2 FP16 container to
+    /// [`from_bytes_int8`]. The payload widths differ, so reading on
+    /// regardless would misparse every section after the header.
+    PayloadMismatch {
+        /// Payload precision this reader decodes.
+        expected: &'static str,
+        /// Payload precision the container actually carries.
+        got: &'static str,
+    },
     /// The container parsed but failed structural validation.
     Integrity(IntegrityError),
 }
@@ -60,12 +87,55 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Checksum { gt } => {
                 write!(f, "GroupTile {gt} failed checksum verification")
             }
+            DecodeError::PayloadMismatch { expected, got } => write!(
+                f,
+                "container carries {got} values but this reader expects {expected}"
+            ),
             DecodeError::Integrity(e) => write!(f, "invalid container structure: {e}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Writes the shared post-magic sections: header, optional checksums,
+/// offsets, payload values (via `write_value`), bitmaps.
+fn write_container<P: Payload>(
+    out: &mut Vec<u8>,
+    w: &TcaBmeOf<P>,
+    checksums: Option<&[u32]>,
+    write_value: impl Fn(&mut Vec<u8>, &P),
+) {
+    for v in [
+        w.m as u64,
+        w.k as u64,
+        w.m_pad as u64,
+        w.k_pad as u64,
+        w.config.gt_rows as u64,
+        w.config.gt_cols as u64,
+        w.nnz as u64,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if let Some(sums) = checksums {
+        out.extend_from_slice(&(sums.len() as u64).to_le_bytes());
+        for s in sums {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(w.gtile_offsets.len() as u64).to_le_bytes());
+    for o in &w.gtile_offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    out.extend_from_slice(&(w.values.len() as u64).to_le_bytes());
+    for v in &w.values {
+        write_value(out, v);
+    }
+    out.extend_from_slice(&(w.bitmaps.len() as u64).to_le_bytes());
+    for b in &w.bitmaps {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+}
 
 /// Serialises an encoded matrix to bytes (version 2, checksummed).
 pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
@@ -82,32 +152,34 @@ pub fn to_bytes(w: &TcaBme) -> Vec<u8> {
             + 8 * w.bitmaps.len(),
     );
     out.extend_from_slice(MAGIC_V2);
-    for v in [
-        w.m as u64,
-        w.k as u64,
-        w.m_pad as u64,
-        w.k_pad as u64,
-        w.config.gt_rows as u64,
-        w.config.gt_cols as u64,
-        w.nnz as u64,
-    ] {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    out.extend_from_slice(&(sums.len() as u64).to_le_bytes());
-    for s in &sums {
-        out.extend_from_slice(&s.to_le_bytes());
-    }
-    out.extend_from_slice(&(w.gtile_offsets.len() as u64).to_le_bytes());
-    for o in &w.gtile_offsets {
-        out.extend_from_slice(&o.to_le_bytes());
-    }
-    out.extend_from_slice(&(w.values.len() as u64).to_le_bytes());
-    for v in &w.values {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-    out.extend_from_slice(&(w.bitmaps.len() as u64).to_le_bytes());
-    for b in &w.bitmaps {
-        out.extend_from_slice(&b.to_le_bytes());
+    write_container(&mut out, w, Some(&sums), |out, v| {
+        out.extend_from_slice(&v.to_bits().to_le_bytes())
+    });
+    out
+}
+
+/// Serialises a quantized container to bytes (version 3: `i8` codes,
+/// checksums over the code bytes, trailing per-GroupTile scales).
+pub fn to_bytes_int8(w: &TcaBmeInt8) -> Vec<u8> {
+    let sums = w.tiles.gtile_checksums();
+    let mut out = Vec::with_capacity(
+        8 + 7 * 8
+            + 8
+            + 4 * sums.len()
+            + 8
+            + 4 * w.tiles.gtile_offsets.len()
+            + 8
+            + w.tiles.values.len()
+            + 8
+            + 8 * w.tiles.bitmaps.len()
+            + 8
+            + 4 * w.scales.len(),
+    );
+    out.extend_from_slice(MAGIC_V3);
+    write_container(&mut out, &w.tiles, Some(&sums), |out, v| out.push(*v as u8));
+    out.extend_from_slice(&(w.scales.len() as u64).to_le_bytes());
+    for s in &w.scales {
+        out.extend_from_slice(&s.to_bits().to_le_bytes());
     }
     out
 }
@@ -146,6 +218,10 @@ impl<'a> Reader<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.take(1)?[0] as i8)
+    }
+
     /// Reads a declared element count and bounds it: `count * elem_size`
     /// must fit in the remaining input.
     fn bounded_len(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
@@ -157,6 +233,27 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Container versions distinguished by the magic.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Version {
+    V1,
+    V2,
+    V3,
+}
+
+fn read_magic(r: &mut Reader) -> Result<Version, DecodeError> {
+    let magic = r.take(8)?;
+    if magic == MAGIC_V1 {
+        Ok(Version::V1)
+    } else if magic == MAGIC_V2 {
+        Ok(Version::V2)
+    } else if magic == MAGIC_V3 {
+        Ok(Version::V3)
+    } else {
+        Err(DecodeError::BadMagic)
+    }
+}
+
 /// `pad` is the smallest multiple of `tile` that is ≥ `dim` — checked
 /// without the `div_ceil * tile` product, which overflows on
 /// adversarial 64-bit header fields.
@@ -164,16 +261,16 @@ fn valid_padding(dim: usize, pad: usize, tile: usize) -> bool {
     pad >= dim && pad.is_multiple_of(tile) && pad - dim < tile
 }
 
-/// Deserialises an encoded matrix, validating structure. Accepts
-/// version 2 (verifying per-GroupTile checksums) and version 1 (no
-/// checksums stored; structural validation only).
-pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
-    let mut r = Reader { buf, pos: 0 };
-    let magic = r.take(8)?;
-    let v2 = magic == MAGIC_V2;
-    if !v2 && magic != MAGIC_V1 {
-        return Err(DecodeError::BadMagic);
-    }
+/// Reads the shared post-magic sections — header, optional checksum
+/// section, offsets, payload values, bitmaps — verifies per-tile
+/// checksums when present, and runs structural validation. One parser
+/// serves every version/payload pair: the payload only determines the
+/// element width for the length bound and the `read_value` decoder.
+fn read_container<P: Payload>(
+    r: &mut Reader,
+    with_checksums: bool,
+    read_value: impl Fn(&mut Reader) -> Result<P, DecodeError>,
+) -> Result<TcaBmeOf<P>, DecodeError> {
     let m = r.u64()? as usize;
     let k = r.u64()? as usize;
     let m_pad = r.u64()? as usize;
@@ -195,7 +292,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         .checked_mul(k_pad / 8)
         .ok_or(DecodeError::Inconsistent("BitmapTile count overflow"))?;
 
-    let checksums = if v2 {
+    let checksums = if with_checksums {
         let n_sums = r.bounded_len(4)?;
         if n_sums != ngt {
             return Err(DecodeError::Inconsistent("checksum count"));
@@ -218,13 +315,13 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         gtile_offsets.push(r.u32()?);
     }
 
-    let n_vals = r.bounded_len(2)?;
+    let n_vals = r.bounded_len(P::BYTES)?;
     if n_vals < nnz || *gtile_offsets.last().expect("n_off >= 1") as usize != n_vals {
         return Err(DecodeError::Inconsistent("Values length"));
     }
     let mut values = Vec::with_capacity(n_vals);
     for _ in 0..n_vals {
-        values.push(Half::from_bits(r.u16()?));
+        values.push(read_value(r)?);
     }
 
     let n_bm = r.bounded_len(8)?;
@@ -236,7 +333,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         bitmaps.push(r.u64()?);
     }
 
-    let out = TcaBme {
+    let out = TcaBmeOf {
         m,
         k,
         m_pad,
@@ -248,7 +345,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
         nnz,
     };
 
-    // v2: per-tile checksums localise the damage before the (coarser)
+    // v2/v3: per-tile checksums localise the damage before the (coarser)
     // structural pass. The slice accessors need consistent offsets, so
     // guard them with a bounds pre-check rather than trusting the data.
     if let Some(sums) = checksums {
@@ -266,6 +363,55 @@ pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
             }
         }
     }
+    out.validate().map_err(DecodeError::Integrity)?;
+    Ok(out)
+}
+
+/// Deserialises an FP16 encoded matrix, validating structure. Accepts
+/// version 2 (verifying per-GroupTile checksums) and version 1 (no
+/// checksums stored; structural validation only). A version-3 INT8
+/// container fails with [`DecodeError::PayloadMismatch`].
+pub fn from_bytes(buf: &[u8]) -> Result<TcaBme, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    let with_checksums = match read_magic(&mut r)? {
+        Version::V1 => false,
+        Version::V2 => true,
+        Version::V3 => {
+            return Err(DecodeError::PayloadMismatch {
+                expected: Half::NAME,
+                got: <i8 as Payload>::NAME,
+            })
+        }
+    };
+    read_container(&mut r, with_checksums, |r| Ok(Half::from_bits(r.u16()?)))
+}
+
+/// Deserialises a version-3 quantized container, verifying checksums
+/// over the `i8` code bytes, pairing the trailing scale section with
+/// the GroupTile count, and running full structural validation
+/// (including scale finiteness). A v1/v2 FP16 container fails with
+/// [`DecodeError::PayloadMismatch`].
+pub fn from_bytes_int8(buf: &[u8]) -> Result<TcaBmeInt8, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    match read_magic(&mut r)? {
+        Version::V3 => {}
+        Version::V1 | Version::V2 => {
+            return Err(DecodeError::PayloadMismatch {
+                expected: <i8 as Payload>::NAME,
+                got: Half::NAME,
+            })
+        }
+    }
+    let tiles = read_container(&mut r, true, |r| r.i8())?;
+    let n_scales = r.bounded_len(4)?;
+    if n_scales != tiles.num_gtiles() {
+        return Err(DecodeError::Inconsistent("scale count"));
+    }
+    let mut scales = Vec::with_capacity(n_scales);
+    for _ in 0..n_scales {
+        scales.push(f32::from_bits(r.u32()?));
+    }
+    let out = TcaBmeInt8 { tiles, scales };
     out.validate().map_err(DecodeError::Integrity)?;
     Ok(out)
 }
@@ -293,6 +439,7 @@ mod tests {
         let mut bytes = to_bytes(&TcaBme::encode(&m));
         bytes[0] ^= 0xFF;
         assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(from_bytes_int8(&bytes).unwrap_err(), DecodeError::BadMagic);
     }
 
     #[test]
@@ -415,6 +562,101 @@ mod tests {
     }
 
     #[test]
+    fn int8_roundtrip_is_exact() {
+        let m = random_sparse(192, 128, 0.55, ValueDist::Uniform, 71);
+        let q = TcaBme::encode(&m).quantize_int8();
+        let bytes = to_bytes_int8(&q);
+        let back = from_bytes_int8(&bytes).expect("valid v3 container");
+        // Codes, scales (bit-exact), and all shared structure round-trip.
+        assert_eq!(back, q);
+        assert_eq!(
+            back.scales.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            q.scales.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cross_payload_reads_fail_typed() {
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 72);
+        let enc = TcaBme::encode(&m);
+        let v2 = to_bytes(&enc);
+        let v3 = to_bytes_int8(&enc.quantize_int8());
+        assert_eq!(
+            from_bytes(&v3).unwrap_err(),
+            DecodeError::PayloadMismatch {
+                expected: "fp16",
+                got: "int8"
+            }
+        );
+        assert_eq!(
+            from_bytes_int8(&v2).unwrap_err(),
+            DecodeError::PayloadMismatch {
+                expected: "int8",
+                got: "fp16"
+            }
+        );
+        // v1 is FP16 too.
+        assert!(matches!(
+            from_bytes_int8(&to_bytes_v1(&enc)).unwrap_err(),
+            DecodeError::PayloadMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn int8_truncation_and_damage_detected() {
+        let m = random_sparse(128, 64, 0.5, ValueDist::Uniform, 73);
+        let q = TcaBme::encode(&m).quantize_int8();
+        assert!(q.tiles.nnz > 0);
+        let bytes = to_bytes_int8(&q);
+        for cut in [10usize, 60, bytes.len() - 3, bytes.len() - 1] {
+            assert_eq!(
+                from_bytes_int8(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut {cut}"
+            );
+        }
+        // A flipped code byte is caught by the per-tile checksum.
+        let code_pos =
+            8 + 7 * 8 + 8 + 4 * q.tiles.num_gtiles() + 8 + 4 * q.tiles.gtile_offsets.len() + 8;
+        let mut bad = bytes.clone();
+        bad[code_pos] ^= 0x01;
+        assert_eq!(
+            from_bytes_int8(&bad).unwrap_err(),
+            DecodeError::Checksum { gt: 0 }
+        );
+    }
+
+    #[test]
+    fn int8_scale_corruption_detected() {
+        let m = random_sparse(128, 64, 0.5, ValueDist::Uniform, 74);
+        let q = TcaBme::encode(&m).quantize_int8();
+        let bytes = to_bytes_int8(&q);
+        // The scale section is the trailing 8 + 4*NGT bytes; NaN-bomb the
+        // first scale.
+        let scale_pos = bytes.len() - 4 * q.scales.len();
+        let mut bad = bytes.clone();
+        bad[scale_pos..scale_pos + 4].copy_from_slice(&f32::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            from_bytes_int8(&bad).unwrap_err(),
+            DecodeError::Integrity(IntegrityError::BadScale { gt: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn int8_length_bombs_fail_without_allocating() {
+        let m = random_sparse(64, 64, 0.5, ValueDist::Uniform, 75);
+        let bytes = to_bytes_int8(&TcaBme::encode(&m).quantize_int8());
+        for pos in (8..bytes.len().min(256)).step_by(8) {
+            let mut bad = bytes.clone();
+            bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(
+                from_bytes_int8(&bad).is_err(),
+                "length bomb at {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
     fn error_display() {
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
@@ -422,6 +664,12 @@ mod tests {
         assert!(DecodeError::Checksum { gt: 3 }
             .to_string()
             .contains("GroupTile 3"));
+        let pm = DecodeError::PayloadMismatch {
+            expected: "fp16",
+            got: "int8",
+        };
+        assert!(pm.to_string().contains("carries int8"));
+        assert!(pm.to_string().contains("expects fp16"));
         assert!(DecodeError::Integrity(IntegrityError::NnzMismatch {
             expected: 2,
             got: 1

@@ -18,6 +18,7 @@
 //! analytic estimator (used at paper-scale shapes) and the functional
 //! path share one source of truth: the constants below.
 
+use crate::payload::Payload;
 use gpu_sim::bitops::{masked_popc64, popc64, test_bit};
 use gpu_sim::counters::Counters;
 use gpu_sim::fault::FaultInjector;
@@ -116,7 +117,13 @@ pub fn decode_bitmap_tile_f(
 
 /// The single decode implementation, returning the per-lane `(a0, a1)`
 /// halves before any register packing — so callers that want `f32` rows
-/// skip the pack/unpack round-trip entirely.
+/// skip the pack/unpack round-trip entirely. Generic over the value
+/// payload: the bitmap walk, rank arithmetic, lane lists, and counter
+/// writes never depend on the element type — only the gather word spans
+/// (scaled by [`Payload::BYTES`]), the zero fill, and the poison
+/// projection do. For `P = Half` every expression reduces to the
+/// pre-generic FP16 implementation (`lo * 2` / `hi * 2 + 1` spans), so
+/// the FP16 counter stream and registers are bit-unchanged.
 ///
 /// The inner loop is a *set-bit sweep*: iterate the bitmap's set bits in
 /// ascending position with a running rank instead of testing all 64 bit
@@ -134,15 +141,15 @@ pub fn decode_bitmap_tile_f(
 /// word span is fully determined by the first and last active value
 /// index.
 #[allow(clippy::too_many_arguments)]
-fn decode_bitmap_tile_halves_f(
+fn decode_bitmap_tile_halves_f<P: Payload>(
     counters: &mut Counters,
     bitmap: u64,
-    values: &[Half],
+    values: &[P],
     base: usize,
     values_smem_base: u64,
     fault: Option<&FaultInjector>,
     site_key: u64,
-) -> Result<([Half; 32], [Half; 32]), DecodeFault> {
+) -> Result<([P; 32], [P; 32]), DecodeFault> {
     let need = base + popc64(bitmap) as usize;
     if need > values.len() {
         return Err(DecodeFault::Overrun {
@@ -159,8 +166,8 @@ fn decode_bitmap_tile_halves_f(
     // out in ascending position, so each phase's active-lane list is
     // built in the same ascending-lane order the per-lane loops produce
     // and its first/last value index bound the gather's word span.
-    let mut a0 = [Half::ZERO; 32];
-    let mut a1 = [Half::ZERO; 32];
+    let mut a0 = [P::ZERO; 32];
+    let mut a1 = [P::ZERO; 32];
     let mut phase1_lanes = [0usize; 32];
     let mut phase1_active = 0usize;
     let (mut p1_lo, mut p1_hi) = (0usize, 0usize);
@@ -194,12 +201,13 @@ fn decode_bitmap_tile_halves_f(
         bm &= bm - 1;
     }
 
-    // Word span of a phase's 2-byte gather: first word of the lowest
-    // address to last word of the highest — the same bounds
+    // Word span of a phase's `P::BYTES`-wide gather: first word of the
+    // lowest address to last word of the highest — the same bounds
     // `analyze_warp_access` derives from the full address array.
+    let elem = P::BYTES as u64;
     let word_span = |lo: usize, hi: usize| {
-        let first = (values_smem_base + lo as u64 * 2) / BANK_WORD;
-        let last = (values_smem_base + hi as u64 * 2 + 1) / BANK_WORD;
+        let first = (values_smem_base + lo as u64 * elem) / BANK_WORD;
+        let last = (values_smem_base + hi as u64 * elem + (elem - 1)) / BANK_WORD;
         last - first
     };
 
@@ -213,7 +221,7 @@ fn decode_bitmap_tile_halves_f(
             fault,
             site_key ^ 0x5048_3141,
         ) {
-            a0[phase1_lanes[sel]] = poison;
+            a0[phase1_lanes[sel]] = P::from_poison(poison);
         }
     }
 
@@ -227,7 +235,7 @@ fn decode_bitmap_tile_halves_f(
             fault,
             site_key ^ 0x5048_3242,
         ) {
-            a1[phase2_lanes[sel]] = poison;
+            a1[phase2_lanes[sel]] = P::from_poison(poison);
         }
     }
 
@@ -462,6 +470,65 @@ pub fn decode_tctile_f32_checked(
         return Err(DecodeFault::NonFinite);
     }
     Ok((rows, consumed))
+}
+
+/// Decodes a full 16×16 TCTile of INT8 codes straight to the `i32` row
+/// view the integer mma entry point
+/// ([`gpu_sim::tensor_core::mma_m16n8k16_s8_ntiles`]) consumes — the
+/// INT8 datapath's analogue of [`decode_tctile_f32`]. Same bitmap walk,
+/// rank arithmetic, and quadrant scatter through the one shared
+/// `decode_bitmap_tile_halves_f` implementation; only the gather word
+/// spans shrink to the 1-byte element width. Returns the rows and the
+/// non-zeros consumed.
+pub fn decode_tctile_codes_i8(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    codes: &[i8],
+    base: usize,
+    values_smem_base: u64,
+) -> ([[i32; 16]; 16], usize) {
+    decode_tctile_codes_i8_f(counters, bitmaps, codes, base, values_smem_base, None, 0).expect(
+        "SMBD TCTile decode overran the GroupTile code buffer — bitmap \
+         population exceeds the encoded value span (corrupted bitmap?)",
+    )
+}
+
+/// Fault-aware, non-panicking [`decode_tctile_codes_i8`]; see
+/// [`decode_bitmap_tile_f`] for the `fault`/`site_key` contract. Note
+/// that an injected poison projects to a (nonzero) `i8` code rather
+/// than a NaN — integer lanes have no non-finite encoding, so poison
+/// here is detectable by the D1 checksum but not by a finiteness scan
+/// (the detector-coverage gap documented in DESIGN.md §14).
+pub fn decode_tctile_codes_i8_f(
+    counters: &mut Counters,
+    bitmaps: &[u64; 4],
+    codes: &[i8],
+    base: usize,
+    values_smem_base: u64,
+    fault: Option<&FaultInjector>,
+    site_key: u64,
+) -> Result<([[i32; 16]; 16], usize), DecodeFault> {
+    let mut rows = [[0i32; 16]; 16];
+    let mut offset = base;
+    for (reg, &bm) in bitmaps.iter().enumerate() {
+        let (a0, a1) = decode_bitmap_tile_halves_f::<i8>(
+            counters,
+            bm,
+            codes,
+            offset,
+            values_smem_base,
+            fault,
+            site_key.wrapping_add((reg as u64 + 1) << 48),
+        )?;
+        let (dr, dc) = QUAD_ORIGINS[reg];
+        for lane in 0..32 {
+            let (qr, qc) = lane_quadrant_coords(lane);
+            rows[qr + dr][qc + dc] = i32::from(a0[lane]);
+            rows[qr + dr][qc + dc + 1] = i32::from(a1[lane]);
+        }
+        offset += popc64(bm) as usize;
+    }
+    Ok((rows, offset - base))
 }
 
 /// Analytic cost of decoding one BitmapTile, mirroring the counter writes
@@ -721,5 +788,95 @@ mod tests {
         let mut c = Counters::new();
         decode_bitmap_tile(&mut c, bm, &vals, 0, 256);
         assert_eq!(c.smem_bank_conflicts, 0);
+    }
+
+    /// Encodes a 16×16 tile's quadrants in TL,BL,TR,BR order with a
+    /// caller-supplied per-element encoder.
+    fn encode_tctile_with<T>(
+        tile: &DenseMatrix,
+        mut enc: impl FnMut(Half) -> T,
+    ) -> ([u64; 4], Vec<T>) {
+        let mut bitmaps = [0u64; 4];
+        let mut values = Vec::new();
+        for (q, (dr, dc)) in [(0, 0), (8, 0), (0, 8), (8, 8)].iter().enumerate() {
+            let mut bm = 0u64;
+            for bit in 0..64 {
+                let v = tile.get(bit / 8 + dr, bit % 8 + dc);
+                if !v.is_zero() {
+                    bm |= 1u64 << bit;
+                    values.push(enc(v));
+                }
+            }
+            bitmaps[q] = bm;
+        }
+        (bitmaps, values)
+    }
+
+    #[test]
+    fn i8_decode_reconstructs_tile_codes() {
+        // Quantize a tile to codes, decode through the shared sweep, and
+        // check every cell lands at its coordinate as a widened i32.
+        let tile = random_sparse(16, 16, 0.5, ValueDist::Uniform, 90);
+        let (bitmaps, codes) = encode_tctile_with(&tile, |v| (v.to_f32() * 100.0).round() as i8);
+        let mut c = Counters::new();
+        let (rows, consumed) = decode_tctile_codes_i8(&mut c, &bitmaps, &codes, 0, 0);
+        assert_eq!(consumed, codes.len());
+        for r in 0..16 {
+            for col in 0..16 {
+                let v = tile.get(r, col);
+                let expect = if v.is_zero() {
+                    0
+                } else {
+                    i32::from((v.to_f32() * 100.0).round() as i8)
+                };
+                assert_eq!(rows[r][col], expect, "({r},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_decode_shares_counter_structure_with_fp16() {
+        // Same bitmaps, same rank walk: the i8 decode issues exactly the
+        // FP16 decode's instruction counts; only gather *addresses*
+        // shrink (1-byte elements), which here still yields identical
+        // conflict-free transaction counts.
+        let tile = random_sparse(16, 16, 0.4, ValueDist::Uniform, 91);
+        let (bitmaps, vals) = encode_tctile_with(&tile, |v| v);
+        let (_, codes) = encode_tctile_with(&tile, |_| 1i8);
+        let mut cf = Counters::new();
+        decode_tctile_f32(&mut cf, &bitmaps, &vals, 0, 0);
+        let mut ci = Counters::new();
+        decode_tctile_codes_i8(&mut ci, &bitmaps, &codes, 0, 0);
+        assert_eq!(cf.cuda_int_insts, ci.cuda_int_insts);
+        assert_eq!(cf.insts_issued, ci.insts_issued);
+        assert_eq!(cf.smem_load_transactions, ci.smem_load_transactions);
+        assert_eq!(ci.smem_bank_conflicts, 0);
+    }
+
+    #[test]
+    fn i8_decode_reports_overrun() {
+        let bitmaps = [u64::MAX, 0, 0, 0];
+        let codes = vec![1i8; 3];
+        assert!(matches!(
+            decode_tctile_codes_i8_f(&mut Counters::new(), &bitmaps, &codes, 0, 0, None, 0),
+            Err(DecodeFault::Overrun { .. })
+        ));
+    }
+
+    #[test]
+    fn i8_poison_lands_in_decoded_rows() {
+        use gpu_sim::fault::{FaultInjector, FaultPlan};
+        let tile = random_sparse(16, 16, 0.3, ValueDist::Uniform, 92);
+        let (bitmaps, codes) = encode_tctile_with(&tile, |_| 7i8);
+        let plan = FaultPlan {
+            fp16_poison_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let (rows, _) =
+            decode_tctile_codes_i8_f(&mut Counters::new(), &bitmaps, &codes, 0, 0, Some(&inj), 3)
+                .expect("poison is not an overrun");
+        let (clean, _) = decode_tctile_codes_i8(&mut Counters::new(), &bitmaps, &codes, 0, 0);
+        assert_ne!(rows, clean, "an always-on injector must perturb codes");
     }
 }

@@ -187,27 +187,7 @@ impl SpinferSpmm {
             }
 
             // --- 3. XTile loading (no integrity metadata; golden path) ---
-            let row_bytes = (geo.tile_n * 2) as u64;
-            for kr in (0..cfg.gt_cols).step_by(4) {
-                // Four X rows per warp instruction (8 lanes × 16 B when
-                // tile_n = 32; proportionally predicated otherwise).
-                let mut addrs = [None; 32];
-                let mut li = 0usize;
-                for dr in 0..4 {
-                    let krow = gtx * cfg.gt_cols + kr + dr;
-                    let base = bases.x + (krow * geo.n_pad + n0) as u64 * 2;
-                    let lanes = (row_bytes as usize).div_ceil(16);
-                    for l in 0..lanes {
-                        if li < 32 {
-                            addrs[li] = Some(base + (l * 16) as u64);
-                            li += 1;
-                        }
-                    }
-                }
-                warp_ldgsts(x_counters, &addrs, 16);
-                // LDGSTS writes shared memory directly; conflict-free rows.
-                counters.smem_store_transactions += (4 * row_bytes).div_ceil(128);
-            }
+            stream_x_tile(counters, x_counters, bases.x, gtx, cfg.gt_cols, geo, n0);
             cp_async.issue();
             cp_async.commit_group(); // Dense XTile group.
                                      // SMBD may start once the sparse group lands (dense still in
@@ -572,7 +552,7 @@ struct DecodeSite {
 
 /// Streams `bytes` from `base` as LDGSTS.128 warp instructions, recording
 /// coalesced traffic.
-fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
+pub(crate) fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
     record_ldgsts_stream_f(counters, base, bytes, None, &mut |_, _| {});
 }
 
@@ -580,7 +560,7 @@ fn record_ldgsts_stream(counters: &mut Counters, base: VAddr, bytes: u64) {
 /// a warp access, `on_flip(stream_byte, bit_in_byte)` reports which byte
 /// of the streamed payload took the hit. With `fault` absent the counter
 /// stream is bit-identical to the golden recorder.
-fn record_ldgsts_stream_f(
+pub(crate) fn record_ldgsts_stream_f(
     counters: &mut Counters,
     base: VAddr,
     bytes: u64,
@@ -606,6 +586,42 @@ fn record_ldgsts_stream_f(
         // LDGSTS writes shared memory directly (conflict-free stream).
         counters.smem_store_transactions += (bytes - off).min(512).div_ceil(128);
         off += 512;
+    }
+}
+
+/// Streams one GroupTile column's X tile (FP16 rows of `tile_n`
+/// elements) into shared memory — shared verbatim by the FP16 and INT8
+/// block routines, which both read FP16 activations from global memory
+/// (the INT8 path quantizes after the load).
+pub(crate) fn stream_x_tile(
+    counters: &mut Counters,
+    x_counters: &mut Counters,
+    x_base: VAddr,
+    gtx: usize,
+    gt_cols: usize,
+    geo: &Geometry,
+    n0: usize,
+) {
+    let row_bytes = (geo.tile_n * 2) as u64;
+    for kr in (0..gt_cols).step_by(4) {
+        // Four X rows per warp instruction (8 lanes × 16 B when
+        // tile_n = 32; proportionally predicated otherwise).
+        let mut addrs = [None; 32];
+        let mut li = 0usize;
+        for dr in 0..4 {
+            let krow = gtx * gt_cols + kr + dr;
+            let base = x_base + (krow * geo.n_pad + n0) as u64 * 2;
+            let lanes = (row_bytes as usize).div_ceil(16);
+            for l in 0..lanes {
+                if li < 32 {
+                    addrs[li] = Some(base + (l * 16) as u64);
+                    li += 1;
+                }
+            }
+        }
+        warp_ldgsts(x_counters, &addrs, 16);
+        // LDGSTS writes shared memory directly; conflict-free rows.
+        counters.smem_store_transactions += (4 * row_bytes).div_ceil(128);
     }
 }
 

@@ -494,59 +494,18 @@ impl SpinferSpmm {
             smem_values: (w.config.bts_per_gt() * 8) as u64,
         };
 
-        let mut counters = Counters::new();
-        let mut x_counters = Counters::new();
-        // Split-K workspace: [split][m_pad × n_pad] FP32.
-        let mut workspace = vec![0.0f32; geo.split_k * w.m_pad * geo.n_pad];
-
         let gtiles_y = w.gtiles_y();
         let gtiles_x = w.gtiles_x();
         let slice_len = w.m_pad * geo.n_pad;
         let band_len = w.config.gt_rows * geo.n_pad;
 
-        // Block-level fan-out (see `gpu_sim::exec`): block rows `gty`
-        // write disjoint workspace row bands, so they distribute across
-        // host cores. Pre-cut the workspace into per-(split, gty) bands
-        // and hand each task the bands it owns — safe disjoint `&mut`
-        // access with no runtime aliasing checks.
-        let mut split_bands: Vec<_> = workspace
-            .chunks_mut(slice_len)
-            .map(|s| s.chunks_mut(band_len))
-            .collect();
-        let tasks: Vec<(usize, Vec<&mut [f32]>)> = (0..gtiles_y)
-            .map(|gty| {
-                let bands = split_bands
-                    .iter_mut()
-                    .map(|it| {
-                        it.next().expect(
-                            "workspace band iterator exhausted: every split slice must hold \
-                             one band per block row (workspace sized split_k * m_pad * n_pad \
-                             with m_pad = gtiles_y * gt_rows)",
-                        )
-                    })
-                    .collect();
-                (gty, bands)
-            })
-            .collect();
-
-        // The block routine addresses the workspace by *global* row, so
-        // each worker runs its block rows against a reusable full-size
-        // scratch image, then copies the finished band out and
-        // re-zeroes it. Event counts shard per task and merge
-        // field-wise (`u64` addition commutes), so both the numerics
-        // (disjoint copies) and the counters are bit-identical to the
-        // serial gty → nt → split loop at any job count. A block row
-        // that aborts on an unrecoverable fault zeroes its reusable
-        // scratch (the next task on that worker expects it clean) and
-        // carries the typed error out through the shard results.
-        let shards = exec::par_map_with(
-            tasks,
-            // Worker-scoped state: the full-size workspace image plus the
-            // block-level scratch (accumulators, X tile, decode buffers),
-            // allocated once per worker and reused across every block
-            // invocation instead of per launch-grid cell.
-            || (vec![0.0f32; geo.split_k * slice_len], BlockScratch::new()),
-            |(scratch, block_scratch), (gty, bands)| {
+        let (workspace, mut counters, x_counters, task_spans) = fan_out_block_rows(
+            gtiles_y,
+            geo.split_k,
+            slice_len,
+            band_len,
+            BlockScratch::new,
+            |block_scratch, scratch, gty| {
                 let mut shard = CounterShard::new();
                 let mut x_shard = CounterShard::new();
                 let mut tracer = sink.map(|_| BlockTracer::default());
@@ -555,7 +514,7 @@ impl SpinferSpmm {
                     for split in 0..geo.split_k {
                         let gx0 = split * geo.gtx_per_split;
                         let gx1 = (gx0 + geo.gtx_per_split).min(gtiles_x);
-                        if let Err(e) = self.run_block(
+                        self.run_block(
                             w,
                             x,
                             shard.counters(),
@@ -568,31 +527,12 @@ impl SpinferSpmm {
                             checked.as_ref(),
                             fault,
                             tracer.as_mut(),
-                        ) {
-                            scratch.fill(0.0);
-                            return Err(e);
-                        }
+                        )?;
                     }
-                }
-                for (split, band) in bands.into_iter().enumerate() {
-                    let src = &mut scratch[split * slice_len + gty * band_len..][..band_len];
-                    band.copy_from_slice(src);
-                    src.fill(0.0);
                 }
                 Ok((shard, x_shard, tracer.map(|t| t.spans)))
             },
-        );
-        // Per-task phase records come back in task (block-row) order from
-        // `par_map_with`, so the trace below is independent of scheduling.
-        let mut task_spans: Vec<Vec<(TracePhase, u64)>> = Vec::new();
-        for res in shards {
-            let (shard, x_shard, spans) = res.map_err(SpinferError::Kernel)?;
-            counters.merge(&shard.into_counters());
-            x_counters.merge(&x_shard.into_counters());
-            if let Some(spans) = spans {
-                task_spans.push(spans);
-            }
-        }
+        )?;
 
         let x_requested = x_counters.dram_read_bytes;
         counters.merge(&x_counters);
@@ -641,4 +581,98 @@ impl SpinferSpmm {
             chain,
         })
     }
+}
+
+/// Per-block-row outcome from a [`fan_out_block_rows`] body: the W-side
+/// and X-side counter shards plus optional per-phase trace spans.
+pub(crate) type RowOutcome = (CounterShard, CounterShard, Option<Vec<(TracePhase, u64)>>);
+
+/// Aggregated [`fan_out_block_rows`] result: the filled split-K
+/// workspace, merged W-side and X-side counters, and per-block-row
+/// trace spans in block-row order.
+pub(crate) type FanOutResult = (Vec<f32>, Counters, Counters, Vec<Vec<(TracePhase, u64)>>);
+
+/// Block-level fan-out shared by the FP16 and INT8 launch bodies (see
+/// `gpu_sim::exec`): block rows `gty` write disjoint workspace row
+/// bands, so they distribute across host cores. The split-K workspace
+/// (`split_k × slice_len` FP32) is pre-cut into per-(split, gty) bands
+/// and each task gets the bands it owns — safe disjoint `&mut` access
+/// with no runtime aliasing checks.
+///
+/// Block routines address the workspace by *global* row, so each worker
+/// runs its block rows against a reusable full-size scratch image
+/// (`body`'s second argument), then the finished bands are copied out
+/// and re-zeroed. Event counts shard per task and merge field-wise
+/// (`u64` addition commutes), so both the numerics (disjoint copies)
+/// and the counters are bit-identical to the serial loop at any job
+/// count. A block row that aborts on an unrecoverable fault has its
+/// reusable scratch zeroed (the next task on that worker expects it
+/// clean) and carries the typed error out through the shard results.
+/// Per-task span records come back in task (block-row) order, so traces
+/// built from them are independent of scheduling.
+pub(crate) fn fan_out_block_rows<S: Send>(
+    gtiles_y: usize,
+    split_k: usize,
+    slice_len: usize,
+    band_len: usize,
+    init: impl Fn() -> S + Send + Sync,
+    body: impl Fn(&mut S, &mut [f32], usize) -> Result<RowOutcome, crate::error::KernelError>
+        + Send
+        + Sync,
+) -> Result<FanOutResult, SpinferError> {
+    let mut workspace = vec![0.0f32; split_k * slice_len];
+    let mut split_bands: Vec<_> = workspace
+        .chunks_mut(slice_len)
+        .map(|s| s.chunks_mut(band_len))
+        .collect();
+    let tasks: Vec<(usize, Vec<&mut [f32]>)> = (0..gtiles_y)
+        .map(|gty| {
+            let bands = split_bands
+                .iter_mut()
+                .map(|it| {
+                    it.next().expect(
+                        "workspace band iterator exhausted: every split slice must hold \
+                         one band per block row (workspace sized split_k * m_pad * n_pad \
+                         with m_pad = gtiles_y * gt_rows)",
+                    )
+                })
+                .collect();
+            (gty, bands)
+        })
+        .collect();
+
+    let shards = exec::par_map_with(
+        tasks,
+        // Worker-scoped state: the full-size workspace image plus the
+        // block-level scratch (accumulators, X tile, decode buffers),
+        // allocated once per worker and reused across every block
+        // invocation instead of per launch-grid cell.
+        || (vec![0.0f32; split_k * slice_len], init()),
+        |(scratch, state), (gty, bands)| match body(state, scratch, gty) {
+            Ok(out) => {
+                for (split, band) in bands.into_iter().enumerate() {
+                    let src = &mut scratch[split * slice_len + gty * band_len..][..band_len];
+                    band.copy_from_slice(src);
+                    src.fill(0.0);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                scratch.fill(0.0);
+                Err(e)
+            }
+        },
+    );
+    let mut counters = Counters::new();
+    let mut x_counters = Counters::new();
+    let mut task_spans: Vec<Vec<(TracePhase, u64)>> = Vec::new();
+    for res in shards {
+        let (shard, x_shard, spans) = res.map_err(SpinferError::Kernel)?;
+        counters.merge(&shard.into_counters());
+        x_counters.merge(&x_shard.into_counters());
+        if let Some(spans) = spans {
+            task_spans.push(spans);
+        }
+    }
+    Ok((workspace, counters, x_counters, task_spans))
 }

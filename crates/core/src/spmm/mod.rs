@@ -40,15 +40,18 @@
 
 mod block;
 mod checked;
+mod int8;
 mod launch;
 mod traced;
 
 pub use checked::FaultPolicy;
+pub use int8::SpinferSpmmInt8;
 pub use launch::{DynEncoded, DynSpmmKernel, LaunchCtx, SpmmKernel};
 pub use traced::emit_chain_trace;
 
+use crate::payload::Payload;
 use crate::smbd::bt_decode_cost;
-use crate::tca_bme::{TcaBme, TT_DIM};
+use crate::tca_bme::{TcaBme, TcaBmeOf, TT_DIM};
 use gpu_sim::bitops::popc64;
 use gpu_sim::counters::Counters;
 use gpu_sim::fp16::Half;
@@ -149,8 +152,10 @@ pub struct FormatStats {
 }
 
 impl FormatStats {
-    /// Extracts statistics from an encoded matrix.
-    pub fn from_encoded(w: &TcaBme) -> Self {
+    /// Extracts statistics from an encoded matrix of any payload
+    /// precision — the statistics are all structural (geometry, bitmaps,
+    /// value counts), so FP16 and INT8 containers share one extractor.
+    pub fn from_encoded<P: Payload>(w: &TcaBmeOf<P>) -> Self {
         let nonempty = w.bitmaps.iter().filter(|&&b| b != 0).count();
         FormatStats {
             m: w.m,
@@ -206,6 +211,16 @@ impl FormatStats {
         let nbt = (self.m_pad / 8) * (self.k_pad / 8);
         4 * (ngt + 1) + 8 * nbt + 2 * self.values_len
     }
+
+    /// Storage footprint of the INT8 container with the same geometry:
+    /// 1-byte codes instead of FP16 values, plus one `f32`
+    /// dequantisation scale per GroupTile (matches
+    /// [`crate::tca_bme::TcaBmeInt8::storage_bytes`]).
+    pub fn storage_bytes_int8(&self) -> usize {
+        let ngt = (self.m_pad / self.config.gt_rows) * (self.k_pad / self.config.gt_cols);
+        let nbt = (self.m_pad / 8) * (self.k_pad / 8);
+        4 * (ngt + 1) + 8 * nbt + self.values_len + 4 * ngt
+    }
 }
 
 /// The SpInfer-SpMM kernel.
@@ -213,6 +228,29 @@ impl FormatStats {
 pub struct SpinferSpmm {
     /// Kernel configuration.
     pub config: SpmmConfig,
+}
+
+/// Value-payload precision a SpInfer-SpMM variant runs at. The FP16 and
+/// INT8 kernels share the geometry and estimator bodies; this selects
+/// the three places they diverge — stored value width, which Tensor
+/// Core pipe the mma work lands on, and the INT8 scale-fold epilogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Precision {
+    /// `Half` payloads, FP32-accumulating `mma.f16`.
+    Fp16,
+    /// `i8` codes, i32-accumulating `mma.s8` plus a per-GroupTile scale
+    /// fold into the `f32` accumulators.
+    Int8,
+}
+
+impl Precision {
+    /// Stored bytes per value payload.
+    pub(crate) fn value_bytes(self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
 }
 
 /// Geometry shared by the functional and analytic paths.
@@ -244,7 +282,17 @@ impl SpinferSpmm {
         }
     }
 
-    fn geometry(&self, spec: &GpuSpec, stats: &FormatStats, n: usize) -> Geometry {
+    pub(crate) fn geometry(&self, spec: &GpuSpec, stats: &FormatStats, n: usize) -> Geometry {
+        self.geometry_impl(spec, stats, n, Precision::Fp16)
+    }
+
+    pub(crate) fn geometry_impl(
+        &self,
+        spec: &GpuSpec,
+        stats: &FormatStats,
+        n: usize,
+        prec: Precision,
+    ) -> Geometry {
         let n_pad = n.max(8).div_ceil(8) * 8;
         // Decode-phase batches use up to `max_tile_n`; prefill-scale N
         // widens the block tile to 128 so each decoded WTile amortises
@@ -269,7 +317,7 @@ impl SpinferSpmm {
         // Shared memory: double-buffered bitmaps + values + X tile.
         let bufs = 2usize;
         let bitmap_bytes = stats.config.bts_per_gt() * 8;
-        let value_bytes = stats.max_values_per_gtile * 2;
+        let value_bytes = stats.max_values_per_gtile * prec.value_bytes();
         let x_bytes = stats.config.gt_cols * tile_n * 2;
         let smem = bufs * (bitmap_bytes + value_bytes + x_bytes);
 
@@ -324,7 +372,28 @@ impl SpinferSpmm {
     /// structure to [`Self::run`] without touching data. Validated against
     /// the functional path in tests.
     pub fn estimate(&self, spec: &GpuSpec, stats: &FormatStats, n: usize) -> SpmmRun {
-        let geo = self.geometry(spec, stats, n);
+        self.estimate_impl(
+            spec,
+            stats,
+            n,
+            Precision::Fp16,
+            kernel_name(self.config.ablation),
+        )
+    }
+
+    /// The one estimator body behind both precision variants. For FP16
+    /// this is counter-for-counter the historical estimator; INT8 halves
+    /// the stored value traffic, moves the mma work to the `mma.s8`
+    /// pipe, and adds the per-GroupTile scale-fold FP work.
+    pub(crate) fn estimate_impl(
+        &self,
+        spec: &GpuSpec,
+        stats: &FormatStats,
+        n: usize,
+        prec: Precision,
+        name: &'static str,
+    ) -> SpmmRun {
+        let geo = self.geometry_impl(spec, stats, n, prec);
         let cfg = stats.config;
         let ngt = (stats.m_pad / cfg.gt_rows) * (stats.k_pad / cfg.gt_cols);
         let gtiles_y = stats.m_pad / cfg.gt_rows;
@@ -333,7 +402,7 @@ impl SpinferSpmm {
 
         // --- GTile loads (per GroupTile, over all N tiles and splits) ---
         let bm_bytes_gt = (cfg.bts_per_gt() * 8) as u64;
-        let val_bytes_gt = (stats.values_len as u64 * 2) / ngt as u64;
+        let val_bytes_gt = (stats.values_len * prec.value_bytes()) as u64 / ngt as u64;
         let gt_visits = (ngt * geo.grid_x) as u64;
         // DRAM traffic is capped by wave-level L2 reuse over output tiles;
         // the decode work below still runs once per visit.
@@ -383,8 +452,19 @@ impl SpinferSpmm {
         let ldsm_b = tctile_visits * (n8.div_ceil(2) as u64);
         c.ldsm_insts += ldsm_b;
         c.smem_load_transactions += ldsm_b * 4;
-        c.mma_insts += tctile_visits * n8 as u64;
+        match prec {
+            Precision::Fp16 => c.mma_insts += tctile_visits * n8 as u64,
+            Precision::Int8 => c.mma_s8_insts += tctile_visits * n8 as u64,
+        }
         c.insts_issued += ldsm_b + tctile_visits * n8 as u64;
+        if prec == Precision::Int8 {
+            // Per-GroupTile scale fold: each i32 accumulator tile (16×8)
+            // converts and FMAs into the f32 accumulators once per
+            // GroupTile column — 4 warp-wide FP instructions per tile.
+            let fold = gt_visits * (geo.warps * n8 * 4) as u64;
+            c.cuda_fp_insts += fold;
+            c.insts_issued += fold;
+        }
 
         // --- Epilogue stores ---
         let frag_stores = (gtiles_y * cfg.tt_rows() * geo.grid_x * geo.split_k * n8) as u64 * 2;
@@ -399,7 +479,7 @@ impl SpinferSpmm {
         }];
         let mut chain = LaunchChain::new();
         chain.push(LaunchResult::from_execution(
-            kernel_name(self.config.ablation),
+            name,
             spec,
             self.launch_shape(&geo),
             c,

@@ -15,20 +15,30 @@
 //!   themselves are row-major over the matrix.
 //!
 //! Storage uses three arrays (paper Eq. 9):
-//! `GTileOffset` (`u32`, `NGT + 1` entries), `Values` (FP16 non-zeros in
+//! `GTileOffset` (`u32`, `NGT + 1` entries), `Values` (non-zeros in
 //! nested tile order, padded per GroupTile to an 8-byte boundary for
 //! `LDGSTS.128`), and `Bitmap` (`u64` per BitmapTile).
+//!
+//! The container is generic over the value precision
+//! ([`crate::payload::Payload`]): [`TcaBme`] is the FP16 instantiation
+//! the paper describes, and [`TcaBmeInt8`] pairs an `i8` instantiation
+//! with per-GroupTile `f32` scales for the quantized deployment path.
+//! All offset/bitmap/geometry machinery — validation, checksums,
+//! storage accounting, tile accessors — is shared, not cloned.
 
 use crate::error::IntegrityError;
+use crate::payload::Payload;
 use gpu_sim::fp16::Half;
 use gpu_sim::matrix::DenseMatrix;
 
 /// FNV-1a (32-bit) over one GroupTile's image: bitmaps (LE bytes) then
-/// values (LE FP16 payloads, *including* alignment padding — padding is
+/// values (LE payload bytes, *including* alignment padding — padding is
 /// part of the bytes `LDGSTS.128` moves, so a flip there must still be
 /// detected). Free function so the checked kernel can checksum its
-/// shared-memory copy without owning a [`TcaBme`].
-pub fn checksum_gtile(bitmaps: &[u64], values: &[Half]) -> u32 {
+/// shared-memory copy without owning a [`TcaBmeOf`]. For FP16 values
+/// the byte stream — and therefore every stored v2 checksum — is
+/// exactly the pre-generic implementation's.
+pub fn checksum_gtile<P: Payload>(bitmaps: &[u64], values: &[P]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     let mut eat = |b: u8| h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
     for bm in bitmaps {
@@ -37,9 +47,7 @@ pub fn checksum_gtile(bitmaps: &[u64], values: &[Half]) -> u32 {
         }
     }
     for v in values {
-        for b in v.to_bits().to_le_bytes() {
-            eat(b);
-        }
+        v.feed_checksum(&mut eat);
     }
     h
 }
@@ -50,8 +58,11 @@ pub const BT_DIM: usize = 8;
 pub const TT_DIM: usize = 16;
 /// BitmapTiles per TCTile.
 pub const BTS_PER_TT: usize = 4;
-/// Value-array padding granularity in elements (8 bytes / 2 bytes each),
-/// ensuring every GroupTile's values start 8-byte aligned.
+/// Value-array padding granularity in elements, ensuring every
+/// GroupTile's FP16 values start 8-byte aligned (8 bytes / 2 bytes
+/// each). The INT8 container keeps the same 4-element granularity: its
+/// GroupTile spans start 4-byte aligned, still a legal `LDGSTS` word,
+/// and quantization preserves the FP16 span layout element-for-element.
 pub const VALUE_PAD: usize = 4;
 
 /// Tiling configuration for the GroupTile level.
@@ -102,9 +113,13 @@ impl TcaBmeConfig {
     }
 }
 
-/// A sparse matrix in TCA-BME format.
+/// A sparse matrix in TCA-BME format, generic over the value payload.
+///
+/// [`TcaBme`] (= `TcaBmeOf<Half>`) is the FP16 format the paper
+/// describes; `TcaBmeOf<i8>` carries quantized codes and is always
+/// wrapped in [`TcaBmeInt8`] alongside its per-GroupTile scales.
 #[derive(Clone, Debug, PartialEq)]
-pub struct TcaBme {
+pub struct TcaBmeOf<P: Payload> {
     /// Logical (unpadded) rows.
     pub m: usize,
     /// Logical (unpadded) columns.
@@ -120,14 +135,166 @@ pub struct TcaBme {
     pub gtile_offsets: Vec<u32>,
     /// Non-zero values in nested GT → TT → BT → bit order, padded per
     /// GroupTile to [`VALUE_PAD`].
-    pub values: Vec<Half>,
+    pub values: Vec<P>,
     /// One 64-bit bitmap per BitmapTile, same nesting order.
     pub bitmaps: Vec<u64>,
     /// True non-zero count (excludes padding).
     pub nnz: usize,
 }
 
-impl TcaBme {
+/// The FP16 instantiation of [`TcaBmeOf`] — the paper's format.
+pub type TcaBme = TcaBmeOf<Half>;
+
+impl<P: Payload> TcaBmeOf<P> {
+    /// Number of GroupTiles.
+    pub fn num_gtiles(&self) -> usize {
+        self.gtile_offsets.len() - 1
+    }
+
+    /// GroupTile columns (along K).
+    pub fn gtiles_x(&self) -> usize {
+        self.k_pad / self.config.gt_cols
+    }
+
+    /// GroupTile rows (along M).
+    pub fn gtiles_y(&self) -> usize {
+        self.m_pad / self.config.gt_rows
+    }
+
+    /// Number of BitmapTiles.
+    pub fn num_btiles(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// GroupTile index for GroupTile coordinates (row-major).
+    pub fn gt_index(&self, gty: usize, gtx: usize) -> usize {
+        gty * self.gtiles_x() + gtx
+    }
+
+    /// Slice of `values` belonging to a GroupTile (including padding).
+    pub fn gtile_values(&self, gt: usize) -> &[P] {
+        let s = self.gtile_offsets[gt] as usize;
+        let e = self.gtile_offsets[gt + 1] as usize;
+        &self.values[s..e]
+    }
+
+    /// Slice of `bitmaps` belonging to a GroupTile, in TCTile-column-major
+    /// then BT order.
+    pub fn gtile_bitmaps(&self, gt: usize) -> &[u64] {
+        let per = self.config.bts_per_gt();
+        &self.bitmaps[gt * per..(gt + 1) * per]
+    }
+
+    /// Actual storage footprint in bytes, including value padding. The
+    /// value term scales with the payload width ([`Payload::BYTES`]).
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.gtile_offsets.len() + 8 * self.bitmaps.len() + P::BYTES * self.values.len()
+    }
+
+    /// Compression ratio (paper Eq. 1): dense *FP16* bytes over format
+    /// bytes. The dense reference stays FP16 for every payload so
+    /// precision×format ratios are comparable (an INT8 container's ratio
+    /// folds the 2× payload shrink in).
+    pub fn compression_ratio(&self) -> f64 {
+        (2 * self.m * self.k) as f64 / self.storage_bytes() as f64
+    }
+
+    /// Largest per-GroupTile value count (with padding), for shared-memory
+    /// buffer sizing in the kernel.
+    pub fn max_values_per_gtile(&self) -> usize {
+        (0..self.num_gtiles())
+            .map(|g| self.gtile_values(g).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Integrity checksum of one GroupTile (see [`checksum_gtile`]).
+    pub fn gtile_checksum(&self, gt: usize) -> u32 {
+        checksum_gtile(self.gtile_bitmaps(gt), self.gtile_values(gt))
+    }
+
+    /// Checksums for every GroupTile, in GroupTile order — the reference
+    /// the checked kernel path and the v2/v3 wire formats verify against.
+    /// Fanned over GroupTiles via [`gpu_sim::exec`] (untraced — setup
+    /// work, not kernel work); per-GroupTile checksums are independent,
+    /// so the vector is identical at every job count.
+    pub fn gtile_checksums(&self) -> Vec<u32> {
+        gpu_sim::exec::par_map_untraced((0..self.num_gtiles()).collect(), |g| {
+            self.gtile_checksum(g)
+        })
+    }
+
+    /// Structural validation of the three-array format: offset count,
+    /// monotonicity, [`VALUE_PAD`] alignment, end-of-array agreement,
+    /// bitmap count, per-GroupTile `popc64`-vs-value-span consistency,
+    /// and the stored `nnz`. A container that passes cannot make SMBD
+    /// decode index out of bounds. Payload-independent: the checks never
+    /// look inside a value.
+    pub fn validate(&self) -> Result<(), IntegrityError> {
+        let ngt = self.gtiles_y() * self.gtiles_x();
+        if self.gtile_offsets.len() != ngt + 1 {
+            return Err(IntegrityError::OffsetCount {
+                expected: ngt + 1,
+                got: self.gtile_offsets.len(),
+            });
+        }
+        for (i, &off) in self.gtile_offsets.iter().enumerate() {
+            if !(off as usize).is_multiple_of(VALUE_PAD) {
+                return Err(IntegrityError::OffsetAlignment {
+                    index: i,
+                    offset: off,
+                });
+            }
+        }
+        for gt in 0..ngt {
+            let (start, end) = (self.gtile_offsets[gt], self.gtile_offsets[gt + 1]);
+            if start > end {
+                return Err(IntegrityError::OffsetOrder { gt, start, end });
+            }
+        }
+        let last = self.gtile_offsets[ngt] as usize;
+        if last != self.values.len() {
+            return Err(IntegrityError::OffsetEnd {
+                expected: self.values.len(),
+                got: last,
+            });
+        }
+        let expected_bts = ngt * self.config.bts_per_gt();
+        if self.bitmaps.len() != expected_bts {
+            return Err(IntegrityError::BitmapCount {
+                expected: expected_bts,
+                got: self.bitmaps.len(),
+            });
+        }
+        let mut total_pop = 0usize;
+        for gt in 0..ngt {
+            let pop: usize = self
+                .gtile_bitmaps(gt)
+                .iter()
+                .map(|bm| bm.count_ones() as usize)
+                .sum();
+            let span = self.gtile_offsets[gt + 1] as usize - self.gtile_offsets[gt] as usize;
+            // Padding adds at most VALUE_PAD - 1 zero elements per tile.
+            if pop > span || span - pop >= VALUE_PAD {
+                return Err(IntegrityError::PopulationMismatch {
+                    gt,
+                    population: pop,
+                    span,
+                });
+            }
+            total_pop += pop;
+        }
+        if total_pop != self.nnz {
+            return Err(IntegrityError::NnzMismatch {
+                expected: total_pop,
+                got: self.nnz,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl TcaBmeOf<Half> {
     /// # Examples
     ///
     /// ```
@@ -326,50 +493,6 @@ impl TcaBme {
         }
     }
 
-    /// Number of GroupTiles.
-    pub fn num_gtiles(&self) -> usize {
-        self.gtile_offsets.len() - 1
-    }
-
-    /// GroupTile columns (along K).
-    pub fn gtiles_x(&self) -> usize {
-        self.k_pad / self.config.gt_cols
-    }
-
-    /// GroupTile rows (along M).
-    pub fn gtiles_y(&self) -> usize {
-        self.m_pad / self.config.gt_rows
-    }
-
-    /// Number of BitmapTiles.
-    pub fn num_btiles(&self) -> usize {
-        self.bitmaps.len()
-    }
-
-    /// GroupTile index for GroupTile coordinates (row-major).
-    pub fn gt_index(&self, gty: usize, gtx: usize) -> usize {
-        gty * self.gtiles_x() + gtx
-    }
-
-    /// Slice of `values` belonging to a GroupTile (including padding).
-    pub fn gtile_values(&self, gt: usize) -> &[Half] {
-        let s = self.gtile_offsets[gt] as usize;
-        let e = self.gtile_offsets[gt + 1] as usize;
-        &self.values[s..e]
-    }
-
-    /// Slice of `bitmaps` belonging to a GroupTile, in TCTile-column-major
-    /// then BT order.
-    pub fn gtile_bitmaps(&self, gt: usize) -> &[u64] {
-        let per = self.config.bts_per_gt();
-        &self.bitmaps[gt * per..(gt + 1) * per]
-    }
-
-    /// Actual storage footprint in bytes, including value padding.
-    pub fn storage_bytes(&self) -> usize {
-        4 * self.gtile_offsets.len() + 8 * self.bitmaps.len() + 2 * self.values.len()
-    }
-
     /// The paper's Eq. 9 (no padding): `4B×(NGT+1) + 8B×NBT + 2B×NNZ`.
     pub fn storage_bytes_formula(m: usize, k: usize, nnz: usize, config: TcaBmeConfig) -> usize {
         config.validate();
@@ -380,108 +503,27 @@ impl TcaBme {
         4 * (ngt + 1) + 8 * nbt + 2 * nnz
     }
 
-    /// Compression ratio (paper Eq. 1): dense bytes over format bytes.
-    pub fn compression_ratio(&self) -> f64 {
-        (2 * self.m * self.k) as f64 / self.storage_bytes() as f64
-    }
-
-    /// Largest per-GroupTile value count (with padding), for shared-memory
-    /// buffer sizing in the kernel.
-    pub fn max_values_per_gtile(&self) -> usize {
-        (0..self.num_gtiles())
-            .map(|g| self.gtile_values(g).len())
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Integrity checksum of one GroupTile (see [`checksum_gtile`]).
-    pub fn gtile_checksum(&self, gt: usize) -> u32 {
-        checksum_gtile(self.gtile_bitmaps(gt), self.gtile_values(gt))
-    }
-
-    /// Checksums for every GroupTile, in GroupTile order — the reference
-    /// the checked kernel path and the v2 wire format verify against.
-    /// Fanned over GroupTiles via [`gpu_sim::exec`] (untraced — setup
-    /// work, not kernel work); per-GroupTile checksums are independent,
-    /// so the vector is identical at every job count.
-    pub fn gtile_checksums(&self) -> Vec<u32> {
-        gpu_sim::exec::par_map_untraced((0..self.num_gtiles()).collect(), |g| {
-            self.gtile_checksum(g)
-        })
-    }
-
-    /// Structural validation of the three-array format: offset count,
-    /// monotonicity, [`VALUE_PAD`] alignment, end-of-array agreement,
-    /// bitmap count, per-GroupTile `popc64`-vs-value-span consistency,
-    /// and the stored `nnz`. A container that passes cannot make SMBD
-    /// decode index out of bounds.
-    pub fn validate(&self) -> Result<(), IntegrityError> {
-        let ngt = self.gtiles_y() * self.gtiles_x();
-        if self.gtile_offsets.len() != ngt + 1 {
-            return Err(IntegrityError::OffsetCount {
-                expected: ngt + 1,
-                got: self.gtile_offsets.len(),
-            });
-        }
-        for (i, &off) in self.gtile_offsets.iter().enumerate() {
-            if !(off as usize).is_multiple_of(VALUE_PAD) {
-                return Err(IntegrityError::OffsetAlignment {
-                    index: i,
-                    offset: off,
-                });
-            }
-        }
-        for gt in 0..ngt {
-            let (start, end) = (self.gtile_offsets[gt], self.gtile_offsets[gt + 1]);
-            if start > end {
-                return Err(IntegrityError::OffsetOrder { gt, start, end });
-            }
-        }
-        let last = self.gtile_offsets[ngt] as usize;
-        if last != self.values.len() {
-            return Err(IntegrityError::OffsetEnd {
-                expected: self.values.len(),
-                got: last,
-            });
-        }
-        let expected_bts = ngt * self.config.bts_per_gt();
-        if self.bitmaps.len() != expected_bts {
-            return Err(IntegrityError::BitmapCount {
-                expected: expected_bts,
-                got: self.bitmaps.len(),
-            });
-        }
-        let mut total_pop = 0usize;
-        for gt in 0..ngt {
-            let pop: usize = self
-                .gtile_bitmaps(gt)
-                .iter()
-                .map(|bm| bm.count_ones() as usize)
-                .sum();
-            let span = self.gtile_offsets[gt + 1] as usize - self.gtile_offsets[gt] as usize;
-            // Padding adds at most VALUE_PAD - 1 zero elements per tile.
-            if pop > span || span - pop >= VALUE_PAD {
-                return Err(IntegrityError::PopulationMismatch {
-                    gt,
-                    population: pop,
-                    span,
-                });
-            }
-            total_pop += pop;
-        }
-        if total_pop != self.nnz {
-            return Err(IntegrityError::NnzMismatch {
-                expected: total_pop,
-                got: self.nnz,
-            });
-        }
-        Ok(())
-    }
-
     /// Decodes back to a dense matrix (logical dimensions). Used as the
     /// format's correctness oracle.
     pub fn decode(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.m, self.k);
+        self.for_each_nonzero(|r, c, v| out.set(r, c, v));
+        out
+    }
+
+    /// Quantizes this FP16 encoding into an INT8 container — see
+    /// [`TcaBmeInt8::quantize`].
+    pub fn quantize_int8(&self) -> TcaBmeInt8 {
+        TcaBmeInt8::quantize(self)
+    }
+}
+
+impl<P: Payload> TcaBmeOf<P> {
+    /// Walks every encoded non-zero in nested GT → TT → BT → bit order,
+    /// invoking `visit(row, col, value)` for in-extent cells — the one
+    /// shared traversal behind [`TcaBme::decode`] and
+    /// [`TcaBmeInt8::dequantize_dense`].
+    fn for_each_nonzero(&self, mut visit: impl FnMut(usize, usize, P)) {
         let cfg = self.config;
         for gty in 0..self.gtiles_y() {
             for gtx in 0..self.gtiles_x() {
@@ -504,7 +546,7 @@ impl TcaBme {
                                     let v = vals[vi];
                                     vi += 1;
                                     if r < self.m && c < self.k {
-                                        out.set(r, c, v);
+                                        visit(r, c, v);
                                     }
                                 }
                             }
@@ -513,7 +555,126 @@ impl TcaBme {
                 }
             }
         }
+    }
+}
+
+/// The quantized TCA-BME container: an `i8` code instantiation of
+/// [`TcaBmeOf`] plus one symmetric `f32` scale per GroupTile.
+///
+/// Quantization is per-GroupTile symmetric (`scale = max|v| / 127`,
+/// codes clamped to ±127), matching how the kernel consumes it: each
+/// GroupTile's `i32` Tensor Core accumulator is folded into the `f32`
+/// output with `scale_w[gt] × scale_x` in the epilogue. Bitmaps,
+/// offsets, geometry, padding layout, and `nnz` are *shared structure*
+/// — `tiles` carries exactly the FP16 encoding's metadata with codes in
+/// place of FP16 payloads, so every generic accessor, the validator,
+/// and the SMBD decode work unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TcaBmeInt8 {
+    /// The `i8` container (geometry + bitmaps + offsets + codes).
+    pub tiles: TcaBmeOf<i8>,
+    /// One symmetric scale per GroupTile (`value ≈ code × scale`).
+    /// Empty GroupTiles carry `1.0`.
+    pub scales: Vec<f32>,
+}
+
+impl TcaBmeInt8 {
+    /// Quantizes an FP16 encoding. The bitmap/offset/geometry arrays are
+    /// copied verbatim; each GroupTile's value span (padding included —
+    /// zeros map to code 0) is quantized against that tile's own
+    /// symmetric scale. Deterministic: scale maxima reduce in encoded
+    /// value order and every rounding is order-independent.
+    pub fn quantize(w: &TcaBme) -> Self {
+        let ngt = w.num_gtiles();
+        let mut scales = Vec::with_capacity(ngt);
+        let mut codes = vec![0i8; w.values.len()];
+        for gt in 0..ngt {
+            let s = w.gtile_offsets[gt] as usize;
+            let e = w.gtile_offsets[gt + 1] as usize;
+            let vals = &w.values[s..e];
+            let max_abs = vals.iter().map(|v| v.to_f32().abs()).fold(0.0f32, f32::max);
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            for (dst, v) in codes[s..e].iter_mut().zip(vals) {
+                let q = (v.to_f32() / scale).round().clamp(-127.0, 127.0);
+                *dst = q as i8;
+            }
+            scales.push(scale);
+        }
+        TcaBmeInt8 {
+            tiles: TcaBmeOf {
+                m: w.m,
+                k: w.k,
+                m_pad: w.m_pad,
+                k_pad: w.k_pad,
+                config: w.config,
+                gtile_offsets: w.gtile_offsets.clone(),
+                values: codes,
+                bitmaps: w.bitmaps.clone(),
+                nnz: w.nnz,
+            },
+            scales,
+        }
+    }
+
+    /// Per-GroupTile scale accessor.
+    pub fn scale(&self, gt: usize) -> f32 {
+        self.scales[gt]
+    }
+
+    /// Storage bytes: the `i8` container plus 4 bytes of scale per
+    /// GroupTile.
+    pub fn storage_bytes(&self) -> usize {
+        self.tiles.storage_bytes() + 4 * self.scales.len()
+    }
+
+    /// Compression ratio against the dense *FP16* reference — the
+    /// deployment-relevant ratio (sparsity and quantization compound).
+    pub fn compression_ratio(&self) -> f64 {
+        (2 * self.tiles.m * self.tiles.k) as f64 / self.storage_bytes() as f64
+    }
+
+    /// Structural validation: the shared container checks plus the
+    /// scale-per-GroupTile pairing and scale finiteness/positivity.
+    pub fn validate(&self) -> Result<(), IntegrityError> {
+        self.tiles.validate()?;
+        if self.scales.len() != self.tiles.num_gtiles() {
+            return Err(IntegrityError::ScaleCount {
+                expected: self.tiles.num_gtiles(),
+                got: self.scales.len(),
+            });
+        }
+        if let Some(gt) = self
+            .scales
+            .iter()
+            .position(|s| !(s.is_finite() && *s > 0.0))
+        {
+            return Err(IntegrityError::BadScale {
+                gt,
+                bits: self.scales[gt].to_bits(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Dequantizes to a dense row-major `f32` matrix (logical `m × k`)
+    /// — the reconstruction the quantization-error metrics compare
+    /// against the FP16 original.
+    pub fn dequantize_dense(&self) -> Vec<f32> {
+        let (m, k) = (self.tiles.m, self.tiles.k);
+        let mut out = vec![0.0f32; m * k];
+        let gtiles_x = self.tiles.gtiles_x();
+        let cfg = self.tiles.config;
+        self.tiles.for_each_nonzero(|r, c, code| {
+            let gt = (r / cfg.gt_rows) * gtiles_x + c / cfg.gt_cols;
+            out[r * k + c] = f32::from(code) * self.scales[gt];
+        });
         out
+    }
+
+    /// Worst-case absolute reconstruction error bound for one GroupTile:
+    /// half a quantization step.
+    pub fn error_bound(&self, gt: usize) -> f32 {
+        0.5 * self.scales[gt]
     }
 }
 
@@ -1067,5 +1228,105 @@ mod tests {
         for g in 0..enc.num_gtiles() {
             assert!(enc.gtile_values(g).len() <= max);
         }
+    }
+
+    #[test]
+    fn quantize_shares_structure_exactly() {
+        let m = random_sparse(128, 192, 0.6, ValueDist::Uniform, 21);
+        let enc = TcaBme::encode(&m);
+        let q = TcaBmeInt8::quantize(&enc);
+        assert_eq!(q.tiles.bitmaps, enc.bitmaps);
+        assert_eq!(q.tiles.gtile_offsets, enc.gtile_offsets);
+        assert_eq!(q.tiles.nnz, enc.nnz);
+        assert_eq!(q.tiles.values.len(), enc.values.len());
+        assert_eq!(q.scales.len(), enc.num_gtiles());
+        q.validate().expect("fresh quantization is valid");
+        // The shared validator accepts the i8 instantiation directly.
+        q.tiles
+            .validate()
+            .expect("i8 container is structurally valid");
+    }
+
+    #[test]
+    fn quantize_reconstruction_within_half_step() {
+        let m = random_sparse(128, 128, 0.5, ValueDist::Uniform, 22);
+        let enc = TcaBme::encode(&m);
+        let q = enc.quantize_int8();
+        let deq = q.dequantize_dense();
+        for r in 0..128 {
+            for c in 0..128 {
+                let orig = m.get(r, c).to_f32();
+                let got = deq[r * 128 + c];
+                let gt = (r / 64) * enc.gtiles_x() + c / 64;
+                let bound = q.error_bound(gt) * 1.0001;
+                assert!(
+                    (orig - got).abs() <= bound,
+                    "({r},{c}): {orig} vs {got}, bound {bound}"
+                );
+                if orig == 0.0 {
+                    assert_eq!(got, 0.0, "zeros stay exactly zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_halves_value_storage() {
+        let m = random_sparse(256, 256, 0.6, ValueDist::Uniform, 23);
+        let enc = TcaBme::encode(&m);
+        let q = enc.quantize_int8();
+        // i8 values + f32 scales must undercut FP16 values.
+        assert!(q.storage_bytes() < enc.storage_bytes());
+        assert!(q.compression_ratio() > enc.compression_ratio());
+        // The value term specifically is exactly half.
+        assert_eq!(
+            q.tiles.storage_bytes() + enc.values.len(),
+            enc.storage_bytes()
+        );
+    }
+
+    #[test]
+    fn quantize_empty_gtile_scale_is_one() {
+        let m = DenseMatrix::zeros(128, 64); // Two GroupTiles, both empty.
+        let q = TcaBme::encode(&m).quantize_int8();
+        assert_eq!(q.scales, vec![1.0, 1.0]);
+        q.validate().expect("empty quantization is valid");
+    }
+
+    #[test]
+    fn int8_validate_catches_scale_corruption() {
+        let m = random_sparse(128, 128, 0.5, ValueDist::Uniform, 24);
+        let mut q = TcaBme::encode(&m).quantize_int8();
+        q.scales.pop();
+        assert!(matches!(
+            q.validate(),
+            Err(IntegrityError::ScaleCount { .. })
+        ));
+        let mut q = TcaBme::encode(&m).quantize_int8();
+        q.scales[1] = f32::NAN;
+        assert!(matches!(
+            q.validate(),
+            Err(IntegrityError::BadScale { gt: 1, .. })
+        ));
+        let mut q = TcaBme::encode(&m).quantize_int8();
+        q.scales[0] = -1.0;
+        assert!(matches!(
+            q.validate(),
+            Err(IntegrityError::BadScale { gt: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn int8_checksums_use_one_byte_per_code() {
+        // A code flip moves the tile checksum; the generic checksum over
+        // the i8 container is well-defined and per-tile localised.
+        let m = random_sparse(128, 128, 0.5, ValueDist::Uniform, 25);
+        let q = TcaBme::encode(&m).quantize_int8();
+        let sums = q.tiles.gtile_checksums();
+        let mut bad = q.clone();
+        let s = bad.tiles.gtile_offsets[0] as usize;
+        bad.tiles.values[s] = bad.tiles.values[s].wrapping_add(1);
+        assert_ne!(bad.tiles.gtile_checksum(0), sums[0]);
+        assert_eq!(bad.tiles.gtile_checksum(1), sums[1]);
     }
 }

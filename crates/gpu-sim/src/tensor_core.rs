@@ -463,6 +463,80 @@ pub fn mma_m16n8k16_bslice_ntiles(
     counters.insts_issued += accs.len() as u64;
 }
 
+/// 16×8 `i32` accumulator tile for the integer Tensor Core path
+/// (`mma.m16n8k16.s8.s8.s32`). Plain row-major — the INT8 SpMM block
+/// loop keeps one per N-tile and folds it into `f32` output with the
+/// GroupTile scale in the epilogue, so there is no fragment round-trip
+/// to model.
+pub type AccS8 = [[i32; MMA_N]; MMA_M];
+
+/// Batched warp-wide `mma.m16n8k16` on INT8 operands with `i32`
+/// accumulation — the integer-pipe counterpart of
+/// [`mma_m16n8k16_bslice_ntiles`]. `a` holds a 16×16 tile of weight
+/// codes (i8 widened to `i32` by the decoder), `b` a row-major `i32`
+/// activation-code buffer with leading dimension `ld` (`accs[j]` covers
+/// B columns `j*8 .. j*8+8`; `b` must span `(MMA_K-1) * ld +
+/// accs.len() * 8` elements).
+///
+/// Integer accumulation is exact and associative, so unlike the FP16
+/// path there is no rounding-order contract to pin — but the sweep
+/// still visits `k` ascending for symmetry with the float panel.
+/// Records one `mma.s8` instruction per tile (`mma_s8_insts`, priced at
+/// twice the FP16 per-instruction Tensor Core throughput by the timing
+/// model) plus the matching issue slots.
+pub fn mma_m16n8k16_s8_ntiles(
+    counters: &mut Counters,
+    a: &[[i32; MMA_K]; MMA_M],
+    b: &[i32],
+    ld: usize,
+    accs: &mut [AccS8],
+) {
+    assert!(
+        accs.len() <= MAX_NTILES,
+        "N-tile batch of {} exceeds MAX_NTILES = {MAX_NTILES}",
+        accs.len()
+    );
+    for (m, a_row) in a.iter().enumerate() {
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[k * ld..];
+            for (j, acc) in accs.iter_mut().enumerate() {
+                let arow = &mut acc[m];
+                for (n, s) in arow.iter_mut().enumerate() {
+                    *s += av * brow[j * MMA_N + n];
+                }
+            }
+        }
+    }
+    counters.mma_s8_insts += accs.len() as u64;
+    counters.insts_issued += accs.len() as u64;
+}
+
+/// Retained scalar oracle of [`mma_m16n8k16_s8_ntiles`] for a single
+/// accumulator tile: the textbook n-inner triple loop with no zero-skip.
+/// Identical counter writes per tile.
+pub fn mma_m16n8k16_s8_scalar(
+    counters: &mut Counters,
+    a: &[[i32; MMA_K]; MMA_M],
+    b: &[i32],
+    ld: usize,
+    acc: &mut AccS8,
+) {
+    for m in 0..MMA_M {
+        for n in 0..MMA_N {
+            let mut sum = 0i32;
+            for k in 0..MMA_K {
+                sum += a[m][k] * b[k * ld + n];
+            }
+            acc[m][n] += sum;
+        }
+    }
+    counters.mma_s8_insts += 1;
+    counters.insts_issued += 1;
+}
+
 /// Maps a lane and register index to the quadrant-local `(row, col)` the
 /// register's *low* half occupies inside its 8×8 quadrant. The high half
 /// is at `(row, col + 1)`.
@@ -880,5 +954,91 @@ mod tests {
             }
         }
         assert_eq!(counters.mma_insts, 2);
+    }
+
+    /// Deterministic i8-range code tile: values in [-127, 127].
+    fn code_tile(seed: i32) -> [[i32; MMA_K]; MMA_M] {
+        let mut t = [[0i32; MMA_K]; MMA_M];
+        for (m, row) in t.iter_mut().enumerate() {
+            for (k, v) in row.iter_mut().enumerate() {
+                let h = (m as i32)
+                    .wrapping_mul(31)
+                    .wrapping_add(k as i32)
+                    .wrapping_mul(seed.wrapping_mul(2).wrapping_add(1));
+                *v = (h.rem_euclid(255)) - 127;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn s8_ntiles_matches_scalar_oracle() {
+        // The zero-skipping batched integer path must agree bit-exactly
+        // with the textbook triple loop on every tile of the batch.
+        let a = code_tile(7);
+        let ld = 3 * MMA_N;
+        let mut b = vec![0i32; MMA_K * ld];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i32).wrapping_mul(37).rem_euclid(255)) - 127;
+        }
+        let mut c1 = Counters::new();
+        let mut batched = [[[0i32; MMA_N]; MMA_M]; 3];
+        mma_m16n8k16_s8_ntiles(&mut c1, &a, &b, ld, &mut batched);
+        let mut c2 = Counters::new();
+        let mut oracle = [[[0i32; MMA_N]; MMA_M]; 3];
+        for (j, acc) in oracle.iter_mut().enumerate() {
+            mma_m16n8k16_s8_scalar(&mut c2, &a, &b[j * MMA_N..], ld, acc);
+        }
+        assert_eq!(batched, oracle);
+        assert_eq!(c1.mma_s8_insts, 3);
+        assert_eq!(c2.mma_s8_insts, 3);
+        assert_eq!(c1.insts_issued, 3);
+        assert_eq!(c1.mma_insts, 0, "integer mma must not count as FP16 mma");
+    }
+
+    #[test]
+    fn s8_accumulation_is_exact_at_full_scale() {
+        // All-127 operands: each dot product is 127 * 127 * 16 = 258064,
+        // well inside i32 but outside f32's 2^24 exact-integer window —
+        // the reason the path carries i32 accumulators.
+        let a = [[127i32; MMA_K]; MMA_M];
+        let b = vec![127i32; MMA_K * MMA_N];
+        let mut counters = Counters::new();
+        let mut acc = [[[0i32; MMA_N]; MMA_M]; 1];
+        mma_m16n8k16_s8_ntiles(&mut counters, &a, &b, MMA_N, &mut acc);
+        for row in &acc[0] {
+            for &v in row {
+                assert_eq!(v, 127 * 127 * 16);
+            }
+        }
+    }
+
+    #[test]
+    fn s8_accumulates_on_top_of_existing_values() {
+        // Two successive K-steps must sum, mirroring the FragC contract.
+        let a = code_tile(11);
+        let b: Vec<i32> = (0..MMA_K * MMA_N).map(|i| (i as i32 % 200) - 100).collect();
+        let mut counters = Counters::new();
+        let mut once = [[[0i32; MMA_N]; MMA_M]; 1];
+        mma_m16n8k16_s8_ntiles(&mut counters, &a, &b, MMA_N, &mut once);
+        let mut twice = [[[0i32; MMA_N]; MMA_M]; 1];
+        mma_m16n8k16_s8_ntiles(&mut counters, &a, &b, MMA_N, &mut twice);
+        mma_m16n8k16_s8_ntiles(&mut counters, &a, &b, MMA_N, &mut twice);
+        for m in 0..MMA_M {
+            for n in 0..MMA_N {
+                assert_eq!(twice[0][m][n], 2 * once[0][m][n]);
+            }
+        }
+        assert_eq!(counters.mma_s8_insts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_NTILES")]
+    fn s8_rejects_oversized_batches() {
+        let a = [[0i32; MMA_K]; MMA_M];
+        let b = vec![0i32; MMA_K * (MAX_NTILES + 1) * MMA_N];
+        let mut counters = Counters::new();
+        let mut accs = vec![[[0i32; MMA_N]; MMA_M]; MAX_NTILES + 1];
+        mma_m16n8k16_s8_ntiles(&mut counters, &a, &b, (MAX_NTILES + 1) * MMA_N, &mut accs);
     }
 }

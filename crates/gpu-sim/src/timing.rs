@@ -204,7 +204,11 @@ pub fn estimate_time(
     // --- Tensor core bound ---
     let flops_per_mma = 2.0 * 16.0 * 8.0 * 16.0;
     let mma_cycles_each = flops_per_mma / spec.tc_flops_per_cycle_per_sm;
-    let t_tc = counters.mma_insts as f64 * mma_cycles_each / active_sms;
+    // The integer pipe retires `mma.s8` at twice the FP16 rate on every
+    // modeled part (Ampere/Ada Tensor Cores double INT8 throughput), so
+    // each s8 instruction costs half the FP16 cycles. TIMING_MODEL.md §12.
+    let tc_insts_fp16_equiv = counters.mma_insts as f64 + counters.mma_s8_insts as f64 / 2.0;
+    let t_tc = tc_insts_fp16_equiv * mma_cycles_each / active_sms;
 
     // --- CUDA-core + shared-memory chain ---
     let smem_total = (counters.smem_load_transactions + counters.smem_store_transactions) as f64;
@@ -386,6 +390,32 @@ mod tests {
         );
         assert_eq!(t.bound, Bound::TensorCore);
         assert!(t.tc_util > 0.5);
+    }
+
+    #[test]
+    fn s8_mma_costs_half_the_fp16_cycles() {
+        // A Tensor-Core-bound kernel with the same instruction count on
+        // the integer pipe must run ~2x faster: mma.s8 is priced at twice
+        // the FP16 throughput.
+        let spec = GpuSpec::rtx4090();
+        let s = shape(4096, PipelineMode::AsyncDoubleBuffered);
+        let mut fp16 = Counters::new();
+        fp16.dram_read_bytes = 1 << 20;
+        fp16.mma_insts = 200_000_000;
+        fp16.insts_issued = 200_000_000;
+        let mut s8 = Counters::new();
+        s8.dram_read_bytes = 1 << 20;
+        s8.mma_s8_insts = 200_000_000;
+        s8.insts_issued = 200_000_000;
+        let t_fp16 = estimate_time(&spec, &s, &fp16, &[]);
+        let t_s8 = estimate_time(&spec, &s, &s8, &[]);
+        assert_eq!(t_fp16.bound, Bound::TensorCore);
+        let ratio = t_fp16.time_sec / t_s8.time_sec;
+        assert!(ratio > 1.5 && ratio < 2.1, "ratio {ratio}");
+        // And the integer pipe is still monotone: more s8 work is slower.
+        let mut more = s8.clone();
+        more.mma_s8_insts *= 2;
+        assert!(estimate_time(&spec, &s, &more, &[]).time_sec > t_s8.time_sec);
     }
 
     #[test]

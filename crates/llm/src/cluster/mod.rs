@@ -14,9 +14,9 @@
 //!   capped exponential backoff with deterministic jitter
 //!   ([`RetryPolicy`]) → rerouting to healthy replicas;
 //! * a KV-cache-pressure admission controller sheds or queues load;
-//! * a graceful-degradation ladder per replica: drop batch width, fall
-//!   back to a cheaper kernel resolved through the registry, and
-//!   finally reject new work outright.
+//! * a graceful-degradation ladder per replica: drop batch width, drop
+//!   the weight payload to INT8, fall back to a cheaper kernel resolved
+//!   through the registry, and finally reject new work outright.
 //!
 //! The event loop is serial and every random decision is a pure hash of
 //! the seed, so a run is byte-identical at any host job count — the
@@ -81,17 +81,24 @@ impl Default for AdmissionPolicy {
 }
 
 /// The graceful-degradation ladder: rung 1 halves the batch, rung 2
-/// swaps to the fallback kernel, rung 3 rejects new work.
+/// drops the weight payload to INT8, rung 3 swaps to the fallback
+/// kernel, rung 4 rejects new work.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DegradationPolicy {
     /// Master switch; `false` pins every replica to rung 0.
     pub enabled: bool,
     /// Rung 1: halve the batch width (min 1).
     pub shrink_batch: bool,
-    /// Rung 2: registered kernel name to fall back to, resolved through
+    /// Rung 2: serve from INT8 weight payloads ([`Framework::SpInfer`]
+    /// → [`Framework::SpInferInt8`]) — cheaper steps at a bounded
+    /// accuracy cost, one rung before abandoning the sparse format
+    /// entirely. Only takes effect when the primary framework is
+    /// `SpInfer`; other primaries pass straight through to rung 3.
+    pub int8_precision: bool,
+    /// Rung 3: registered kernel name to fall back to, resolved through
     /// `spinfer_baselines::kernel_by_name` (unknown names are a typed
     /// [`SpinferError::UnknownKernel`] at validation time). `None`
-    /// keeps the primary kernel on every rung.
+    /// keeps the rung-2 kernel on every later rung.
     pub fallback_kernel: Option<String>,
 }
 
@@ -100,6 +107,7 @@ impl Default for DegradationPolicy {
         DegradationPolicy {
             enabled: true,
             shrink_batch: true,
+            int8_precision: true,
             // The dense tensor-core path: slower per token at high
             // sparsity, but immune to sparse-format hazards — the
             // classic "boring fallback".
@@ -309,7 +317,7 @@ pub struct ClusterReport {
     pub degrade_escalations: u64,
     /// Ladder de-escalations.
     pub degrade_deescalations: u64,
-    /// Requests rejected by rung-3 replicas.
+    /// Requests rejected by rung-4 replicas.
     pub degraded_rejects: u64,
     /// Attempts routed to a replica that was down (blind routing).
     pub routed_to_down: u64,
@@ -502,6 +510,9 @@ impl<'a> Sim<'a> {
         let (max_in, max_out) = cfg.mix.max_lengths((cfg.input_len, cfg.output_len));
         let mut caps = HashMap::new();
         let mut fws = vec![cfg.framework];
+        if cfg.degradation.int8_precision && cfg.framework == Framework::SpInfer {
+            fws.push(Framework::SpInferInt8);
+        }
         if let Some(f) = fallback_fw {
             fws.push(f);
         }
@@ -656,7 +667,10 @@ impl<'a> Sim<'a> {
             if level >= 1 && self.cfg.degradation.shrink_batch {
                 batch = (batch / 2).max(1);
             }
-            if level >= 2 {
+            if level >= 2 && self.cfg.degradation.int8_precision && fw == Framework::SpInfer {
+                fw = Framework::SpInferInt8;
+            }
+            if level >= 3 {
                 if let Some(f) = self.fallback_fw {
                     fw = f;
                 }
@@ -671,7 +685,7 @@ impl<'a> Sim<'a> {
     // -- ladder ---------------------------------------------------------
 
     fn escalate(&mut self, r: usize, now: f64) {
-        if !self.cfg.degradation.enabled || self.replicas[r].level >= 3 {
+        if !self.cfg.degradation.enabled || self.replicas[r].level >= 4 {
             return;
         }
         self.replicas[r].level += 1;
@@ -736,8 +750,8 @@ impl<'a> Sim<'a> {
             self.fail_attempt(id, now);
             return;
         }
-        if self.cfg.degradation.enabled && self.replicas[r].level >= 3 {
-            // Rung 3: the replica rejects new work with a typed error;
+        if self.cfg.degradation.enabled && self.replicas[r].level >= 4 {
+            // Rung 4: the replica rejects new work with a typed error;
             // here that surfaces as a counted rejection the retry path
             // routes around.
             self.c.degraded_rejects += 1;
@@ -1332,6 +1346,54 @@ mod tests {
             simulate_cluster(&spec, &bad, None).unwrap_err(),
             SpinferError::InvalidSpec { .. }
         ));
+    }
+
+    #[test]
+    fn ladder_steps_through_precision_before_abandoning_the_format() {
+        let spec = GpuSpec::rtx4090();
+        let cfg = smoke_cfg();
+        let fallback = cfg.degradation.resolve_fallback().unwrap();
+        let mut sim = Sim::new(&spec, &cfg, ClusterFaultPlan::default(), fallback, None);
+        // The INT8 rung's KV cap is pre-sized alongside the primary's.
+        assert!(sim.caps.contains_key(&Framework::SpInferInt8));
+        let (fw0, b0) = sim.effective(0);
+        assert_eq!(fw0, Framework::SpInfer);
+        sim.replicas[0].level = 1;
+        let (fw1, b1) = sim.effective(0);
+        assert_eq!(fw1, Framework::SpInfer, "rung 1 only shrinks the batch");
+        assert!(b1 <= b0);
+        sim.replicas[0].level = 2;
+        let (fw2, _) = sim.effective(0);
+        assert_eq!(fw2, Framework::SpInferInt8, "rung 2 drops the payload");
+        sim.replicas[0].level = 3;
+        let (fw3, _) = sim.effective(0);
+        assert_eq!(
+            fw3,
+            Framework::FasterTransformer,
+            "rung 3 abandons the sparse format"
+        );
+        // The ladder tops out at the reject rung.
+        sim.replicas[0].level = 4;
+        sim.escalate(0, 0.0);
+        assert_eq!(sim.replicas[0].level, 4);
+    }
+
+    #[test]
+    fn int8_rung_can_be_opted_out() {
+        let spec = GpuSpec::rtx4090();
+        let cfg = ClusterConfig {
+            degradation: DegradationPolicy {
+                int8_precision: false,
+                ..DegradationPolicy::default()
+            },
+            ..smoke_cfg()
+        };
+        let fallback = cfg.degradation.resolve_fallback().unwrap();
+        let mut sim = Sim::new(&spec, &cfg, ClusterFaultPlan::default(), fallback, None);
+        assert!(!sim.caps.contains_key(&Framework::SpInferInt8));
+        sim.replicas[0].level = 2;
+        let (fw2, _) = sim.effective(0);
+        assert_eq!(fw2, Framework::SpInfer, "rung 2 is a no-op when opted out");
     }
 
     #[test]

@@ -9,13 +9,18 @@
 use gpu_sim::spec::GpuSpec;
 use spinfer_baselines::formats::tiled_csl::TiledCsl;
 use spinfer_baselines::kernels::{CublasGemm, FlashLlmSpmm, FlashLlmStats};
-use spinfer_core::{FormatStats, SpinferError, SpinferSpmm};
+use spinfer_core::{FormatStats, SpinferError, SpinferSpmm, SpinferSpmmInt8};
 
 /// An inference framework under comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Framework {
     /// SpInfer: TCA-BME weights + SpInfer-SpMM kernels.
     SpInfer,
+    /// SpInfer with INT8 weight payloads: TCA-BME-INT8 weights + the
+    /// `SpInfer-INT8` kernel. A precision rung below [`Framework::SpInfer`]
+    /// in the degradation ladder, not part of the paper's FP16 comparison
+    /// roster ([`Framework::all`]).
+    SpInferInt8,
     /// Flash-LLM: Tiled-CSL weights + Load-as-Sparse-Compute-as-Dense.
     FlashLlm,
     /// FasterTransformer: dense FP16 weights + cuBLAS.
@@ -30,6 +35,7 @@ impl Framework {
     pub fn label(self) -> &'static str {
         match self {
             Framework::SpInfer => "SpInfer",
+            Framework::SpInferInt8 => "SpInfer-INT8",
             Framework::FlashLlm => "Flash-LLM",
             Framework::FasterTransformer => "FT",
             Framework::DeepSpeed => "DS",
@@ -38,7 +44,10 @@ impl Framework {
 
     /// Whether the framework exploits weight sparsity.
     pub fn is_sparse(self) -> bool {
-        matches!(self, Framework::SpInfer | Framework::FlashLlm)
+        matches!(
+            self,
+            Framework::SpInfer | Framework::SpInferInt8 | Framework::FlashLlm
+        )
     }
 
     /// Stored bytes for an `m×k` linear weight at `sparsity`.
@@ -46,6 +55,7 @@ impl Framework {
         let nnz = ((m * k) as f64 * (1.0 - sparsity)).round() as usize;
         match self {
             Framework::SpInfer => FormatStats::synthetic_storage_bytes(m, k, sparsity),
+            Framework::SpInferInt8 => FormatStats::synthetic(m, k, sparsity).storage_bytes_int8(),
             Framework::FlashLlm => TiledCsl::storage_bytes_formula(m, k, nnz),
             Framework::FasterTransformer | Framework::DeepSpeed => 2 * m * k,
         }
@@ -55,6 +65,10 @@ impl Framework {
     pub fn linear_sec(self, spec: &GpuSpec, m: usize, k: usize, n: usize, sparsity: f64) -> f64 {
         match self {
             Framework::SpInfer => SpinferSpmm::new()
+                .estimate(spec, &FormatStats::synthetic(m, k, sparsity), n)
+                .chain
+                .time_sec(),
+            Framework::SpInferInt8 => SpinferSpmmInt8::new()
                 .estimate(spec, &FormatStats::synthetic(m, k, sparsity), n)
                 .chain
                 .time_sec(),
@@ -78,7 +92,10 @@ impl Framework {
     /// kernels than FT's fused path.
     pub fn layer_overhead_sec(self) -> f64 {
         match self {
-            Framework::SpInfer | Framework::FlashLlm | Framework::FasterTransformer => 45.0e-6,
+            Framework::SpInfer
+            | Framework::SpInferInt8
+            | Framework::FlashLlm
+            | Framework::FasterTransformer => 45.0e-6,
             Framework::DeepSpeed => 80.0e-6,
         }
     }
@@ -104,6 +121,7 @@ pub fn framework_for_kernel(name: &str) -> Result<Framework, SpinferError> {
     let kernel = spinfer_baselines::kernel_by_name(name)?;
     Ok(match kernel.name() {
         "SpInfer" => Framework::SpInfer,
+        "SpInfer-INT8" => Framework::SpInferInt8,
         "cuBLAS_TC" => Framework::FasterTransformer,
         // The remaining baselines (Flash-LLM, SparTA, Sputnik, cuSPARSE,
         // SMaT) price closest to the Flash-LLM profile.
@@ -147,8 +165,26 @@ mod tests {
     }
 
     #[test]
+    fn int8_rung_shrinks_weights_and_latency_but_stays_off_the_roster() {
+        let spec = GpuSpec::rtx4090();
+        let fp16 = Framework::SpInfer.weight_bytes(8192, 8192, 0.6);
+        let int8 = Framework::SpInferInt8.weight_bytes(8192, 8192, 0.6);
+        assert!(int8 < fp16, "int8 {int8} vs fp16 {fp16}");
+        let t_fp16 = Framework::SpInfer.linear_sec(&spec, 20480, 5120, 16, 0.6);
+        let t_int8 = Framework::SpInferInt8.linear_sec(&spec, 20480, 5120, 16, 0.6);
+        assert!(t_int8 < t_fp16, "int8 {t_int8} vs fp16 {t_fp16}");
+        assert!(Framework::SpInferInt8.is_sparse());
+        // The paper's end-to-end comparison is FP16-only.
+        assert!(!Framework::all().contains(&Framework::SpInferInt8));
+    }
+
+    #[test]
     fn kernel_names_resolve_to_cost_profiles() {
         assert_eq!(framework_for_kernel("SpInfer").unwrap(), Framework::SpInfer);
+        assert_eq!(
+            framework_for_kernel("SpInfer-INT8").unwrap(),
+            Framework::SpInferInt8
+        );
         assert_eq!(
             framework_for_kernel("cuBLAS_TC").unwrap(),
             Framework::FasterTransformer

@@ -2,79 +2,82 @@
 //!
 //! The paper positions SpInfer as *complementary* to weight quantisation:
 //! the bitmap indexes positions, so nothing stops the packed `Values`
-//! array from holding INT8 instead of FP16. This module implements that
-//! composition — per-GroupTile symmetric INT8 quantisation of the values
-//! array, bitmaps and offsets unchanged — roughly halving storage again
-//! on top of the sparsity win.
+//! array from holding INT8 instead of FP16. Since the core grew a real
+//! INT8 container ([`TcaBmeInt8`]) and a registered kernel
+//! (`SpInfer-INT8`), this module is a thin pruning-pipeline adapter over
+//! them: quantisation, storage accounting, the analytic estimate, and
+//! functional execution all delegate to the core — nothing here
+//! re-models the INT8 datapath.
 
 use gpu_sim::fp16::Half;
+use gpu_sim::matrix::DenseMatrix;
 use gpu_sim::spec::GpuSpec;
-use spinfer_core::spmm::{FormatStats, SpinferSpmm, SpmmRun};
-use spinfer_core::tca_bme::TcaBme;
+use spinfer_core::spmm::{FormatStats, SpmmRun};
+use spinfer_core::tca_bme::{TcaBme, TcaBmeInt8};
+use spinfer_core::SpinferSpmmInt8;
 
-/// TCA-BME with INT8 values and per-GroupTile scales.
+/// TCA-BME with INT8 values and per-GroupTile scales — a pruning-stack
+/// handle over the core container the registered `SpInfer-INT8` kernel
+/// launches against.
 #[derive(Clone, Debug)]
 pub struct QuantizedTcaBme {
-    /// The geometry (bitmaps, offsets) of the underlying encoding; its
-    /// `values` are retained only for shape, not read.
-    pub geometry: TcaBme,
-    /// INT8 values, same ordering/padding as the FP16 array.
-    pub values_i8: Vec<i8>,
-    /// One dequantisation scale per GroupTile.
-    pub scales: Vec<f32>,
+    /// The core INT8 container: `i8` codes in the FP16 value layout plus
+    /// one dequantisation scale per GroupTile.
+    pub inner: TcaBmeInt8,
 }
 
 impl QuantizedTcaBme {
-    /// Quantises an encoded matrix: per GroupTile, `scale = max|v| / 127`.
+    /// Quantises an encoded matrix: per GroupTile, `scale = max|v| / 127`
+    /// (the core's symmetric scheme).
     pub fn quantize(w: &TcaBme) -> Self {
-        let ngt = w.num_gtiles();
-        let mut values_i8 = vec![0i8; w.values.len()];
-        let mut scales = vec![0.0f32; ngt];
-        for gt in 0..ngt {
-            let s = w.gtile_offsets[gt] as usize;
-            let e = w.gtile_offsets[gt + 1] as usize;
-            let max = w.values[s..e]
-                .iter()
-                .map(|v| v.to_f32().abs())
-                .fold(0.0f32, f32::max);
-            let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-            scales[gt] = scale;
-            for (dst, src) in values_i8[s..e].iter_mut().zip(&w.values[s..e]) {
-                *dst = (src.to_f32() / scale).round().clamp(-127.0, 127.0) as i8;
-            }
-        }
         QuantizedTcaBme {
-            geometry: w.clone(),
-            values_i8,
-            scales,
+            inner: w.quantize_int8(),
         }
     }
 
-    /// Dequantises back to an FP16-valued encoding.
+    /// Per-GroupTile dequantisation scale.
+    pub fn scale(&self, gt: usize) -> f32 {
+        self.inner.scale(gt)
+    }
+
+    /// Dequantises back to an FP16-valued encoding: identical geometry
+    /// (bitmaps, offsets, padding), each code mapped through its
+    /// GroupTile scale.
     pub fn dequantize(&self) -> TcaBme {
-        let mut out = self.geometry.clone();
-        for gt in 0..out.num_gtiles() {
-            let s = out.gtile_offsets[gt] as usize;
-            let e = out.gtile_offsets[gt + 1] as usize;
-            let scale = self.scales[gt];
-            for (dst, &q) in out.values[s..e].iter_mut().zip(&self.values_i8[s..e]) {
-                *dst = Half::from_f32(f32::from(q) * scale);
-            }
+        let t = &self.inner.tiles;
+        let mut values = Vec::with_capacity(t.values.len());
+        for gt in 0..t.num_gtiles() {
+            let s = t.gtile_offsets[gt] as usize;
+            let e = t.gtile_offsets[gt + 1] as usize;
+            let scale = self.inner.scales[gt];
+            values.extend(
+                t.values[s..e]
+                    .iter()
+                    .map(|&q| Half::from_f32(f32::from(q) * scale)),
+            );
         }
-        out
+        TcaBme {
+            m: t.m,
+            k: t.k,
+            m_pad: t.m_pad,
+            k_pad: t.k_pad,
+            config: t.config,
+            gtile_offsets: t.gtile_offsets.clone(),
+            values,
+            bitmaps: t.bitmaps.clone(),
+            nnz: t.nnz,
+        }
     }
 
-    /// Storage bytes: INT8 values + scales + bitmaps + offsets.
+    /// Storage bytes of the INT8 container (codes + scales + bitmaps +
+    /// offsets) — the same accounting the serialized v3 container pins.
     pub fn storage_bytes(&self) -> usize {
-        self.values_i8.len()
-            + 4 * self.scales.len()
-            + 8 * self.geometry.bitmaps.len()
-            + 4 * self.geometry.gtile_offsets.len()
+        self.inner.storage_bytes()
     }
 
     /// Compression ratio vs the dense FP16 matrix.
     pub fn compression_ratio(&self) -> f64 {
-        (2 * self.geometry.m * self.geometry.k) as f64 / self.storage_bytes() as f64
+        self.inner.compression_ratio()
     }
 
     /// Worst-case relative quantisation error bound per GroupTile
@@ -83,16 +86,20 @@ impl QuantizedTcaBme {
         0.5 / 127.0
     }
 
-    /// Analytic kernel estimate for the quantised weights: value traffic
-    /// halves (1 B/value); the in-register dequantisation rides under the
-    /// asynchronous pipeline like SMBD does.
+    /// Analytic kernel estimate — the registered INT8 kernel's own
+    /// estimator (half the value traffic, `mma.s8` pricing, scale-fold
+    /// instructions), not a local re-model.
     pub fn estimate(&self, spec: &GpuSpec, n: usize) -> SpmmRun {
-        let mut stats = FormatStats::from_encoded(&self.geometry);
-        // FormatStats accounts values at 2 B each; halve the element count
-        // to model 1 B values (padding included).
-        stats.values_len = stats.values_len.div_ceil(2);
-        stats.max_values_per_gtile = stats.max_values_per_gtile.div_ceil(2);
-        SpinferSpmm::new().estimate(spec, &stats, n)
+        SpinferSpmmInt8::new().estimate(spec, &FormatStats::from_encoded(&self.inner.tiles), n)
+    }
+
+    /// Functional execution through the registered INT8 kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows()` differs from the container's K.
+    pub fn run(&self, spec: &GpuSpec, x: &DenseMatrix) -> SpmmRun {
+        SpinferSpmmInt8::new().run(spec, &self.inner, x)
     }
 }
 
@@ -100,6 +107,8 @@ impl QuantizedTcaBme {
 mod tests {
     use super::*;
     use gpu_sim::matrix::{max_abs_diff, random_dense, random_sparse, ValueDist};
+    use spinfer_core::serialize;
+    use spinfer_core::SpinferSpmm;
 
     fn encoded(sparsity: f64, seed: u64) -> TcaBme {
         TcaBme::encode(&random_sparse(
@@ -119,7 +128,7 @@ mod tests {
         let a = w.decode();
         let b = back.decode();
         // Per-element error ≤ scale/2; scales are per-GroupTile maxima.
-        let max_scale = q.scales.iter().copied().fold(0.0f32, f32::max);
+        let max_scale = q.inner.scales.iter().copied().fold(0.0f32, f32::max);
         let err = max_abs_diff(
             &a.as_slice().iter().map(|h| h.to_f32()).collect::<Vec<_>>(),
             &b.as_slice().iter().map(|h| h.to_f32()).collect::<Vec<_>>(),
@@ -162,6 +171,25 @@ mod tests {
     }
 
     #[test]
+    fn storage_bytes_pins_the_serialized_v3_layout() {
+        // The byte accounting must agree with what actually lands on
+        // disk: the v3 container is storage_bytes() plus fixed framing
+        // (8 B magic + 56 B header + five 8 B section lengths) plus the
+        // 4 B/GroupTile integrity checksums.
+        for (sparsity, seed) in [(0.3, 91), (0.6, 92), (0.9, 93)] {
+            let w = encoded(sparsity, seed);
+            let q = QuantizedTcaBme::quantize(&w);
+            let disk = serialize::to_bytes_int8(&q.inner).len();
+            let framing = 8 + 56 + 5 * 8 + 4 * q.inner.tiles.num_gtiles();
+            assert_eq!(
+                disk,
+                q.storage_bytes() + framing,
+                "v3 bytes vs storage accounting at sparsity {sparsity}"
+            );
+        }
+    }
+
+    #[test]
     fn quantised_kernel_is_faster_in_the_memory_bound_regime() {
         let spec = GpuSpec::rtx4090();
         let w = TcaBme::encode(&random_sparse(
@@ -177,6 +205,50 @@ mod tests {
             .time_us();
         let t_int8 = q.estimate(&spec, 16).time_us();
         assert!(t_int8 < t_fp16, "int8 {t_int8} vs fp16 {t_fp16}");
+    }
+
+    #[test]
+    fn estimate_is_the_registered_kernels_estimate() {
+        // Thin-wrapper check: identical launch chain (same simulated
+        // time bits and counters) as calling the kernel directly.
+        let spec = GpuSpec::rtx4090();
+        let w = encoded(0.6, 87);
+        let q = QuantizedTcaBme::quantize(&w);
+        let via_wrapper = q.estimate(&spec, 16);
+        let direct =
+            SpinferSpmmInt8::new().estimate(&spec, &FormatStats::from_encoded(&q.inner.tiles), 16);
+        assert_eq!(
+            via_wrapper.time_us().to_bits(),
+            direct.time_us().to_bits(),
+            "wrapper must not re-model the kernel"
+        );
+        assert_eq!(
+            via_wrapper.chain.merged_counters(),
+            direct.chain.merged_counters()
+        );
+    }
+
+    #[test]
+    fn functional_run_goes_through_the_real_int8_kernel() {
+        let spec = GpuSpec::rtx4090();
+        let dense = random_sparse(128, 128, 0.5, ValueDist::Normal { std: 0.05 }, 88);
+        let x = random_dense(128, 8, ValueDist::Normal { std: 0.5 }, 89);
+        let q = QuantizedTcaBme::quantize(&TcaBme::encode(&dense));
+        let run = q.run(&spec, &x);
+        let direct = SpinferSpmmInt8::new().run(&spec, &q.inner, &x);
+        assert_eq!(run.output, direct.output, "same kernel, same bits");
+        let rel = {
+            let reference = dense.matmul_ref(&x);
+            let out = run.output.as_ref().unwrap();
+            let mut num = 0.0f64;
+            let mut den = 0.0f64;
+            for (a, b) in out.iter().zip(&reference) {
+                num += f64::from(a - b) * f64::from(a - b);
+                den += f64::from(*b) * f64::from(*b);
+            }
+            (num / den.max(1e-12)).sqrt()
+        };
+        assert!(rel < 0.02, "relative output error {rel}");
     }
 
     #[test]
@@ -201,7 +273,7 @@ mod tests {
     fn empty_grouptile_gets_unit_scale() {
         let w = TcaBme::encode(&gpu_sim::DenseMatrix::zeros(64, 128));
         let q = QuantizedTcaBme::quantize(&w);
-        assert!(q.scales.iter().all(|&s| s == 1.0));
+        assert!(q.inner.scales.iter().all(|&s| s == 1.0));
         assert_eq!(q.dequantize().decode().nnz(), 0);
     }
 }

@@ -42,7 +42,7 @@ fn every_registered_kernel_honors_the_contract() {
     let x = random_dense(k, n, ValueDist::Uniform, 2025);
 
     let kernels = registry();
-    assert!(kernels.len() >= 7, "registry lost kernels");
+    assert!(kernels.len() >= 8, "registry lost kernels");
     for kernel in kernels {
         let name = kernel.name();
 

@@ -163,7 +163,7 @@ proptest! {
         for r in 0..64 {
             for c in 0..64 {
                 let gt = enc.gt_index(r / 64, c / 64);
-                let bound = q.scales[gt] * 0.51 + 1e-4;
+                let bound = q.scale(gt) * 0.51 + 1e-4;
                 let d = (m.get(r, c).to_f32() - back.get(r, c).to_f32()).abs();
                 prop_assert!(d <= bound, "({r},{c}): err {d} > bound {bound}");
             }
